@@ -1,0 +1,133 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * double-buffered compute/transfer overlap vs. sequential execution,
+//! * operator fusion on vs. off,
+//! * P2P flash→DSA path vs. the host-mediated path inside the drive,
+//! * DSCS-aware FCFS scheduling vs. running everything on compute nodes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dscs_compiler::{compile, CompileOptions, FusionPolicy};
+use dscs_dsa::config::DsaConfig;
+use dscs_dsa::executor::{Executor, OverlapPolicy};
+use dscs_nn::zoo::{Model, ModelKind};
+use dscs_simcore::quantity::Bytes;
+use dscs_storage::drive::DscsDrive;
+
+fn bench_ablation_overlap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_overlap");
+    group.sample_size(10);
+    let config = DsaConfig::paper_optimal();
+    let model = Model::build(ModelKind::ResNet50);
+    let program = compile(model.graph(), &config, CompileOptions::default());
+    // Report the modelled latencies once so the ablation result is visible in
+    // the bench log, then measure the simulation cost itself.
+    let overlapped = Executor::with_policy(config, OverlapPolicy::DoubleBuffered).run(&program);
+    let sequential = Executor::with_policy(config, OverlapPolicy::Sequential).run(&program);
+    println!(
+        "ablation_overlap: double-buffered {:.3} ms vs sequential {:.3} ms",
+        overlapped.latency().as_millis_f64(),
+        sequential.latency().as_millis_f64()
+    );
+    group.bench_function("double_buffered", |b| {
+        b.iter(|| black_box(Executor::with_policy(config, OverlapPolicy::DoubleBuffered).run(&program)))
+    });
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(Executor::with_policy(config, OverlapPolicy::Sequential).run(&program)))
+    });
+    group.finish();
+}
+
+fn bench_ablation_fusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_fusion");
+    group.sample_size(10);
+    let config = DsaConfig::paper_optimal();
+    let model = Model::build(ModelKind::VitBase);
+    let fused = compile(model.graph(), &config, CompileOptions::default());
+    let unfused = compile(
+        model.graph(),
+        &config,
+        CompileOptions {
+            fusion: FusionPolicy::Disabled,
+        },
+    );
+    println!(
+        "ablation_fusion: fused DMA {} vs unfused DMA {}",
+        fused.total_dma_bytes(),
+        unfused.total_dma_bytes()
+    );
+    group.bench_function("fusion_enabled", |b| {
+        b.iter(|| black_box(compile(model.graph(), &config, CompileOptions::default())))
+    });
+    group.bench_function("fusion_disabled", |b| {
+        b.iter(|| {
+            black_box(compile(
+                model.graph(),
+                &config,
+                CompileOptions {
+                    fusion: FusionPolicy::Disabled,
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_ablation_p2p(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_p2p");
+    group.sample_size(30);
+    let drive = DscsDrive::smartssd_class();
+    let payload = Bytes::from_mib(4);
+    println!(
+        "ablation_p2p: p2p read {:.3} ms vs host read {:.3} ms for {payload}",
+        drive.p2p_read_latency(payload).as_millis_f64(),
+        drive.as_ssd().host_read_latency(payload).as_millis_f64()
+    );
+    group.bench_function("p2p_path", |b| b.iter(|| black_box(drive.p2p_read_latency(payload))));
+    group.bench_function("host_path", |b| b.iter(|| black_box(drive.as_ssd().host_read_latency(payload))));
+    group.finish();
+}
+
+fn bench_ablation_scheduler(c: &mut Criterion) {
+    use dscs_faas::scheduler::{NodeCapability, NodeId, PendingRequest, Scheduler};
+    let mut group = c.benchmark_group("ablation_scheduler");
+    group.sample_size(20);
+    let nodes: Vec<(NodeId, NodeCapability)> = (0..100u32)
+        .map(|i| {
+            let cap = if i < 20 { NodeCapability::DscsStorage } else { NodeCapability::Compute };
+            (NodeId(i), cap)
+        })
+        .collect();
+    group.bench_function("fcfs_dscs_aware_1000_requests", |b| {
+        b.iter(|| {
+            let mut scheduler = Scheduler::new(nodes.clone(), 10_000);
+            for id in 0..1000u64 {
+                let data_node = NodeId((id % 20) as u32);
+                scheduler
+                    .submit(PendingRequest {
+                        id,
+                        app: "bench".to_string(),
+                        acceleratable: id % 2 == 0,
+                        data_node: Some(data_node),
+                    })
+                    .expect("queue has room");
+                let placed = scheduler.dispatch();
+                for (_, placement) in &placed {
+                    scheduler.release(placement.node());
+                }
+            }
+            black_box(scheduler.telemetry().counter("scheduled_total"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_ablation_overlap,
+    bench_ablation_fusion,
+    bench_ablation_p2p,
+    bench_ablation_scheduler
+);
+criterion_main!(ablations);

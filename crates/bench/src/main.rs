@@ -1,0 +1,331 @@
+//! `reproduce` — regenerates every table and figure of the DSCS-Serverless
+//! paper from the simulation models and prints the series as aligned text
+//! rows.
+//!
+//! Usage:
+//!
+//! ```text
+//! reproduce [experiment] [--full]
+//!
+//! experiment: all (default), table1, table2, fig3, fig4, fig7, fig8, fig9,
+//!             fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17
+//! --full:     run the full-size sweeps (complete 650+-point DSE, full
+//!             20-minute at-scale trace) instead of the quick versions.
+//! ```
+
+use std::env;
+
+use dscs_cluster::sim::simulate_platform;
+use dscs_cluster::trace::RateProfile;
+use dscs_core::benchmarks::Benchmark;
+use dscs_core::endtoend::{EvalOptions, SystemModel};
+use dscs_core::experiments as exp;
+use dscs_dsa::config::TechnologyNode;
+use dscs_dse::cost::CostParameters;
+use dscs_dse::explore::{
+    area_performance_frontier, frontier_fit, power_performance_frontier, select_optimal, sweep, DRIVE_POWER_BUDGET_WATTS,
+};
+use dscs_dse::space::{enumerate, enumerate_small};
+use dscs_platforms::PlatformKind;
+use dscs_simcore::rng::DeterministicRng;
+use dscs_simcore::stats::geometric_mean;
+use dscs_simcore::time::SimDuration;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let which = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all").to_string();
+
+    let run = |name: &str| which == "all" || which == name;
+
+    if run("table1") {
+        table1();
+    }
+    if run("table2") {
+        table2();
+    }
+    if run("fig3") {
+        fig3();
+    }
+    if run("fig4") {
+        fig4();
+    }
+    if run("fig7") || run("fig8") {
+        fig7_and_8(full);
+    }
+    if run("fig9") {
+        fig9();
+    }
+    if run("fig10") {
+        fig10();
+    }
+    if run("fig11") {
+        fig11();
+    }
+    if run("fig12") {
+        fig12();
+    }
+    if run("fig13") {
+        fig13(full);
+    }
+    if run("fig14") {
+        fig14();
+    }
+    if run("fig15") {
+        fig15();
+    }
+    if run("fig16") {
+        fig16();
+    }
+    if run("fig17") {
+        fig17();
+    }
+}
+
+fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn table1() {
+    header("Table 1: benchmark suite");
+    println!(
+        "{:<26} {:<18} {:>14} {:>12} {:>12}  description",
+        "benchmark", "model", "parameters", "input B", "output B"
+    );
+    for row in exp::table1_benchmarks() {
+        println!(
+            "{:<26} {:<18} {:>14} {:>12} {:>12}  {}",
+            row.benchmark.name(),
+            row.model,
+            row.parameters,
+            row.input_bytes,
+            row.output_bytes,
+            row.description
+        );
+    }
+}
+
+fn table2() {
+    header("Table 2: evaluated platforms");
+    println!(
+        "{:<18} {:>10} {:>12} {:>10} {:>14} {:>10}",
+        "platform", "peak TOPS", "mem GB/s", "power W", "location", "CAPEX $"
+    );
+    for row in exp::table2_platforms() {
+        println!(
+            "{:<18} {:>10.1} {:>12.1} {:>10.1} {:>14} {:>10.0}",
+            row.platform.name(),
+            row.peak_tops,
+            row.memory_gbps,
+            row.power_watts,
+            row.location,
+            row.capex_usd
+        );
+    }
+}
+
+fn fig3() {
+    header("Figure 3: CDF of remote-storage (S3-style) read latency per benchmark");
+    let series = exp::fig3_s3_read_cdf(10_000, 42);
+    println!("{:<26} {:>12} {:>12} {:>10}", "benchmark", "p50 (ms)", "p99 (ms)", "p99/p50");
+    for s in &series {
+        println!(
+            "{:<26} {:>12.2} {:>12.2} {:>10.2}",
+            s.benchmark.name(),
+            s.p50 * 1e3,
+            s.p99 * 1e3,
+            s.p99 / s.p50
+        );
+    }
+}
+
+fn print_breakdowns(rows: &[exp::BreakdownRow]) {
+    println!(
+        "{:<18} {:<26} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9}",
+        "platform", "benchmark", "rd %", "wr %", "io %", "comp %", "notif %", "stack %", "total ms"
+    );
+    for row in rows {
+        let n = row.normalized();
+        println!(
+            "{:<18} {:<26} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>9.1}",
+            row.platform.name(),
+            row.benchmark.name(),
+            n[0].1 * 100.0,
+            n[1].1 * 100.0,
+            n[2].1 * 100.0,
+            n[3].1 * 100.0,
+            n[4].1 * 100.0,
+            n[5].1 * 100.0,
+            row.breakdown.total().as_millis_f64()
+        );
+    }
+}
+
+fn fig4() {
+    header("Figure 4: runtime breakdown on the baseline CPU with remote storage");
+    let rows = exp::fig4_runtime_breakdown_baseline();
+    print_breakdowns(&rows);
+    let avg_comm: f64 = rows.iter().map(|r| r.breakdown.communication_fraction()).sum::<f64>() / rows.len() as f64;
+    println!("average communication share: {:.1}% (paper: >55%)", avg_comm * 100.0);
+}
+
+fn fig7_and_8(full: bool) {
+    header("Figures 7 & 8: DSA design-space Pareto frontiers at 45 nm");
+    let space = if full {
+        enumerate(TechnologyNode::Nm45)
+    } else {
+        enumerate_small(TechnologyNode::Nm45)
+    };
+    println!(
+        "design points evaluated: {} ({})",
+        space.len(),
+        if full { "full sweep" } else { "quick sweep; use --full for the complete sweep" }
+    );
+    let points = sweep(&space, &dscs_dse::explore::default_evaluation_models());
+
+    let power_frontier = power_performance_frontier(&points);
+    println!("\nFigure 7 (power-performance frontier, <= {DRIVE_POWER_BUDGET_WATTS} W):");
+    println!("{:<26} {:>16} {:>12}", "config", "throughput ips", "power W");
+    for p in &power_frontier {
+        println!("{:<26} {:>16.1} {:>12.2}", p.config.label(), p.throughput_ips, p.power_watts);
+    }
+    if power_frontier.len() >= 2 {
+        println!("P(c) fit: {}", frontier_fit(&power_frontier, |p| p.power_watts));
+    }
+
+    let area_frontier = area_performance_frontier(&points);
+    println!("\nFigure 8 (area-performance frontier):");
+    println!("{:<26} {:>16} {:>12}", "config", "throughput ips", "area mm2");
+    for p in &area_frontier {
+        println!("{:<26} {:>16.1} {:>12.1}", p.config.label(), p.throughput_ips, p.area_mm2);
+    }
+    if area_frontier.len() >= 2 {
+        println!("A(c) fit: {}", frontier_fit(&area_frontier, |p| p.area_mm2));
+    }
+
+    if let Some(best) = select_optimal(&points) {
+        println!("\nselected configuration: {} (paper selects Dim128-4MB-DDR5)", best.config.label());
+    }
+}
+
+fn print_ratio_matrix(matrix: &exp::RatioMatrix, what: &str) {
+    print!("{:<26}", "benchmark");
+    let platforms: Vec<PlatformKind> = matrix.means.iter().map(|(p, _)| *p).collect();
+    for p in &platforms {
+        print!(" {:>16}", p.name());
+    }
+    println!();
+    for b in Benchmark::ALL {
+        print!("{:<26}", b.name());
+        for p in &platforms {
+            print!(" {:>16.2}", matrix.cell(b, *p).unwrap_or(f64::NAN));
+        }
+        println!();
+    }
+    print!("{:<26}", format!("geomean {what}"));
+    for (_, mean) in &matrix.means {
+        print!(" {mean:>16.2}");
+    }
+    println!();
+}
+
+fn fig9() {
+    header("Figure 9: end-to-end speedup over the baseline CPU");
+    print_ratio_matrix(&exp::fig9_speedup(), "speedup");
+}
+
+fn fig10() {
+    header("Figure 10: runtime breakdown across platforms");
+    print_breakdowns(&exp::fig10_runtime_breakdown());
+}
+
+fn fig11() {
+    header("Figure 11: system energy reduction over the baseline CPU");
+    print_ratio_matrix(&exp::fig11_energy_reduction(), "energy reduction");
+}
+
+fn fig12() {
+    header("Figure 12: cost efficiency normalized to the baseline CPU");
+    let params = CostParameters::default();
+    let system = SystemModel::new();
+    // Every deployment also pays for its share of the surrounding
+    // infrastructure (server chassis, networking, storage capacity) and that
+    // infrastructure's power draw, as in the paper's CAPEX/OPEX accounting.
+    let infra_capex = dscs_simcore::quantity::Dollars::new(3_500.0);
+    let infra_power = dscs_simcore::quantity::Watts::new(120.0);
+    let efficiency = |platform: PlatformKind| {
+        let spec = platform.spec();
+        let throughputs: Vec<f64> = Benchmark::ALL
+            .iter()
+            .map(|&b| system.evaluate(b, platform, EvalOptions::default()).throughput_rps())
+            .collect();
+        let throughput = geometric_mean(&throughputs);
+        params.cost_efficiency(throughput, spec.active_power + infra_power, spec.capex + infra_capex)
+    };
+    let base = efficiency(PlatformKind::BaselineCpu);
+    println!("{:<18} {:>22}", "platform", "normalized cost eff.");
+    for p in PlatformKind::ALL {
+        println!("{:<18} {:>22.2}", p.name(), efficiency(p) / base);
+    }
+}
+
+fn fig13(full: bool) {
+    header("Figure 13: at-scale trace (200 instances, FCFS, 10k queue)");
+    let profile = if full {
+        RateProfile::paper_bursty()
+    } else {
+        // One-quarter-length trace with the same rate steps for quick runs.
+        let mut p = RateProfile::paper_bursty();
+        for seg in &mut p.segments {
+            seg.0 = SimDuration::from_secs_f64(seg.0.as_secs_f64() / 4.0);
+        }
+        p
+    };
+    let trace = profile.generate(&mut DeterministicRng::seeded(99));
+    println!("trace: {} requests over {}", trace.len(), profile.horizon());
+    for platform in [PlatformKind::BaselineCpu, PlatformKind::DscsDsa] {
+        let report = simulate_platform(platform, &trace, 7);
+        println!("\n{}:", platform.name());
+        println!("  completed {} rejected {}", report.completed, report.rejected);
+        println!("  mean wall-clock latency: {:.1} ms", report.mean_latency_ms());
+        println!("  peak queued functions:   {:.0}", report.peak_queue());
+        println!("  per-minute offered rps:  {:?}", round_vec(&report.offered_rps));
+        println!("  per-minute queued:       {:?}", round_vec(&report.queued));
+        println!("  per-minute latency (ms): {:?}", round_vec(&report.latency_ms));
+    }
+}
+
+fn round_vec(v: &[f64]) -> Vec<f64> {
+    v.iter().map(|x| (x * 10.0).round() / 10.0).collect()
+}
+
+fn sensitivity(points: &[exp::SensitivityPoint], label: &str) {
+    let mut params: Vec<f64> = points.iter().map(|p| p.parameter).collect();
+    params.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    params.dedup();
+    println!("{:<12} {:>18}", label, "geomean speedup");
+    for param in params {
+        let values: Vec<f64> = points.iter().filter(|p| p.parameter == param).map(|p| p.speedup).collect();
+        println!("{:<12} {:>18.2}", param, geometric_mean(&values));
+    }
+}
+
+fn fig14() {
+    header("Figure 14: batch-size sensitivity (DSCS vs baseline, same batch)");
+    sensitivity(&exp::fig14_batch_sensitivity(), "batch");
+}
+
+fn fig15() {
+    header("Figure 15: storage-access tail-latency sensitivity");
+    sensitivity(&exp::fig15_tail_sensitivity(), "quantile");
+}
+
+fn fig16() {
+    header("Figure 16: sensitivity to the number of accelerated functions");
+    sensitivity(&exp::fig16_function_count_sensitivity(), "+functions");
+}
+
+fn fig17() {
+    header("Figure 17: cold vs warm containers");
+    sensitivity(&exp::fig17_cold_start_sensitivity(), "cold=1");
+}

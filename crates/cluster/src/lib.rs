@@ -1,0 +1,35 @@
+//! # dscs-cluster
+//!
+//! At-scale datacenter simulation for the DSCS-Serverless evaluation
+//! (Figure 13): a 200-instance rack served by an FCFS scheduler with a
+//! 10 000-deep queue, driven by a bursty 20-minute Poisson trace, with
+//! per-request service times taken from the end-to-end model.
+//!
+//! * [`trace`] — bursty request-trace generation (Figure 13a).
+//! * [`sim`] — the discrete-event cluster simulation and its reported series
+//!   (queued functions over time, wall-clock latency over time).
+//!
+//! # Example
+//!
+//! ```
+//! use dscs_cluster::trace::RateProfile;
+//! use dscs_cluster::sim::simulate_platform;
+//! use dscs_platforms::PlatformKind;
+//! use dscs_simcore::rng::DeterministicRng;
+//! use dscs_simcore::time::SimDuration;
+//!
+//! // A short, light trace keeps the doc test fast.
+//! let profile = RateProfile { segments: vec![(SimDuration::from_secs(10), 40.0)] };
+//! let trace = profile.generate(&mut DeterministicRng::seeded(1));
+//! let report = simulate_platform(PlatformKind::DscsDsa, &trace, 2);
+//! assert_eq!(report.completed as usize, trace.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sim;
+pub mod trace;
+
+pub use sim::{simulate_platform, ClusterConfig, ClusterReport, ClusterSim};
+pub use trace::{RateProfile, TraceRequest};

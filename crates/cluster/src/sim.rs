@@ -1,0 +1,266 @@
+//! At-scale cluster simulation (Figure 13).
+//!
+//! A discrete-event simulation of a rack serving the request trace: up to 200
+//! function instances (the paper's cap), a 10 000-deep FCFS scheduler queue,
+//! and per-request service times taken from the end-to-end model for the
+//! platform under test (baseline CPU with remote storage, or DSCS-Serverless).
+//! The outputs are the series Figure 13 plots: offered load, queued functions
+//! over time, and wall-clock request latency over time.
+
+use std::collections::{HashMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use dscs_core::benchmarks::Benchmark;
+use dscs_core::endtoend::{EvalOptions, SystemModel};
+use dscs_platforms::PlatformKind;
+use dscs_simcore::events::Simulator;
+use dscs_simcore::rng::DeterministicRng;
+use dscs_simcore::stats::Summary;
+use dscs_simcore::series::TimeSeries;
+use dscs_simcore::time::{SimDuration, SimTime};
+
+use crate::trace::TraceRequest;
+
+/// Cluster configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Maximum concurrent function instances (the paper caps both systems at 200).
+    pub max_instances: u32,
+    /// Scheduler queue depth (requests beyond this are rejected).
+    pub queue_depth: usize,
+    /// Per-request service-time jitter: multiplicative lognormal sigma.
+    pub service_jitter_sigma: f64,
+    /// Bucket width for the reported time series.
+    pub bucket: SimDuration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            max_instances: 200,
+            queue_depth: 10_000,
+            service_jitter_sigma: 0.15,
+            bucket: SimDuration::from_secs(60),
+        }
+    }
+}
+
+/// Result of one cluster simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// The platform simulated.
+    pub platform: PlatformKind,
+    /// Offered load per bucket (requests per second) — Figure 13a.
+    pub offered_rps: Vec<f64>,
+    /// Mean number of queued requests per bucket — Figure 13b.
+    pub queued: Vec<f64>,
+    /// Mean wall-clock latency per bucket in milliseconds — Figures 13c/13d.
+    pub latency_ms: Vec<f64>,
+    /// Number of completed requests.
+    pub completed: u64,
+    /// Number of rejected requests (queue overflow).
+    pub rejected: u64,
+    /// Summary of all wall-clock latencies (seconds).
+    pub latency_summary: Option<Summary>,
+    /// Total simulated time to drain the trace (wall-clock makespan).
+    pub makespan: SimDuration,
+}
+
+impl ClusterReport {
+    /// Mean wall-clock latency over the whole run, in milliseconds.
+    pub fn mean_latency_ms(&self) -> f64 {
+        self.latency_summary.as_ref().map_or(0.0, |s| s.mean() * 1e3)
+    }
+
+    /// Peak queue depth observed (per-bucket mean maximum).
+    pub fn peak_queue(&self) -> f64 {
+        self.queued.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Arrival(usize),
+    Completion,
+}
+
+/// The cluster simulator.
+#[derive(Debug)]
+pub struct ClusterSim {
+    config: ClusterConfig,
+    service_times: HashMap<Benchmark, SimDuration>,
+}
+
+impl ClusterSim {
+    /// Builds a simulator for `platform`, pre-computing per-benchmark service
+    /// times from the end-to-end model (median storage latency; queueing, not
+    /// the storage tail, dominates at scale).
+    pub fn new(platform: PlatformKind, config: ClusterConfig) -> Self {
+        let system = SystemModel::new();
+        let options = EvalOptions {
+            quantile: 0.50,
+            ..EvalOptions::default()
+        };
+        let service_times = Benchmark::ALL
+            .iter()
+            .map(|&b| (b, system.evaluate(b, platform, options).total_latency()))
+            .collect();
+        ClusterSim { config, service_times }
+    }
+
+    /// The service time used for one benchmark.
+    pub fn service_time(&self, benchmark: Benchmark) -> SimDuration {
+        self.service_times[&benchmark]
+    }
+
+    /// Runs the trace on `platform` and reports the Figure 13 series.
+    pub fn run(&self, platform: PlatformKind, trace: &[TraceRequest], seed: u64) -> ClusterReport {
+        assert!(!trace.is_empty(), "trace must not be empty");
+        let horizon = trace.last().expect("non-empty").arrival - SimTime::ZERO + SimDuration::from_secs(120);
+        let mut offered = TimeSeries::new(self.config.bucket, horizon);
+        let mut queued_series = TimeSeries::new(self.config.bucket, horizon);
+        let mut latency_series = TimeSeries::new(self.config.bucket, horizon);
+
+        let mut rng = DeterministicRng::seeded(seed);
+        let mut sim: Simulator<Event> = Simulator::new();
+        for (idx, request) in trace.iter().enumerate() {
+            sim.schedule_at(request.arrival, Event::Arrival(idx));
+            offered.record_event(request.arrival);
+        }
+
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut busy: u32 = 0;
+        let mut completed: u64 = 0;
+        let mut rejected: u64 = 0;
+        let mut latencies: Vec<f64> = Vec::with_capacity(trace.len());
+
+        sim.run(|sim, now, event| {
+            match event {
+                Event::Arrival(idx) => {
+                    if queue.len() >= self.config.queue_depth {
+                        rejected += 1;
+                    } else {
+                        queue.push_back(idx);
+                    }
+                }
+                Event::Completion => {
+                    busy -= 1;
+                }
+            }
+            // Greedily start queued requests on free instances (FCFS).
+            while busy < self.config.max_instances {
+                let Some(idx) = queue.pop_front() else { break };
+                let request = &trace[idx];
+                let base = self.service_times[&request.benchmark];
+                let jitter = (self.config.service_jitter_sigma * rng.standard_normal()).exp();
+                let service = base * jitter;
+                let wait = now.saturating_since(request.arrival);
+                let wall = wait + service;
+                latencies.push(wall.as_secs_f64());
+                latency_series.record(request.arrival, wall.as_millis_f64());
+                completed += 1;
+                busy += 1;
+                sim.schedule_in(service, Event::Completion);
+            }
+            queued_series.record(now, queue.len() as f64);
+        });
+
+        let makespan = sim.now() - SimTime::ZERO;
+        ClusterReport {
+            platform,
+            offered_rps: offered.rates_per_sec(),
+            queued: queued_series.means_filled(),
+            latency_ms: latency_series.means_filled(),
+            completed,
+            rejected,
+            latency_summary: if latencies.is_empty() {
+                None
+            } else {
+                Some(Summary::from_samples(&latencies))
+            },
+            makespan,
+        }
+    }
+}
+
+/// Convenience runner: simulates one platform over a trace with default
+/// cluster configuration.
+pub fn simulate_platform(platform: PlatformKind, trace: &[TraceRequest], seed: u64) -> ClusterReport {
+    ClusterSim::new(platform, ClusterConfig::default()).run(platform, trace, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::RateProfile;
+    use dscs_simcore::time::SimDuration;
+
+    fn short_trace(rate: f64, secs: u64, seed: u64) -> Vec<TraceRequest> {
+        let profile = RateProfile {
+            segments: vec![(SimDuration::from_secs(secs), rate)],
+        };
+        profile.generate(&mut DeterministicRng::seeded(seed))
+    }
+
+    #[test]
+    fn all_requests_complete_under_light_load() {
+        let trace = short_trace(50.0, 20, 1);
+        let report = simulate_platform(PlatformKind::DscsDsa, &trace, 2);
+        assert_eq!(report.completed + report.rejected, trace.len() as u64);
+        assert_eq!(report.rejected, 0);
+        assert!(report.mean_latency_ms() > 0.0);
+    }
+
+    #[test]
+    fn dscs_sustains_more_load_than_the_baseline() {
+        // At a load the DSCS cluster absorbs, the baseline CPU cluster builds a
+        // queue and its wall-clock latency climbs (Figure 13c vs 13d).
+        let trace = short_trace(1500.0, 60, 3);
+        let dscs = simulate_platform(PlatformKind::DscsDsa, &trace, 4);
+        let baseline = simulate_platform(PlatformKind::BaselineCpu, &trace, 4);
+        assert!(baseline.peak_queue() > dscs.peak_queue());
+        assert!(baseline.mean_latency_ms() > dscs.mean_latency_ms());
+    }
+
+    #[test]
+    fn baseline_latency_grows_over_time_under_sustained_overload() {
+        let trace = short_trace(2500.0, 120, 5);
+        let report = simulate_platform(PlatformKind::BaselineCpu, &trace, 6);
+        let series = &report.latency_ms;
+        assert!(series.len() >= 2);
+        assert!(
+            series.last().expect("non-empty") > series.first().expect("non-empty"),
+            "latency should climb: {series:?}"
+        );
+    }
+
+    #[test]
+    fn queue_overflow_rejects_requests() {
+        let config = ClusterConfig {
+            max_instances: 2,
+            queue_depth: 10,
+            ..ClusterConfig::default()
+        };
+        let trace = short_trace(500.0, 20, 7);
+        let sim = ClusterSim::new(PlatformKind::BaselineCpu, config);
+        let report = sim.run(PlatformKind::BaselineCpu, &trace, 8);
+        assert!(report.rejected > 0);
+        assert_eq!(report.completed + report.rejected, trace.len() as u64);
+    }
+
+    #[test]
+    fn service_times_come_from_the_end_to_end_model() {
+        let sim = ClusterSim::new(PlatformKind::DscsDsa, ClusterConfig::default());
+        let light = sim.service_time(Benchmark::CreditRiskAssessment);
+        let heavy = sim.service_time(Benchmark::ConversationalChatbot);
+        assert!(heavy > light);
+    }
+
+    #[test]
+    fn makespan_extends_past_the_trace_when_overloaded() {
+        let trace = short_trace(2500.0, 60, 9);
+        let report = simulate_platform(PlatformKind::BaselineCpu, &trace, 10);
+        assert!(report.makespan > SimDuration::from_secs(60));
+    }
+}

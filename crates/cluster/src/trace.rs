@@ -1,0 +1,132 @@
+//! Request-trace generation.
+//!
+//! The at-scale evaluation (Figure 13a) drives the cluster with a synthetic,
+//! bursty trace: request rates that step between levels over a 20-minute
+//! window, with Poisson arrivals inside each segment and the application of
+//! each request sampled uniformly from the benchmark suite — the same recipe as
+//! the prior work the paper follows.
+
+use serde::{Deserialize, Serialize};
+
+use dscs_core::benchmarks::Benchmark;
+use dscs_simcore::dist::PoissonArrivals;
+use dscs_simcore::rng::DeterministicRng;
+use dscs_simcore::time::{SimDuration, SimTime};
+
+/// One request in the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRequest {
+    /// Request identifier (position in the trace).
+    pub id: u64,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// The application invoked.
+    pub benchmark: Benchmark,
+}
+
+/// A piecewise-constant arrival-rate profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateProfile {
+    /// `(segment duration, requests per second)` pairs.
+    pub segments: Vec<(SimDuration, f64)>,
+}
+
+impl RateProfile {
+    /// The bursty 20-minute profile used by Figure 13a.
+    ///
+    /// The paper's trace steps between roughly 200 and 800 requests/second
+    /// against measured EC2 service times of a few seconds per request. Our
+    /// simulated service times are faster in absolute terms, so the rates here
+    /// are scaled up to preserve the paper's load-to-capacity ratios — the
+    /// baseline CPU cluster is pushed past saturation during the bursts while
+    /// the DSCS cluster stays within capacity, which is what Figures 13b–13d
+    /// show.
+    pub fn paper_bursty() -> Self {
+        let minute = SimDuration::from_secs(60);
+        RateProfile {
+            segments: vec![
+                (minute * 3, 750.0),
+                (minute * 2, 1350.0),
+                (minute * 2, 2100.0),
+                (minute * 2, 2450.0),
+                (minute * 2, 1800.0),
+                (minute * 3, 1150.0),
+                (minute * 2, 2250.0),
+                (minute * 2, 1500.0),
+                (minute * 2, 850.0),
+            ],
+        }
+    }
+
+    /// Total trace duration.
+    pub fn horizon(&self) -> SimDuration {
+        self.segments.iter().map(|(d, _)| *d).sum()
+    }
+
+    /// Generates the request trace.
+    ///
+    /// # Panics
+    /// Panics if the profile has no segments.
+    pub fn generate(&self, rng: &mut DeterministicRng) -> Vec<TraceRequest> {
+        assert!(!self.segments.is_empty(), "profile needs at least one segment");
+        let mut requests = Vec::new();
+        let mut offset = SimDuration::ZERO;
+        let mut id = 0u64;
+        for &(duration, rate) in &self.segments {
+            let arrivals = PoissonArrivals::new(rate).arrivals_until(duration, rng);
+            for t in arrivals {
+                requests.push(TraceRequest {
+                    id,
+                    arrival: SimTime::ZERO + offset + t,
+                    benchmark: *rng.choose(&Benchmark::ALL),
+                });
+                id += 1;
+            }
+            offset += duration;
+        }
+        requests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_profile_lasts_twenty_minutes() {
+        assert_eq!(RateProfile::paper_bursty().horizon(), SimDuration::from_secs(20 * 60));
+    }
+
+    #[test]
+    fn generated_trace_is_sorted_and_plausible() {
+        let profile = RateProfile::paper_bursty();
+        let mut rng = DeterministicRng::seeded(11);
+        let trace = profile.generate(&mut rng);
+        assert!(trace.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        // Average rate ~ 1560 rps over 1200 s -> roughly 1.9M requests.
+        assert!(trace.len() > 1_500_000 && trace.len() < 2_300_000, "trace len {}", trace.len());
+        assert!(trace.iter().all(|r| r.arrival < SimTime::ZERO + profile.horizon()));
+    }
+
+    #[test]
+    fn all_benchmarks_appear_in_the_trace() {
+        let profile = RateProfile {
+            segments: vec![(SimDuration::from_secs(10), 200.0)],
+        };
+        let mut rng = DeterministicRng::seeded(12);
+        let trace = profile.generate(&mut rng);
+        for b in Benchmark::ALL {
+            assert!(trace.iter().any(|r| r.benchmark == b), "{b} missing");
+        }
+    }
+
+    #[test]
+    fn trace_is_deterministic_for_a_seed() {
+        let profile = RateProfile {
+            segments: vec![(SimDuration::from_secs(5), 100.0)],
+        };
+        let a = profile.generate(&mut DeterministicRng::seeded(13));
+        let b = profile.generate(&mut DeterministicRng::seeded(13));
+        assert_eq!(a, b);
+    }
+}

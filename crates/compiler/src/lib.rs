@@ -1,0 +1,65 @@
+//! # dscs-compiler
+//!
+//! The compilation stack that lowers ML model graphs (from `dscs-nn`) onto DSA
+//! configurations (from `dscs-dsa`), mirroring Section 5.1 of the paper:
+//!
+//! 1. **Operator fusion** ([`fusion`]) groups each GEMM-class operator with its
+//!    chain of vector-class consumers so intermediate activations stay in the
+//!    shared on-chip buffers.
+//! 2. **Padding & tiling** ([`tiling`]) picks configuration-specific tile sizes
+//!    that fill the double-buffered scratchpad while matching the systolic
+//!    array's granularity.
+//! 3. **Code generation** ([`codegen`]) emits the tile-level instruction stream
+//!    (`LoadTile`/`GemmTile`/`VectorTile`/`StoreTile`/`Sync`) that the DSA
+//!    executor runs.
+//!
+//! # Example
+//!
+//! ```
+//! use dscs_compiler::compile_model;
+//! use dscs_dsa::config::DsaConfig;
+//! use dscs_dsa::executor::Executor;
+//! use dscs_nn::zoo::{Model, ModelKind};
+//!
+//! let model = Model::build(ModelKind::ResNet50);
+//! let config = DsaConfig::paper_optimal();
+//! let program = compile_model(&model, &config);
+//! let report = Executor::new(config).run(&program);
+//! assert!(report.latency().as_millis_f64() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codegen;
+pub mod fusion;
+pub mod tiling;
+
+pub use codegen::{compile, gemm_dims, CompileOptions, GemmDims};
+pub use fusion::{fuse, FusionGroup, FusionPolicy};
+pub use tiling::{select_tiling, Tiling};
+
+use dscs_dsa::config::DsaConfig;
+use dscs_dsa::isa::Program;
+use dscs_nn::zoo::Model;
+
+/// Compiles a zoo model with default options (fusion enabled).
+pub fn compile_model(model: &Model, config: &DsaConfig) -> Program {
+    compile(model.graph(), config, CompileOptions::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dscs_nn::zoo::ModelKind;
+
+    #[test]
+    fn compile_model_is_equivalent_to_compile_graph() {
+        let model = Model::build(ModelKind::LogisticRegression);
+        let cfg = DsaConfig::paper_optimal();
+        let a = compile_model(&model, &cfg);
+        let b = compile(model.graph(), &cfg, CompileOptions::default());
+        assert_eq!(a.total_ops(), b.total_ops());
+        assert_eq!(a.len(), b.len());
+    }
+}

@@ -1,0 +1,183 @@
+//! Cold-start and container-lifecycle model.
+//!
+//! A function experiences a cold start when its container image must be pulled
+//! from a remote registry, unpacked and health-checked before the first
+//! request can run (Section 5.3). DSCS-Serverless incurs the same cold start,
+//! plus loading the model weights into the DSA's memory — but it can also
+//! offload an evicted function's image to the drive's flash over the P2P path
+//! and reload it from there instead of the remote registry on the next
+//! invocation.
+
+use serde::{Deserialize, Serialize};
+
+use dscs_simcore::quantity::{Bandwidth, Bytes};
+use dscs_simcore::time::SimDuration;
+
+/// Where a container image is fetched from on a cold start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ImageSource {
+    /// Remote container registry over the datacenter network.
+    RemoteRegistry,
+    /// The drive's own flash array over the P2P path (DSCS-Serverless's cached
+    /// image path).
+    LocalFlash,
+}
+
+/// Cold-start model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ColdStartModel {
+    /// Bandwidth to the remote registry.
+    pub registry_bandwidth: Bandwidth,
+    /// Bandwidth from local flash over the P2P path.
+    pub flash_bandwidth: Bandwidth,
+    /// Image unpack/decompression throughput.
+    pub unpack_bandwidth: Bandwidth,
+    /// Runtime initialisation + health check time.
+    pub startup_check: SimDuration,
+    /// How long an idle container (or a function held in DSA memory) stays
+    /// warm before eviction.
+    pub keep_warm: SimDuration,
+}
+
+impl Default for ColdStartModel {
+    fn default() -> Self {
+        ColdStartModel {
+            registry_bandwidth: Bandwidth::from_mbps(250.0),
+            flash_bandwidth: Bandwidth::from_gbps(3.0),
+            unpack_bandwidth: Bandwidth::from_mbps(400.0),
+            startup_check: SimDuration::from_millis(350),
+            keep_warm: SimDuration::from_secs(600),
+        }
+    }
+}
+
+impl ColdStartModel {
+    /// Cold-start latency for an image of `image_size` fetched from `source`.
+    pub fn cold_start_latency(&self, image_size: Bytes, source: ImageSource) -> SimDuration {
+        let fetch_bw = match source {
+            ImageSource::RemoteRegistry => self.registry_bandwidth,
+            ImageSource::LocalFlash => self.flash_bandwidth,
+        };
+        fetch_bw.transfer_time(image_size) + self.unpack_bandwidth.transfer_time(image_size) + self.startup_check
+    }
+
+    /// Additional latency to load `weight_bytes` of model weights into the
+    /// accelerator's memory (charged on the first invocation after a cold
+    /// start for platforms with device memory).
+    pub fn weight_load_latency(&self, weight_bytes: Bytes, device_bandwidth: Bandwidth) -> SimDuration {
+        device_bandwidth.transfer_time(weight_bytes)
+    }
+
+    /// Whether a container invoked `idle_for` after its previous request is
+    /// still warm.
+    pub fn is_warm(&self, idle_for: SimDuration) -> bool {
+        idle_for <= self.keep_warm
+    }
+}
+
+/// Tracks the warm/cold state of one function's container on one node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContainerState {
+    last_invocation: Option<SimDuration>,
+    /// Whether the image has been cached to the drive's flash (so the next
+    /// cold start may use [`ImageSource::LocalFlash`]).
+    image_cached_on_flash: bool,
+}
+
+impl Default for ContainerState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ContainerState {
+    /// A never-invoked (cold, uncached) container.
+    pub fn new() -> Self {
+        ContainerState {
+            last_invocation: None,
+            image_cached_on_flash: false,
+        }
+    }
+
+    /// Records an invocation at `now` (time since simulation start).
+    pub fn record_invocation(&mut self, now: SimDuration) {
+        self.last_invocation = Some(now);
+    }
+
+    /// Marks the image as offloaded to the drive's flash (DSCS's eviction path).
+    pub fn cache_image_on_flash(&mut self) {
+        self.image_cached_on_flash = true;
+    }
+
+    /// Whether the function is warm at `now` under `model`.
+    pub fn is_warm(&self, now: SimDuration, model: &ColdStartModel) -> bool {
+        match self.last_invocation {
+            Some(last) if now >= last => model.is_warm(now - last),
+            Some(_) => true,
+            None => false,
+        }
+    }
+
+    /// The image source a cold start at this point would use.
+    pub fn cold_image_source(&self) -> ImageSource {
+        if self.image_cached_on_flash {
+            ImageSource::LocalFlash
+        } else {
+            ImageSource::RemoteRegistry
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_start_cost_scales_with_image_size() {
+        let m = ColdStartModel::default();
+        let small = m.cold_start_latency(Bytes::from_mib(60), ImageSource::RemoteRegistry);
+        let large = m.cold_start_latency(Bytes::from_mib(600), ImageSource::RemoteRegistry);
+        assert!(large > small * 5u64);
+    }
+
+    #[test]
+    fn local_flash_cold_start_is_faster_than_registry() {
+        let m = ColdStartModel::default();
+        let size = Bytes::from_mib(400);
+        let remote = m.cold_start_latency(size, ImageSource::RemoteRegistry);
+        let local = m.cold_start_latency(size, ImageSource::LocalFlash);
+        assert!(local < remote);
+    }
+
+    #[test]
+    fn typical_cold_start_is_seconds_scale() {
+        let m = ColdStartModel::default();
+        let latency = m.cold_start_latency(Bytes::from_mib(400), ImageSource::RemoteRegistry);
+        assert!((1.0..10.0).contains(&latency.as_secs_f64()), "latency {latency}");
+    }
+
+    #[test]
+    fn warm_window_honoured() {
+        let m = ColdStartModel::default();
+        let mut c = ContainerState::new();
+        assert!(!c.is_warm(SimDuration::from_secs(1), &m));
+        c.record_invocation(SimDuration::from_secs(10));
+        assert!(c.is_warm(SimDuration::from_secs(300), &m));
+        assert!(!c.is_warm(SimDuration::from_secs(10 + 601), &m));
+    }
+
+    #[test]
+    fn flash_caching_changes_cold_source() {
+        let mut c = ContainerState::new();
+        assert_eq!(c.cold_image_source(), ImageSource::RemoteRegistry);
+        c.cache_image_on_flash();
+        assert_eq!(c.cold_image_source(), ImageSource::LocalFlash);
+    }
+
+    #[test]
+    fn weight_load_uses_device_bandwidth() {
+        let m = ColdStartModel::default();
+        let t = m.weight_load_latency(Bytes::from_mib(380), Bandwidth::from_gbps(38.0));
+        assert!(t.as_millis_f64() > 5.0 && t.as_millis_f64() < 30.0, "t {t}");
+    }
+}

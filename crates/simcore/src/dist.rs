@@ -1,0 +1,456 @@
+//! Latency and arrival distributions.
+//!
+//! The paper's end-to-end measurements are dominated by remote-storage access
+//! times with a heavy tail (the p99 read latency is ~2.1x the median, Figure 3)
+//! and by bursty Poisson request arrivals (Figure 13a). This module provides
+//! the distributions used to model both, behind a common [`Distribution`] trait
+//! so components can be configured with any of them.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::DeterministicRng;
+use crate::time::SimDuration;
+
+/// Quantile of the standard normal at p = 0.99 (used to calibrate lognormal tails).
+const Z_99: f64 = 2.326_347_874_040_841;
+/// Quantile of the standard normal at p = 0.95.
+const Z_95: f64 = 1.644_853_626_951_472;
+
+/// A univariate distribution over non-negative values (seconds, counts, ...).
+pub trait Distribution {
+    /// Draws one sample.
+    fn sample(&self, rng: &mut DeterministicRng) -> f64;
+
+    /// The distribution mean, if defined in closed form.
+    fn mean(&self) -> f64;
+
+    /// Draws one sample and interprets it as a duration in seconds.
+    fn sample_duration(&self, rng: &mut DeterministicRng) -> SimDuration {
+        SimDuration::from_secs_f64(self.sample(rng))
+    }
+}
+
+/// A distribution that always returns the same value. Useful to disable
+/// variability in sensitivity studies ("no tail" configurations).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConstantDist {
+    value: f64,
+}
+
+impl ConstantDist {
+    /// Creates a constant distribution.
+    ///
+    /// # Panics
+    /// Panics if `value` is negative or not finite.
+    pub fn new(value: f64) -> Self {
+        assert!(value.is_finite() && value >= 0.0, "constant must be non-negative and finite");
+        ConstantDist { value }
+    }
+}
+
+impl Distribution for ConstantDist {
+    fn sample(&self, _rng: &mut DeterministicRng) -> f64 {
+        self.value
+    }
+
+    fn mean(&self) -> f64 {
+        self.value
+    }
+}
+
+/// Uniform distribution over `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UniformDist {
+    lo: f64,
+    hi: f64,
+}
+
+impl UniformDist {
+    /// Creates a uniform distribution over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty or contains negative values.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo >= 0.0 && hi > lo, "uniform range must be non-empty and non-negative");
+        UniformDist { lo, hi }
+    }
+}
+
+impl Distribution for UniformDist {
+    fn sample(&self, rng: &mut DeterministicRng) -> f64 {
+        rng.uniform(self.lo, self.hi)
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+}
+
+/// Exponential distribution with a given mean. Used for inter-arrival times in
+/// Poisson processes and for memoryless service-time components.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExponentialDist {
+    mean: f64,
+}
+
+impl ExponentialDist {
+    /// Creates an exponential distribution from its mean.
+    ///
+    /// # Panics
+    /// Panics if `mean` is not strictly positive.
+    pub fn from_mean(mean: f64) -> Self {
+        assert!(mean > 0.0 && mean.is_finite(), "mean must be positive and finite");
+        ExponentialDist { mean }
+    }
+
+    /// Creates an exponential distribution from its rate (events per unit time).
+    pub fn from_rate(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive and finite");
+        ExponentialDist { mean: 1.0 / rate }
+    }
+}
+
+impl Distribution for ExponentialDist {
+    fn sample(&self, rng: &mut DeterministicRng) -> f64 {
+        // Inverse-CDF sampling; guard against ln(0).
+        let u = 1.0 - rng.next_f64();
+        -self.mean * u.ln()
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+/// Lognormal distribution parameterised directly by observable latency
+/// statistics (median and a tail percentile), which is how the paper reports
+/// its storage measurements.
+///
+/// ```
+/// use dscs_simcore::dist::{Distribution, LogNormalDist};
+/// use dscs_simcore::rng::DeterministicRng;
+/// // Median 28 ms, p99 59 ms — roughly AWS S3 small-object reads.
+/// let d = LogNormalDist::from_median_p99(0.028, 0.059);
+/// assert!((d.median() - 0.028).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogNormalDist {
+    /// Mean of the underlying normal (log-space).
+    mu: f64,
+    /// Standard deviation of the underlying normal (log-space).
+    sigma: f64,
+}
+
+impl LogNormalDist {
+    /// Creates a lognormal from log-space parameters.
+    ///
+    /// # Panics
+    /// Panics if `sigma` is negative or either parameter is not finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0, "invalid lognormal parameters");
+        LogNormalDist { mu, sigma }
+    }
+
+    /// Calibrates the distribution so that the median and 99th percentile match
+    /// the given values.
+    ///
+    /// # Panics
+    /// Panics unless `0 < median <= p99`.
+    pub fn from_median_p99(median: f64, p99: f64) -> Self {
+        assert!(median > 0.0 && p99 >= median, "need 0 < median <= p99");
+        let mu = median.ln();
+        let sigma = (p99.ln() - mu) / Z_99;
+        LogNormalDist { mu, sigma }
+    }
+
+    /// Calibrates the distribution so that the median and 95th percentile match
+    /// the given values.
+    ///
+    /// # Panics
+    /// Panics unless `0 < median <= p95`.
+    pub fn from_median_p95(median: f64, p95: f64) -> Self {
+        assert!(median > 0.0 && p95 >= median, "need 0 < median <= p95");
+        let mu = median.ln();
+        let sigma = (p95.ln() - mu) / Z_95;
+        LogNormalDist { mu, sigma }
+    }
+
+    /// The distribution median.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// The value at quantile `q` in `(0, 1)`, from the closed-form inverse CDF.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0, 1)");
+        (self.mu + self.sigma * inverse_normal_cdf(q)).exp()
+    }
+
+    /// Returns a copy with the tail spread scaled by `factor` (1.0 = unchanged,
+    /// 0.0 = deterministic). Used by the tail-latency sensitivity study.
+    pub fn with_tail_scaled(&self, factor: f64) -> LogNormalDist {
+        assert!(factor >= 0.0 && factor.is_finite(), "tail factor must be non-negative");
+        LogNormalDist {
+            mu: self.mu,
+            sigma: self.sigma * factor,
+        }
+    }
+}
+
+impl Distribution for LogNormalDist {
+    fn sample(&self, rng: &mut DeterministicRng) -> f64 {
+        (self.mu + self.sigma * rng.standard_normal()).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+}
+
+/// Wraps another distribution and multiplies every sample by a constant.
+/// Useful to reuse one calibrated latency shape across payloads of different
+/// sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScaledDist<D> {
+    inner: D,
+    factor: f64,
+}
+
+impl<D: Distribution> ScaledDist<D> {
+    /// Wraps `inner`, scaling each sample by `factor`.
+    ///
+    /// # Panics
+    /// Panics if `factor` is negative or not finite.
+    pub fn new(inner: D, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor >= 0.0, "scale factor must be non-negative and finite");
+        ScaledDist { inner, factor }
+    }
+}
+
+impl<D: Distribution> Distribution for ScaledDist<D> {
+    fn sample(&self, rng: &mut DeterministicRng) -> f64 {
+        self.inner.sample(rng) * self.factor
+    }
+
+    fn mean(&self) -> f64 {
+        self.inner.mean() * self.factor
+    }
+}
+
+/// A Poisson arrival process with a (piecewise-constant) rate, producing
+/// arrival timestamps. The at-scale evaluation (Figure 13a) uses a bursty trace
+/// built from segments of different rates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoissonArrivals {
+    /// Arrival rate in events per second.
+    rate_per_sec: f64,
+}
+
+impl PoissonArrivals {
+    /// Creates a Poisson process with the given arrival rate (events/second).
+    ///
+    /// # Panics
+    /// Panics if the rate is not strictly positive.
+    pub fn new(rate_per_sec: f64) -> Self {
+        assert!(rate_per_sec > 0.0 && rate_per_sec.is_finite(), "rate must be positive and finite");
+        PoissonArrivals { rate_per_sec }
+    }
+
+    /// The configured rate in events per second.
+    pub fn rate_per_sec(&self) -> f64 {
+        self.rate_per_sec
+    }
+
+    /// Samples the next inter-arrival gap.
+    pub fn next_gap(&self, rng: &mut DeterministicRng) -> SimDuration {
+        ExponentialDist::from_rate(self.rate_per_sec).sample_duration(rng)
+    }
+
+    /// Samples a Poisson-distributed count of arrivals within `window`.
+    ///
+    /// Uses Knuth's algorithm for small expectations and a normal approximation
+    /// for large ones, which is plenty for trace generation.
+    pub fn count_in(&self, window: SimDuration, rng: &mut DeterministicRng) -> u64 {
+        let lambda = self.rate_per_sec * window.as_secs_f64();
+        if lambda <= 0.0 {
+            return 0;
+        }
+        if lambda < 30.0 {
+            let limit = (-lambda).exp();
+            let mut product = rng.next_f64();
+            let mut count = 0u64;
+            while product > limit {
+                count += 1;
+                product *= rng.next_f64();
+            }
+            count
+        } else {
+            let sample = lambda + lambda.sqrt() * rng.standard_normal();
+            sample.round().max(0.0) as u64
+        }
+    }
+
+    /// Generates arrival timestamps over `[0, horizon)`.
+    pub fn arrivals_until(&self, horizon: SimDuration, rng: &mut DeterministicRng) -> Vec<SimDuration> {
+        let mut out = Vec::new();
+        let mut t = SimDuration::ZERO;
+        loop {
+            t += self.next_gap(rng);
+            if t >= horizon {
+                break;
+            }
+            out.push(t);
+        }
+        out
+    }
+}
+
+/// Inverse CDF of the standard normal distribution (Acklam's rational
+/// approximation, max relative error ~1.15e-9). Sufficient for calibrating
+/// latency quantiles.
+pub fn inverse_normal_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probability must be in (0, 1)");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Summary;
+
+    fn samples<D: Distribution>(d: &D, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = DeterministicRng::seeded(seed);
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = ConstantDist::new(0.5);
+        assert!(samples(&d, 100, 1).iter().all(|&x| x == 0.5));
+        assert_eq!(d.mean(), 0.5);
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = ExponentialDist::from_mean(2.0);
+        let s = samples(&d, 50_000, 2);
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_from_rate_matches_mean() {
+        assert!((ExponentialDist::from_rate(4.0).mean() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lognormal_median_and_p99_calibration() {
+        let d = LogNormalDist::from_median_p99(0.028, 0.059);
+        let s = samples(&d, 100_000, 3);
+        let summary = Summary::from_samples(&s);
+        assert!((summary.p50() - 0.028).abs() / 0.028 < 0.05, "p50 {}", summary.p50());
+        assert!((summary.p99() - 0.059).abs() / 0.059 < 0.10, "p99 {}", summary.p99());
+    }
+
+    #[test]
+    fn lognormal_quantile_is_monotone() {
+        let d = LogNormalDist::from_median_p95(0.01, 0.02);
+        assert!(d.quantile(0.5) < d.quantile(0.9));
+        assert!(d.quantile(0.9) < d.quantile(0.99));
+        assert!((d.quantile(0.5) - 0.01).abs() < 1e-9);
+        assert!((d.quantile(0.95) - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tail_scaling_reduces_spread() {
+        let d = LogNormalDist::from_median_p99(0.01, 0.03);
+        let tight = d.with_tail_scaled(0.0);
+        assert!((tight.quantile(0.99) - tight.quantile(0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_dist_scales_mean() {
+        let base = ConstantDist::new(2.0);
+        let scaled = ScaledDist::new(base, 3.0);
+        assert_eq!(scaled.mean(), 6.0);
+        let mut rng = DeterministicRng::seeded(4);
+        assert_eq!(scaled.sample(&mut rng), 6.0);
+    }
+
+    #[test]
+    fn poisson_count_matches_rate() {
+        let p = PoissonArrivals::new(100.0);
+        let mut rng = DeterministicRng::seeded(5);
+        let total: u64 = (0..200).map(|_| p.count_in(SimDuration::from_secs(1), &mut rng)).sum();
+        let mean = total as f64 / 200.0;
+        assert!((mean - 100.0).abs() < 5.0, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_arrival_times_sorted_and_bounded() {
+        let p = PoissonArrivals::new(50.0);
+        let mut rng = DeterministicRng::seeded(6);
+        let arrivals = p.arrivals_until(SimDuration::from_secs(2), &mut rng);
+        assert!(!arrivals.is_empty());
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        assert!(arrivals.iter().all(|&t| t < SimDuration::from_secs(2)));
+    }
+
+    #[test]
+    fn inverse_normal_cdf_known_values() {
+        assert!(inverse_normal_cdf(0.5).abs() < 1e-9);
+        assert!((inverse_normal_cdf(0.975) - 1.959_964).abs() < 1e-4);
+        assert!((inverse_normal_cdf(0.99) - Z_99).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_poisson_rejected() {
+        let _ = PoissonArrivals::new(0.0);
+    }
+}

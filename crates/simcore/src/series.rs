@@ -1,0 +1,184 @@
+//! Time-bucketed metric series.
+//!
+//! Figures 13(a)–(d) plot requests/second, queue depth and latency against
+//! wall-clock minutes. [`TimeSeries`] accumulates samples into fixed-width
+//! buckets and reports per-bucket means, maxima and counts.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+
+/// A metric accumulated into fixed-width time buckets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    bucket: SimDuration,
+    sums: Vec<f64>,
+    maxima: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl TimeSeries {
+    /// Creates a series covering `[0, horizon)` with buckets of width `bucket`.
+    ///
+    /// # Panics
+    /// Panics if the bucket width is zero or larger than the horizon.
+    pub fn new(bucket: SimDuration, horizon: SimDuration) -> Self {
+        assert!(!bucket.is_zero(), "bucket width must be non-zero");
+        assert!(horizon >= bucket, "horizon must cover at least one bucket");
+        let n = horizon.as_nanos().div_ceil(bucket.as_nanos()) as usize;
+        TimeSeries {
+            bucket,
+            sums: vec![0.0; n],
+            maxima: vec![0.0; n],
+            counts: vec![0; n],
+        }
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// Whether the series has no buckets (never true for a constructed series).
+    pub fn is_empty(&self) -> bool {
+        self.sums.is_empty()
+    }
+
+    /// Bucket width.
+    pub fn bucket_width(&self) -> SimDuration {
+        self.bucket
+    }
+
+    /// Records `value` at time `at`. Samples past the horizon are clamped into
+    /// the final bucket so late completions are not silently dropped.
+    ///
+    /// # Panics
+    /// Panics if `value` is not finite.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        assert!(value.is_finite(), "series values must be finite");
+        let idx = ((at.as_nanos() / self.bucket.as_nanos()) as usize).min(self.sums.len() - 1);
+        self.sums[idx] += value;
+        self.counts[idx] += 1;
+        if value > self.maxima[idx] {
+            self.maxima[idx] = value;
+        }
+    }
+
+    /// Records an occurrence (count of one) at time `at`.
+    pub fn record_event(&mut self, at: SimTime) {
+        self.record(at, 1.0);
+    }
+
+    /// Per-bucket sample counts (e.g. requests per bucket).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Per-bucket mean of recorded values; `None` for empty buckets.
+    pub fn means(&self) -> Vec<Option<f64>> {
+        self.sums
+            .iter()
+            .zip(&self.counts)
+            .map(|(&sum, &count)| if count == 0 { None } else { Some(sum / count as f64) })
+            .collect()
+    }
+
+    /// Per-bucket mean with empty buckets filled by the previous non-empty
+    /// bucket (or 0.0 at the start). This is what gets plotted.
+    pub fn means_filled(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut last = 0.0;
+        for mean in self.means() {
+            if let Some(m) = mean {
+                last = m;
+            }
+            out.push(last);
+        }
+        out
+    }
+
+    /// Per-bucket maximum of recorded values.
+    pub fn maxima(&self) -> &[f64] {
+        &self.maxima
+    }
+
+    /// Per-bucket event rate in events per second.
+    pub fn rates_per_sec(&self) -> Vec<f64> {
+        let w = self.bucket.as_secs_f64();
+        self.counts.iter().map(|&c| c as f64 / w).collect()
+    }
+
+    /// `(bucket start seconds, mean)` pairs for plotting, skipping empty buckets.
+    pub fn curve(&self) -> Vec<(f64, f64)> {
+        self.means()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, mean)| mean.map(|m| (i as f64 * self.bucket.as_secs_f64(), m)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn buckets_cover_horizon() {
+        let ts = TimeSeries::new(SimDuration::from_secs(60), SimDuration::from_secs(20 * 60));
+        assert_eq!(ts.len(), 20);
+    }
+
+    #[test]
+    fn records_land_in_correct_bucket() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(1), SimDuration::from_secs(10));
+        ts.record(secs(0), 2.0);
+        ts.record(secs(3), 4.0);
+        ts.record(secs(3), 6.0);
+        assert_eq!(ts.counts()[0], 1);
+        assert_eq!(ts.counts()[3], 2);
+        assert_eq!(ts.means()[3], Some(5.0));
+        assert_eq!(ts.maxima()[3], 6.0);
+        assert_eq!(ts.means()[1], None);
+    }
+
+    #[test]
+    fn late_samples_clamp_to_last_bucket() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(1), SimDuration::from_secs(5));
+        ts.record(secs(100), 1.0);
+        assert_eq!(ts.counts()[4], 1);
+    }
+
+    #[test]
+    fn rates_convert_counts() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(2), SimDuration::from_secs(4));
+        for _ in 0..10 {
+            ts.record_event(secs(1));
+        }
+        assert_eq!(ts.rates_per_sec()[0], 5.0);
+    }
+
+    #[test]
+    fn filled_means_carry_forward() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(1), SimDuration::from_secs(4));
+        ts.record(secs(0), 2.0);
+        ts.record(secs(3), 8.0);
+        assert_eq!(ts.means_filled(), vec![2.0, 2.0, 2.0, 8.0]);
+    }
+
+    #[test]
+    fn curve_skips_empty_buckets() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(1), SimDuration::from_secs(3));
+        ts.record(secs(2), 7.0);
+        assert_eq!(ts.curve(), vec![(2.0, 7.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_bucket_rejected() {
+        let _ = TimeSeries::new(SimDuration::ZERO, SimDuration::from_secs(1));
+    }
+}

@@ -1,0 +1,339 @@
+//! Percentile summaries, histograms and empirical CDFs.
+//!
+//! The paper reports p95 latencies for all end-to-end results, p50/p99 for the
+//! tail-latency study, and full CDFs of S3 read latency (Figure 3). This module
+//! provides the corresponding reductions over sample sets.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Summary statistics over a set of samples.
+///
+/// ```
+/// use dscs_simcore::stats::Summary;
+/// let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.count(), 4);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    sorted: Vec<f64>,
+    mean: f64,
+}
+
+impl Summary {
+    /// Builds a summary from raw samples (NaNs are rejected).
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty or contains non-finite values.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarise an empty sample set");
+        assert!(samples.iter().all(|x| x.is_finite()), "samples must be finite");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values always compare"));
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Summary { sorted, mean }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty by construction")
+    }
+
+    /// Standard deviation (population).
+    pub fn std_dev(&self) -> f64 {
+        let var = self.sorted.iter().map(|x| (x - self.mean).powi(2)).sum::<f64>() / self.sorted.len() as f64;
+        var.sqrt()
+    }
+
+    /// Value at quantile `q` in `[0, 1]`, with linear interpolation between
+    /// order statistics.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.sorted.len() == 1 {
+            return self.sorted[0];
+        }
+        let pos = q * (self.sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            self.sorted[lo]
+        } else {
+            let frac = pos - lo as f64;
+            self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+        }
+    }
+
+    /// Median (50th percentile).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile — the statistic the paper uses for all end-to-end latencies.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Builds the empirical CDF of the samples.
+    pub fn cdf(&self) -> Cdf {
+        Cdf::from_sorted(self.sorted.clone())
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} p50={:.4} p95={:.4} p99={:.4} max={:.4}",
+            self.count(),
+            self.mean(),
+            self.p50(),
+            self.p95(),
+            self.p99(),
+            self.max()
+        )
+    }
+}
+
+/// An empirical cumulative distribution function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from unsorted samples.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty or contains non-finite values.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        Summary::from_samples(samples).cdf()
+    }
+
+    fn from_sorted(sorted: Vec<f64>) -> Self {
+        Cdf { sorted }
+    }
+
+    /// Fraction of samples `<= x`.
+    pub fn probability_at(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Evaluates the CDF on `points` equally spaced values between the sample
+    /// min and max, returning `(value, probability)` pairs — the series plotted
+    /// in Figure 3.
+    ///
+    /// # Panics
+    /// Panics if `points < 2`.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "need at least two curve points");
+        let lo = self.sorted[0];
+        let hi = *self.sorted.last().expect("non-empty");
+        (0..points)
+            .map(|i| {
+                // The final point is exactly the sample maximum so the curve
+                // always ends at probability 1.0 despite rounding.
+                let x = if i + 1 == points {
+                    hi
+                } else {
+                    lo + (hi - lo) * i as f64 / (points - 1) as f64
+                };
+                (x, self.probability_at(x))
+            })
+            .collect()
+    }
+
+    /// Number of underlying samples.
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+}
+
+/// A fixed-width histogram over non-negative samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    bucket_width: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` buckets of `bucket_width` each.
+    /// Samples beyond the last bucket are clamped into it.
+    ///
+    /// # Panics
+    /// Panics if `bucket_width <= 0` or `buckets == 0`.
+    pub fn new(bucket_width: f64, buckets: usize) -> Self {
+        assert!(bucket_width > 0.0 && bucket_width.is_finite(), "bucket width must be positive");
+        assert!(buckets > 0, "need at least one bucket");
+        Histogram {
+            bucket_width,
+            counts: vec![0; buckets],
+            total: 0,
+        }
+    }
+
+    /// Records a sample.
+    ///
+    /// # Panics
+    /// Panics if the sample is negative or not finite.
+    pub fn record(&mut self, value: f64) {
+        assert!(value.is_finite() && value >= 0.0, "histogram samples must be non-negative and finite");
+        let idx = ((value / self.bucket_width) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Total number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Approximate quantile from bucket midpoints.
+    ///
+    /// # Panics
+    /// Panics if the histogram is empty or `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        assert!(self.total > 0, "histogram is empty");
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return (i as f64 + 0.5) * self.bucket_width;
+            }
+        }
+        (self.counts.len() as f64 - 0.5) * self.bucket_width
+    }
+}
+
+/// Computes the geometric mean of strictly positive values — used for the
+/// cross-benchmark averages the paper reports ("on average 3.6x speedup").
+///
+/// # Panics
+/// Panics if `values` is empty or contains non-positive values.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of an empty set is undefined");
+    assert!(values.iter().all(|&v| v > 0.0 && v.is_finite()), "values must be positive and finite");
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Computes the arithmetic mean.
+///
+/// # Panics
+/// Panics if `values` is empty.
+pub fn arithmetic_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "mean of an empty set is undefined");
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_quantiles_interpolate() {
+        let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.p50(), 3.0);
+        assert_eq!(s.quantile(0.25), 2.0);
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 5.0);
+        assert!((s.quantile(0.1) - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_mean_and_std() {
+        let s = Summary::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.std_dev(), 2.0);
+    }
+
+    #[test]
+    fn single_sample_summary() {
+        let s = Summary::from_samples(&[3.5]);
+        assert_eq!(s.p50(), 3.5);
+        assert_eq!(s.p99(), 3.5);
+        assert_eq!(s.min(), s.max());
+    }
+
+    #[test]
+    fn cdf_probabilities_monotone() {
+        let cdf = Cdf::from_samples(&[1.0, 2.0, 2.0, 3.0, 10.0]);
+        assert_eq!(cdf.probability_at(0.5), 0.0);
+        assert_eq!(cdf.probability_at(2.0), 0.6);
+        assert_eq!(cdf.probability_at(10.0), 1.0);
+        let curve = cdf.curve(10);
+        assert_eq!(curve.len(), 10);
+        assert!(curve.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(curve.last().expect("non-empty").1, 1.0);
+    }
+
+    #[test]
+    fn histogram_quantile_approximates() {
+        let mut h = Histogram::new(1.0, 100);
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.total(), 100);
+        let p50 = h.quantile(0.5);
+        assert!((p50 - 49.5).abs() <= 1.0, "p50 {p50}");
+    }
+
+    #[test]
+    fn histogram_clamps_overflow() {
+        let mut h = Histogram::new(1.0, 4);
+        h.record(100.0);
+        assert_eq!(h.counts()[3], 1);
+    }
+
+    #[test]
+    fn geometric_mean_of_ratios() {
+        let g = geometric_mean(&[2.0, 8.0]);
+        assert!((g - 4.0).abs() < 1e-12);
+        assert!((arithmetic_mean(&[2.0, 8.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_summary_panics() {
+        let _ = Summary::from_samples(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_samples_rejected() {
+        let _ = Summary::from_samples(&[1.0, f64::NAN]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Datacenter network and RPC model.
+//!
+//! In the baseline (traditional) system every serverless function reads its
+//! input from and writes its output to remote disaggregated storage. One such
+//! access is: an RPC over the datacenter network (with a heavy-tailed latency),
+//! protobuf serialization/deserialization on both sides, system-call and
+//! storage-software overhead on the storage node, and the payload transfer at
+//! the network bandwidth. The model's constants are calibrated so that the
+//! resulting S3-style read latencies match Figure 3 (tens of milliseconds with
+//! a p99 roughly 2.1x the median) and the >55 % communication share of
+//! Figure 4.
+
+use serde::{Deserialize, Serialize};
+
+use dscs_simcore::dist::{Distribution, LogNormalDist};
+use dscs_simcore::quantity::{Bandwidth, Bytes};
+use dscs_simcore::rng::DeterministicRng;
+use dscs_simcore::time::SimDuration;
+
+/// Configuration of the network + RPC stack between compute and storage nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Sustained per-flow network bandwidth.
+    pub bandwidth: Bandwidth,
+    /// Median base RPC latency (request + response network time, queueing,
+    /// storage-service software) for a small object.
+    pub rpc_median: SimDuration,
+    /// 99th-percentile base RPC latency.
+    pub rpc_p99: SimDuration,
+    /// Protobuf (de)serialization throughput on the CPUs at each end.
+    pub serialization_bandwidth: Bandwidth,
+    /// Per-RPC fixed CPU overhead (system calls, connection handling).
+    pub per_rpc_cpu: SimDuration,
+    /// Network interface + switch energy per byte, in picojoules.
+    pub energy_pj_per_byte: f64,
+}
+
+impl NetworkConfig {
+    /// A 100 Gb/s datacenter fabric fronting an S3-style object store, with the
+    /// base RPC latency calibrated to the paper's measured S3 read
+    /// distribution (median in the tens of milliseconds, p99/p50 ~ 2.1).
+    pub fn disaggregated_datacenter() -> Self {
+        NetworkConfig {
+            bandwidth: Bandwidth::from_gbits_per_sec(100.0),
+            rpc_median: SimDuration::from_millis(18),
+            rpc_p99: SimDuration::from_micros(38_000),
+            serialization_bandwidth: Bandwidth::from_gbps(2.0),
+            per_rpc_cpu: SimDuration::from_micros(250),
+            energy_pj_per_byte: 60.0,
+        }
+    }
+
+    /// The base-latency distribution implied by the configuration.
+    pub fn rpc_distribution(&self) -> LogNormalDist {
+        LogNormalDist::from_median_p99(self.rpc_median.as_secs_f64(), self.rpc_p99.as_secs_f64())
+    }
+}
+
+/// The network/RPC model used by remote reads and writes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    config: NetworkConfig,
+    /// Multiplier applied to the base-latency spread (1.0 = calibrated tail,
+    /// 0.0 = deterministic). Used by the tail-latency sensitivity study.
+    tail_scale: f64,
+}
+
+impl NetworkModel {
+    /// Creates a model from a configuration.
+    pub fn new(config: NetworkConfig) -> Self {
+        NetworkModel { config, tail_scale: 1.0 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Returns a copy with the latency tail scaled by `factor`.
+    pub fn with_tail_scale(&self, factor: f64) -> Self {
+        assert!(factor >= 0.0 && factor.is_finite(), "tail factor must be non-negative");
+        NetworkModel {
+            config: self.config,
+            tail_scale: factor,
+        }
+    }
+
+    /// Deterministic (no sampling) latency of one remote object access of
+    /// `size` bytes at quantile `q` of the base-latency distribution.
+    pub fn access_latency_at_quantile(&self, size: Bytes, q: f64) -> SimDuration {
+        let dist = self.config.rpc_distribution().with_tail_scaled(self.tail_scale);
+        let base = SimDuration::from_secs_f64(dist.quantile(q));
+        base + self.payload_latency(size)
+    }
+
+    /// Samples the latency of one remote object access (RPC + payload).
+    pub fn sample_access_latency(&self, size: Bytes, rng: &mut DeterministicRng) -> SimDuration {
+        let dist = self.config.rpc_distribution().with_tail_scaled(self.tail_scale);
+        let base = SimDuration::from_secs_f64(dist.sample(rng));
+        base + self.payload_latency(size)
+    }
+
+    /// The size-dependent part of an access: serialization at both ends plus
+    /// wire transfer plus fixed per-RPC CPU cost.
+    pub fn payload_latency(&self, size: Bytes) -> SimDuration {
+        let wire = self.config.bandwidth.transfer_time(size);
+        let serialization = self.config.serialization_bandwidth.transfer_time(size) * 2u64;
+        wire + serialization + self.config.per_rpc_cpu
+    }
+
+    /// Energy attributable to moving `size` bytes over the fabric (NICs and
+    /// switches at both ends).
+    pub fn transfer_energy_joules(&self, size: Bytes) -> f64 {
+        size.as_f64() * self.config.energy_pj_per_byte * 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dscs_simcore::stats::Summary;
+
+    #[test]
+    fn median_and_tail_match_calibration() {
+        let net = NetworkModel::new(NetworkConfig::disaggregated_datacenter());
+        let mut rng = DeterministicRng::seeded(42);
+        let size = Bytes::from_kib(64);
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| net.sample_access_latency(size, &mut rng).as_secs_f64())
+            .collect();
+        let s = Summary::from_samples(&samples);
+        // Median around 18-20 ms, p99/p50 about 2x (the paper reports a 110%
+        // gap between median and p99).
+        assert!((0.015..0.030).contains(&s.p50()), "p50 {}", s.p50());
+        let ratio = s.p99() / s.p50();
+        assert!((1.6..2.6).contains(&ratio), "tail ratio {ratio}");
+    }
+
+    #[test]
+    fn larger_objects_take_longer() {
+        let net = NetworkModel::new(NetworkConfig::disaggregated_datacenter());
+        let small = net.access_latency_at_quantile(Bytes::from_kib(16), 0.5);
+        let large = net.access_latency_at_quantile(Bytes::from_mib(16), 0.5);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let net = NetworkModel::new(NetworkConfig::disaggregated_datacenter());
+        let size = Bytes::from_mib(1);
+        let p50 = net.access_latency_at_quantile(size, 0.5);
+        let p95 = net.access_latency_at_quantile(size, 0.95);
+        let p99 = net.access_latency_at_quantile(size, 0.99);
+        assert!(p50 < p95 && p95 < p99);
+    }
+
+    #[test]
+    fn zero_tail_scale_makes_access_deterministic() {
+        let net = NetworkModel::new(NetworkConfig::disaggregated_datacenter()).with_tail_scale(0.0);
+        let size = Bytes::from_kib(64);
+        assert_eq!(
+            net.access_latency_at_quantile(size, 0.5),
+            net.access_latency_at_quantile(size, 0.99)
+        );
+    }
+
+    #[test]
+    fn serialization_is_part_of_payload_cost() {
+        let net = NetworkModel::new(NetworkConfig::disaggregated_datacenter());
+        let size = Bytes::from_mib(8);
+        let wire_only = net.config().bandwidth.transfer_time(size);
+        assert!(net.payload_latency(size) > wire_only * 2u64);
+    }
+
+    #[test]
+    fn energy_scales_with_bytes() {
+        let net = NetworkModel::new(NetworkConfig::disaggregated_datacenter());
+        let e1 = net.transfer_energy_joules(Bytes::from_mib(1));
+        let e2 = net.transfer_energy_joules(Bytes::from_mib(2));
+        assert!((e2 / e1 - 2.0).abs() < 1e-9);
+    }
+}

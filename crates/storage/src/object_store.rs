@@ -1,0 +1,280 @@
+//! Disaggregated object store (S3-style) with DSCS-aware placement.
+//!
+//! The baseline system keeps serverless inputs/outputs in a replicated
+//! key-value object store spread over storage nodes. DSCS-Serverless maps one
+//! replica of objects belonging to acceleratable functions onto DSCS-Drives so
+//! the in-storage DSA can reach the data over the P2P path (Section 5.2).
+//!
+//! The store tracks object metadata only (sizes and placement); latency always
+//! comes from the drive/network models.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use dscs_simcore::quantity::Bytes;
+use dscs_simcore::rng::DeterministicRng;
+
+/// Identifier of a storage node in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StorageNodeId(pub u32);
+
+/// The kind of drive a storage node exposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DriveClass {
+    /// Conventional SSD.
+    Conventional,
+    /// DSCS-Drive (SSD + in-storage DSA).
+    Dscs,
+}
+
+/// Metadata for one stored object.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectMeta {
+    /// Object key.
+    pub key: String,
+    /// Object size.
+    pub size: Bytes,
+    /// Nodes holding a replica (primary first).
+    pub replicas: Vec<StorageNodeId>,
+    /// Whether the object is flagged as input to an acceleratable function.
+    pub acceleratable: bool,
+}
+
+/// Errors returned by the object store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The requested key does not exist.
+    NotFound(String),
+    /// The store has no nodes of the class required for placement.
+    NoNodesOfClass(DriveClass),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::NotFound(key) => write!(f, "object not found: {key}"),
+            StoreError::NoNodesOfClass(class) => write!(f, "no storage nodes of class {class:?}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// The disaggregated object store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectStore {
+    nodes: HashMap<StorageNodeId, DriveClass>,
+    objects: HashMap<String, ObjectMeta>,
+    replication: usize,
+    /// Chunk size used to split very large objects across drives.
+    chunk_size: Bytes,
+}
+
+impl ObjectStore {
+    /// Creates a store over the given nodes with a replication factor.
+    ///
+    /// # Panics
+    /// Panics if `nodes` is empty or `replication` is zero.
+    pub fn new(nodes: impl IntoIterator<Item = (StorageNodeId, DriveClass)>, replication: usize) -> Self {
+        let nodes: HashMap<_, _> = nodes.into_iter().collect();
+        assert!(!nodes.is_empty(), "object store needs at least one node");
+        assert!(replication >= 1, "replication factor must be at least 1");
+        ObjectStore {
+            nodes,
+            objects: HashMap::new(),
+            replication,
+            chunk_size: Bytes::from_mib(64),
+        }
+    }
+
+    /// A store with `conventional` plain-SSD nodes and `dscs` DSCS-Drive nodes,
+    /// 3-way replicated (the common S3-style setup).
+    pub fn with_node_counts(conventional: u32, dscs: u32) -> Self {
+        assert!(conventional + dscs > 0, "need at least one storage node");
+        let mut nodes = Vec::new();
+        for i in 0..conventional {
+            nodes.push((StorageNodeId(i), DriveClass::Conventional));
+        }
+        for i in 0..dscs {
+            nodes.push((StorageNodeId(conventional + i), DriveClass::Dscs));
+        }
+        ObjectStore::new(nodes, 3.min((conventional + dscs) as usize))
+    }
+
+    /// Number of storage nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of stored objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Drive class of a node.
+    pub fn node_class(&self, node: StorageNodeId) -> Option<DriveClass> {
+        self.nodes.get(&node).copied()
+    }
+
+    /// Stores (or replaces) an object. If `acceleratable` is set and the store
+    /// has DSCS nodes, the primary replica is placed on a DSCS-Drive so the
+    /// in-storage accelerator can reach the data; otherwise replicas are
+    /// spread across random nodes.
+    pub fn put(
+        &mut self,
+        key: impl Into<String>,
+        size: Bytes,
+        acceleratable: bool,
+        rng: &mut DeterministicRng,
+    ) -> Result<ObjectMeta, StoreError> {
+        let key = key.into();
+        let mut replicas = Vec::with_capacity(self.replication);
+        if acceleratable {
+            let dscs_nodes: Vec<StorageNodeId> = self.nodes_of_class(DriveClass::Dscs);
+            if dscs_nodes.is_empty() {
+                return Err(StoreError::NoNodesOfClass(DriveClass::Dscs));
+            }
+            replicas.push(*rng.choose(&dscs_nodes));
+        }
+        let all: Vec<StorageNodeId> = {
+            let mut v: Vec<_> = self.nodes.keys().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        while replicas.len() < self.replication.min(all.len()) {
+            let candidate = *rng.choose(&all);
+            if !replicas.contains(&candidate) {
+                replicas.push(candidate);
+            }
+        }
+        let meta = ObjectMeta {
+            key: key.clone(),
+            size,
+            replicas,
+            acceleratable,
+        };
+        self.objects.insert(key, meta.clone());
+        Ok(meta)
+    }
+
+    /// Looks up an object.
+    pub fn get(&self, key: &str) -> Result<&ObjectMeta, StoreError> {
+        self.objects.get(key).ok_or_else(|| StoreError::NotFound(key.to_string()))
+    }
+
+    /// Removes an object, returning its metadata.
+    pub fn delete(&mut self, key: &str) -> Result<ObjectMeta, StoreError> {
+        self.objects.remove(key).ok_or_else(|| StoreError::NotFound(key.to_string()))
+    }
+
+    /// Returns the replica (if any) that lives on a DSCS-Drive, which is where
+    /// an acceleratable function would be scheduled.
+    pub fn dscs_replica(&self, key: &str) -> Result<Option<StorageNodeId>, StoreError> {
+        let meta = self.get(key)?;
+        Ok(meta
+            .replicas
+            .iter()
+            .copied()
+            .find(|n| self.node_class(*n) == Some(DriveClass::Dscs)))
+    }
+
+    /// Number of chunks an object is split into (objects under the chunk size —
+    /// the common case for serverless payloads, which AWS caps at ~20 MB — stay
+    /// on one drive).
+    pub fn chunk_count(&self, key: &str) -> Result<u64, StoreError> {
+        let meta = self.get(key)?;
+        Ok(meta.size.as_u64().div_ceil(self.chunk_size.as_u64()).max(1))
+    }
+
+    fn nodes_of_class(&self, class: DriveClass) -> Vec<StorageNodeId> {
+        let mut v: Vec<StorageNodeId> = self
+            .nodes
+            .iter()
+            .filter(|(_, c)| **c == class)
+            .map(|(id, _)| *id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> ObjectStore {
+        ObjectStore::with_node_counts(6, 2)
+    }
+
+    #[test]
+    fn acceleratable_objects_land_on_dscs_drives() {
+        let mut s = store();
+        let mut rng = DeterministicRng::seeded(1);
+        let meta = s.put("input.jpg", Bytes::from_mib(2), true, &mut rng).expect("put");
+        assert_eq!(s.node_class(meta.replicas[0]), Some(DriveClass::Dscs));
+        assert!(s.dscs_replica("input.jpg").expect("exists").is_some());
+    }
+
+    #[test]
+    fn non_acceleratable_objects_do_not_require_dscs_nodes() {
+        let mut s = ObjectStore::with_node_counts(4, 0);
+        let mut rng = DeterministicRng::seeded(2);
+        assert!(s.put("log.txt", Bytes::from_kib(10), false, &mut rng).is_ok());
+        assert!(matches!(
+            s.put("image.jpg", Bytes::from_mib(1), true, &mut rng),
+            Err(StoreError::NoNodesOfClass(DriveClass::Dscs))
+        ));
+    }
+
+    #[test]
+    fn replication_uses_distinct_nodes() {
+        let mut s = store();
+        let mut rng = DeterministicRng::seeded(3);
+        let meta = s.put("obj", Bytes::from_kib(100), true, &mut rng).expect("put");
+        let mut unique = meta.replicas.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), meta.replicas.len());
+        assert_eq!(meta.replicas.len(), 3);
+    }
+
+    #[test]
+    fn get_and_delete_round_trip() {
+        let mut s = store();
+        let mut rng = DeterministicRng::seeded(4);
+        s.put("a", Bytes::from_kib(1), false, &mut rng).expect("put");
+        assert_eq!(s.get("a").expect("get").size.as_u64(), 1024);
+        assert_eq!(s.object_count(), 1);
+        s.delete("a").expect("delete");
+        assert!(matches!(s.get("a"), Err(StoreError::NotFound(_))));
+        assert_eq!(s.object_count(), 0);
+    }
+
+    #[test]
+    fn serverless_payloads_fit_one_chunk() {
+        let mut s = store();
+        let mut rng = DeterministicRng::seeded(5);
+        s.put("small", Bytes::from_mib(18), false, &mut rng).expect("put");
+        s.put("huge", Bytes::from_gib(1), false, &mut rng).expect("put");
+        assert_eq!(s.chunk_count("small").expect("small"), 1);
+        assert!(s.chunk_count("huge").expect("huge") > 1);
+    }
+
+    #[test]
+    fn deterministic_given_same_seed() {
+        let mut a = store();
+        let mut b = store();
+        let mut rng_a = DeterministicRng::seeded(6);
+        let mut rng_b = DeterministicRng::seeded(6);
+        let ma = a.put("x", Bytes::from_mib(1), true, &mut rng_a).expect("put");
+        let mb = b.put("x", Bytes::from_mib(1), true, &mut rng_b).expect("put");
+        assert_eq!(ma.replicas, mb.replicas);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_store_rejected() {
+        let _ = ObjectStore::new(Vec::<(StorageNodeId, DriveClass)>::new(), 3);
+    }
+}

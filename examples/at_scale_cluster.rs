@@ -1,0 +1,41 @@
+//! At-scale comparison (Figure 13): replay a bursty request trace against a
+//! 200-instance cluster of baseline CPU nodes and of DSCS-Serverless drives,
+//! and print the queue depth and wall-clock latency over time.
+//!
+//! A shortened trace keeps the example fast; `reproduce fig13 --full` runs the
+//! whole 20-minute trace.
+//!
+//! Run with: `cargo run --release --example at_scale_cluster`
+
+use dscs_serverless::cluster::sim::simulate_platform;
+use dscs_serverless::cluster::trace::RateProfile;
+use dscs_serverless::platforms::PlatformKind;
+use dscs_serverless::simcore::rng::DeterministicRng;
+use dscs_serverless::simcore::time::SimDuration;
+
+fn main() {
+    // A five-minute slice of the bursty profile.
+    let profile = RateProfile {
+        segments: vec![
+            (SimDuration::from_secs(60), 900.0),
+            (SimDuration::from_secs(60), 1600.0),
+            (SimDuration::from_secs(60), 2400.0),
+            (SimDuration::from_secs(60), 1500.0),
+            (SimDuration::from_secs(60), 900.0),
+        ],
+    };
+    let trace = profile.generate(&mut DeterministicRng::seeded(7));
+    println!("trace: {} requests over {}", trace.len(), profile.horizon());
+
+    for platform in [PlatformKind::BaselineCpu, PlatformKind::DscsDsa] {
+        let report = simulate_platform(platform, &trace, 11);
+        println!("\n{}:", platform.name());
+        println!("  completed {} / rejected {}", report.completed, report.rejected);
+        println!("  mean wall-clock latency {:.1} ms, makespan {}", report.mean_latency_ms(), report.makespan);
+        println!("  queued functions per minute : {:?}", report.queued.iter().map(|x| x.round()).collect::<Vec<_>>());
+        println!(
+            "  latency per minute (ms)     : {:?}",
+            report.latency_ms.iter().map(|x| x.round()).collect::<Vec<_>>()
+        );
+    }
+}

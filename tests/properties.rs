@@ -1,0 +1,172 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use dscs_serverless::compiler::{gemm_dims, select_tiling};
+use dscs_serverless::dsa::config::{DsaConfig, MemoryKind, TechnologyNode};
+use dscs_serverless::dsa::engine::MpuModel;
+use dscs_serverless::nn::op::Operator;
+use dscs_serverless::nn::tensor::DType;
+use dscs_serverless::simcore::dist::{Distribution, LogNormalDist};
+use dscs_serverless::simcore::fit::polyfit;
+use dscs_serverless::simcore::pareto::{pareto_frontier, ParetoPoint};
+use dscs_serverless::simcore::quantity::Bytes;
+use dscs_serverless::simcore::rng::DeterministicRng;
+use dscs_serverless::simcore::stats::Summary;
+use dscs_serverless::simcore::time::SimDuration;
+use dscs_serverless::storage::object_store::ObjectStore;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The Pareto frontier never contains a dominated point and never loses a
+    /// non-dominated one.
+    #[test]
+    fn pareto_frontier_is_exactly_the_non_dominated_set(
+        points in prop::collection::vec((0.1f64..100.0, 0.1f64..100.0), 1..60)
+    ) {
+        let candidates: Vec<ParetoPoint<usize>> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(cost, benefit))| ParetoPoint::new(cost, benefit, i))
+            .collect();
+        let frontier = pareto_frontier(candidates.clone());
+        for f in &frontier {
+            prop_assert!(!candidates.iter().any(|c| c.dominates(f)), "frontier point dominated");
+        }
+        for c in &candidates {
+            let dominated = candidates.iter().any(|other| other.dominates(c));
+            let on_frontier = frontier.iter().any(|f| f.tag == c.tag);
+            if !dominated && !on_frontier {
+                // A non-dominated point may be dropped only if an identical
+                // (cost, benefit) pair is already on the frontier.
+                let duplicate = frontier.iter().any(|f| f.cost == c.cost && f.benefit == c.benefit);
+                prop_assert!(duplicate, "non-dominated point missing from frontier");
+            }
+        }
+    }
+
+    /// Tiling always fits the double-buffered working set in the scratchpad
+    /// and always covers the full GEMM.
+    #[test]
+    fn tiling_fits_and_covers(m in 1u64..5000, k in 1u64..5000, n in 1u64..5000) {
+        let config = DsaConfig::paper_optimal();
+        let tiling = select_tiling(&config, m, k, n);
+        prop_assert!(tiling.buffer_bytes() <= config.buffer_bytes);
+        prop_assert!(tiling.tile_m >= 1 && tiling.tile_k >= 1 && tiling.tile_n >= 1);
+        prop_assert!(tiling.tile_count(m, k, n) >= 1);
+    }
+
+    /// Convolution lowering to implicit GEMM preserves the FLOP count exactly.
+    #[test]
+    fn conv_lowering_preserves_flops(
+        batch in 1u64..4,
+        in_channels in 1u64..128,
+        out_channels in 1u64..128,
+        size in 4u64..64,
+        kernel in 1u64..5,
+        stride in 1u64..3,
+    ) {
+        let op = Operator::Conv2d {
+            batch,
+            in_channels,
+            out_channels,
+            in_h: size,
+            in_w: size,
+            kernel,
+            stride,
+            dtype: DType::Int8,
+        };
+        let dims = gemm_dims(&op).expect("conv is GEMM-class");
+        prop_assert_eq!(2 * dims.m * dims.k * dims.n, op.flops());
+    }
+
+    /// The systolic-array cycle count is monotone in each GEMM dimension.
+    #[test]
+    fn mpu_cycles_are_monotone(m in 1u64..512, k in 1u64..512, n in 1u64..512) {
+        let mpu = MpuModel::new(&DsaConfig::paper_optimal());
+        let base = mpu.gemm_cycles(m, k, n);
+        prop_assert!(mpu.gemm_cycles(m + 1, k, n) >= base);
+        prop_assert!(mpu.gemm_cycles(m, k + 1, n) >= base);
+        prop_assert!(mpu.gemm_cycles(m, k, n + 1) >= base);
+    }
+
+    /// Summary quantiles are monotone in the quantile and bounded by min/max.
+    #[test]
+    fn summary_quantiles_are_monotone(values in prop::collection::vec(0.0f64..1e6, 1..200)) {
+        let summary = Summary::from_samples(&values);
+        let mut previous = summary.min();
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = summary.quantile(q);
+            prop_assert!(v + 1e-9 >= previous, "quantiles must not decrease");
+            prop_assert!(v >= summary.min() - 1e-9 && v <= summary.max() + 1e-9);
+            previous = v;
+        }
+    }
+
+    /// A calibrated lognormal reproduces its own median within sampling error.
+    #[test]
+    fn lognormal_calibration_roundtrips(median_ms in 1.0f64..100.0, tail_factor in 1.1f64..4.0) {
+        let median = median_ms / 1e3;
+        let dist = LogNormalDist::from_median_p99(median, median * tail_factor);
+        let mut rng = DeterministicRng::seeded(9);
+        let samples: Vec<f64> = (0..4_000).map(|_| dist.sample(&mut rng)).collect();
+        let s = Summary::from_samples(&samples);
+        prop_assert!((s.p50() - median).abs() / median < 0.15, "p50 {} vs median {}", s.p50(), median);
+    }
+
+    /// Cubic polynomial fits recover exact cubic data.
+    #[test]
+    fn polyfit_recovers_cubics(a in -2.0f64..2.0, b in -2.0f64..2.0, c in -0.5f64..0.5, d in -0.05f64..0.05) {
+        let pts: Vec<(f64, f64)> = (0..24).map(|i| {
+            let x = i as f64;
+            (x, a + b * x + c * x * x + d * x * x * x)
+        }).collect();
+        let poly = polyfit(&pts, 3);
+        for &(x, y) in &pts {
+            let err = (poly.eval(x) - y).abs();
+            prop_assert!(err < 1e-5 * (1.0 + y.abs()), "fit error {err} at {x}");
+        }
+    }
+
+    /// Object-store placement always respects the replication factor and puts
+    /// acceleratable objects on a DSCS drive.
+    #[test]
+    fn object_store_placement_invariants(objects in prop::collection::vec((1u64..32_000_000, any::<bool>()), 1..40), seed in 0u64..1000) {
+        let mut store = ObjectStore::with_node_counts(5, 3);
+        let mut rng = DeterministicRng::seeded(seed);
+        for (i, &(size, acceleratable)) in objects.iter().enumerate() {
+            let key = format!("obj-{i}");
+            let meta = store.put(&key, Bytes::new(size), acceleratable, &mut rng).expect("store has DSCS nodes");
+            prop_assert_eq!(meta.replicas.len(), 3);
+            let mut unique = meta.replicas.clone();
+            unique.sort_unstable();
+            unique.dedup();
+            prop_assert_eq!(unique.len(), 3, "replicas must be distinct");
+            if acceleratable {
+                prop_assert!(store.dscs_replica(&key).expect("exists").is_some());
+            }
+        }
+    }
+
+    /// Time arithmetic: converting seconds to a duration and back is stable to
+    /// nanosecond rounding.
+    #[test]
+    fn duration_roundtrip(seconds in 0.0f64..10_000.0) {
+        let d = SimDuration::from_secs_f64(seconds);
+        prop_assert!((d.as_secs_f64() - seconds).abs() < 1e-9 * (1.0 + seconds));
+    }
+
+    /// DSA configurations in the sweep ranges always validate.
+    #[test]
+    fn dsa_configs_validate(dim_exp in 2u32..10, buffer_mib in 1u64..32) {
+        let dim = 1u64 << dim_exp;
+        let buffer = (buffer_mib * 1024 * 1024).max(6 * dim * dim);
+        for memory in MemoryKind::ALL {
+            let config = DsaConfig::square(dim, buffer, memory, TechnologyNode::Nm45);
+            prop_assert!(config.validate().is_ok());
+            prop_assert!(config.peak_ops_per_sec() > 0.0);
+        }
+    }
+}
