@@ -31,7 +31,9 @@ fn bench_ablation_overlap(c: &mut Criterion) {
         sequential.latency().as_millis_f64()
     );
     group.bench_function("double_buffered", |b| {
-        b.iter(|| black_box(Executor::with_policy(config, OverlapPolicy::DoubleBuffered).run(&program)))
+        b.iter(|| {
+            black_box(Executor::with_policy(config, OverlapPolicy::DoubleBuffered).run(&program))
+        })
     });
     group.bench_function("sequential", |b| {
         b.iter(|| black_box(Executor::with_policy(config, OverlapPolicy::Sequential).run(&program)))
@@ -84,8 +86,12 @@ fn bench_ablation_p2p(c: &mut Criterion) {
         drive.p2p_read_latency(payload).as_millis_f64(),
         drive.as_ssd().host_read_latency(payload).as_millis_f64()
     );
-    group.bench_function("p2p_path", |b| b.iter(|| black_box(drive.p2p_read_latency(payload))));
-    group.bench_function("host_path", |b| b.iter(|| black_box(drive.as_ssd().host_read_latency(payload))));
+    group.bench_function("p2p_path", |b| {
+        b.iter(|| black_box(drive.p2p_read_latency(payload)))
+    });
+    group.bench_function("host_path", |b| {
+        b.iter(|| black_box(drive.as_ssd().host_read_latency(payload)))
+    });
     group.finish();
 }
 
@@ -95,7 +101,11 @@ fn bench_ablation_scheduler(c: &mut Criterion) {
     group.sample_size(20);
     let nodes: Vec<(NodeId, NodeCapability)> = (0..100u32)
         .map(|i| {
-            let cap = if i < 20 { NodeCapability::DscsStorage } else { NodeCapability::Compute };
+            let cap = if i < 20 {
+                NodeCapability::DscsStorage
+            } else {
+                NodeCapability::Compute
+            };
             (NodeId(i), cap)
         })
         .collect();

@@ -24,8 +24,12 @@ use dscs_simcore::stats::geometric_mean;
 use dscs_simcore::time::SimDuration;
 
 fn bench_tables(c: &mut Criterion) {
-    c.bench_function("table1_suite", |b| b.iter(|| black_box(exp::table1_benchmarks())));
-    c.bench_function("table2_platforms", |b| b.iter(|| black_box(exp::table2_platforms())));
+    c.bench_function("table1_suite", |b| {
+        b.iter(|| black_box(exp::table1_benchmarks()))
+    });
+    c.bench_function("table2_platforms", |b| {
+        b.iter(|| black_box(exp::table2_platforms()))
+    });
 }
 
 fn bench_fig03(c: &mut Criterion) {
@@ -40,7 +44,9 @@ fn bench_fig03(c: &mut Criterion) {
 fn bench_fig04(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig04_breakdown_baseline");
     group.sample_size(10);
-    group.bench_function("all_benchmarks", |b| b.iter(|| black_box(exp::fig4_runtime_breakdown_baseline())));
+    group.bench_function("all_benchmarks", |b| {
+        b.iter(|| black_box(exp::fig4_runtime_breakdown_baseline()))
+    });
     group.finish();
 }
 
@@ -62,21 +68,27 @@ fn bench_fig07_08(c: &mut Criterion) {
 fn bench_fig09(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig09_speedup");
     group.sample_size(10);
-    group.bench_function("all_platforms_all_benchmarks", |b| b.iter(|| black_box(exp::fig9_speedup())));
+    group.bench_function("all_platforms_all_benchmarks", |b| {
+        b.iter(|| black_box(exp::fig9_speedup()))
+    });
     group.finish();
 }
 
 fn bench_fig10(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10_breakdown_platforms");
     group.sample_size(10);
-    group.bench_function("all_platforms_all_benchmarks", |b| b.iter(|| black_box(exp::fig10_runtime_breakdown())));
+    group.bench_function("all_platforms_all_benchmarks", |b| {
+        b.iter(|| black_box(exp::fig10_runtime_breakdown()))
+    });
     group.finish();
 }
 
 fn bench_fig11(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig11_energy");
     group.sample_size(10);
-    group.bench_function("all_platforms_all_benchmarks", |b| b.iter(|| black_box(exp::fig11_energy_reduction())));
+    group.bench_function("all_platforms_all_benchmarks", |b| {
+        b.iter(|| black_box(exp::fig11_energy_reduction()))
+    });
     group.finish();
 }
 
@@ -93,9 +105,17 @@ fn bench_fig12(c: &mut Criterion) {
                     let spec = platform.spec();
                     let throughputs: Vec<f64> = Benchmark::ALL
                         .iter()
-                        .map(|&bench| system.evaluate(bench, platform, EvalOptions::default()).throughput_rps())
+                        .map(|&bench| {
+                            system
+                                .evaluate(bench, platform, EvalOptions::default())
+                                .throughput_rps()
+                        })
                         .collect();
-                    params.cost_efficiency(geometric_mean(&throughputs), spec.active_power, spec.capex)
+                    params.cost_efficiency(
+                        geometric_mean(&throughputs),
+                        spec.active_power,
+                        spec.capex,
+                    )
                 })
                 .collect();
             black_box(values)
@@ -125,10 +145,18 @@ fn bench_fig13(c: &mut Criterion) {
 fn bench_fig14_17(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig14_17_sensitivity");
     group.sample_size(10);
-    group.bench_function("fig14_batch", |b| b.iter(|| black_box(exp::fig14_batch_sensitivity())));
-    group.bench_function("fig15_tail", |b| b.iter(|| black_box(exp::fig15_tail_sensitivity())));
-    group.bench_function("fig16_chaining", |b| b.iter(|| black_box(exp::fig16_function_count_sensitivity())));
-    group.bench_function("fig17_coldstart", |b| b.iter(|| black_box(exp::fig17_cold_start_sensitivity())));
+    group.bench_function("fig14_batch", |b| {
+        b.iter(|| black_box(exp::fig14_batch_sensitivity()))
+    });
+    group.bench_function("fig15_tail", |b| {
+        b.iter(|| black_box(exp::fig15_tail_sensitivity()))
+    });
+    group.bench_function("fig16_chaining", |b| {
+        b.iter(|| black_box(exp::fig16_function_count_sensitivity()))
+    });
+    group.bench_function("fig17_coldstart", |b| {
+        b.iter(|| black_box(exp::fig17_cold_start_sensitivity()))
+    });
     group.finish();
 }
 

@@ -23,7 +23,8 @@ use dscs_core::experiments as exp;
 use dscs_dsa::config::TechnologyNode;
 use dscs_dse::cost::CostParameters;
 use dscs_dse::explore::{
-    area_performance_frontier, frontier_fit, power_performance_frontier, select_optimal, sweep, DRIVE_POWER_BUDGET_WATTS,
+    area_performance_frontier, frontier_fit, power_performance_frontier, select_optimal, sweep,
+    DRIVE_POWER_BUDGET_WATTS,
 };
 use dscs_dse::space::{enumerate, enumerate_small};
 use dscs_platforms::PlatformKind;
@@ -31,54 +32,56 @@ use dscs_simcore::rng::DeterministicRng;
 use dscs_simcore::stats::geometric_mean;
 use dscs_simcore::time::SimDuration;
 
+/// One experiment entry: the names that select it, and its runner (the bool
+/// carries the `--full` flag).
+type Experiment = (&'static [&'static str], fn(bool));
+
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let which = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all").to_string();
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all")
+        .to_string();
 
-    let run = |name: &str| which == "all" || which == name;
+    // One entry per experiment: accepted names (fig7/fig8 share a runner) and
+    // the handler. Name validation derives from this table, so adding an
+    // experiment here is the only change needed.
+    let experiments: [Experiment; 14] = [
+        (&["table1"], |_| table1()),
+        (&["table2"], |_| table2()),
+        (&["fig3"], |_| fig3()),
+        (&["fig4"], |_| fig4()),
+        (&["fig7", "fig8"], fig7_and_8),
+        (&["fig9"], |_| fig9()),
+        (&["fig10"], |_| fig10()),
+        (&["fig11"], |_| fig11()),
+        (&["fig12"], |_| fig12()),
+        (&["fig13"], fig13),
+        (&["fig14"], |_| fig14()),
+        (&["fig15"], |_| fig15()),
+        (&["fig16"], |_| fig16()),
+        (&["fig17"], |_| fig17()),
+    ];
 
-    if run("table1") {
-        table1();
+    let known =
+        |name: &str| name == "all" || experiments.iter().any(|(names, _)| names.contains(&name));
+    if !known(&which) {
+        let mut names: Vec<&str> = vec!["all"];
+        names.extend(experiments.iter().flat_map(|(n, _)| n.iter().copied()));
+        eprintln!(
+            "unknown experiment '{which}'; expected one of: {}",
+            names.join(", ")
+        );
+        std::process::exit(2);
     }
-    if run("table2") {
-        table2();
-    }
-    if run("fig3") {
-        fig3();
-    }
-    if run("fig4") {
-        fig4();
-    }
-    if run("fig7") || run("fig8") {
-        fig7_and_8(full);
-    }
-    if run("fig9") {
-        fig9();
-    }
-    if run("fig10") {
-        fig10();
-    }
-    if run("fig11") {
-        fig11();
-    }
-    if run("fig12") {
-        fig12();
-    }
-    if run("fig13") {
-        fig13(full);
-    }
-    if run("fig14") {
-        fig14();
-    }
-    if run("fig15") {
-        fig15();
-    }
-    if run("fig16") {
-        fig16();
-    }
-    if run("fig17") {
-        fig17();
+
+    for (names, runner) in &experiments {
+        if which == "all" || names.contains(&which.as_str()) {
+            runner(full);
+        }
     }
 }
 
@@ -127,7 +130,10 @@ fn table2() {
 fn fig3() {
     header("Figure 3: CDF of remote-storage (S3-style) read latency per benchmark");
     let series = exp::fig3_s3_read_cdf(10_000, 42);
-    println!("{:<26} {:>12} {:>12} {:>10}", "benchmark", "p50 (ms)", "p99 (ms)", "p99/p50");
+    println!(
+        "{:<26} {:>12} {:>12} {:>10}",
+        "benchmark", "p50 (ms)", "p99 (ms)", "p99/p50"
+    );
     for s in &series {
         println!(
             "{:<26} {:>12.2} {:>12.2} {:>10.2}",
@@ -165,8 +171,15 @@ fn fig4() {
     header("Figure 4: runtime breakdown on the baseline CPU with remote storage");
     let rows = exp::fig4_runtime_breakdown_baseline();
     print_breakdowns(&rows);
-    let avg_comm: f64 = rows.iter().map(|r| r.breakdown.communication_fraction()).sum::<f64>() / rows.len() as f64;
-    println!("average communication share: {:.1}% (paper: >55%)", avg_comm * 100.0);
+    let avg_comm: f64 = rows
+        .iter()
+        .map(|r| r.breakdown.communication_fraction())
+        .sum::<f64>()
+        / rows.len() as f64;
+    println!(
+        "average communication share: {:.1}% (paper: >55%)",
+        avg_comm * 100.0
+    );
 }
 
 fn fig7_and_8(full: bool) {
@@ -179,32 +192,58 @@ fn fig7_and_8(full: bool) {
     println!(
         "design points evaluated: {} ({})",
         space.len(),
-        if full { "full sweep" } else { "quick sweep; use --full for the complete sweep" }
+        if full {
+            "full sweep"
+        } else {
+            "quick sweep; use --full for the complete sweep"
+        }
     );
     let points = sweep(&space, &dscs_dse::explore::default_evaluation_models());
 
     let power_frontier = power_performance_frontier(&points);
     println!("\nFigure 7 (power-performance frontier, <= {DRIVE_POWER_BUDGET_WATTS} W):");
-    println!("{:<26} {:>16} {:>12}", "config", "throughput ips", "power W");
+    println!(
+        "{:<26} {:>16} {:>12}",
+        "config", "throughput ips", "power W"
+    );
     for p in &power_frontier {
-        println!("{:<26} {:>16.1} {:>12.2}", p.config.label(), p.throughput_ips, p.power_watts);
+        println!(
+            "{:<26} {:>16.1} {:>12.2}",
+            p.config.label(),
+            p.throughput_ips,
+            p.power_watts
+        );
     }
     if power_frontier.len() >= 2 {
-        println!("P(c) fit: {}", frontier_fit(&power_frontier, |p| p.power_watts));
+        println!(
+            "P(c) fit: {}",
+            frontier_fit(&power_frontier, |p| p.power_watts)
+        );
     }
 
     let area_frontier = area_performance_frontier(&points);
     println!("\nFigure 8 (area-performance frontier):");
-    println!("{:<26} {:>16} {:>12}", "config", "throughput ips", "area mm2");
+    println!(
+        "{:<26} {:>16} {:>12}",
+        "config", "throughput ips", "area mm2"
+    );
     for p in &area_frontier {
-        println!("{:<26} {:>16.1} {:>12.1}", p.config.label(), p.throughput_ips, p.area_mm2);
+        println!(
+            "{:<26} {:>16.1} {:>12.1}",
+            p.config.label(),
+            p.throughput_ips,
+            p.area_mm2
+        );
     }
     if area_frontier.len() >= 2 {
         println!("A(c) fit: {}", frontier_fit(&area_frontier, |p| p.area_mm2));
     }
 
     if let Some(best) = select_optimal(&points) {
-        println!("\nselected configuration: {} (paper selects Dim128-4MB-DDR5)", best.config.label());
+        println!(
+            "\nselected configuration: {} (paper selects Dim128-4MB-DDR5)",
+            best.config.label()
+        );
     }
 }
 
@@ -257,10 +296,18 @@ fn fig12() {
         let spec = platform.spec();
         let throughputs: Vec<f64> = Benchmark::ALL
             .iter()
-            .map(|&b| system.evaluate(b, platform, EvalOptions::default()).throughput_rps())
+            .map(|&b| {
+                system
+                    .evaluate(b, platform, EvalOptions::default())
+                    .throughput_rps()
+            })
             .collect();
         let throughput = geometric_mean(&throughputs);
-        params.cost_efficiency(throughput, spec.active_power + infra_power, spec.capex + infra_capex)
+        params.cost_efficiency(
+            throughput,
+            spec.active_power + infra_power,
+            spec.capex + infra_capex,
+        )
     };
     let base = efficiency(PlatformKind::BaselineCpu);
     println!("{:<18} {:>22}", "platform", "normalized cost eff.");
@@ -286,12 +333,24 @@ fn fig13(full: bool) {
     for platform in [PlatformKind::BaselineCpu, PlatformKind::DscsDsa] {
         let report = simulate_platform(platform, &trace, 7);
         println!("\n{}:", platform.name());
-        println!("  completed {} rejected {}", report.completed, report.rejected);
-        println!("  mean wall-clock latency: {:.1} ms", report.mean_latency_ms());
+        println!(
+            "  completed {} rejected {}",
+            report.completed, report.rejected
+        );
+        println!(
+            "  mean wall-clock latency: {:.1} ms",
+            report.mean_latency_ms()
+        );
         println!("  peak queued functions:   {:.0}", report.peak_queue());
-        println!("  per-minute offered rps:  {:?}", round_vec(&report.offered_rps));
+        println!(
+            "  per-minute offered rps:  {:?}",
+            round_vec(&report.offered_rps)
+        );
         println!("  per-minute queued:       {:?}", round_vec(&report.queued));
-        println!("  per-minute latency (ms): {:?}", round_vec(&report.latency_ms));
+        println!(
+            "  per-minute latency (ms): {:?}",
+            round_vec(&report.latency_ms)
+        );
     }
 }
 
@@ -305,7 +364,11 @@ fn sensitivity(points: &[exp::SensitivityPoint], label: &str) {
     params.dedup();
     println!("{:<12} {:>18}", label, "geomean speedup");
     for param in params {
-        let values: Vec<f64> = points.iter().filter(|p| p.parameter == param).map(|p| p.speedup).collect();
+        let values: Vec<f64> = points
+            .iter()
+            .filter(|p| p.parameter == param)
+            .map(|p| p.speedup)
+            .collect();
         println!("{:<12} {:>18.2}", param, geometric_mean(&values));
     }
 }

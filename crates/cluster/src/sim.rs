@@ -16,8 +16,8 @@ use dscs_core::endtoend::{EvalOptions, SystemModel};
 use dscs_platforms::PlatformKind;
 use dscs_simcore::events::Simulator;
 use dscs_simcore::rng::DeterministicRng;
-use dscs_simcore::stats::Summary;
 use dscs_simcore::series::TimeSeries;
+use dscs_simcore::stats::Summary;
 use dscs_simcore::time::{SimDuration, SimTime};
 
 use crate::trace::TraceRequest;
@@ -70,7 +70,9 @@ pub struct ClusterReport {
 impl ClusterReport {
     /// Mean wall-clock latency over the whole run, in milliseconds.
     pub fn mean_latency_ms(&self) -> f64 {
-        self.latency_summary.as_ref().map_or(0.0, |s| s.mean() * 1e3)
+        self.latency_summary
+            .as_ref()
+            .map_or(0.0, |s| s.mean() * 1e3)
     }
 
     /// Peak queue depth observed (per-bucket mean maximum).
@@ -106,7 +108,10 @@ impl ClusterSim {
             .iter()
             .map(|&b| (b, system.evaluate(b, platform, options).total_latency()))
             .collect();
-        ClusterSim { config, service_times }
+        ClusterSim {
+            config,
+            service_times,
+        }
     }
 
     /// The service time used for one benchmark.
@@ -117,7 +122,8 @@ impl ClusterSim {
     /// Runs the trace on `platform` and reports the Figure 13 series.
     pub fn run(&self, platform: PlatformKind, trace: &[TraceRequest], seed: u64) -> ClusterReport {
         assert!(!trace.is_empty(), "trace must not be empty");
-        let horizon = trace.last().expect("non-empty").arrival - SimTime::ZERO + SimDuration::from_secs(120);
+        let horizon =
+            trace.last().expect("non-empty").arrival - SimTime::ZERO + SimDuration::from_secs(120);
         let mut offered = TimeSeries::new(self.config.bucket, horizon);
         let mut queued_series = TimeSeries::new(self.config.bucket, horizon);
         let mut latency_series = TimeSeries::new(self.config.bucket, horizon);
@@ -186,7 +192,11 @@ impl ClusterSim {
 
 /// Convenience runner: simulates one platform over a trace with default
 /// cluster configuration.
-pub fn simulate_platform(platform: PlatformKind, trace: &[TraceRequest], seed: u64) -> ClusterReport {
+pub fn simulate_platform(
+    platform: PlatformKind,
+    trace: &[TraceRequest],
+    seed: u64,
+) -> ClusterReport {
     ClusterSim::new(platform, ClusterConfig::default()).run(platform, trace, seed)
 }
 

@@ -68,7 +68,10 @@ impl RateProfile {
     /// # Panics
     /// Panics if the profile has no segments.
     pub fn generate(&self, rng: &mut DeterministicRng) -> Vec<TraceRequest> {
-        assert!(!self.segments.is_empty(), "profile needs at least one segment");
+        assert!(
+            !self.segments.is_empty(),
+            "profile needs at least one segment"
+        );
         let mut requests = Vec::new();
         let mut offset = SimDuration::ZERO;
         let mut id = 0u64;
@@ -94,7 +97,10 @@ mod tests {
 
     #[test]
     fn paper_profile_lasts_twenty_minutes() {
-        assert_eq!(RateProfile::paper_bursty().horizon(), SimDuration::from_secs(20 * 60));
+        assert_eq!(
+            RateProfile::paper_bursty().horizon(),
+            SimDuration::from_secs(20 * 60)
+        );
     }
 
     #[test]
@@ -104,8 +110,14 @@ mod tests {
         let trace = profile.generate(&mut rng);
         assert!(trace.windows(2).all(|w| w[0].arrival <= w[1].arrival));
         // Average rate ~ 1560 rps over 1200 s -> roughly 1.9M requests.
-        assert!(trace.len() > 1_500_000 && trace.len() < 2_300_000, "trace len {}", trace.len());
-        assert!(trace.iter().all(|r| r.arrival < SimTime::ZERO + profile.horizon()));
+        assert!(
+            trace.len() > 1_500_000 && trace.len() < 2_300_000,
+            "trace len {}",
+            trace.len()
+        );
+        assert!(trace
+            .iter()
+            .all(|r| r.arrival < SimTime::ZERO + profile.horizon()));
     }
 
     #[test]

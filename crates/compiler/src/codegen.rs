@@ -144,7 +144,14 @@ fn emit_group(graph: &Graph, config: &DsaConfig, group: &FusionGroup, program: &
     }
 }
 
-fn emit_gemm(config: &DsaConfig, dims: GemmDims, load_input: bool, store_output: bool, op: &Operator, program: &mut Program) {
+fn emit_gemm(
+    config: &DsaConfig,
+    dims: GemmDims,
+    load_input: bool,
+    store_output: bool,
+    op: &Operator,
+    program: &mut Program,
+) {
     let tiling = select_tiling(config, dims.m, dims.k, dims.n);
     let m_tiles = dims.m.div_ceil(tiling.tile_m);
     let k_tiles = dims.k.div_ceil(tiling.tile_k);
@@ -156,9 +163,17 @@ fn emit_gemm(config: &DsaConfig, dims: GemmDims, load_input: bool, store_output:
     // (conv weights are much smaller than the im2col K x N product).
     let weight_total = op.weight_bytes().as_u64();
     let weight_tile = (weight_total / (k_tiles * n_tiles).max(1)).max(1);
-    let input_total = if load_input { op.input_bytes().as_u64() } else { 0 };
+    let input_total = if load_input {
+        op.input_bytes().as_u64()
+    } else {
+        0
+    };
     let input_tile = (input_total / (m_tiles * k_tiles).max(1)).max(1);
-    let output_total = if store_output { op.output_bytes().as_u64() } else { 0 };
+    let output_total = if store_output {
+        op.output_bytes().as_u64()
+    } else {
+        0
+    };
     let output_tile = (output_total / (m_tiles * n_tiles).max(1)).max(1);
 
     for _n in 0..n_tiles {
@@ -222,7 +237,11 @@ mod tests {
     #[test]
     fn compiled_program_covers_model_flops() {
         let model = Model::build(ModelKind::ResNet50);
-        let program = compile(model.graph(), &DsaConfig::paper_optimal(), CompileOptions::default());
+        let program = compile(
+            model.graph(),
+            &DsaConfig::paper_optimal(),
+            CompileOptions::default(),
+        );
         // Tiling pads dimensions, so the program does at least the model's work
         // but not an unreasonable amount more.
         let ratio = program.total_ops() as f64 / model.flops() as f64;

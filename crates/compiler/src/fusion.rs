@@ -97,7 +97,9 @@ pub fn fuse(graph: &Graph, policy: FusionPolicy) -> Vec<FusionGroup> {
             current.push(node.id);
         } else {
             if !current.is_empty() {
-                groups.push(FusionGroup { nodes: std::mem::take(&mut current) });
+                groups.push(FusionGroup {
+                    nodes: std::mem::take(&mut current),
+                });
             }
             current.push(node.id);
         }
@@ -188,7 +190,10 @@ mod tests {
     fn fusion_covers_every_node_exactly_once() {
         let model = Model::build(ModelKind::BertBase);
         let groups = fuse(model.graph(), FusionPolicy::Enabled);
-        let mut covered: Vec<usize> = groups.iter().flat_map(|g| g.nodes.iter().map(|n| n.0)).collect();
+        let mut covered: Vec<usize> = groups
+            .iter()
+            .flat_map(|g| g.nodes.iter().map(|n| n.0))
+            .collect();
         covered.sort_unstable();
         let expected: Vec<usize> = (0..model.graph().len()).collect();
         assert_eq!(covered, expected);
@@ -196,7 +201,11 @@ mod tests {
 
     #[test]
     fn fusion_reduces_group_count_on_real_models() {
-        for kind in [ModelKind::ResNet50, ModelKind::VitBase, ModelKind::SsdMobileNet] {
+        for kind in [
+            ModelKind::ResNet50,
+            ModelKind::VitBase,
+            ModelKind::SsdMobileNet,
+        ] {
             let model = Model::build(kind);
             let fused = fuse(model.graph(), FusionPolicy::Enabled).len();
             let unfused = fuse(model.graph(), FusionPolicy::Disabled).len();

@@ -63,11 +63,11 @@ pub fn select_tiling(config: &DsaConfig, m: u64, k: u64, n: u64) -> Tiling {
 
     let mut tile_k = config.array_rows.min(padded_k);
     let mut tile_n = config.array_cols.min(padded_n);
-    let mut tile_m = m.min(config.array_rows).max(1);
+    let mut tile_m = m.clamp(1, config.array_rows);
 
     let fits = |tm: u64, tk: u64, tn: u64| 2 * (tm * tk + tk * tn + tm * tn * 4) <= budget;
     assert!(
-        fits(tile_m.min(1).max(1), tile_k, tile_n) || fits(1, config.array_rows, config.array_cols),
+        fits(1, tile_k, tile_n) || fits(1, config.array_rows, config.array_cols),
         "configuration cannot hold a minimum tile"
     );
 
@@ -97,7 +97,11 @@ pub fn select_tiling(config: &DsaConfig, m: u64, k: u64, n: u64) -> Tiling {
         }
     }
 
-    Tiling { tile_m, tile_k, tile_n }
+    Tiling {
+        tile_m,
+        tile_k,
+        tile_n,
+    }
 }
 
 #[cfg(test)]
@@ -131,8 +135,18 @@ mod tests {
 
     #[test]
     fn bigger_buffer_means_bigger_tiles() {
-        let small = DsaConfig::square(128, Bytes::from_kib(512).as_u64(), MemoryKind::Ddr5, TechnologyNode::Nm45);
-        let large = DsaConfig::square(128, Bytes::from_mib(16).as_u64(), MemoryKind::Ddr5, TechnologyNode::Nm45);
+        let small = DsaConfig::square(
+            128,
+            Bytes::from_kib(512).as_u64(),
+            MemoryKind::Ddr5,
+            TechnologyNode::Nm45,
+        );
+        let large = DsaConfig::square(
+            128,
+            Bytes::from_mib(16).as_u64(),
+            MemoryKind::Ddr5,
+            TechnologyNode::Nm45,
+        );
         let m = 4096;
         let k = 4096;
         let n = 4096;

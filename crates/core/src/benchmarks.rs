@@ -69,7 +69,8 @@ impl Benchmark {
             Benchmark::CreditRiskAssessment => BenchmarkSpec {
                 benchmark: *self,
                 model: ModelKind::LogisticRegression,
-                description: "binary credit-risk scoring with logistic regression over engineered features",
+                description:
+                    "binary credit-risk scoring with logistic regression over engineered features",
                 input_size: Bytes::from_kib(24),
                 intermediate_size: Bytes::new(64),
                 result_size: Bytes::from_kib(1),
@@ -264,7 +265,11 @@ mod tests {
 
     #[test]
     fn intermediates_are_smaller_than_inputs_for_image_apps() {
-        for b in [Benchmark::PpeDetection, Benchmark::ClinicalAnalysis, Benchmark::RemoteSensing] {
+        for b in [
+            Benchmark::PpeDetection,
+            Benchmark::ClinicalAnalysis,
+            Benchmark::RemoteSensing,
+        ] {
             let spec = b.spec();
             assert!(spec.intermediate_size < spec.input_size, "{b}");
         }

@@ -202,9 +202,17 @@ impl SystemModel {
     }
 
     /// Evaluates one benchmark on one platform.
-    pub fn evaluate(&self, benchmark: Benchmark, platform: PlatformKind, options: EvalOptions) -> EndToEndReport {
+    pub fn evaluate(
+        &self,
+        benchmark: Benchmark,
+        platform: PlatformKind,
+        options: EvalOptions,
+    ) -> EndToEndReport {
         assert!(options.batch > 0, "batch must be positive");
-        assert!(options.quantile > 0.0 && options.quantile < 1.0, "quantile must be in (0, 1)");
+        assert!(
+            options.quantile > 0.0 && options.quantile < 1.0,
+            "quantile must be in (0, 1)"
+        );
         let spec = benchmark.spec();
         let pspec = platform.spec();
         let network = self.network.with_tail_scale(options.tail_scale);
@@ -235,19 +243,21 @@ impl SystemModel {
                 // Function 1 reads the raw input and writes the intermediate;
                 // every inference function reads the intermediate and the last
                 // one writes the result (duplicates write the intermediate).
-                let reads = [input].into_iter().chain(std::iter::repeat(inter).take(inference_runs as usize));
-                let writes = std::iter::repeat(inter)
-                    .take(inference_runs as usize)
-                    .chain([result]);
+                let reads = [input]
+                    .into_iter()
+                    .chain(std::iter::repeat_n(inter, inference_runs as usize));
+                let writes = std::iter::repeat_n(inter, inference_runs as usize).chain([result]);
                 for size in reads {
                     latency.remote_read += self.remote_access(&network, size, options.quantile);
                     energy.data_movement += Joules::new(network.transfer_energy_joules(size));
-                    energy.data_movement += Joules::new(self.drive.as_ssd().access_energy_joules(size));
+                    energy.data_movement +=
+                        Joules::new(self.drive.as_ssd().access_energy_joules(size));
                 }
                 for size in writes {
                     latency.remote_write += self.remote_access(&network, size, options.quantile);
                     energy.data_movement += Joules::new(network.transfer_energy_joules(size));
-                    energy.data_movement += Joules::new(self.drive.as_ssd().access_energy_joules(size));
+                    energy.data_movement +=
+                        Joules::new(self.drive.as_ssd().access_energy_joules(size));
                 }
                 if pspec.device_copy_required {
                     // Stage inputs/outputs of both functions across PCIe.
@@ -271,8 +281,10 @@ impl SystemModel {
                 // Duplicated inference functions re-read and re-write the intermediate.
                 if options.extra_inference_functions > 0 {
                     let extra = options.extra_inference_functions as u64;
-                    latency.local_io += (ssd.host_read_latency(inter) + ssd.host_write_latency(inter)) * extra;
-                    energy.data_movement += Joules::new(2.0 * ssd.access_energy_joules(inter) * extra as f64);
+                    latency.local_io +=
+                        (ssd.host_read_latency(inter) + ssd.host_write_latency(inter)) * extra;
+                    energy.data_movement +=
+                        Joules::new(2.0 * ssd.access_energy_joules(inter) * extra as f64);
                 }
             }
             PlatformLocation::InStorage => {
@@ -287,8 +299,11 @@ impl SystemModel {
                 }
                 if options.extra_inference_functions > 0 {
                     let extra = options.extra_inference_functions as u64;
-                    latency.local_io += (self.drive.p2p_read_latency(inter) + self.drive.p2p_write_latency(inter)) * extra;
-                    energy.data_movement += Joules::new(2.0 * self.drive.p2p_energy_joules(inter) * extra as f64);
+                    latency.local_io += (self.drive.p2p_read_latency(inter)
+                        + self.drive.p2p_write_latency(inter))
+                        * extra;
+                    energy.data_movement +=
+                        Joules::new(2.0 * self.drive.p2p_energy_joules(inter) * extra as f64);
                 }
             }
         }
@@ -298,7 +313,8 @@ impl SystemModel {
         // the traditional system) and performs a small amount of CPU work.
         let notify_read = self.remote_access(&network, result, options.quantile);
         let notify_cpu = SimDuration::from_secs_f64(
-            spec.postprocess_spec().notification_ops as f64 / PlatformKind::BaselineCpu.spec().effective_ops_per_sec(1),
+            spec.postprocess_spec().notification_ops as f64
+                / PlatformKind::BaselineCpu.spec().effective_ops_per_sec(1),
         );
         latency.notification = notify_read + notify_cpu;
         energy.data_movement += Joules::new(network.transfer_energy_joules(result));
@@ -309,7 +325,9 @@ impl SystemModel {
         // --- Cold start ------------------------------------------------------
         if options.cold_start {
             let image = spec.pipeline().functions[1].image_size;
-            let mut cold = self.cold_start.cold_start_latency(image, ImageSource::RemoteRegistry);
+            let mut cold = self
+                .cold_start
+                .cold_start_latency(image, ImageSource::RemoteRegistry);
             // Loading the model weights into the accelerator's memory.
             cold += self
                 .cold_start
@@ -337,20 +355,38 @@ impl SystemModel {
     }
 
     /// Speedup of `platform` over `baseline` for one benchmark under `options`.
-    pub fn speedup_over(&self, benchmark: Benchmark, platform: PlatformKind, baseline: PlatformKind, options: EvalOptions) -> f64 {
-        let p = self.evaluate(benchmark, platform, options).total_latency().as_secs_f64();
-        let b = self.evaluate(benchmark, baseline, options).total_latency().as_secs_f64();
+    pub fn speedup_over(
+        &self,
+        benchmark: Benchmark,
+        platform: PlatformKind,
+        baseline: PlatformKind,
+        options: EvalOptions,
+    ) -> f64 {
+        let p = self
+            .evaluate(benchmark, platform, options)
+            .total_latency()
+            .as_secs_f64();
+        let b = self
+            .evaluate(benchmark, baseline, options)
+            .total_latency()
+            .as_secs_f64();
         b / p
     }
 
-    fn run_graph(&self, platform: PlatformKind, graph: &Graph, batch: u64) -> (SimDuration, Joules) {
+    fn run_graph(
+        &self,
+        platform: PlatformKind,
+        graph: &Graph,
+        batch: u64,
+    ) -> (SimDuration, Joules) {
         let result = self.engine.execute(platform, graph, batch);
         (result.latency, result.energy)
     }
 
     fn remote_access(&self, network: &NetworkModel, size: Bytes, quantile: f64) -> SimDuration {
         // Network/RPC path plus the storage node's own drive access.
-        network.access_latency_at_quantile(size, quantile) + self.drive.as_ssd().host_read_latency(size)
+        network.access_latency_at_quantile(size, quantile)
+            + self.drive.as_ssd().host_read_latency(size)
     }
 }
 
@@ -367,7 +403,14 @@ mod tests {
         let sys = system();
         Benchmark::ALL
             .iter()
-            .map(|&b| sys.speedup_over(b, platform, PlatformKind::BaselineCpu, EvalOptions::default()))
+            .map(|&b| {
+                sys.speedup_over(
+                    b,
+                    platform,
+                    PlatformKind::BaselineCpu,
+                    EvalOptions::default(),
+                )
+            })
             .collect()
     }
 
@@ -429,16 +472,33 @@ mod tests {
         let dscs_over_fpga = geometric_mean(
             &Benchmark::ALL
                 .iter()
-                .map(|&b| sys.speedup_over(b, PlatformKind::DscsDsa, PlatformKind::NsFpga, EvalOptions::default()))
+                .map(|&b| {
+                    sys.speedup_over(
+                        b,
+                        PlatformKind::DscsDsa,
+                        PlatformKind::NsFpga,
+                        EvalOptions::default(),
+                    )
+                })
                 .collect::<Vec<_>>(),
         );
-        assert!((1.1..3.0).contains(&dscs_over_fpga), "DSCS over NS-FPGA {dscs_over_fpga}");
+        assert!(
+            (1.1..3.0).contains(&dscs_over_fpga),
+            "DSCS over NS-FPGA {dscs_over_fpga}"
+        );
     }
 
     #[test]
     fn credit_risk_shows_least_dscs_speedup_among_benchmarks() {
         let sys = system();
-        let speedup = |b: Benchmark| sys.speedup_over(b, PlatformKind::DscsDsa, PlatformKind::BaselineCpu, EvalOptions::default());
+        let speedup = |b: Benchmark| {
+            sys.speedup_over(
+                b,
+                PlatformKind::DscsDsa,
+                PlatformKind::BaselineCpu,
+                EvalOptions::default(),
+            )
+        };
         let credit = speedup(Benchmark::CreditRiskAssessment);
         let max_other = Benchmark::ALL
             .iter()
@@ -454,8 +514,12 @@ mod tests {
         let ratios: Vec<f64> = Benchmark::ALL
             .iter()
             .map(|&b| {
-                let base = sys.evaluate(b, PlatformKind::BaselineCpu, EvalOptions::default()).total_energy();
-                let dscs = sys.evaluate(b, PlatformKind::DscsDsa, EvalOptions::default()).total_energy();
+                let base = sys
+                    .evaluate(b, PlatformKind::BaselineCpu, EvalOptions::default())
+                    .total_energy();
+                let dscs = sys
+                    .evaluate(b, PlatformKind::DscsDsa, EvalOptions::default())
+                    .total_energy();
                 base.as_f64() / dscs.as_f64()
             })
             .collect();
@@ -468,25 +532,47 @@ mod tests {
     fn gpu_consumes_more_energy_than_dscs() {
         let sys = system();
         for &b in &[Benchmark::PpeDetection, Benchmark::RemoteSensing] {
-            let gpu = sys.evaluate(b, PlatformKind::RemoteGpu, EvalOptions::default()).total_energy();
-            let dscs = sys.evaluate(b, PlatformKind::DscsDsa, EvalOptions::default()).total_energy();
-            assert!(gpu.as_f64() > 1.5 * dscs.as_f64(), "{b}: gpu {gpu} vs dscs {dscs}");
+            let gpu = sys
+                .evaluate(b, PlatformKind::RemoteGpu, EvalOptions::default())
+                .total_energy();
+            let dscs = sys
+                .evaluate(b, PlatformKind::DscsDsa, EvalOptions::default())
+                .total_energy();
+            assert!(
+                gpu.as_f64() > 1.5 * dscs.as_f64(),
+                "{b}: gpu {gpu} vs dscs {dscs}"
+            );
         }
     }
 
     #[test]
     fn breakdown_components_sum_to_total() {
         let sys = system();
-        let report = sys.evaluate(Benchmark::PpeDetection, PlatformKind::RemoteGpu, EvalOptions::default());
+        let report = sys.evaluate(
+            Benchmark::PpeDetection,
+            PlatformKind::RemoteGpu,
+            EvalOptions::default(),
+        );
         let b = report.latency;
-        let sum = b.remote_read + b.remote_write + b.local_io + b.device_copy + b.compute + b.notification + b.system_stack + b.cold_start;
+        let sum = b.remote_read
+            + b.remote_write
+            + b.local_io
+            + b.device_copy
+            + b.compute
+            + b.notification
+            + b.system_stack
+            + b.cold_start;
         assert_eq!(sum, report.total_latency());
     }
 
     #[test]
     fn in_storage_platforms_have_no_remote_reads_for_accelerated_functions() {
         let sys = system();
-        let report = sys.evaluate(Benchmark::RemoteSensing, PlatformKind::DscsDsa, EvalOptions::default());
+        let report = sys.evaluate(
+            Benchmark::RemoteSensing,
+            PlatformKind::DscsDsa,
+            EvalOptions::default(),
+        );
         assert_eq!(report.latency.remote_read, SimDuration::ZERO);
         assert_eq!(report.latency.remote_write, SimDuration::ZERO);
         assert!(report.latency.local_io > SimDuration::ZERO);
@@ -533,7 +619,9 @@ mod tests {
         let s64 = geometric_mean(
             &Benchmark::ALL
                 .iter()
-                .map(|&b| sys.speedup_over(b, PlatformKind::DscsDsa, PlatformKind::BaselineCpu, b64))
+                .map(|&b| {
+                    sys.speedup_over(b, PlatformKind::DscsDsa, PlatformKind::BaselineCpu, b64)
+                })
                 .collect::<Vec<_>>(),
         );
         assert!(s64 > 1.5 * s1, "batch-64 speedup {s64} vs batch-1 {s1}");
@@ -550,13 +638,17 @@ mod tests {
         let s0 = geometric_mean(
             &Benchmark::ALL
                 .iter()
-                .map(|&b| sys.speedup_over(b, PlatformKind::DscsDsa, PlatformKind::BaselineCpu, base))
+                .map(|&b| {
+                    sys.speedup_over(b, PlatformKind::DscsDsa, PlatformKind::BaselineCpu, base)
+                })
                 .collect::<Vec<_>>(),
         );
         let s3 = geometric_mean(
             &Benchmark::ALL
                 .iter()
-                .map(|&b| sys.speedup_over(b, PlatformKind::DscsDsa, PlatformKind::BaselineCpu, plus3))
+                .map(|&b| {
+                    sys.speedup_over(b, PlatformKind::DscsDsa, PlatformKind::BaselineCpu, plus3)
+                })
                 .collect::<Vec<_>>(),
         );
         assert!(s3 > s0, "+3 functions {s3} vs base {s0}");
@@ -576,16 +668,23 @@ mod tests {
         let s50 = geometric_mean(
             &Benchmark::ALL
                 .iter()
-                .map(|&b| sys.speedup_over(b, PlatformKind::DscsDsa, PlatformKind::BaselineCpu, p50))
+                .map(|&b| {
+                    sys.speedup_over(b, PlatformKind::DscsDsa, PlatformKind::BaselineCpu, p50)
+                })
                 .collect::<Vec<_>>(),
         );
         let s99 = geometric_mean(
             &Benchmark::ALL
                 .iter()
-                .map(|&b| sys.speedup_over(b, PlatformKind::DscsDsa, PlatformKind::BaselineCpu, p99))
+                .map(|&b| {
+                    sys.speedup_over(b, PlatformKind::DscsDsa, PlatformKind::BaselineCpu, p99)
+                })
                 .collect::<Vec<_>>(),
         );
-        assert!(s99 > s50, "p99 speedup {s99} should exceed p50 speedup {s50}");
+        assert!(
+            s99 > s50,
+            "p99 speedup {s99} should exceed p50 speedup {s50}"
+        );
     }
 
     #[test]

@@ -82,7 +82,10 @@ impl BreakdownRow {
         [
             ("remote_read", f(self.breakdown.remote_read)),
             ("remote_write", f(self.breakdown.remote_write)),
-            ("local_io", f(self.breakdown.local_io) + f(self.breakdown.device_copy)),
+            (
+                "local_io",
+                f(self.breakdown.local_io) + f(self.breakdown.device_copy),
+            ),
             ("compute", f(self.breakdown.compute)),
             ("notification", f(self.breakdown.notification)),
             ("system_stack", f(self.breakdown.system_stack)),
@@ -100,7 +103,9 @@ pub fn fig4_runtime_breakdown_baseline() -> Vec<BreakdownRow> {
         .map(|&benchmark| BreakdownRow {
             benchmark,
             platform: PlatformKind::BaselineCpu,
-            breakdown: sys.evaluate(benchmark, PlatformKind::BaselineCpu, EvalOptions::default()).latency,
+            breakdown: sys
+                .evaluate(benchmark, PlatformKind::BaselineCpu, EvalOptions::default())
+                .latency,
         })
         .collect()
 }
@@ -128,7 +133,10 @@ pub struct RatioMatrix {
 impl RatioMatrix {
     /// The geometric-mean ratio for one platform.
     pub fn mean_for(&self, platform: PlatformKind) -> Option<f64> {
-        self.means.iter().find(|(p, _)| *p == platform).map(|(_, m)| *m)
+        self.means
+            .iter()
+            .find(|(p, _)| *p == platform)
+            .map(|(_, m)| *m)
     }
 
     /// The ratio for one (benchmark, platform) pair.
@@ -168,7 +176,12 @@ impl RatioMatrix {
 pub fn fig9_speedup() -> RatioMatrix {
     let sys = SystemModel::new();
     RatioMatrix::build(|benchmark, platform| {
-        sys.speedup_over(benchmark, platform, PlatformKind::BaselineCpu, EvalOptions::default())
+        sys.speedup_over(
+            benchmark,
+            platform,
+            PlatformKind::BaselineCpu,
+            EvalOptions::default(),
+        )
     })
 }
 
@@ -181,7 +194,9 @@ pub fn fig10_runtime_breakdown() -> Vec<BreakdownRow> {
             rows.push(BreakdownRow {
                 benchmark,
                 platform,
-                breakdown: sys.evaluate(benchmark, platform, EvalOptions::default()).latency,
+                breakdown: sys
+                    .evaluate(benchmark, platform, EvalOptions::default())
+                    .latency,
             });
         }
     }
@@ -193,8 +208,12 @@ pub fn fig10_runtime_breakdown() -> Vec<BreakdownRow> {
 pub fn fig11_energy_reduction() -> RatioMatrix {
     let sys = SystemModel::new();
     RatioMatrix::build(|benchmark, platform| {
-        let base = sys.evaluate(benchmark, PlatformKind::BaselineCpu, EvalOptions::default()).total_energy();
-        let this = sys.evaluate(benchmark, platform, EvalOptions::default()).total_energy();
+        let base = sys
+            .evaluate(benchmark, PlatformKind::BaselineCpu, EvalOptions::default())
+            .total_energy();
+        let this = sys
+            .evaluate(benchmark, platform, EvalOptions::default())
+            .total_energy();
         base.as_f64() / this.as_f64()
     })
 }
@@ -224,7 +243,12 @@ pub fn fig14_batch_sensitivity() -> Vec<SensitivityPoint> {
             points.push(SensitivityPoint {
                 benchmark,
                 parameter: batch as f64,
-                speedup: sys.speedup_over(benchmark, PlatformKind::DscsDsa, PlatformKind::BaselineCpu, options),
+                speedup: sys.speedup_over(
+                    benchmark,
+                    PlatformKind::DscsDsa,
+                    PlatformKind::BaselineCpu,
+                    options,
+                ),
             });
         }
     }
@@ -245,7 +269,12 @@ pub fn fig15_tail_sensitivity() -> Vec<SensitivityPoint> {
             points.push(SensitivityPoint {
                 benchmark,
                 parameter: quantile,
-                speedup: sys.speedup_over(benchmark, PlatformKind::DscsDsa, PlatformKind::BaselineCpu, options),
+                speedup: sys.speedup_over(
+                    benchmark,
+                    PlatformKind::DscsDsa,
+                    PlatformKind::BaselineCpu,
+                    options,
+                ),
             });
         }
     }
@@ -266,7 +295,12 @@ pub fn fig16_function_count_sensitivity() -> Vec<SensitivityPoint> {
             points.push(SensitivityPoint {
                 benchmark,
                 parameter: extra as f64,
-                speedup: sys.speedup_over(benchmark, PlatformKind::DscsDsa, PlatformKind::BaselineCpu, options),
+                speedup: sys.speedup_over(
+                    benchmark,
+                    PlatformKind::DscsDsa,
+                    PlatformKind::BaselineCpu,
+                    options,
+                ),
             });
         }
     }
@@ -287,7 +321,12 @@ pub fn fig17_cold_start_sensitivity() -> Vec<SensitivityPoint> {
             points.push(SensitivityPoint {
                 benchmark,
                 parameter,
-                speedup: sys.speedup_over(benchmark, PlatformKind::DscsDsa, PlatformKind::BaselineCpu, options),
+                speedup: sys.speedup_over(
+                    benchmark,
+                    PlatformKind::DscsDsa,
+                    PlatformKind::BaselineCpu,
+                    options,
+                ),
             });
         }
     }
@@ -395,7 +434,11 @@ mod tests {
     #[test]
     fn fig4_shows_majority_communication_on_average() {
         let rows = fig4_runtime_breakdown_baseline();
-        let avg: f64 = rows.iter().map(|r| r.breakdown.communication_fraction()).sum::<f64>() / rows.len() as f64;
+        let avg: f64 = rows
+            .iter()
+            .map(|r| r.breakdown.communication_fraction())
+            .sum::<f64>()
+            / rows.len() as f64;
         assert!(avg > 0.5, "average communication share {avg}");
     }
 
@@ -431,7 +474,11 @@ mod tests {
     fn fig14_batch_speedup_grows() {
         let points = fig14_batch_sensitivity();
         let mean_at = |batch: f64| {
-            let v: Vec<f64> = points.iter().filter(|p| p.parameter == batch).map(|p| p.speedup).collect();
+            let v: Vec<f64> = points
+                .iter()
+                .filter(|p| p.parameter == batch)
+                .map(|p| p.speedup)
+                .collect();
             geometric_mean(&v)
         };
         assert!(mean_at(64.0) > mean_at(1.0) * 1.5);
@@ -441,7 +488,11 @@ mod tests {
     fn fig15_tail_speedup_grows_with_quantile() {
         let points = fig15_tail_sensitivity();
         let mean_at = |q: f64| {
-            let v: Vec<f64> = points.iter().filter(|p| p.parameter == q).map(|p| p.speedup).collect();
+            let v: Vec<f64> = points
+                .iter()
+                .filter(|p| p.parameter == q)
+                .map(|p| p.speedup)
+                .collect();
             geometric_mean(&v)
         };
         assert!(mean_at(0.99) > mean_at(0.50));
@@ -451,7 +502,11 @@ mod tests {
     fn fig16_more_functions_more_speedup() {
         let points = fig16_function_count_sensitivity();
         let mean_at = |e: f64| {
-            let v: Vec<f64> = points.iter().filter(|p| p.parameter == e).map(|p| p.speedup).collect();
+            let v: Vec<f64> = points
+                .iter()
+                .filter(|p| p.parameter == e)
+                .map(|p| p.speedup)
+                .collect();
             geometric_mean(&v)
         };
         assert!(mean_at(3.0) > mean_at(0.0));
@@ -461,7 +516,11 @@ mod tests {
     fn fig17_cold_speedup_below_warm_but_above_one() {
         let points = fig17_cold_start_sensitivity();
         let mean_at = |c: f64| {
-            let v: Vec<f64> = points.iter().filter(|p| p.parameter == c).map(|p| p.speedup).collect();
+            let v: Vec<f64> = points
+                .iter()
+                .filter(|p| p.parameter == c)
+                .map(|p| p.speedup)
+                .collect();
             geometric_mean(&v)
         };
         let warm = mean_at(0.0);

@@ -251,8 +251,14 @@ impl fmt::Display for ConfigError {
         match self {
             ConfigError::ZeroDimension => write!(f, "array dimensions must be non-zero"),
             ConfigError::ZeroClock => write!(f, "clock frequency must be non-zero"),
-            ConfigError::BufferTooSmall { required, available } => {
-                write!(f, "buffer too small: need {required} bytes, have {available}")
+            ConfigError::BufferTooSmall {
+                required,
+                available,
+            } => {
+                write!(
+                    f,
+                    "buffer too small: need {required} bytes, have {available}"
+                )
             }
         }
     }
@@ -277,8 +283,18 @@ mod tests {
 
     #[test]
     fn peak_throughput_scales_with_pe_count() {
-        let small = DsaConfig::square(16, Bytes::from_kib(256).as_u64(), MemoryKind::Ddr4, TechnologyNode::Nm45);
-        let big = DsaConfig::square(128, Bytes::from_mib(4).as_u64(), MemoryKind::Ddr4, TechnologyNode::Nm45);
+        let small = DsaConfig::square(
+            16,
+            Bytes::from_kib(256).as_u64(),
+            MemoryKind::Ddr4,
+            TechnologyNode::Nm45,
+        );
+        let big = DsaConfig::square(
+            128,
+            Bytes::from_mib(4).as_u64(),
+            MemoryKind::Ddr4,
+            TechnologyNode::Nm45,
+        );
         assert!((big.peak_ops_per_sec() / small.peak_ops_per_sec() - 64.0).abs() < 1e-9);
     }
 
@@ -298,7 +314,10 @@ mod tests {
     #[test]
     fn tiny_buffer_rejected() {
         let c = DsaConfig::square(1024, 1024, MemoryKind::Ddr4, TechnologyNode::Nm45);
-        assert!(matches!(c.validate(), Err(ConfigError::BufferTooSmall { .. })));
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::BufferTooSmall { .. })
+        ));
     }
 
     #[test]

@@ -47,7 +47,10 @@ impl MpuModel {
     /// # Panics
     /// Panics if any dimension is zero.
     pub fn gemm_cycles(&self, m: u64, k: u64, n: u64) -> u64 {
-        assert!(m > 0 && k > 0 && n > 0, "GEMM tile dimensions must be positive");
+        assert!(
+            m > 0 && k > 0 && n > 0,
+            "GEMM tile dimensions must be positive"
+        );
         let k_tiles = k.div_ceil(self.rows);
         let n_tiles = n.div_ceil(self.cols);
         let fill_drain = self.rows + self.cols;
@@ -120,7 +123,12 @@ mod tests {
     use dscs_simcore::quantity::Bytes;
 
     fn cfg(dim: u64) -> DsaConfig {
-        DsaConfig::square(dim, Bytes::from_mib(4).as_u64(), MemoryKind::Ddr5, TechnologyNode::Nm45)
+        DsaConfig::square(
+            dim,
+            Bytes::from_mib(4).as_u64(),
+            MemoryKind::Ddr5,
+            TechnologyNode::Nm45,
+        )
     }
 
     #[test]

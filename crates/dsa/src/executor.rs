@@ -170,7 +170,10 @@ impl Executor {
                     stall_cycles += ready.saturating_sub(compute_free);
                     compute_free = ready + cycles;
                 }
-                Instruction::VectorTile { elements, ops_per_element } => {
+                Instruction::VectorTile {
+                    elements,
+                    ops_per_element,
+                } => {
                     let cycles = self.vpu.vector_cycles(elements, ops_per_element);
                     compute_cycles += cycles;
                     vpu_ops += instr.ops();
@@ -200,7 +203,10 @@ impl Executor {
             vpu: self.power.vpu_energy(vpu_ops),
             sram: self.power.sram_energy(sram_bytes),
             dram: self.power.dram_energy(dma_bytes),
-            leakage: self.power.leakage_power().over(SimDuration::from_secs_f64(seconds)),
+            leakage: self
+                .power
+                .leakage_power()
+                .over(SimDuration::from_secs_f64(seconds)),
         };
 
         ExecutionReport {
@@ -245,7 +251,11 @@ mod tests {
         let p = tiled_program(16, 4 * 1024, 256, 512, 512);
         let report = Executor::new(DsaConfig::paper_optimal()).run(&p);
         assert!(report.total_cycles < report.compute_cycles + report.memory_cycles);
-        assert!(report.stall_fraction() < 0.2, "stalls {}", report.stall_fraction());
+        assert!(
+            report.stall_fraction() < 0.2,
+            "stalls {}",
+            report.stall_fraction()
+        );
     }
 
     #[test]
@@ -257,7 +267,11 @@ mod tests {
         };
         let p = tiled_program(16, 4 * 1024 * 1024, 8, 128, 128);
         let report = Executor::new(cfg).run(&p);
-        assert!(report.stall_fraction() > 0.5, "stalls {}", report.stall_fraction());
+        assert!(
+            report.stall_fraction() > 0.5,
+            "stalls {}",
+            report.stall_fraction()
+        );
     }
 
     #[test]

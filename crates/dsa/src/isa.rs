@@ -63,7 +63,10 @@ impl Instruction {
 
     /// Convenience constructor for a vector tile.
     pub fn vector_tile(elements: u64, ops_per_element: u64) -> Self {
-        Instruction::VectorTile { elements, ops_per_element }
+        Instruction::VectorTile {
+            elements,
+            ops_per_element,
+        }
     }
 
     /// Bytes moved between DRAM and the scratchpad by this instruction.
@@ -78,7 +81,10 @@ impl Instruction {
     pub fn ops(&self) -> u64 {
         match *self {
             Instruction::GemmTile { m, k, n } => 2 * m * k * n,
-            Instruction::VectorTile { elements, ops_per_element } => elements * ops_per_element,
+            Instruction::VectorTile {
+                elements,
+                ops_per_element,
+            } => elements * ops_per_element,
             _ => 0,
         }
     }
@@ -90,7 +96,10 @@ impl fmt::Display for Instruction {
             Instruction::LoadTile { bytes } => write!(f, "load {bytes}B"),
             Instruction::StoreTile { bytes } => write!(f, "store {bytes}B"),
             Instruction::GemmTile { m, k, n } => write!(f, "gemm {m}x{k}x{n}"),
-            Instruction::VectorTile { elements, ops_per_element } => write!(f, "vec {elements}x{ops_per_element}"),
+            Instruction::VectorTile {
+                elements,
+                ops_per_element,
+            } => write!(f, "vec {elements}x{ops_per_element}"),
             Instruction::Sync => write!(f, "sync"),
         }
     }

@@ -96,7 +96,9 @@ impl PowerModel {
         let pe = self.config.pe_count() as f64 * PE_LEAKAGE_UW_45NM * 1e-6;
         let sram_kib = self.config.buffer_bytes as f64 / 1024.0;
         let sram = sram_kib * SRAM_LEAKAGE_UW_PER_KIB_45NM * 1e-6;
-        Watts::new((pe + sram + UNCORE_LEAKAGE_W_45NM) * scaling + self.config.memory.static_power_watts())
+        Watts::new(
+            (pe + sram + UNCORE_LEAKAGE_W_45NM) * scaling + self.config.memory.static_power_watts(),
+        )
     }
 
     /// Average power when `energy` is dissipated over `seconds`.
@@ -169,7 +171,10 @@ mod tests {
         // One second of fully-utilised MACs.
         let ops = cfg.peak_ops_per_sec() as u64;
         let dynamic = p.mpu_energy(ops).as_f64();
-        assert!((5.0..60.0).contains(&dynamic), "dynamic {dynamic} W at 45nm");
+        assert!(
+            (5.0..60.0).contains(&dynamic),
+            "dynamic {dynamic} W at 45nm"
+        );
     }
 
     #[test]
@@ -230,7 +235,11 @@ mod tests {
         ));
         assert!(big.total().as_f64() > 1_000.0);
         let chosen = AreaModel::new(DsaConfig::paper_optimal_45nm());
-        assert!(chosen.total().as_f64() < 400.0, "chosen {} mm2", chosen.total());
+        assert!(
+            chosen.total().as_f64() < 400.0,
+            "chosen {} mm2",
+            chosen.total()
+        );
     }
 
     #[test]

@@ -58,7 +58,10 @@ impl CostParameters {
     /// # Panics
     /// Panics if throughput is not positive and finite.
     pub fn cost_efficiency(&self, throughput_rps: f64, power: Watts, capex: Dollars) -> f64 {
-        assert!(throughput_rps > 0.0 && throughput_rps.is_finite(), "throughput must be positive");
+        assert!(
+            throughput_rps > 0.0 && throughput_rps.is_finite(),
+            "throughput must be positive"
+        );
         let total_requests = throughput_rps * self.active_seconds();
         let total_cost = capex + self.opex(power);
         total_requests / total_cost.as_f64()

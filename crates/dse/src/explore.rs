@@ -38,7 +38,11 @@ pub struct DesignPoint {
 /// and one detector, spanning the benchmark suite's behaviour without paying
 /// for all eight models at every one of the 650+ points.
 pub fn default_evaluation_models() -> Vec<ModelKind> {
-    vec![ModelKind::ResNet50, ModelKind::BertBase, ModelKind::SsdMobileNet]
+    vec![
+        ModelKind::ResNet50,
+        ModelKind::BertBase,
+        ModelKind::SsdMobileNet,
+    ]
 }
 
 /// Activity factor used for the provisioning (TDP-style) power estimate: the
@@ -63,7 +67,9 @@ pub fn evaluate_config(config: DsaConfig, models: &[ModelKind]) -> DesignPoint {
     // Provisioned power: leakage plus the MAC array switching at the
     // provisioning activity factor for one second.
     let peak_ops = config.peak_ops_per_sec() as u64;
-    let dynamic = power.mpu_energy((peak_ops as f64 * PROVISIONING_ACTIVITY) as u64).as_f64();
+    let dynamic = power
+        .mpu_energy((peak_ops as f64 * PROVISIONING_ACTIVITY) as u64)
+        .as_f64();
     let power_watts = power.leakage_power().as_f64() + dynamic;
     DesignPoint {
         config,
@@ -75,7 +81,10 @@ pub fn evaluate_config(config: DsaConfig, models: &[ModelKind]) -> DesignPoint {
 
 /// Evaluates every configuration in `space`.
 pub fn sweep(space: &[DsaConfig], models: &[ModelKind]) -> Vec<DesignPoint> {
-    space.iter().map(|&config| evaluate_config(config, models)).collect()
+    space
+        .iter()
+        .map(|&config| evaluate_config(config, models))
+        .collect()
 }
 
 /// The power–performance frontier (Figure 7): minimise power, maximise
@@ -86,7 +95,10 @@ pub fn power_performance_frontier(points: &[DesignPoint]) -> Vec<DesignPoint> {
         .map(|&p| ParetoPoint::new(p.power_watts, p.throughput_ips, p))
         .collect();
     let feasible = within_budget(candidates, DRIVE_POWER_BUDGET_WATTS);
-    pareto_frontier(feasible).into_iter().map(|p| p.tag).collect()
+    pareto_frontier(feasible)
+        .into_iter()
+        .map(|p| p.tag)
+        .collect()
 }
 
 /// The area–performance frontier (Figure 8): minimise area, maximise throughput.
@@ -95,7 +107,10 @@ pub fn area_performance_frontier(points: &[DesignPoint]) -> Vec<DesignPoint> {
         .iter()
         .map(|&p| ParetoPoint::new(p.area_mm2, p.throughput_ips, p))
         .collect();
-    pareto_frontier(candidates).into_iter().map(|p| p.tag).collect()
+    pareto_frontier(candidates)
+        .into_iter()
+        .map(|p| p.tag)
+        .collect()
 }
 
 /// Cubic fit of a frontier, matching the paper's annotated `P(c)` / `A(c)`
@@ -104,8 +119,14 @@ pub fn area_performance_frontier(points: &[DesignPoint]) -> Vec<DesignPoint> {
 /// Falls back to the highest degree the point count supports when the frontier
 /// has fewer than four points.
 pub fn frontier_fit(frontier: &[DesignPoint], cost: impl Fn(&DesignPoint) -> f64) -> Polynomial {
-    assert!(frontier.len() >= 2, "need at least two frontier points to fit");
-    let pts: Vec<(f64, f64)> = frontier.iter().map(|p| (p.throughput_ips, cost(p))).collect();
+    assert!(
+        frontier.len() >= 2,
+        "need at least two frontier points to fit"
+    );
+    let pts: Vec<(f64, f64)> = frontier
+        .iter()
+        .map(|p| (p.throughput_ips, cost(p)))
+        .collect();
     let degree = 3.min(pts.len() - 1);
     polyfit(&pts, degree)
 }
@@ -115,7 +136,11 @@ pub fn frontier_fit(frontier: &[DesignPoint], cost: impl Fn(&DesignPoint) -> f64
 pub fn select_optimal(points: &[DesignPoint]) -> Option<DesignPoint> {
     power_performance_frontier(points)
         .into_iter()
-        .max_by(|a, b| a.throughput_ips.partial_cmp(&b.throughput_ips).expect("finite"))
+        .max_by(|a, b| {
+            a.throughput_ips
+                .partial_cmp(&b.throughput_ips)
+                .expect("finite")
+        })
 }
 
 #[cfg(test)]
@@ -125,14 +150,25 @@ mod tests {
     use dscs_dsa::config::TechnologyNode;
 
     fn small_points() -> Vec<DesignPoint> {
-        sweep(&enumerate_small(TechnologyNode::Nm45), &[ModelKind::ResNet50])
+        sweep(
+            &enumerate_small(TechnologyNode::Nm45),
+            &[ModelKind::ResNet50],
+        )
     }
 
     #[test]
     fn evaluation_produces_finite_positive_metrics() {
         for p in small_points() {
-            assert!(p.throughput_ips > 0.0 && p.throughput_ips.is_finite(), "{}", p.config);
-            assert!(p.power_watts > 0.0 && p.power_watts.is_finite(), "{}", p.config);
+            assert!(
+                p.throughput_ips > 0.0 && p.throughput_ips.is_finite(),
+                "{}",
+                p.config
+            );
+            assert!(
+                p.power_watts > 0.0 && p.power_watts.is_finite(),
+                "{}",
+                p.config
+            );
             assert!(p.area_mm2 > 0.0, "{}", p.config);
         }
     }
@@ -143,7 +179,10 @@ mod tests {
         let find = |dim: u64| {
             points
                 .iter()
-                .find(|p| p.config.array_rows == dim && p.config.memory == dscs_dsa::config::MemoryKind::Ddr5)
+                .find(|p| {
+                    p.config.array_rows == dim
+                        && p.config.memory == dscs_dsa::config::MemoryKind::Ddr5
+                })
                 .copied()
                 .expect("present")
         };
@@ -182,8 +221,16 @@ mod tests {
             throughput(128)
         );
         // ...while exceeding the storage power envelope that 128 comfortably fits.
-        assert!(power(128) < DRIVE_POWER_BUDGET_WATTS, "128 power {}", power(128));
-        assert!(power(512) > DRIVE_POWER_BUDGET_WATTS, "512 power {}", power(512));
+        assert!(
+            power(128) < DRIVE_POWER_BUDGET_WATTS,
+            "128 power {}",
+            power(128)
+        );
+        assert!(
+            power(512) > DRIVE_POWER_BUDGET_WATTS,
+            "512 power {}",
+            power(512)
+        );
     }
 
     #[test]
@@ -191,12 +238,17 @@ mod tests {
         let points = small_points();
         let power_frontier = power_performance_frontier(&points);
         assert!(!power_frontier.is_empty());
-        assert!(power_frontier.iter().all(|p| p.power_watts <= DRIVE_POWER_BUDGET_WATTS));
+        assert!(power_frontier
+            .iter()
+            .all(|p| p.power_watts <= DRIVE_POWER_BUDGET_WATTS));
         assert!(power_frontier
             .windows(2)
-            .all(|w| w[0].power_watts < w[1].power_watts && w[0].throughput_ips < w[1].throughput_ips));
+            .all(|w| w[0].power_watts < w[1].power_watts
+                && w[0].throughput_ips < w[1].throughput_ips));
         let area_frontier = area_performance_frontier(&points);
-        assert!(area_frontier.windows(2).all(|w| w[0].area_mm2 < w[1].area_mm2));
+        assert!(area_frontier
+            .windows(2)
+            .all(|w| w[0].area_mm2 < w[1].area_mm2));
     }
 
     #[test]
@@ -216,7 +268,10 @@ mod tests {
         let frontier = power_performance_frontier(&points);
         if frontier.len() >= 2 {
             let fit = frontier_fit(&frontier, |p| p.power_watts);
-            let pts: Vec<(f64, f64)> = frontier.iter().map(|p| (p.throughput_ips, p.power_watts)).collect();
+            let pts: Vec<(f64, f64)> = frontier
+                .iter()
+                .map(|p| (p.throughput_ips, p.power_watts))
+                .collect();
             assert!(fit.r_squared(&pts) > 0.8);
         }
     }

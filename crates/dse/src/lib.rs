@@ -32,7 +32,7 @@ pub mod space;
 
 pub use cost::{AsicCostModel, CostParameters};
 pub use explore::{
-    area_performance_frontier, evaluate_config, frontier_fit, power_performance_frontier, select_optimal, sweep, DesignPoint,
-    DRIVE_POWER_BUDGET_WATTS,
+    area_performance_frontier, evaluate_config, frontier_fit, power_performance_frontier,
+    select_optimal, sweep, DesignPoint, DRIVE_POWER_BUDGET_WATTS,
 };
 pub use space::{enumerate, enumerate_small, ARRAY_DIMS, BUFFER_CAP};

@@ -46,7 +46,9 @@ pub fn enumerate(node: TechnologyNode) -> Vec<DsaConfig> {
 pub fn enumerate_small(node: TechnologyNode) -> Vec<DsaConfig> {
     let mut out = Vec::new();
     for &dim in &[16u64, 64, 128, 512] {
-        let buffer = (dim * dim * 448).clamp(6 * dim * dim, BUFFER_CAP).max(Bytes::from_kib(256).as_u64());
+        let buffer = (dim * dim * 448)
+            .clamp(6 * dim * dim, BUFFER_CAP)
+            .max(Bytes::from_kib(256).as_u64());
         for memory in MemoryKind::ALL {
             out.push(DsaConfig::square(dim, buffer, memory, node));
         }
@@ -73,7 +75,8 @@ mod tests {
         // Powers-of-two dims x buffer scalings x 3 memories, minus clamping
         // collisions: well above the 100 needed for a meaningful frontier and
         // matching the paper's order of magnitude once duplicates collapse.
-        let unique_dims: std::collections::BTreeSet<u64> = space.iter().map(|c| c.array_rows).collect();
+        let unique_dims: std::collections::BTreeSet<u64> =
+            space.iter().map(|c| c.array_rows).collect();
         assert_eq!(unique_dims.len(), ARRAY_DIMS.len());
     }
 
@@ -89,9 +92,9 @@ mod tests {
     fn paper_optimum_is_in_the_space() {
         let space = enumerate(TechnologyNode::Nm45);
         assert!(
-            space
-                .iter()
-                .any(|c| c.array_rows == 128 && c.buffer_bytes == 4 * 1024 * 1024 && c.memory == MemoryKind::Ddr5),
+            space.iter().any(|c| c.array_rows == 128
+                && c.buffer_bytes == 4 * 1024 * 1024
+                && c.memory == MemoryKind::Ddr5),
             "the Dim128-4MB-DDR5 point must be part of the sweep"
         );
     }

@@ -58,13 +58,19 @@ impl ColdStartModel {
             ImageSource::RemoteRegistry => self.registry_bandwidth,
             ImageSource::LocalFlash => self.flash_bandwidth,
         };
-        fetch_bw.transfer_time(image_size) + self.unpack_bandwidth.transfer_time(image_size) + self.startup_check
+        fetch_bw.transfer_time(image_size)
+            + self.unpack_bandwidth.transfer_time(image_size)
+            + self.startup_check
     }
 
     /// Additional latency to load `weight_bytes` of model weights into the
     /// accelerator's memory (charged on the first invocation after a cold
     /// start for platforms with device memory).
-    pub fn weight_load_latency(&self, weight_bytes: Bytes, device_bandwidth: Bandwidth) -> SimDuration {
+    pub fn weight_load_latency(
+        &self,
+        weight_bytes: Bytes,
+        device_bandwidth: Bandwidth,
+    ) -> SimDuration {
         device_bandwidth.transfer_time(weight_bytes)
     }
 
@@ -153,7 +159,10 @@ mod tests {
     fn typical_cold_start_is_seconds_scale() {
         let m = ColdStartModel::default();
         let latency = m.cold_start_latency(Bytes::from_mib(400), ImageSource::RemoteRegistry);
-        assert!((1.0..10.0).contains(&latency.as_secs_f64()), "latency {latency}");
+        assert!(
+            (1.0..10.0).contains(&latency.as_secs_f64()),
+            "latency {latency}"
+        );
     }
 
     #[test]

@@ -40,9 +40,13 @@ pub enum ConfigParseError {
 impl fmt::Display for ConfigParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ConfigParseError::Malformed { line, text } => write!(f, "malformed config at line {line}: {text:?}"),
+            ConfigParseError::Malformed { line, text } => {
+                write!(f, "malformed config at line {line}: {text:?}")
+            }
             ConfigParseError::MissingKey(key) => write!(f, "missing required key {key:?}"),
-            ConfigParseError::InvalidValue { key, value } => write!(f, "invalid value {value:?} for key {key:?}"),
+            ConfigParseError::InvalidValue { key, value } => {
+                write!(f, "invalid value {value:?} for key {key:?}")
+            }
         }
     }
 }
@@ -143,7 +147,11 @@ fn split_kv(text: &str, line: usize) -> Result<(&str, &str), ConfigParseError> {
     Ok((key.trim(), value.trim()))
 }
 
-fn apply_kv(builder: &mut FunctionBuilder, text: &str, line: usize) -> Result<(), ConfigParseError> {
+fn apply_kv(
+    builder: &mut FunctionBuilder,
+    text: &str,
+    line: usize,
+) -> Result<(), ConfigParseError> {
     let (key, value) = split_kv(text, line)?;
     builder.set(key, value)
 }
@@ -191,8 +199,12 @@ impl FunctionBuilder {
     }
 
     fn build(self) -> Result<FunctionSpec, ConfigParseError> {
-        let name = self.name.ok_or(ConfigParseError::MissingKey("functions[].name"))?;
-        let role = self.role.ok_or(ConfigParseError::MissingKey("functions[].role"))?;
+        let name = self
+            .name
+            .ok_or(ConfigParseError::MissingKey("functions[].name"))?;
+        let role = self
+            .role
+            .ok_or(ConfigParseError::MissingKey("functions[].role"))?;
         let mut spec = FunctionSpec::new(
             name,
             role,
@@ -247,13 +259,19 @@ functions:
     #[test]
     fn missing_app_name_is_an_error() {
         let text = "functions:\n  - name: a\n    role: inference\n";
-        assert_eq!(parse_deployment(text), Err(ConfigParseError::MissingKey("app")));
+        assert_eq!(
+            parse_deployment(text),
+            Err(ConfigParseError::MissingKey("app"))
+        );
     }
 
     #[test]
     fn missing_functions_is_an_error() {
         let text = "app: x\n";
-        assert_eq!(parse_deployment(text), Err(ConfigParseError::MissingKey("functions")));
+        assert_eq!(
+            parse_deployment(text),
+            Err(ConfigParseError::MissingKey("functions"))
+        );
     }
 
     #[test]
@@ -285,6 +303,9 @@ functions:
     #[test]
     fn list_item_outside_functions_is_malformed() {
         let text = "app: x\n- name: a\n";
-        assert!(matches!(parse_deployment(text), Err(ConfigParseError::Malformed { line: 2, .. })));
+        assert!(matches!(
+            parse_deployment(text),
+            Err(ConfigParseError::Malformed { line: 2, .. })
+        ));
     }
 }

@@ -55,7 +55,12 @@ pub struct FunctionSpec {
 
 impl FunctionSpec {
     /// Creates a function spec with common defaults (30 s timeout, 1 GiB memory).
-    pub fn new(name: impl Into<String>, role: FunctionRole, acceleratable: bool, image_size: Bytes) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        role: FunctionRole,
+        acceleratable: bool,
+        image_size: Bytes,
+    ) -> Self {
         FunctionSpec {
             name: name.into(),
             role,
@@ -83,11 +88,18 @@ impl AppPipeline {
     /// # Panics
     /// Panics if `functions` is empty or function names are not unique.
     pub fn new(name: impl Into<String>, functions: Vec<FunctionSpec>) -> Self {
-        assert!(!functions.is_empty(), "a pipeline needs at least one function");
+        assert!(
+            !functions.is_empty(),
+            "a pipeline needs at least one function"
+        );
         let mut names: Vec<&str> = functions.iter().map(|f| f.name.as_str()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), functions.len(), "function names must be unique");
+        assert_eq!(
+            names.len(),
+            functions.len(),
+            "function names must be unique"
+        );
         AppPipeline {
             name: name.into(),
             functions,
@@ -102,9 +114,24 @@ impl AppPipeline {
         AppPipeline::new(
             name.clone(),
             vec![
-                FunctionSpec::new(format!("{name}-preprocess"), FunctionRole::Preprocess, true, Bytes::from_mib(180)),
-                FunctionSpec::new(format!("{name}-inference"), FunctionRole::Inference, true, image_size),
-                FunctionSpec::new(format!("{name}-notify"), FunctionRole::Notification, false, Bytes::from_mib(60)),
+                FunctionSpec::new(
+                    format!("{name}-preprocess"),
+                    FunctionRole::Preprocess,
+                    true,
+                    Bytes::from_mib(180),
+                ),
+                FunctionSpec::new(
+                    format!("{name}-inference"),
+                    FunctionRole::Inference,
+                    true,
+                    image_size,
+                ),
+                FunctionSpec::new(
+                    format!("{name}-notify"),
+                    FunctionRole::Notification,
+                    false,
+                    Bytes::from_mib(60),
+                ),
             ],
         )
     }
@@ -128,7 +155,10 @@ impl AppPipeline {
     /// start — the condition under which DSCS-Serverless maps the chained
     /// functions onto the same DSCS-Drive (Section 5.3, "Function chaining").
     pub fn acceleratable_prefix_len(&self) -> usize {
-        self.functions.iter().take_while(|f| f.acceleratable).count()
+        self.functions
+            .iter()
+            .take_while(|f| f.acceleratable)
+            .count()
     }
 
     /// Appends `extra` duplicates of the inference function, used by the
@@ -154,7 +184,12 @@ impl AppPipeline {
             dup.name = format!("{}-dup{}", template.name, i + 1);
             functions.push(dup);
         }
-        functions.extend(self.functions.iter().filter(|f| f.role == FunctionRole::Notification).cloned());
+        functions.extend(
+            self.functions
+                .iter()
+                .filter(|f| f.role == FunctionRole::Notification)
+                .cloned(),
+        );
         AppPipeline::new(format!("{}+{}", self.name, extra), functions)
     }
 }
@@ -187,13 +222,17 @@ mod tests {
         assert_eq!(p3.len(), 6);
         assert_eq!(p3.acceleratable_prefix_len(), 5);
         // Notification still comes last.
-        assert_eq!(p3.functions.last().expect("non-empty").role, FunctionRole::Notification);
+        assert_eq!(
+            p3.functions.last().expect("non-empty").role,
+            FunctionRole::Notification
+        );
     }
 
     #[test]
     fn duplicate_names_rejected() {
         let f = FunctionSpec::new("same", FunctionRole::Inference, true, Bytes::from_mib(10));
-        let result = std::panic::catch_unwind(|| AppPipeline::new("app", vec![f.clone(), f.clone()]));
+        let result =
+            std::panic::catch_unwind(|| AppPipeline::new("app", vec![f.clone(), f.clone()]));
         assert!(result.is_err());
     }
 

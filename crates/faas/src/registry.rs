@@ -32,7 +32,9 @@ impl std::fmt::Display for RegistryError {
         match self {
             RegistryError::AlreadyDeployed(app) => write!(f, "application already deployed: {app}"),
             RegistryError::UnknownApp(app) => write!(f, "unknown application: {app}"),
-            RegistryError::UnknownFunction { app, function } => write!(f, "unknown function {function} in application {app}"),
+            RegistryError::UnknownFunction { app, function } => {
+                write!(f, "unknown function {function} in application {app}")
+            }
         }
     }
 }
@@ -62,12 +64,16 @@ impl FunctionRegistry {
 
     /// Removes an application, returning its pipeline.
     pub fn undeploy(&mut self, app: &str) -> Result<AppPipeline, RegistryError> {
-        self.apps.remove(app).ok_or_else(|| RegistryError::UnknownApp(app.to_string()))
+        self.apps
+            .remove(app)
+            .ok_or_else(|| RegistryError::UnknownApp(app.to_string()))
     }
 
     /// Looks up a deployed application.
     pub fn app(&self, app: &str) -> Result<&AppPipeline, RegistryError> {
-        self.apps.get(app).ok_or_else(|| RegistryError::UnknownApp(app.to_string()))
+        self.apps
+            .get(app)
+            .ok_or_else(|| RegistryError::UnknownApp(app.to_string()))
     }
 
     /// Looks up one function of a deployed application.
@@ -117,7 +123,9 @@ mod tests {
         r.deploy(sample()).expect("deploy");
         assert_eq!(r.app_count(), 1);
         assert_eq!(r.app("remote-sensing").expect("app").len(), 3);
-        assert!(r.function("remote-sensing", "remote-sensing-inference").is_ok());
+        assert!(r
+            .function("remote-sensing", "remote-sensing-inference")
+            .is_ok());
     }
 
     #[test]
@@ -156,14 +164,25 @@ mod tests {
         let mut r = FunctionRegistry::new();
         r.deploy(sample()).expect("deploy");
         let total = r.total_image_size("remote-sensing").expect("total");
-        assert_eq!(total, Bytes::from_mib(180) + Bytes::from_mib(420) + Bytes::from_mib(60));
+        assert_eq!(
+            total,
+            Bytes::from_mib(180) + Bytes::from_mib(420) + Bytes::from_mib(60)
+        );
     }
 
     #[test]
     fn app_names_sorted() {
         let mut r = FunctionRegistry::new();
-        r.deploy(AppPipeline::standard_three_stage("zeta", Bytes::from_mib(1))).expect("ok");
-        r.deploy(AppPipeline::standard_three_stage("alpha", Bytes::from_mib(1))).expect("ok");
+        r.deploy(AppPipeline::standard_three_stage(
+            "zeta",
+            Bytes::from_mib(1),
+        ))
+        .expect("ok");
+        r.deploy(AppPipeline::standard_three_stage(
+            "alpha",
+            Bytes::from_mib(1),
+        ))
+        .expect("ok");
         assert_eq!(r.app_names(), vec!["alpha", "zeta"]);
     }
 }

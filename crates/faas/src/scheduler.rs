@@ -98,9 +98,15 @@ impl Scheduler {
     ///
     /// # Panics
     /// Panics if `nodes` is empty or `queue_depth` is zero.
-    pub fn new(nodes: impl IntoIterator<Item = (NodeId, NodeCapability)>, queue_depth: usize) -> Self {
+    pub fn new(
+        nodes: impl IntoIterator<Item = (NodeId, NodeCapability)>,
+        queue_depth: usize,
+    ) -> Self {
         let capabilities: HashMap<_, _> = nodes.into_iter().collect();
-        assert!(!capabilities.is_empty(), "scheduler needs at least one node");
+        assert!(
+            !capabilities.is_empty(),
+            "scheduler needs at least one node"
+        );
         assert!(queue_depth > 0, "queue depth must be positive");
         let busy = capabilities.keys().map(|&n| (n, false)).collect();
         Scheduler {
@@ -136,7 +142,8 @@ impl Scheduler {
         }
         self.queue.push_back(request);
         self.telemetry.inc_counter("queued_total");
-        self.telemetry.set_gauge("queue_depth", self.queue.len() as f64);
+        self.telemetry
+            .set_gauge("queue_depth", self.queue.len() as f64);
         Ok(())
     }
 
@@ -171,7 +178,8 @@ impl Scheduler {
         // Preserve FCFS order: the unplaceable head (if any) stays first.
         let placed_head = remaining.clone();
         self.queue = placed_head;
-        self.telemetry.set_gauge("queue_depth", self.queue.len() as f64);
+        self.telemetry
+            .set_gauge("queue_depth", self.queue.len() as f64);
         placed
     }
 
@@ -192,7 +200,9 @@ impl Scheduler {
     fn place(&self, request: &PendingRequest) -> Option<Placement> {
         if request.acceleratable {
             if let Some(data_node) = request.data_node {
-                if self.capabilities.get(&data_node) == Some(&NodeCapability::DscsStorage) && !self.is_busy(data_node) {
+                if self.capabilities.get(&data_node) == Some(&NodeCapability::DscsStorage)
+                    && !self.is_busy(data_node)
+                {
                     return Some(Placement::InStorage(data_node));
                 }
             }
@@ -202,7 +212,8 @@ impl Scheduler {
                 return Some(Placement::InStorage(node));
             }
         }
-        self.free_node_of(NodeCapability::Compute).map(Placement::OnCompute)
+        self.free_node_of(NodeCapability::Compute)
+            .map(Placement::OnCompute)
     }
 
     fn free_node_of(&self, capability: NodeCapability) -> Option<NodeId> {
@@ -244,7 +255,8 @@ mod tests {
     #[test]
     fn acceleratable_requests_go_to_the_data_node() {
         let mut s = scheduler();
-        s.submit(request(1, true, Some(NodeId(10)))).expect("submit");
+        s.submit(request(1, true, Some(NodeId(10))))
+            .expect("submit");
         let placed = s.dispatch();
         assert_eq!(placed.len(), 1);
         assert_eq!(placed[0].1, Placement::InStorage(NodeId(10)));
@@ -262,8 +274,10 @@ mod tests {
     #[test]
     fn busy_dsa_falls_back_to_compute() {
         let mut s = scheduler();
-        s.submit(request(1, true, Some(NodeId(10)))).expect("submit");
-        s.submit(request(2, true, Some(NodeId(10)))).expect("submit");
+        s.submit(request(1, true, Some(NodeId(10))))
+            .expect("submit");
+        s.submit(request(2, true, Some(NodeId(10))))
+            .expect("submit");
         let placed = s.dispatch();
         assert_eq!(placed.len(), 2);
         assert!(placed[0].1.uses_dsa());
@@ -274,10 +288,12 @@ mod tests {
     #[test]
     fn release_makes_node_available_again() {
         let mut s = scheduler();
-        s.submit(request(1, true, Some(NodeId(10)))).expect("submit");
+        s.submit(request(1, true, Some(NodeId(10))))
+            .expect("submit");
         s.dispatch();
         s.release(NodeId(10));
-        s.submit(request(2, true, Some(NodeId(10)))).expect("submit");
+        s.submit(request(2, true, Some(NodeId(10))))
+            .expect("submit");
         let placed = s.dispatch();
         assert!(placed[0].1.uses_dsa());
     }
@@ -302,7 +318,10 @@ mod tests {
         let mut s = Scheduler::new(vec![(NodeId(0), NodeCapability::Compute)], 2);
         s.submit(request(1, false, None)).expect("ok");
         s.submit(request(2, false, None)).expect("ok");
-        assert_eq!(s.submit(request(3, false, None)), Err(ScheduleError::QueueFull));
+        assert_eq!(
+            s.submit(request(3, false, None)),
+            Err(ScheduleError::QueueFull)
+        );
     }
 
     #[test]

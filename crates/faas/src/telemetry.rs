@@ -6,8 +6,22 @@
 //! metrics registry with the same counter/gauge/histogram vocabulary.
 
 use std::collections::HashMap;
+use std::sync;
 
-use parking_lot::RwLock;
+/// Thin wrapper over [`std::sync::RwLock`] with `parking_lot`-style ergonomics
+/// (guards returned directly, poisoning treated as a bug).
+#[derive(Debug, Default)]
+struct RwLock<T>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    fn read(&self) -> sync::RwLockReadGuard<'_, T> {
+        self.0.read().expect("telemetry lock poisoned")
+    }
+
+    fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
+        self.0.write().expect("telemetry lock poisoned")
+    }
+}
 
 /// A metrics registry keyed by metric name.
 ///
@@ -68,7 +82,11 @@ impl Telemetry {
     /// Panics if `value` is not finite.
     pub fn observe(&self, name: &str, value: f64) {
         assert!(value.is_finite(), "observations must be finite");
-        self.observations.write().entry(name.to_string()).or_default().push(value);
+        self.observations
+            .write()
+            .entry(name.to_string())
+            .or_default()
+            .push(value);
     }
 
     /// Number of observations recorded under `name`.
@@ -78,7 +96,11 @@ impl Telemetry {
 
     /// Snapshot of the observations recorded under `name`.
     pub fn observations(&self, name: &str) -> Vec<f64> {
-        self.observations.read().get(name).cloned().unwrap_or_default()
+        self.observations
+            .read()
+            .get(name)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Renders all metrics in the Prometheus text exposition format.
@@ -88,7 +110,10 @@ impl Telemetry {
         let mut names: Vec<&String> = counters.keys().collect();
         names.sort();
         for name in names {
-            out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", counters[name]));
+            out.push_str(&format!(
+                "# TYPE {name} counter\n{name} {}\n",
+                counters[name]
+            ));
         }
         let gauges = self.gauges.read();
         let mut names: Vec<&String> = gauges.keys().collect();

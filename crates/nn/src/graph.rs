@@ -90,7 +90,10 @@ impl Graph {
     /// Total activation traffic (inputs + outputs) across operators, an upper
     /// bound on off-chip activation movement with no fusion.
     pub fn total_activation_bytes(&self) -> Bytes {
-        self.nodes.iter().map(|n| n.op.input_bytes() + n.op.output_bytes()).sum()
+        self.nodes
+            .iter()
+            .map(|n| n.op.input_bytes() + n.op.output_bytes())
+            .sum()
     }
 
     /// FLOPs broken down by operator class.
@@ -128,15 +131,24 @@ impl Graph {
     pub fn validate(&self) -> Result<(), GraphError> {
         for (idx, node) in self.nodes.iter().enumerate() {
             if node.id.0 != idx {
-                return Err(GraphError::NonDenseIds { expected: idx, found: node.id });
+                return Err(GraphError::NonDenseIds {
+                    expected: idx,
+                    found: node.id,
+                });
             }
             let mut seen = HashSet::new();
             for &input in &node.inputs {
                 if input.0 >= idx {
-                    return Err(GraphError::ForwardEdge { node: node.id, input });
+                    return Err(GraphError::ForwardEdge {
+                        node: node.id,
+                        input,
+                    });
                 }
                 if !seen.insert(input) {
-                    return Err(GraphError::DuplicateEdge { node: node.id, input });
+                    return Err(GraphError::DuplicateEdge {
+                        node: node.id,
+                        input,
+                    });
                 }
             }
         }
@@ -176,8 +188,12 @@ impl fmt::Display for GraphError {
             GraphError::NonDenseIds { expected, found } => {
                 write!(f, "node id {found} found where {expected} was expected")
             }
-            GraphError::ForwardEdge { node, input } => write!(f, "node {node} references non-earlier input {input}"),
-            GraphError::DuplicateEdge { node, input } => write!(f, "node {node} lists input {input} twice"),
+            GraphError::ForwardEdge { node, input } => {
+                write!(f, "node {node} references non-earlier input {input}")
+            }
+            GraphError::DuplicateEdge { node, input } => {
+                write!(f, "node {node} lists input {input} twice")
+            }
         }
     }
 }
@@ -221,7 +237,10 @@ impl GraphBuilder {
     pub fn add(&mut self, name: impl Into<String>, op: Operator, inputs: &[NodeId]) -> NodeId {
         let id = NodeId(self.nodes.len());
         for &input in inputs {
-            assert!(input.0 < id.0, "input {input} must be added before node {id}");
+            assert!(
+                input.0 < id.0,
+                "input {input} must be added before node {id}"
+            );
         }
         self.nodes.push(Node {
             id,
@@ -279,7 +298,12 @@ mod tests {
     use crate::tensor::DType;
 
     fn mm(m: u64, k: u64, n: u64) -> Operator {
-        Operator::MatMul { m, k, n, dtype: DType::Int8 }
+        Operator::MatMul {
+            m,
+            k,
+            n,
+            dtype: DType::Int8,
+        }
     }
 
     #[test]

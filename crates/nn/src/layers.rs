@@ -175,13 +175,30 @@ pub fn depthwise_separable(
 
 /// Appends a transformer encoder block: multi-head self-attention + FFN with
 /// residual adds and layer norms.
-pub fn transformer_encoder_block(b: &mut GraphBuilder, name: &str, tokens: u64, hidden: u64, ffn: u64, heads: u64, dtype: DType) {
-    attention_block(b, &format!("{name}.attn"), tokens, tokens, hidden, heads, dtype);
+pub fn transformer_encoder_block(
+    b: &mut GraphBuilder,
+    name: &str,
+    tokens: u64,
+    hidden: u64,
+    ffn: u64,
+    heads: u64,
+    dtype: DType,
+) {
+    attention_block(
+        b,
+        &format!("{name}.attn"),
+        tokens,
+        tokens,
+        hidden,
+        heads,
+        dtype,
+    );
     feed_forward_block(b, &format!("{name}.ffn"), tokens, hidden, ffn, dtype);
 }
 
 /// Appends a transformer decoder block: masked self-attention, cross-attention
 /// over `src_tokens` encoder outputs, and an FFN.
+#[allow(clippy::too_many_arguments)]
 pub fn transformer_decoder_block(
     b: &mut GraphBuilder,
     name: &str,
@@ -192,14 +209,38 @@ pub fn transformer_decoder_block(
     heads: u64,
     dtype: DType,
 ) {
-    attention_block(b, &format!("{name}.self_attn"), tgt_tokens, tgt_tokens, hidden, heads, dtype);
-    attention_block(b, &format!("{name}.cross_attn"), tgt_tokens, src_tokens, hidden, heads, dtype);
+    attention_block(
+        b,
+        &format!("{name}.self_attn"),
+        tgt_tokens,
+        tgt_tokens,
+        hidden,
+        heads,
+        dtype,
+    );
+    attention_block(
+        b,
+        &format!("{name}.cross_attn"),
+        tgt_tokens,
+        src_tokens,
+        hidden,
+        heads,
+        dtype,
+    );
     feed_forward_block(b, &format!("{name}.ffn"), tgt_tokens, hidden, ffn, dtype);
 }
 
 /// Appends a multi-head attention block where `q_tokens` queries attend over
 /// `kv_tokens` keys/values.
-pub fn attention_block(b: &mut GraphBuilder, name: &str, q_tokens: u64, kv_tokens: u64, hidden: u64, heads: u64, dtype: DType) {
+pub fn attention_block(
+    b: &mut GraphBuilder,
+    name: &str,
+    q_tokens: u64,
+    kv_tokens: u64,
+    hidden: u64,
+    heads: u64,
+    dtype: DType,
+) {
     // Q, K, V projections.
     b.add_seq(
         format!("{name}.q_proj"),
@@ -287,7 +328,14 @@ pub fn attention_block(b: &mut GraphBuilder, name: &str, q_tokens: u64, kv_token
 
 /// Appends a transformer feed-forward block (two projections with GELU) plus
 /// residual add and layer norm.
-pub fn feed_forward_block(b: &mut GraphBuilder, name: &str, tokens: u64, hidden: u64, ffn: u64, dtype: DType) {
+pub fn feed_forward_block(
+    b: &mut GraphBuilder,
+    name: &str,
+    tokens: u64,
+    hidden: u64,
+    ffn: u64,
+    dtype: DType,
+) {
     b.add_seq(
         format!("{name}.fc1"),
         Operator::MatMul {
@@ -333,7 +381,13 @@ pub fn feed_forward_block(b: &mut GraphBuilder, name: &str, tokens: u64, hidden:
 }
 
 /// Appends a global-average-pool + fully-connected classifier head.
-pub fn classifier_head(b: &mut GraphBuilder, name: &str, input: FeatureMap, classes: u64, dtype: DType) {
+pub fn classifier_head(
+    b: &mut GraphBuilder,
+    name: &str,
+    input: FeatureMap,
+    classes: u64,
+    dtype: DType,
+) {
     b.add_seq(
         format!("{name}.gap"),
         Operator::Pool {
@@ -396,7 +450,9 @@ mod tests {
         conv_bn_relu(&mut b, "stem", input, 64, 3, 1, DType::Int8);
         let before = b.len();
         resnet_bottleneck(&mut b, "block", input, 64, 256, 1, DType::Int8);
-        let names: Vec<String> = (before..b.len()).map(|i| b.clone().build().nodes()[i].name.clone()).collect();
+        let names: Vec<String> = (before..b.len())
+            .map(|i| b.clone().build().nodes()[i].name.clone())
+            .collect();
         assert!(names.iter().any(|n| n.contains("proj")));
         assert!(names.iter().any(|n| n.contains("add")));
     }
@@ -459,6 +515,11 @@ mod tests {
         conv_bn_relu(&mut b, "x", input, 2048, 1, 1, DType::Int8);
         classifier_head(&mut b, "head", input, 1000, DType::Int8);
         let g = b.build();
-        assert!(g.nodes().last().expect("non-empty").name.contains("softmax"));
+        assert!(g
+            .nodes()
+            .last()
+            .expect("non-empty")
+            .name
+            .contains("softmax"));
     }
 }

@@ -209,7 +209,9 @@ impl Operator {
     /// The execution unit class of this operator.
     pub fn class(&self) -> OperatorClass {
         match self {
-            Operator::MatMul { .. } | Operator::Conv2d { .. } | Operator::DepthwiseConv2d { .. } => OperatorClass::Gemm,
+            Operator::MatMul { .. }
+            | Operator::Conv2d { .. }
+            | Operator::DepthwiseConv2d { .. } => OperatorClass::Gemm,
             Operator::Layout { .. } => OperatorClass::DataMovement,
             _ => OperatorClass::Vector,
         }
@@ -282,13 +284,20 @@ impl Operator {
                 dtype,
                 ..
             } => out_channels * in_channels * kernel * kernel * dtype.size_bytes(),
-            Operator::DepthwiseConv2d { channels, kernel, dtype, .. } => channels * kernel * kernel * dtype.size_bytes(),
+            Operator::DepthwiseConv2d {
+                channels,
+                kernel,
+                dtype,
+                ..
+            } => channels * kernel * kernel * dtype.size_bytes(),
             Operator::BatchNorm { elements: _, dtype } => {
                 // Scale and shift vectors are negligible relative to conv weights;
                 // approximate with a small fixed charge.
                 2 * 1024 * dtype.size_bytes()
             }
-            Operator::Embedding { vocab, dim, dtype, .. } => vocab * dim * dtype.size_bytes(),
+            Operator::Embedding {
+                vocab, dim, dtype, ..
+            } => vocab * dim * dtype.size_bytes(),
             _ => 0,
         };
         Bytes::new(bytes)
@@ -314,9 +323,15 @@ impl Operator {
                 dtype,
                 ..
             } => batch * channels * in_h * in_w * dtype.size_bytes(),
-            Operator::Elementwise { elements, dtype, .. } => 2 * elements * dtype.size_bytes(),
-            Operator::Activation { elements, dtype, .. } => elements * dtype.size_bytes(),
-            Operator::Softmax { rows, cols, dtype } | Operator::LayerNorm { rows, cols, dtype } => rows * cols * dtype.size_bytes(),
+            Operator::Elementwise {
+                elements, dtype, ..
+            } => 2 * elements * dtype.size_bytes(),
+            Operator::Activation {
+                elements, dtype, ..
+            } => elements * dtype.size_bytes(),
+            Operator::Softmax { rows, cols, dtype } | Operator::LayerNorm { rows, cols, dtype } => {
+                rows * cols * dtype.size_bytes()
+            }
             Operator::BatchNorm { elements, dtype } => elements * dtype.size_bytes(),
             Operator::Pool {
                 batch,
@@ -346,7 +361,11 @@ impl Operator {
                 dtype,
                 ..
             } => {
-                batch * out_channels * Self::conv_out(in_h, stride) * Self::conv_out(in_w, stride) * dtype.size_bytes()
+                batch
+                    * out_channels
+                    * Self::conv_out(in_h, stride)
+                    * Self::conv_out(in_w, stride)
+                    * dtype.size_bytes()
             }
             Operator::DepthwiseConv2d {
                 batch,
@@ -356,12 +375,24 @@ impl Operator {
                 stride,
                 dtype,
                 ..
-            } => batch * channels * Self::conv_out(in_h, stride) * Self::conv_out(in_w, stride) * dtype.size_bytes(),
-            Operator::Elementwise { elements, dtype, .. }
-            | Operator::Activation { elements, dtype, .. }
+            } => {
+                batch
+                    * channels
+                    * Self::conv_out(in_h, stride)
+                    * Self::conv_out(in_w, stride)
+                    * dtype.size_bytes()
+            }
+            Operator::Elementwise {
+                elements, dtype, ..
+            }
+            | Operator::Activation {
+                elements, dtype, ..
+            }
             | Operator::BatchNorm { elements, dtype }
             | Operator::Layout { elements, dtype } => elements * dtype.size_bytes(),
-            Operator::Softmax { rows, cols, dtype } | Operator::LayerNorm { rows, cols, dtype } => rows * cols * dtype.size_bytes(),
+            Operator::Softmax { rows, cols, dtype } | Operator::LayerNorm { rows, cols, dtype } => {
+                rows * cols * dtype.size_bytes()
+            }
             Operator::Pool {
                 batch,
                 channels,
@@ -370,7 +401,9 @@ impl Operator {
                 dtype,
                 ..
             } => batch * channels * out_h * out_w * dtype.size_bytes(),
-            Operator::Embedding { tokens, dim, dtype, .. } => tokens * dim * dtype.size_bytes(),
+            Operator::Embedding {
+                tokens, dim, dtype, ..
+            } => tokens * dim * dtype.size_bytes(),
             Operator::Cast { elements, to, .. } => elements * to.size_bytes(),
         };
         Bytes::new(bytes)
@@ -386,7 +419,9 @@ impl Operator {
                 kernel,
                 ..
             } => out_channels * in_channels * kernel * kernel,
-            Operator::DepthwiseConv2d { channels, kernel, .. } => channels * kernel * kernel,
+            Operator::DepthwiseConv2d {
+                channels, kernel, ..
+            } => channels * kernel * kernel,
             Operator::Embedding { vocab, dim, .. } => vocab * dim,
             _ => 0,
         }
@@ -413,11 +448,20 @@ impl fmt::Display for Operator {
         match self {
             Operator::MatMul { m, k, n, .. } => write!(f, "MatMul({m}x{k}x{n})"),
             Operator::Conv2d {
-                out_channels, kernel, stride, ..
+                out_channels,
+                kernel,
+                stride,
+                ..
             } => write!(f, "Conv2d(oc={out_channels},k={kernel},s={stride})"),
-            Operator::DepthwiseConv2d { channels, kernel, .. } => write!(f, "DwConv2d(c={channels},k={kernel})"),
-            Operator::Elementwise { kind, elements, .. } => write!(f, "Elementwise({kind:?},{elements})"),
-            Operator::Activation { kind, elements, .. } => write!(f, "Activation({kind:?},{elements})"),
+            Operator::DepthwiseConv2d {
+                channels, kernel, ..
+            } => write!(f, "DwConv2d(c={channels},k={kernel})"),
+            Operator::Elementwise { kind, elements, .. } => {
+                write!(f, "Elementwise({kind:?},{elements})")
+            }
+            Operator::Activation { kind, elements, .. } => {
+                write!(f, "Activation({kind:?},{elements})")
+            }
             Operator::Softmax { rows, cols, .. } => write!(f, "Softmax({rows}x{cols})"),
             Operator::LayerNorm { rows, cols, .. } => write!(f, "LayerNorm({rows}x{cols})"),
             Operator::BatchNorm { elements, .. } => write!(f, "BatchNorm({elements})"),

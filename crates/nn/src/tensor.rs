@@ -55,7 +55,10 @@ impl Shape {
     pub fn new(dims: impl Into<Vec<u64>>) -> Self {
         let dims = dims.into();
         assert!(!dims.is_empty(), "shape must have at least one dimension");
-        assert!(dims.iter().all(|&d| d > 0), "shape dimensions must be positive");
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "shape dimensions must be positive"
+        );
         Shape(dims)
     }
 
@@ -169,7 +172,10 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(format!("{}", Shape::matrix(2, 3)), "[2x3]");
-        assert_eq!(format!("{}", TensorSpec::new(Shape::vector(4), DType::Int8)), "[4]:int8");
+        assert_eq!(
+            format!("{}", TensorSpec::new(Shape::vector(4), DType::Int8)),
+            "[4]:int8"
+        );
     }
 
     #[test]

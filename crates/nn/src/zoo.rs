@@ -25,8 +25,8 @@ use dscs_simcore::quantity::Bytes;
 
 use crate::graph::{Graph, GraphBuilder};
 use crate::layers::{
-    classifier_head, conv_bn_relu, depthwise_separable, resnet_bottleneck, transformer_decoder_block,
-    transformer_encoder_block, FeatureMap,
+    classifier_head, conv_bn_relu, depthwise_separable, resnet_bottleneck,
+    transformer_decoder_block, transformer_encoder_block, FeatureMap,
 };
 use crate::op::{ActivationKind, Operator};
 use crate::tensor::DType;
@@ -205,11 +205,24 @@ fn resnet50(batch: u64) -> Graph {
         w: 56,
     };
     // (mid, out, blocks, stride of first block)
-    let stages: [(u64, u64, usize, u64); 4] = [(64, 256, 3, 1), (128, 512, 4, 2), (256, 1024, 6, 2), (512, 2048, 3, 2)];
+    let stages: [(u64, u64, usize, u64); 4] = [
+        (64, 256, 3, 1),
+        (128, 512, 4, 2),
+        (256, 1024, 6, 2),
+        (512, 2048, 3, 2),
+    ];
     for (s, &(mid, out, blocks, first_stride)) in stages.iter().enumerate() {
         for blk in 0..blocks {
             let stride = if blk == 0 { first_stride } else { 1 };
-            fm = resnet_bottleneck(&mut b, &format!("layer{}.{blk}", s + 1), fm, mid, out, stride, DT);
+            fm = resnet_bottleneck(
+                &mut b,
+                &format!("layer{}.{blk}", s + 1),
+                fm,
+                mid,
+                out,
+                stride,
+                DT,
+            );
         }
     }
     classifier_head(&mut b, "head", fm, 1000, DT);
@@ -323,9 +336,33 @@ fn inception_v3(batch: u64) -> Graph {
                 h: size,
                 w: size,
             };
-            conv_bn_relu(&mut b, &format!("{prefix}.t1"), tower_in, channels / 4, 1, 1, DT);
-            conv_bn_relu(&mut b, &format!("{prefix}.t3"), tower_in, channels / 2, 3, 1, DT);
-            conv_bn_relu(&mut b, &format!("{prefix}.t5a"), tower_in, channels / 8, 1, 1, DT);
+            conv_bn_relu(
+                &mut b,
+                &format!("{prefix}.t1"),
+                tower_in,
+                channels / 4,
+                1,
+                1,
+                DT,
+            );
+            conv_bn_relu(
+                &mut b,
+                &format!("{prefix}.t3"),
+                tower_in,
+                channels / 2,
+                3,
+                1,
+                DT,
+            );
+            conv_bn_relu(
+                &mut b,
+                &format!("{prefix}.t5a"),
+                tower_in,
+                channels / 8,
+                1,
+                1,
+                DT,
+            );
             let t5 = FeatureMap {
                 batch,
                 channels: channels / 8,
@@ -368,7 +405,15 @@ fn bert_base(batch: u64) -> Graph {
         },
     );
     for layer in 0..12 {
-        transformer_encoder_block(&mut b, &format!("encoder.{layer}"), tokens, 768, 3072, 12, DT);
+        transformer_encoder_block(
+            &mut b,
+            &format!("encoder.{layer}"),
+            tokens,
+            768,
+            3072,
+            12,
+            DT,
+        );
     }
     b.add_seq(
         "pooler",
@@ -415,7 +460,15 @@ fn gpt2(batch: u64) -> Graph {
         },
     );
     for layer in 0..12 {
-        transformer_encoder_block(&mut b, &format!("block.{layer}"), total_tokens, 768, 3072, 12, DT);
+        transformer_encoder_block(
+            &mut b,
+            &format!("block.{layer}"),
+            total_tokens,
+            768,
+            3072,
+            12,
+            DT,
+        );
     }
     b.add_seq(
         "ln_f",
@@ -467,7 +520,16 @@ fn transformer_nmt(batch: u64) -> Graph {
         },
     );
     for layer in 0..6 {
-        transformer_decoder_block(&mut b, &format!("decoder.{layer}"), tgt, src, 512, 2048, 8, DT);
+        transformer_decoder_block(
+            &mut b,
+            &format!("decoder.{layer}"),
+            tgt,
+            src,
+            512,
+            2048,
+            8,
+            DT,
+        );
     }
     b.add_seq(
         "generator",
@@ -516,7 +578,15 @@ fn vit_base(batch: u64) -> Graph {
         },
     );
     for layer in 0..12 {
-        transformer_encoder_block(&mut b, &format!("encoder.{layer}"), tokens, 768, 3072, 12, DT);
+        transformer_encoder_block(
+            &mut b,
+            &format!("encoder.{layer}"),
+            tokens,
+            768,
+            3072,
+            12,
+            DT,
+        );
     }
     b.add_seq(
         "head.ln",

@@ -180,18 +180,36 @@ mod tests {
         let cpu = latency_ms(PlatformKind::BaselineCpu, ModelKind::ResNet50);
         let mobile = latency_ms(PlatformKind::NsMobileGpu, ModelKind::ResNet50);
         let arm = latency_ms(PlatformKind::NsArm, ModelKind::ResNet50);
-        assert!(gpu < cpu && dsa < cpu, "accelerators beat the CPU: gpu {gpu}, dsa {dsa}, cpu {cpu}");
-        assert!(dsa < ns_fpga, "ASIC DSA beats its FPGA implementation: {dsa} vs {ns_fpga}");
-        assert!(ns_fpga < mobile, "DSA on FPGA beats the mobile GPU: {ns_fpga} vs {mobile}");
-        assert!(arm > cpu && arm > mobile, "the quad-core ARM is the slowest: {arm}");
+        assert!(
+            gpu < cpu && dsa < cpu,
+            "accelerators beat the CPU: gpu {gpu}, dsa {dsa}, cpu {cpu}"
+        );
+        assert!(
+            dsa < ns_fpga,
+            "ASIC DSA beats its FPGA implementation: {dsa} vs {ns_fpga}"
+        );
+        assert!(
+            ns_fpga < mobile,
+            "DSA on FPGA beats the mobile GPU: {ns_fpga} vs {mobile}"
+        );
+        assert!(
+            arm > cpu && arm > mobile,
+            "the quad-core ARM is the slowest: {arm}"
+        );
     }
 
     #[test]
     fn dsa_energy_is_orders_of_magnitude_below_gpu() {
         let engine = ComputeEngine::new();
         let m = Model::build(ModelKind::ResNet50);
-        let gpu = engine.execute(PlatformKind::RemoteGpu, m.graph(), 1).energy.as_f64();
-        let dsa = engine.execute(PlatformKind::DscsDsa, m.graph(), 1).energy.as_f64();
+        let gpu = engine
+            .execute(PlatformKind::RemoteGpu, m.graph(), 1)
+            .energy
+            .as_f64();
+        let dsa = engine
+            .execute(PlatformKind::DscsDsa, m.graph(), 1)
+            .energy
+            .as_f64();
         assert!(gpu > 20.0 * dsa, "gpu {gpu} J vs dsa {dsa} J");
     }
 
@@ -200,8 +218,15 @@ mod tests {
         let engine = ComputeEngine::new();
         let b1 = Model::build_with_batch(ModelKind::BertBase, 1);
         let b16 = Model::build_with_batch(ModelKind::BertBase, 16);
-        let l1 = engine.execute(PlatformKind::RemoteGpu, b1.graph(), 1).latency.as_secs_f64();
-        let l16 = engine.execute(PlatformKind::RemoteGpu, b16.graph(), 16).latency.as_secs_f64() / 16.0;
+        let l1 = engine
+            .execute(PlatformKind::RemoteGpu, b1.graph(), 1)
+            .latency
+            .as_secs_f64();
+        let l16 = engine
+            .execute(PlatformKind::RemoteGpu, b16.graph(), 16)
+            .latency
+            .as_secs_f64()
+            / 16.0;
         assert!(l16 < l1);
     }
 

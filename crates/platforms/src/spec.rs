@@ -241,7 +241,10 @@ mod tests {
         for kind in PlatformKind::ALL {
             let spec = kind.spec();
             assert!(spec.peak_int8_tops > 0.0, "{kind}");
-            assert!(spec.active_power.as_f64() > spec.idle_power.as_f64(), "{kind}");
+            assert!(
+                spec.active_power.as_f64() > spec.idle_power.as_f64(),
+                "{kind}"
+            );
             assert!(spec.batch1_efficiency <= spec.max_efficiency, "{kind}");
         }
     }
@@ -259,7 +262,11 @@ mod tests {
             assert!(kind.spec().peak_int8_tops <= gpu);
         }
         let dsa = PlatformKind::DscsDsa.spec().peak_int8_tops;
-        for kind in [PlatformKind::NsArm, PlatformKind::NsMobileGpu, PlatformKind::NsFpga] {
+        for kind in [
+            PlatformKind::NsArm,
+            PlatformKind::NsMobileGpu,
+            PlatformKind::NsFpga,
+        ] {
             assert!(kind.spec().peak_int8_tops < dsa);
         }
     }

@@ -43,7 +43,10 @@ impl ConstantDist {
     /// # Panics
     /// Panics if `value` is negative or not finite.
     pub fn new(value: f64) -> Self {
-        assert!(value.is_finite() && value >= 0.0, "constant must be non-negative and finite");
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "constant must be non-negative and finite"
+        );
         ConstantDist { value }
     }
 }
@@ -71,7 +74,10 @@ impl UniformDist {
     /// # Panics
     /// Panics if the range is empty or contains negative values.
     pub fn new(lo: f64, hi: f64) -> Self {
-        assert!(lo >= 0.0 && hi > lo, "uniform range must be non-empty and non-negative");
+        assert!(
+            lo >= 0.0 && hi > lo,
+            "uniform range must be non-empty and non-negative"
+        );
         UniformDist { lo, hi }
     }
 }
@@ -99,13 +105,19 @@ impl ExponentialDist {
     /// # Panics
     /// Panics if `mean` is not strictly positive.
     pub fn from_mean(mean: f64) -> Self {
-        assert!(mean > 0.0 && mean.is_finite(), "mean must be positive and finite");
+        assert!(
+            mean > 0.0 && mean.is_finite(),
+            "mean must be positive and finite"
+        );
         ExponentialDist { mean }
     }
 
     /// Creates an exponential distribution from its rate (events per unit time).
     pub fn from_rate(rate: f64) -> Self {
-        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive and finite");
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "rate must be positive and finite"
+        );
         ExponentialDist { mean: 1.0 / rate }
     }
 }
@@ -147,7 +159,10 @@ impl LogNormalDist {
     /// # Panics
     /// Panics if `sigma` is negative or either parameter is not finite.
     pub fn new(mu: f64, sigma: f64) -> Self {
-        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0, "invalid lognormal parameters");
+        assert!(
+            mu.is_finite() && sigma.is_finite() && sigma >= 0.0,
+            "invalid lognormal parameters"
+        );
         LogNormalDist { mu, sigma }
     }
 
@@ -189,7 +204,10 @@ impl LogNormalDist {
     /// Returns a copy with the tail spread scaled by `factor` (1.0 = unchanged,
     /// 0.0 = deterministic). Used by the tail-latency sensitivity study.
     pub fn with_tail_scaled(&self, factor: f64) -> LogNormalDist {
-        assert!(factor >= 0.0 && factor.is_finite(), "tail factor must be non-negative");
+        assert!(
+            factor >= 0.0 && factor.is_finite(),
+            "tail factor must be non-negative"
+        );
         LogNormalDist {
             mu: self.mu,
             sigma: self.sigma * factor,
@@ -222,7 +240,10 @@ impl<D: Distribution> ScaledDist<D> {
     /// # Panics
     /// Panics if `factor` is negative or not finite.
     pub fn new(inner: D, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor >= 0.0, "scale factor must be non-negative and finite");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be non-negative and finite"
+        );
         ScaledDist { inner, factor }
     }
 }
@@ -252,7 +273,10 @@ impl PoissonArrivals {
     /// # Panics
     /// Panics if the rate is not strictly positive.
     pub fn new(rate_per_sec: f64) -> Self {
-        assert!(rate_per_sec > 0.0 && rate_per_sec.is_finite(), "rate must be positive and finite");
+        assert!(
+            rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+            "rate must be positive and finite"
+        );
         PoissonArrivals { rate_per_sec }
     }
 
@@ -291,7 +315,11 @@ impl PoissonArrivals {
     }
 
     /// Generates arrival timestamps over `[0, horizon)`.
-    pub fn arrivals_until(&self, horizon: SimDuration, rng: &mut DeterministicRng) -> Vec<SimDuration> {
+    pub fn arrivals_until(
+        &self,
+        horizon: SimDuration,
+        rng: &mut DeterministicRng,
+    ) -> Vec<SimDuration> {
         let mut out = Vec::new();
         let mut t = SimDuration::ZERO;
         loop {
@@ -314,7 +342,7 @@ pub fn inverse_normal_cdf(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.38357751867269e+02,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -393,8 +421,16 @@ mod tests {
         let d = LogNormalDist::from_median_p99(0.028, 0.059);
         let s = samples(&d, 100_000, 3);
         let summary = Summary::from_samples(&s);
-        assert!((summary.p50() - 0.028).abs() / 0.028 < 0.05, "p50 {}", summary.p50());
-        assert!((summary.p99() - 0.059).abs() / 0.059 < 0.10, "p99 {}", summary.p99());
+        assert!(
+            (summary.p50() - 0.028).abs() / 0.028 < 0.05,
+            "p50 {}",
+            summary.p50()
+        );
+        assert!(
+            (summary.p99() - 0.059).abs() / 0.059 < 0.10,
+            "p99 {}",
+            summary.p99()
+        );
     }
 
     #[test]
@@ -426,7 +462,9 @@ mod tests {
     fn poisson_count_matches_rate() {
         let p = PoissonArrivals::new(100.0);
         let mut rng = DeterministicRng::seeded(5);
-        let total: u64 = (0..200).map(|_| p.count_in(SimDuration::from_secs(1), &mut rng)).sum();
+        let total: u64 = (0..200)
+            .map(|_| p.count_in(SimDuration::from_secs(1), &mut rng))
+            .sum();
         let mean = total as f64 / 200.0;
         assert!((mean - 100.0).abs() < 5.0, "mean {mean}");
     }

@@ -21,8 +21,14 @@ impl Polynomial {
     /// # Panics
     /// Panics if `coeffs` is empty or contains non-finite values.
     pub fn new(coeffs: Vec<f64>) -> Self {
-        assert!(!coeffs.is_empty(), "polynomial needs at least one coefficient");
-        assert!(coeffs.iter().all(|c| c.is_finite()), "coefficients must be finite");
+        assert!(
+            !coeffs.is_empty(),
+            "polynomial needs at least one coefficient"
+        );
+        assert!(
+            coeffs.iter().all(|c| c.is_finite()),
+            "coefficients must be finite"
+        );
         Polynomial { coeffs }
     }
 
@@ -122,7 +128,12 @@ fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
     for col in 0..n {
         // Partial pivot.
         let pivot_row = (col..n)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite")
+            })
             .expect("non-empty range");
         a.swap(col, pivot_row);
         b.swap(col, pivot_row);
@@ -130,8 +141,10 @@ fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
         assert!(pivot.abs() > 1e-12, "singular system in polynomial fit");
         for row in col + 1..n {
             let factor = a[row][col] / pivot;
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+            let (upper, lower) = a.split_at_mut(row);
+            let pivot_row = &upper[col];
+            for (x, &p) in lower[0][col..n].iter_mut().zip(&pivot_row[col..n]) {
+                *x -= factor * p;
             }
             b[row] -= factor * b[col];
         }

@@ -48,7 +48,10 @@ pub mod series;
 pub mod stats;
 pub mod time;
 
-pub use dist::{ConstantDist, Distribution, ExponentialDist, LogNormalDist, PoissonArrivals, ScaledDist, UniformDist};
+pub use dist::{
+    ConstantDist, Distribution, ExponentialDist, LogNormalDist, PoissonArrivals, ScaledDist,
+    UniformDist,
+};
 pub use events::{Event, EventQueue, Simulator};
 pub use fit::{polyfit, Polynomial};
 pub use pareto::{pareto_frontier, ParetoPoint};
@@ -60,7 +63,9 @@ pub use time::{SimDuration, SimTime};
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
-    pub use crate::dist::{ConstantDist, Distribution, ExponentialDist, LogNormalDist, PoissonArrivals, UniformDist};
+    pub use crate::dist::{
+        ConstantDist, Distribution, ExponentialDist, LogNormalDist, PoissonArrivals, UniformDist,
+    };
     pub use crate::events::{Event, EventQueue, Simulator};
     pub use crate::fit::{polyfit, Polynomial};
     pub use crate::pareto::{pareto_frontier, ParetoPoint};

@@ -25,7 +25,10 @@ impl<T> ParetoPoint<T> {
     /// # Panics
     /// Panics if either coordinate is not finite.
     pub fn new(cost: f64, benefit: f64, tag: T) -> Self {
-        assert!(cost.is_finite() && benefit.is_finite(), "Pareto coordinates must be finite");
+        assert!(
+            cost.is_finite() && benefit.is_finite(),
+            "Pareto coordinates must be finite"
+        );
         ParetoPoint { cost, benefit, tag }
     }
 
@@ -62,7 +65,11 @@ pub fn pareto_frontier<T>(mut points: Vec<ParetoPoint<T>>) -> Vec<ParetoPoint<T>
         a.cost
             .partial_cmp(&b.cost)
             .expect("finite by construction")
-            .then(b.benefit.partial_cmp(&a.benefit).expect("finite by construction"))
+            .then(
+                b.benefit
+                    .partial_cmp(&a.benefit)
+                    .expect("finite by construction"),
+            )
     });
     let mut frontier: Vec<ParetoPoint<T>> = Vec::new();
     let mut best_benefit = f64::NEG_INFINITY;
@@ -109,7 +116,9 @@ mod tests {
             })
             .collect();
         let frontier = pareto_frontier(pts);
-        assert!(frontier.windows(2).all(|w| w[0].cost < w[1].cost && w[0].benefit < w[1].benefit));
+        assert!(frontier
+            .windows(2)
+            .all(|w| w[0].cost < w[1].cost && w[0].benefit < w[1].benefit));
     }
 
     #[test]
@@ -124,7 +133,10 @@ mod tests {
 
     #[test]
     fn ties_keep_best_benefit() {
-        let pts = vec![ParetoPoint::new(1.0, 5.0, "good"), ParetoPoint::new(1.0, 3.0, "worse")];
+        let pts = vec![
+            ParetoPoint::new(1.0, 5.0, "good"),
+            ParetoPoint::new(1.0, 3.0, "worse"),
+        ];
         let frontier = pareto_frontier(pts);
         assert_eq!(frontier.len(), 1);
         assert_eq!(frontier[0].tag, "good");
@@ -132,7 +144,10 @@ mod tests {
 
     #[test]
     fn budget_filter() {
-        let pts = vec![ParetoPoint::new(10.0, 1.0, "in"), ParetoPoint::new(30.0, 100.0, "out")];
+        let pts = vec![
+            ParetoPoint::new(10.0, 1.0, "in"),
+            ParetoPoint::new(30.0, 100.0, "out"),
+        ];
         let kept = within_budget(pts, 25.0);
         assert_eq!(kept.len(), 1);
         assert_eq!(kept[0].tag, "in");

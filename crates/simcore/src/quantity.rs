@@ -18,7 +18,9 @@ use crate::time::SimDuration;
 /// let payload = Bytes::from_mib(4);
 /// assert_eq!(payload.as_u64(), 4 * 1024 * 1024);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Bytes(u64);
 
 impl Bytes {
@@ -87,7 +89,11 @@ impl AddAssign for Bytes {
 impl Sub for Bytes {
     type Output = Bytes;
     fn sub(self, rhs: Bytes) -> Bytes {
-        Bytes(self.0.checked_sub(rhs.0).expect("Bytes subtraction underflow"))
+        Bytes(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("Bytes subtraction underflow"),
+        )
     }
 }
 
@@ -126,7 +132,10 @@ pub struct Bandwidth(f64);
 impl Bandwidth {
     /// Creates a bandwidth from bytes per second.
     pub fn from_bytes_per_sec(bps: f64) -> Self {
-        assert!(bps >= 0.0 && bps.is_finite(), "bandwidth must be non-negative and finite");
+        assert!(
+            bps >= 0.0 && bps.is_finite(),
+            "bandwidth must be non-negative and finite"
+        );
         Bandwidth(bps)
     }
 
@@ -169,7 +178,10 @@ impl Bandwidth {
 
     /// Derates the bandwidth by an efficiency in `(0, 1]`.
     pub fn derate(self, efficiency: f64) -> Bandwidth {
-        assert!(efficiency > 0.0 && efficiency <= 1.0, "efficiency must be in (0, 1]");
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "efficiency must be in (0, 1]"
+        );
         Bandwidth(self.0 * efficiency)
     }
 }
@@ -190,7 +202,10 @@ impl Watts {
 
     /// Creates a power value.
     pub fn new(watts: f64) -> Self {
-        assert!(watts >= 0.0 && watts.is_finite(), "power must be non-negative and finite");
+        assert!(
+            watts >= 0.0 && watts.is_finite(),
+            "power must be non-negative and finite"
+        );
         Watts(watts)
     }
 
@@ -247,7 +262,10 @@ impl Joules {
 
     /// Creates an energy value.
     pub fn new(joules: f64) -> Self {
-        assert!(joules >= 0.0 && joules.is_finite(), "energy must be non-negative and finite");
+        assert!(
+            joules >= 0.0 && joules.is_finite(),
+            "energy must be non-negative and finite"
+        );
         Joules(joules)
     }
 
@@ -313,7 +331,10 @@ pub struct Frequency(f64);
 impl Frequency {
     /// Creates a frequency from hertz.
     pub fn from_hz(hz: f64) -> Self {
-        assert!(hz > 0.0 && hz.is_finite(), "frequency must be positive and finite");
+        assert!(
+            hz > 0.0 && hz.is_finite(),
+            "frequency must be positive and finite"
+        );
         Frequency(hz)
     }
 
@@ -364,7 +385,10 @@ impl AreaMm2 {
 
     /// Creates an area value.
     pub fn new(mm2: f64) -> Self {
-        assert!(mm2 >= 0.0 && mm2.is_finite(), "area must be non-negative and finite");
+        assert!(
+            mm2 >= 0.0 && mm2.is_finite(),
+            "area must be non-negative and finite"
+        );
         AreaMm2(mm2)
     }
 
@@ -416,7 +440,10 @@ impl Dollars {
 
     /// Creates a dollar amount.
     pub fn new(usd: f64) -> Self {
-        assert!(usd >= 0.0 && usd.is_finite(), "cost must be non-negative and finite");
+        assert!(
+            usd >= 0.0 && usd.is_finite(),
+            "cost must be non-negative and finite"
+        );
         Dollars(usd)
     }
 

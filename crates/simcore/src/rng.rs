@@ -5,14 +5,11 @@
 //! is exactly reproducible from its seed. This mirrors the paper's methodology
 //! of replaying a fixed 20-minute trace and fixed 10 000-request load.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 /// A seedable, deterministic random number generator.
 ///
-/// Wraps [`rand::rngs::StdRng`] behind a small API so downstream crates do not
-/// need to depend on `rand` directly and so the generator can be swapped out
-/// without touching call sites.
+/// Implements xoshiro256++ (seeded through SplitMix64) directly, behind a
+/// small API, so downstream crates do not need an external `rand` dependency
+/// and so the generator can be swapped out without touching call sites.
 ///
 /// ```
 /// use dscs_simcore::rng::DeterministicRng;
@@ -22,15 +19,25 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct DeterministicRng {
-    inner: StdRng,
+    state: [u64; 4],
     seed: u64,
 }
 
 impl DeterministicRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seeded(seed: u64) -> Self {
+        // Expand the seed with SplitMix64, the seeding scheme the xoshiro
+        // authors recommend; it guarantees a non-zero state for any seed.
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
         DeterministicRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [next_sm(), next_sm(), next_sm(), next_sm()],
             seed,
         }
     }
@@ -52,7 +59,8 @@ impl DeterministicRng {
 
     /// Uniform value in `[0, 1)`.
     pub fn next_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits scaled into [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform value in `[lo, hi)`.
@@ -70,12 +78,32 @@ impl DeterministicRng {
     /// Panics if `n == 0`.
     pub fn next_index(&mut self, n: usize) -> usize {
         assert!(n > 0, "cannot pick an index from an empty range");
-        self.inner.gen_range(0..n)
+        // Rejection sampling over the largest multiple of `n` that fits in
+        // u64, so every index is exactly equally likely.
+        let n = n as u64;
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return (v % n) as usize;
+            }
+        }
     }
 
-    /// Raw 64-bit value.
+    /// Raw 64-bit value (xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
     }
 
     /// A standard-normal sample via the Box–Muller transform.

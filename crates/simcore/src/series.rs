@@ -79,7 +79,13 @@ impl TimeSeries {
         self.sums
             .iter()
             .zip(&self.counts)
-            .map(|(&sum, &count)| if count == 0 { None } else { Some(sum / count as f64) })
+            .map(|(&sum, &count)| {
+                if count == 0 {
+                    None
+                } else {
+                    Some(sum / count as f64)
+                }
+            })
             .collect()
     }
 

@@ -29,7 +29,10 @@ impl Summary {
     /// Panics if `samples` is empty or contains non-finite values.
     pub fn from_samples(samples: &[f64]) -> Self {
         assert!(!samples.is_empty(), "cannot summarise an empty sample set");
-        assert!(samples.iter().all(|x| x.is_finite()), "samples must be finite");
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "samples must be finite"
+        );
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values always compare"));
         let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
@@ -58,7 +61,12 @@ impl Summary {
 
     /// Standard deviation (population).
     pub fn std_dev(&self) -> f64 {
-        let var = self.sorted.iter().map(|x| (x - self.mean).powi(2)).sum::<f64>() / self.sorted.len() as f64;
+        let var = self
+            .sorted
+            .iter()
+            .map(|x| (x - self.mean).powi(2))
+            .sum::<f64>()
+            / self.sorted.len() as f64;
         var.sqrt()
     }
 
@@ -189,7 +197,10 @@ impl Histogram {
     /// # Panics
     /// Panics if `bucket_width <= 0` or `buckets == 0`.
     pub fn new(bucket_width: f64, buckets: usize) -> Self {
-        assert!(bucket_width > 0.0 && bucket_width.is_finite(), "bucket width must be positive");
+        assert!(
+            bucket_width > 0.0 && bucket_width.is_finite(),
+            "bucket width must be positive"
+        );
         assert!(buckets > 0, "need at least one bucket");
         Histogram {
             bucket_width,
@@ -203,7 +214,10 @@ impl Histogram {
     /// # Panics
     /// Panics if the sample is negative or not finite.
     pub fn record(&mut self, value: f64) {
-        assert!(value.is_finite() && value >= 0.0, "histogram samples must be non-negative and finite");
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "histogram samples must be non-negative and finite"
+        );
         let idx = ((value / self.bucket_width) as usize).min(self.counts.len() - 1);
         self.counts[idx] += 1;
         self.total += 1;
@@ -244,8 +258,14 @@ impl Histogram {
 /// # Panics
 /// Panics if `values` is empty or contains non-positive values.
 pub fn geometric_mean(values: &[f64]) -> f64 {
-    assert!(!values.is_empty(), "geometric mean of an empty set is undefined");
-    assert!(values.iter().all(|&v| v > 0.0 && v.is_finite()), "values must be positive and finite");
+    assert!(
+        !values.is_empty(),
+        "geometric mean of an empty set is undefined"
+    );
+    assert!(
+        values.iter().all(|&v| v > 0.0 && v.is_finite()),
+        "values must be positive and finite"
+    );
     let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
     (log_sum / values.len() as f64).exp()
 }

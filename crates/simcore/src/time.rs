@@ -18,7 +18,9 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// let t = SimTime::ZERO + SimDuration::from_micros(3);
 /// assert_eq!(t.as_nanos(), 3_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time in nanoseconds.
@@ -28,7 +30,9 @@ pub struct SimTime(u64);
 /// let d = SimDuration::from_millis(2) + SimDuration::from_micros(500);
 /// assert_eq!(d.as_secs_f64(), 0.0025);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -45,7 +49,10 @@ impl SimTime {
     /// # Panics
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "time must be finite and non-negative");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "time must be finite and non-negative"
+        );
         SimTime((secs * 1e9).round() as u64)
     }
 
@@ -166,7 +173,11 @@ impl AddAssign<SimDuration> for SimTime {
 impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
     fn sub(self, rhs: SimTime) -> SimDuration {
-        SimDuration(self.0.checked_sub(rhs.0).expect("SimTime subtraction underflow"))
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime subtraction underflow"),
+        )
     }
 }
 
@@ -186,13 +197,20 @@ impl AddAssign for SimDuration {
 impl Sub for SimDuration {
     type Output = SimDuration;
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration subtraction underflow"))
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimDuration subtraction underflow"),
+        )
     }
 }
 
 impl SubAssign for SimDuration {
     fn sub_assign(&mut self, rhs: SimDuration) {
-        self.0 = self.0.checked_sub(rhs.0).expect("SimDuration subtraction underflow");
+        self.0 = self
+            .0
+            .checked_sub(rhs.0)
+            .expect("SimDuration subtraction underflow");
     }
 }
 
@@ -275,7 +293,10 @@ mod tests {
         let short = SimDuration::from_micros(1);
         let long = SimDuration::from_millis(1);
         assert_eq!(short.saturating_sub(long), SimDuration::ZERO);
-        assert_eq!(SimTime::ZERO.saturating_since(SimTime::from_nanos(10)), SimDuration::ZERO);
+        assert_eq!(
+            SimTime::ZERO.saturating_since(SimTime::from_nanos(10)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -235,7 +235,10 @@ mod tests {
     fn zero_size_accesses_are_free() {
         let drive = DscsDrive::smartssd_class();
         assert_eq!(drive.p2p_read_latency(Bytes::ZERO), SimDuration::ZERO);
-        assert_eq!(drive.as_ssd().host_write_latency(Bytes::ZERO), SimDuration::ZERO);
+        assert_eq!(
+            drive.as_ssd().host_write_latency(Bytes::ZERO),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

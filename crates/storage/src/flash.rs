@@ -47,7 +47,9 @@ impl FlashConfig {
 
     /// Aggregate sequential bandwidth across all channels.
     pub fn aggregate_bandwidth(&self) -> Bandwidth {
-        Bandwidth::from_bytes_per_sec(self.channel_bandwidth.bytes_per_sec() * f64::from(self.channels))
+        Bandwidth::from_bytes_per_sec(
+            self.channel_bandwidth.bytes_per_sec() * f64::from(self.channels),
+        )
     }
 }
 

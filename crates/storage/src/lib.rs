@@ -63,7 +63,8 @@ mod tests {
         let size = Bytes::from_mib(1);
         let remote = NetworkModel::new(NetworkConfig::disaggregated_datacenter());
         let drive = DscsDrive::smartssd_class();
-        let remote_read = remote.access_latency_at_quantile(size, 0.5) + drive.as_ssd().host_read_latency(size);
+        let remote_read =
+            remote.access_latency_at_quantile(size, 0.5) + drive.as_ssd().host_read_latency(size);
         let p2p_read = drive.p2p_read_latency(size);
         assert!(remote_read.as_secs_f64() > 10.0 * p2p_read.as_secs_f64());
     }

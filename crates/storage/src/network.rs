@@ -68,7 +68,10 @@ pub struct NetworkModel {
 impl NetworkModel {
     /// Creates a model from a configuration.
     pub fn new(config: NetworkConfig) -> Self {
-        NetworkModel { config, tail_scale: 1.0 }
+        NetworkModel {
+            config,
+            tail_scale: 1.0,
+        }
     }
 
     /// The configuration.
@@ -78,7 +81,10 @@ impl NetworkModel {
 
     /// Returns a copy with the latency tail scaled by `factor`.
     pub fn with_tail_scale(&self, factor: f64) -> Self {
-        assert!(factor >= 0.0 && factor.is_finite(), "tail factor must be non-negative");
+        assert!(
+            factor >= 0.0 && factor.is_finite(),
+            "tail factor must be non-negative"
+        );
         NetworkModel {
             config: self.config,
             tail_scale: factor,
@@ -88,14 +94,20 @@ impl NetworkModel {
     /// Deterministic (no sampling) latency of one remote object access of
     /// `size` bytes at quantile `q` of the base-latency distribution.
     pub fn access_latency_at_quantile(&self, size: Bytes, q: f64) -> SimDuration {
-        let dist = self.config.rpc_distribution().with_tail_scaled(self.tail_scale);
+        let dist = self
+            .config
+            .rpc_distribution()
+            .with_tail_scaled(self.tail_scale);
         let base = SimDuration::from_secs_f64(dist.quantile(q));
         base + self.payload_latency(size)
     }
 
     /// Samples the latency of one remote object access (RPC + payload).
     pub fn sample_access_latency(&self, size: Bytes, rng: &mut DeterministicRng) -> SimDuration {
-        let dist = self.config.rpc_distribution().with_tail_scaled(self.tail_scale);
+        let dist = self
+            .config
+            .rpc_distribution()
+            .with_tail_scaled(self.tail_scale);
         let base = SimDuration::from_secs_f64(dist.sample(rng));
         base + self.payload_latency(size)
     }

@@ -76,7 +76,10 @@ impl ObjectStore {
     ///
     /// # Panics
     /// Panics if `nodes` is empty or `replication` is zero.
-    pub fn new(nodes: impl IntoIterator<Item = (StorageNodeId, DriveClass)>, replication: usize) -> Self {
+    pub fn new(
+        nodes: impl IntoIterator<Item = (StorageNodeId, DriveClass)>,
+        replication: usize,
+    ) -> Self {
         let nodes: HashMap<_, _> = nodes.into_iter().collect();
         assert!(!nodes.is_empty(), "object store needs at least one node");
         assert!(replication >= 1, "replication factor must be at least 1");
@@ -160,12 +163,16 @@ impl ObjectStore {
 
     /// Looks up an object.
     pub fn get(&self, key: &str) -> Result<&ObjectMeta, StoreError> {
-        self.objects.get(key).ok_or_else(|| StoreError::NotFound(key.to_string()))
+        self.objects
+            .get(key)
+            .ok_or_else(|| StoreError::NotFound(key.to_string()))
     }
 
     /// Removes an object, returning its metadata.
     pub fn delete(&mut self, key: &str) -> Result<ObjectMeta, StoreError> {
-        self.objects.remove(key).ok_or_else(|| StoreError::NotFound(key.to_string()))
+        self.objects
+            .remove(key)
+            .ok_or_else(|| StoreError::NotFound(key.to_string()))
     }
 
     /// Returns the replica (if any) that lives on a DSCS-Drive, which is where
@@ -211,7 +218,9 @@ mod tests {
     fn acceleratable_objects_land_on_dscs_drives() {
         let mut s = store();
         let mut rng = DeterministicRng::seeded(1);
-        let meta = s.put("input.jpg", Bytes::from_mib(2), true, &mut rng).expect("put");
+        let meta = s
+            .put("input.jpg", Bytes::from_mib(2), true, &mut rng)
+            .expect("put");
         assert_eq!(s.node_class(meta.replicas[0]), Some(DriveClass::Dscs));
         assert!(s.dscs_replica("input.jpg").expect("exists").is_some());
     }
@@ -220,7 +229,9 @@ mod tests {
     fn non_acceleratable_objects_do_not_require_dscs_nodes() {
         let mut s = ObjectStore::with_node_counts(4, 0);
         let mut rng = DeterministicRng::seeded(2);
-        assert!(s.put("log.txt", Bytes::from_kib(10), false, &mut rng).is_ok());
+        assert!(s
+            .put("log.txt", Bytes::from_kib(10), false, &mut rng)
+            .is_ok());
         assert!(matches!(
             s.put("image.jpg", Bytes::from_mib(1), true, &mut rng),
             Err(StoreError::NoNodesOfClass(DriveClass::Dscs))
@@ -231,7 +242,9 @@ mod tests {
     fn replication_uses_distinct_nodes() {
         let mut s = store();
         let mut rng = DeterministicRng::seeded(3);
-        let meta = s.put("obj", Bytes::from_kib(100), true, &mut rng).expect("put");
+        let meta = s
+            .put("obj", Bytes::from_kib(100), true, &mut rng)
+            .expect("put");
         let mut unique = meta.replicas.clone();
         unique.sort_unstable();
         unique.dedup();
@@ -243,7 +256,8 @@ mod tests {
     fn get_and_delete_round_trip() {
         let mut s = store();
         let mut rng = DeterministicRng::seeded(4);
-        s.put("a", Bytes::from_kib(1), false, &mut rng).expect("put");
+        s.put("a", Bytes::from_kib(1), false, &mut rng)
+            .expect("put");
         assert_eq!(s.get("a").expect("get").size.as_u64(), 1024);
         assert_eq!(s.object_count(), 1);
         s.delete("a").expect("delete");
@@ -255,8 +269,10 @@ mod tests {
     fn serverless_payloads_fit_one_chunk() {
         let mut s = store();
         let mut rng = DeterministicRng::seeded(5);
-        s.put("small", Bytes::from_mib(18), false, &mut rng).expect("put");
-        s.put("huge", Bytes::from_gib(1), false, &mut rng).expect("put");
+        s.put("small", Bytes::from_mib(18), false, &mut rng)
+            .expect("put");
+        s.put("huge", Bytes::from_gib(1), false, &mut rng)
+            .expect("put");
         assert_eq!(s.chunk_count("small").expect("small"), 1);
         assert!(s.chunk_count("huge").expect("huge") > 1);
     }
@@ -267,8 +283,12 @@ mod tests {
         let mut b = store();
         let mut rng_a = DeterministicRng::seeded(6);
         let mut rng_b = DeterministicRng::seeded(6);
-        let ma = a.put("x", Bytes::from_mib(1), true, &mut rng_a).expect("put");
-        let mb = b.put("x", Bytes::from_mib(1), true, &mut rng_b).expect("put");
+        let ma = a
+            .put("x", Bytes::from_mib(1), true, &mut rng_a)
+            .expect("put");
+        let mb = b
+            .put("x", Bytes::from_mib(1), true, &mut rng_b)
+            .expect("put");
         assert_eq!(ma.replicas, mb.replicas);
     }
 

@@ -47,9 +47,17 @@ impl PcieLink {
     ///
     /// # Panics
     /// Panics if `lanes` is zero or `efficiency` is outside `(0, 1]`.
-    pub fn new(generation: PcieGeneration, lanes: u32, transaction_latency: SimDuration, efficiency: f64) -> Self {
+    pub fn new(
+        generation: PcieGeneration,
+        lanes: u32,
+        transaction_latency: SimDuration,
+        efficiency: f64,
+    ) -> Self {
         assert!(lanes > 0, "PCIe link needs at least one lane");
-        assert!(efficiency > 0.0 && efficiency <= 1.0, "efficiency must be in (0, 1]");
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "efficiency must be in (0, 1]"
+        );
         PcieLink {
             generation,
             lanes,
@@ -78,7 +86,9 @@ impl PcieLink {
     /// Effective bandwidth of the link.
     pub fn bandwidth(&self) -> Bandwidth {
         Bandwidth::from_bytes_per_sec(
-            self.generation.lane_bandwidth().bytes_per_sec() * f64::from(self.lanes) * self.efficiency,
+            self.generation.lane_bandwidth().bytes_per_sec()
+                * f64::from(self.lanes)
+                * self.efficiency,
         )
     }
 
@@ -105,7 +115,9 @@ mod tests {
     fn lane_scaling() {
         let x4 = PcieLink::nvme_drive();
         let x16 = PcieLink::accelerator_card();
-        assert!((x16.bandwidth().bytes_per_sec() / x4.bandwidth().bytes_per_sec() - 4.0).abs() < 1e-9);
+        assert!(
+            (x16.bandwidth().bytes_per_sec() / x4.bandwidth().bytes_per_sec() - 4.0).abs() < 1e-9
+        );
     }
 
     #[test]

@@ -30,12 +30,26 @@ fn main() {
     for platform in [PlatformKind::BaselineCpu, PlatformKind::DscsDsa] {
         let report = simulate_platform(platform, &trace, 11);
         println!("\n{}:", platform.name());
-        println!("  completed {} / rejected {}", report.completed, report.rejected);
-        println!("  mean wall-clock latency {:.1} ms, makespan {}", report.mean_latency_ms(), report.makespan);
-        println!("  queued functions per minute : {:?}", report.queued.iter().map(|x| x.round()).collect::<Vec<_>>());
+        println!(
+            "  completed {} / rejected {}",
+            report.completed, report.rejected
+        );
+        println!(
+            "  mean wall-clock latency {:.1} ms, makespan {}",
+            report.mean_latency_ms(),
+            report.makespan
+        );
+        println!(
+            "  queued functions per minute : {:?}",
+            report.queued.iter().map(|x| x.round()).collect::<Vec<_>>()
+        );
         println!(
             "  latency per minute (ms)     : {:?}",
-            report.latency_ms.iter().map(|x| x.round()).collect::<Vec<_>>()
+            report
+                .latency_ms
+                .iter()
+                .map(|x| x.round())
+                .collect::<Vec<_>>()
         );
     }
 }

@@ -7,25 +7,44 @@
 
 use dscs_serverless::dsa::config::TechnologyNode;
 use dscs_serverless::dse::cost::{AsicCostModel, CostParameters};
-use dscs_serverless::dse::explore::{power_performance_frontier, select_optimal, sweep, DRIVE_POWER_BUDGET_WATTS};
+use dscs_serverless::dse::explore::{
+    power_performance_frontier, select_optimal, sweep, DRIVE_POWER_BUDGET_WATTS,
+};
 use dscs_serverless::dse::space::enumerate_small;
 use dscs_serverless::nn::zoo::ModelKind;
 use dscs_serverless::simcore::quantity::AreaMm2;
 
 fn main() {
     let space = enumerate_small(TechnologyNode::Nm45);
-    println!("evaluating {} design points at 45 nm under a {DRIVE_POWER_BUDGET_WATTS} W drive budget", space.len());
+    println!(
+        "evaluating {} design points at 45 nm under a {DRIVE_POWER_BUDGET_WATTS} W drive budget",
+        space.len()
+    );
 
     let points = sweep(&space, &[ModelKind::ResNet50, ModelKind::BertBase]);
-    println!("\n{:<26} {:>14} {:>10} {:>10}", "config", "ips", "power W", "area mm2");
+    println!(
+        "\n{:<26} {:>14} {:>10} {:>10}",
+        "config", "ips", "power W", "area mm2"
+    );
     for p in &points {
-        println!("{:<26} {:>14.1} {:>10.2} {:>10.1}", p.config.label(), p.throughput_ips, p.power_watts, p.area_mm2);
+        println!(
+            "{:<26} {:>14.1} {:>10.2} {:>10.1}",
+            p.config.label(),
+            p.throughput_ips,
+            p.power_watts,
+            p.area_mm2
+        );
     }
 
     let frontier = power_performance_frontier(&points);
     println!("\npower-performance Pareto frontier (within the drive budget):");
     for p in &frontier {
-        println!("  {:<26} {:>12.1} ips @ {:>6.2} W", p.config.label(), p.throughput_ips, p.power_watts);
+        println!(
+            "  {:<26} {:>12.1} ips @ {:>6.2} W",
+            p.config.label(),
+            p.throughput_ips,
+            p.power_watts
+        );
     }
 
     let best = select_optimal(&points).expect("non-empty frontier");

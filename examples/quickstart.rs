@@ -17,7 +17,11 @@ fn print_breakdown(label: &str, b: &LatencyBreakdown) {
     println!("  compute         : {:>10}", b.compute);
     println!("  notification    : {:>10}", b.notification);
     println!("  system stack    : {:>10}", b.system_stack);
-    println!("  total           : {:>10}  (communication share {:.0}%)", b.total(), b.communication_fraction() * 100.0);
+    println!(
+        "  total           : {:>10}  (communication share {:.0}%)",
+        b.total(),
+        b.communication_fraction() * 100.0
+    );
 }
 
 fn main() {

@@ -53,8 +53,14 @@ fn main() {
     let meta = store
         .put("drone/frame-000193.jpg", spec.input_size, true, &mut rng)
         .expect("store has DSCS nodes");
-    let data_node = store.dscs_replica("drone/frame-000193.jpg").expect("object exists").expect("has a DSCS replica");
-    println!("image ({}) stored with replicas {:?}; DSCS replica on node {:?}", meta.size, meta.replicas, data_node);
+    let data_node = store
+        .dscs_replica("drone/frame-000193.jpg")
+        .expect("object exists")
+        .expect("has a DSCS replica");
+    println!(
+        "image ({}) stored with replicas {:?}; DSCS replica on node {:?}",
+        meta.size, meta.replicas, data_node
+    );
 
     // 3. Schedule the request: the DSCS-aware scheduler maps it onto the
     //    storage node that already holds the data.
@@ -82,7 +88,8 @@ fn main() {
             batch,
             ..EvalOptions::default()
         };
-        let baseline = system.evaluate(Benchmark::RemoteSensing, PlatformKind::BaselineCpu, options);
+        let baseline =
+            system.evaluate(Benchmark::RemoteSensing, PlatformKind::BaselineCpu, options);
         let dscs = system.evaluate(Benchmark::RemoteSensing, PlatformKind::DscsDsa, options);
         println!(
             "batch {batch:>3}: baseline {:>9.1} ms | DSCS {:>9.1} ms | speedup {:>5.2}x | per-image DSCS latency {:>7.1} ms",

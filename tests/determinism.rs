@@ -1,0 +1,68 @@
+//! Determinism regression tests: the at-scale simulation is a pure function
+//! of its seed. Two runs with the same [`DeterministicRng`] seed must produce
+//! bit-identical latency series; different seeds must not.
+
+use dscs_serverless::cluster::sim::simulate_platform;
+use dscs_serverless::cluster::trace::RateProfile;
+use dscs_serverless::platforms::PlatformKind;
+use dscs_serverless::simcore::rng::DeterministicRng;
+use dscs_serverless::simcore::time::SimDuration;
+
+fn one_minute_trace(seed: u64) -> Vec<dscs_serverless::cluster::trace::TraceRequest> {
+    let profile = RateProfile {
+        segments: vec![
+            (SimDuration::from_secs(30), 900.0),
+            (SimDuration::from_secs(30), 1500.0),
+        ],
+    };
+    profile.generate(&mut DeterministicRng::seeded(seed))
+}
+
+#[test]
+fn same_seed_produces_bit_identical_latency_series() {
+    let trace = one_minute_trace(11);
+    for platform in [PlatformKind::BaselineCpu, PlatformKind::DscsDsa] {
+        let a = simulate_platform(platform, &trace, 77);
+        let b = simulate_platform(platform, &trace, 77);
+        // Exact f64 equality on every bucketed series — any nondeterminism
+        // (iteration order, uncached RNG draws) shows up here immediately.
+        assert_eq!(a.latency_ms, b.latency_ms, "{platform:?} latency series");
+        assert_eq!(a.queued, b.queued, "{platform:?} queue series");
+        assert_eq!(a.offered_rps, b.offered_rps, "{platform:?} offered load");
+        assert_eq!(a.completed, b.completed, "{platform:?} completed");
+        assert_eq!(a.rejected, b.rejected, "{platform:?} rejected");
+        let (sa, sb) = (
+            a.latency_summary.expect("ran"),
+            b.latency_summary.expect("ran"),
+        );
+        assert_eq!(sa.p50().to_bits(), sb.p50().to_bits(), "{platform:?} p50");
+        assert_eq!(sa.p99().to_bits(), sb.p99().to_bits(), "{platform:?} p99");
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_latency_series() {
+    let trace = one_minute_trace(11);
+    let a = simulate_platform(PlatformKind::DscsDsa, &trace, 77);
+    let b = simulate_platform(PlatformKind::DscsDsa, &trace, 78);
+    assert_ne!(
+        a.latency_ms, b.latency_ms,
+        "independent seeds must perturb the service-time jitter"
+    );
+}
+
+#[test]
+fn same_seed_produces_bit_identical_traces() {
+    let t1 = one_minute_trace(42);
+    let t2 = one_minute_trace(42);
+    assert_eq!(t1.len(), t2.len());
+    for (a, b) in t1.iter().zip(&t2) {
+        assert_eq!(a.arrival.as_nanos(), b.arrival.as_nanos());
+    }
+    let t3 = one_minute_trace(43);
+    assert_ne!(
+        t1.len(),
+        t3.len(),
+        "different trace seeds should differ in arrivals"
+    );
+}

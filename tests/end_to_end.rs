@@ -35,8 +35,14 @@ fn geomean_energy_reduction(platform: PlatformKind, baseline: PlatformKind) -> f
     let ratios: Vec<f64> = Benchmark::ALL
         .iter()
         .map(|&b| {
-            let base = sys.evaluate(b, baseline, EvalOptions::default()).total_energy().as_f64();
-            let this = sys.evaluate(b, platform, EvalOptions::default()).total_energy().as_f64();
+            let base = sys
+                .evaluate(b, baseline, EvalOptions::default())
+                .total_energy()
+                .as_f64();
+            let this = sys
+                .evaluate(b, platform, EvalOptions::default())
+                .total_energy()
+                .as_f64();
             base / this
         })
         .collect();
@@ -67,7 +73,10 @@ fn headline_dscs_beats_conventional_computational_storage() {
     let over_arm = geomean_speedup(PlatformKind::DscsDsa, PlatformKind::NsArm);
     let over_fpga = geomean_speedup(PlatformKind::DscsDsa, PlatformKind::NsFpga);
     assert!(over_arm > 2.0, "speedup over NS-ARM {over_arm}");
-    assert!((1.05..3.0).contains(&over_fpga), "speedup over NS-FPGA {over_fpga}");
+    assert!(
+        (1.05..3.0).contains(&over_fpga),
+        "speedup over NS-FPGA {over_fpga}"
+    );
     assert!(over_arm > over_fpga, "the ARM cores should trail the FPGA");
 }
 
@@ -97,14 +106,28 @@ fn full_stack_flow_from_yaml_to_placement_to_latency() {
     let pipeline = parse_deployment(yaml).expect("valid yaml");
     let mut registry = FunctionRegistry::new();
     registry.deploy(pipeline).expect("deploy");
-    assert_eq!(registry.app("ppe-detection").expect("deployed").acceleratable_prefix_len(), 2);
+    assert_eq!(
+        registry
+            .app("ppe-detection")
+            .expect("deployed")
+            .acceleratable_prefix_len(),
+        2
+    );
 
     let mut store = ObjectStore::with_node_counts(4, 2);
     let mut rng = DeterministicRng::seeded(3);
     store
-        .put("images/worker.jpg", Benchmark::PpeDetection.spec().input_size, true, &mut rng)
+        .put(
+            "images/worker.jpg",
+            Benchmark::PpeDetection.spec().input_size,
+            true,
+            &mut rng,
+        )
         .expect("stored");
-    let dscs_node = store.dscs_replica("images/worker.jpg").expect("exists").expect("on a DSCS drive");
+    let dscs_node = store
+        .dscs_replica("images/worker.jpg")
+        .expect("exists")
+        .expect("on a DSCS drive");
 
     let mut scheduler = Scheduler::new(
         vec![
@@ -123,11 +146,22 @@ fn full_stack_flow_from_yaml_to_placement_to_latency() {
         })
         .expect("submitted");
     let placed = scheduler.dispatch();
-    assert!(placed[0].1.uses_dsa(), "acceleratable request lands on the DSCS drive");
+    assert!(
+        placed[0].1.uses_dsa(),
+        "acceleratable request lands on the DSCS drive"
+    );
 
     let sys = SystemModel::new();
-    let report = sys.evaluate(Benchmark::PpeDetection, PlatformKind::DscsDsa, EvalOptions::default());
-    assert!(report.total_latency().as_millis_f64() < 150.0, "DSCS end-to-end {:?}", report.total_latency());
+    let report = sys.evaluate(
+        Benchmark::PpeDetection,
+        PlatformKind::DscsDsa,
+        EvalOptions::default(),
+    );
+    assert!(
+        report.total_latency().as_millis_f64() < 150.0,
+        "DSCS end-to-end {:?}",
+        report.total_latency()
+    );
 }
 
 #[test]
@@ -149,9 +183,20 @@ fn dsa_compile_and_execute_for_every_benchmark_model() {
 
 #[test]
 fn chosen_dsa_configuration_fits_the_drive_power_budget() {
-    let point = evaluate_config(DsaConfig::paper_optimal(), &[ModelKind::ResNet50, ModelKind::BertBase]);
-    assert!(point.power_watts < DRIVE_POWER_BUDGET_WATTS, "provisioned power {}", point.power_watts);
-    assert!(point.throughput_ips > 50.0, "throughput {}", point.throughput_ips);
+    let point = evaluate_config(
+        DsaConfig::paper_optimal(),
+        &[ModelKind::ResNet50, ModelKind::BertBase],
+    );
+    assert!(
+        point.power_watts < DRIVE_POWER_BUDGET_WATTS,
+        "provisioned power {}",
+        point.power_watts
+    );
+    assert!(
+        point.throughput_ips > 50.0,
+        "throughput {}",
+        point.throughput_ips
+    );
 }
 
 #[test]
@@ -166,8 +211,14 @@ fn at_scale_simulation_preserves_the_figure_13_shape() {
     let trace = profile.generate(&mut DeterministicRng::seeded(21));
     let baseline = simulate_platform(PlatformKind::BaselineCpu, &trace, 22);
     let dscs = simulate_platform(PlatformKind::DscsDsa, &trace, 22);
-    assert!(baseline.peak_queue() > dscs.peak_queue(), "baseline queues more");
-    assert!(baseline.mean_latency_ms() > dscs.mean_latency_ms(), "baseline is slower at scale");
+    assert!(
+        baseline.peak_queue() > dscs.peak_queue(),
+        "baseline queues more"
+    );
+    assert!(
+        baseline.mean_latency_ms() > dscs.mean_latency_ms(),
+        "baseline is slower at scale"
+    );
     assert_eq!(dscs.completed + dscs.rejected, trace.len() as u64);
 }
 

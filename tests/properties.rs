@@ -1,6 +1,9 @@
 //! Property-based tests over the core data structures and invariants.
-
-use proptest::prelude::*;
+//!
+//! The build environment has no registry access, so instead of `proptest`
+//! these run on a small in-file harness: each property is exercised over many
+//! randomized cases drawn from a [`DeterministicRng`], with the failing case's
+//! seed index reported on assertion failure so it can be replayed exactly.
 
 use dscs_serverless::compiler::{gemm_dims, select_tiling};
 use dscs_serverless::dsa::config::{DsaConfig, MemoryKind, TechnologyNode};
@@ -16,23 +19,39 @@ use dscs_serverless::simcore::stats::Summary;
 use dscs_serverless::simcore::time::SimDuration;
 use dscs_serverless::storage::object_store::ObjectStore;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Number of randomized cases per property (matches the proptest config the
+/// suite originally used).
+const CASES: u64 = 64;
 
-    /// The Pareto frontier never contains a dominated point and never loses a
-    /// non-dominated one.
-    #[test]
-    fn pareto_frontier_is_exactly_the_non_dominated_set(
-        points in prop::collection::vec((0.1f64..100.0, 0.1f64..100.0), 1..60)
-    ) {
-        let candidates: Vec<ParetoPoint<usize>> = points
-            .iter()
-            .enumerate()
-            .map(|(i, &(cost, benefit))| ParetoPoint::new(cost, benefit, i))
+/// Runs `body` over `CASES` independent generators derived from `seed`. The
+/// case index is passed through so failure messages identify the exact case.
+fn check(seed: u64, mut body: impl FnMut(u64, &mut DeterministicRng)) {
+    for case in 0..CASES {
+        let mut rng = DeterministicRng::seeded(seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        body(case, &mut rng);
+    }
+}
+
+/// Uniform integer in `[lo, hi)`, mirroring proptest's `lo..hi` ranges.
+fn int_in(rng: &mut DeterministicRng, lo: u64, hi: u64) -> u64 {
+    lo + rng.next_index((hi - lo) as usize) as u64
+}
+
+/// The Pareto frontier never contains a dominated point and never loses a
+/// non-dominated one.
+#[test]
+fn pareto_frontier_is_exactly_the_non_dominated_set() {
+    check(0xA1, |case, rng| {
+        let len = int_in(rng, 1, 60) as usize;
+        let candidates: Vec<ParetoPoint<usize>> = (0..len)
+            .map(|i| ParetoPoint::new(rng.uniform(0.1, 100.0), rng.uniform(0.1, 100.0), i))
             .collect();
         let frontier = pareto_frontier(candidates.clone());
         for f in &frontier {
-            prop_assert!(!candidates.iter().any(|c| c.dominates(f)), "frontier point dominated");
+            assert!(
+                !candidates.iter().any(|c| c.dominates(f)),
+                "case {case}: frontier point dominated"
+            );
         }
         for c in &candidates {
             let dominated = candidates.iter().any(|other| other.dominates(c));
@@ -40,133 +59,218 @@ proptest! {
             if !dominated && !on_frontier {
                 // A non-dominated point may be dropped only if an identical
                 // (cost, benefit) pair is already on the frontier.
-                let duplicate = frontier.iter().any(|f| f.cost == c.cost && f.benefit == c.benefit);
-                prop_assert!(duplicate, "non-dominated point missing from frontier");
+                let duplicate = frontier
+                    .iter()
+                    .any(|f| f.cost == c.cost && f.benefit == c.benefit);
+                assert!(
+                    duplicate,
+                    "case {case}: non-dominated point missing from frontier"
+                );
             }
         }
-    }
+    });
+}
 
-    /// Tiling always fits the double-buffered working set in the scratchpad
-    /// and always covers the full GEMM.
-    #[test]
-    fn tiling_fits_and_covers(m in 1u64..5000, k in 1u64..5000, n in 1u64..5000) {
+/// Tiling always fits the double-buffered working set in the scratchpad
+/// and always covers the full GEMM.
+#[test]
+fn tiling_fits_and_covers() {
+    check(0xA2, |case, rng| {
+        let (m, k, n) = (
+            int_in(rng, 1, 5000),
+            int_in(rng, 1, 5000),
+            int_in(rng, 1, 5000),
+        );
         let config = DsaConfig::paper_optimal();
         let tiling = select_tiling(&config, m, k, n);
-        prop_assert!(tiling.buffer_bytes() <= config.buffer_bytes);
-        prop_assert!(tiling.tile_m >= 1 && tiling.tile_k >= 1 && tiling.tile_n >= 1);
-        prop_assert!(tiling.tile_count(m, k, n) >= 1);
-    }
+        assert!(
+            tiling.buffer_bytes() <= config.buffer_bytes,
+            "case {case}: ({m},{k},{n})"
+        );
+        assert!(
+            tiling.tile_m >= 1 && tiling.tile_k >= 1 && tiling.tile_n >= 1,
+            "case {case}"
+        );
+        assert!(tiling.tile_count(m, k, n) >= 1, "case {case}");
+    });
+}
 
-    /// Convolution lowering to implicit GEMM preserves the FLOP count exactly.
-    #[test]
-    fn conv_lowering_preserves_flops(
-        batch in 1u64..4,
-        in_channels in 1u64..128,
-        out_channels in 1u64..128,
-        size in 4u64..64,
-        kernel in 1u64..5,
-        stride in 1u64..3,
-    ) {
+/// Convolution lowering to implicit GEMM preserves the FLOP count exactly.
+#[test]
+fn conv_lowering_preserves_flops() {
+    check(0xA3, |case, rng| {
         let op = Operator::Conv2d {
-            batch,
-            in_channels,
-            out_channels,
-            in_h: size,
-            in_w: size,
-            kernel,
-            stride,
+            batch: int_in(rng, 1, 4),
+            in_channels: int_in(rng, 1, 128),
+            out_channels: int_in(rng, 1, 128),
+            in_h: int_in(rng, 4, 64),
+            in_w: int_in(rng, 4, 64),
+            kernel: int_in(rng, 1, 5),
+            stride: int_in(rng, 1, 3),
             dtype: DType::Int8,
         };
         let dims = gemm_dims(&op).expect("conv is GEMM-class");
-        prop_assert_eq!(2 * dims.m * dims.k * dims.n, op.flops());
-    }
+        assert_eq!(
+            2 * dims.m * dims.k * dims.n,
+            op.flops(),
+            "case {case}: {op:?}"
+        );
+    });
+}
 
-    /// The systolic-array cycle count is monotone in each GEMM dimension.
-    #[test]
-    fn mpu_cycles_are_monotone(m in 1u64..512, k in 1u64..512, n in 1u64..512) {
+/// The systolic-array cycle count is monotone in each GEMM dimension.
+#[test]
+fn mpu_cycles_are_monotone() {
+    check(0xA4, |case, rng| {
+        let (m, k, n) = (
+            int_in(rng, 1, 512),
+            int_in(rng, 1, 512),
+            int_in(rng, 1, 512),
+        );
         let mpu = MpuModel::new(&DsaConfig::paper_optimal());
         let base = mpu.gemm_cycles(m, k, n);
-        prop_assert!(mpu.gemm_cycles(m + 1, k, n) >= base);
-        prop_assert!(mpu.gemm_cycles(m, k + 1, n) >= base);
-        prop_assert!(mpu.gemm_cycles(m, k, n + 1) >= base);
-    }
+        assert!(
+            mpu.gemm_cycles(m + 1, k, n) >= base,
+            "case {case}: ({m},{k},{n})"
+        );
+        assert!(
+            mpu.gemm_cycles(m, k + 1, n) >= base,
+            "case {case}: ({m},{k},{n})"
+        );
+        assert!(
+            mpu.gemm_cycles(m, k, n + 1) >= base,
+            "case {case}: ({m},{k},{n})"
+        );
+    });
+}
 
-    /// Summary quantiles are monotone in the quantile and bounded by min/max.
-    #[test]
-    fn summary_quantiles_are_monotone(values in prop::collection::vec(0.0f64..1e6, 1..200)) {
+/// Summary quantiles are monotone in the quantile and bounded by min/max.
+#[test]
+fn summary_quantiles_are_monotone() {
+    check(0xA5, |case, rng| {
+        let len = int_in(rng, 1, 200) as usize;
+        let values: Vec<f64> = (0..len).map(|_| rng.uniform(0.0, 1e6)).collect();
         let summary = Summary::from_samples(&values);
         let mut previous = summary.min();
         for i in 0..=20 {
             let q = i as f64 / 20.0;
             let v = summary.quantile(q);
-            prop_assert!(v + 1e-9 >= previous, "quantiles must not decrease");
-            prop_assert!(v >= summary.min() - 1e-9 && v <= summary.max() + 1e-9);
+            assert!(
+                v + 1e-9 >= previous,
+                "case {case}: quantiles must not decrease"
+            );
+            assert!(
+                v >= summary.min() - 1e-9 && v <= summary.max() + 1e-9,
+                "case {case}: quantile out of bounds"
+            );
             previous = v;
         }
-    }
+    });
+}
 
-    /// A calibrated lognormal reproduces its own median within sampling error.
-    #[test]
-    fn lognormal_calibration_roundtrips(median_ms in 1.0f64..100.0, tail_factor in 1.1f64..4.0) {
-        let median = median_ms / 1e3;
+/// A calibrated lognormal reproduces its own median within sampling error.
+#[test]
+fn lognormal_calibration_roundtrips() {
+    check(0xA6, |case, rng| {
+        let median = rng.uniform(1.0, 100.0) / 1e3;
+        let tail_factor = rng.uniform(1.1, 4.0);
         let dist = LogNormalDist::from_median_p99(median, median * tail_factor);
-        let mut rng = DeterministicRng::seeded(9);
-        let samples: Vec<f64> = (0..4_000).map(|_| dist.sample(&mut rng)).collect();
+        let mut sample_rng = DeterministicRng::seeded(9);
+        let samples: Vec<f64> = (0..4_000).map(|_| dist.sample(&mut sample_rng)).collect();
         let s = Summary::from_samples(&samples);
-        prop_assert!((s.p50() - median).abs() / median < 0.15, "p50 {} vs median {}", s.p50(), median);
-    }
+        assert!(
+            (s.p50() - median).abs() / median < 0.15,
+            "case {case}: p50 {} vs median {median}",
+            s.p50()
+        );
+    });
+}
 
-    /// Cubic polynomial fits recover exact cubic data.
-    #[test]
-    fn polyfit_recovers_cubics(a in -2.0f64..2.0, b in -2.0f64..2.0, c in -0.5f64..0.5, d in -0.05f64..0.05) {
-        let pts: Vec<(f64, f64)> = (0..24).map(|i| {
-            let x = i as f64;
-            (x, a + b * x + c * x * x + d * x * x * x)
-        }).collect();
+/// Cubic polynomial fits recover exact cubic data.
+#[test]
+fn polyfit_recovers_cubics() {
+    check(0xA7, |case, rng| {
+        let a = rng.uniform(-2.0, 2.0);
+        let b = rng.uniform(-2.0, 2.0);
+        let c = rng.uniform(-0.5, 0.5);
+        let d = rng.uniform(-0.05, 0.05);
+        let pts: Vec<(f64, f64)> = (0..24)
+            .map(|i| {
+                let x = i as f64;
+                (x, a + b * x + c * x * x + d * x * x * x)
+            })
+            .collect();
         let poly = polyfit(&pts, 3);
         for &(x, y) in &pts {
             let err = (poly.eval(x) - y).abs();
-            prop_assert!(err < 1e-5 * (1.0 + y.abs()), "fit error {err} at {x}");
+            assert!(
+                err < 1e-5 * (1.0 + y.abs()),
+                "case {case}: fit error {err} at {x}"
+            );
         }
-    }
+    });
+}
 
-    /// Object-store placement always respects the replication factor and puts
-    /// acceleratable objects on a DSCS drive.
-    #[test]
-    fn object_store_placement_invariants(objects in prop::collection::vec((1u64..32_000_000, any::<bool>()), 1..40), seed in 0u64..1000) {
+/// Object-store placement always respects the replication factor and puts
+/// acceleratable objects on a DSCS drive.
+#[test]
+fn object_store_placement_invariants() {
+    check(0xA8, |case, rng| {
+        let len = int_in(rng, 1, 40) as usize;
+        let objects: Vec<(u64, bool)> = (0..len)
+            .map(|_| (int_in(rng, 1, 32_000_000), rng.bernoulli(0.5)))
+            .collect();
+        let seed = int_in(rng, 0, 1000);
         let mut store = ObjectStore::with_node_counts(5, 3);
-        let mut rng = DeterministicRng::seeded(seed);
+        let mut place_rng = DeterministicRng::seeded(seed);
         for (i, &(size, acceleratable)) in objects.iter().enumerate() {
             let key = format!("obj-{i}");
-            let meta = store.put(&key, Bytes::new(size), acceleratable, &mut rng).expect("store has DSCS nodes");
-            prop_assert_eq!(meta.replicas.len(), 3);
+            let meta = store
+                .put(&key, Bytes::new(size), acceleratable, &mut place_rng)
+                .expect("store has DSCS nodes");
+            assert_eq!(meta.replicas.len(), 3, "case {case}");
             let mut unique = meta.replicas.clone();
             unique.sort_unstable();
             unique.dedup();
-            prop_assert_eq!(unique.len(), 3, "replicas must be distinct");
+            assert_eq!(unique.len(), 3, "case {case}: replicas must be distinct");
             if acceleratable {
-                prop_assert!(store.dscs_replica(&key).expect("exists").is_some());
+                assert!(
+                    store.dscs_replica(&key).expect("exists").is_some(),
+                    "case {case}"
+                );
             }
         }
-    }
+    });
+}
 
-    /// Time arithmetic: converting seconds to a duration and back is stable to
-    /// nanosecond rounding.
-    #[test]
-    fn duration_roundtrip(seconds in 0.0f64..10_000.0) {
+/// Time arithmetic: converting seconds to a duration and back is stable to
+/// nanosecond rounding.
+#[test]
+fn duration_roundtrip() {
+    check(0xA9, |case, rng| {
+        let seconds = rng.uniform(0.0, 10_000.0);
         let d = SimDuration::from_secs_f64(seconds);
-        prop_assert!((d.as_secs_f64() - seconds).abs() < 1e-9 * (1.0 + seconds));
-    }
+        assert!(
+            (d.as_secs_f64() - seconds).abs() < 1e-9 * (1.0 + seconds),
+            "case {case}: {seconds}"
+        );
+    });
+}
 
-    /// DSA configurations in the sweep ranges always validate.
-    #[test]
-    fn dsa_configs_validate(dim_exp in 2u32..10, buffer_mib in 1u64..32) {
-        let dim = 1u64 << dim_exp;
+/// DSA configurations in the sweep ranges always validate.
+#[test]
+fn dsa_configs_validate() {
+    check(0xAA, |case, rng| {
+        let dim = 1u64 << int_in(rng, 2, 10);
+        let buffer_mib = int_in(rng, 1, 32);
         let buffer = (buffer_mib * 1024 * 1024).max(6 * dim * dim);
         for memory in MemoryKind::ALL {
             let config = DsaConfig::square(dim, buffer, memory, TechnologyNode::Nm45);
-            prop_assert!(config.validate().is_ok());
-            prop_assert!(config.peak_ops_per_sec() > 0.0);
+            assert!(
+                config.validate().is_ok(),
+                "case {case}: dim {dim} buffer {buffer}"
+            );
+            assert!(config.peak_ops_per_sec() > 0.0, "case {case}");
         }
-    }
+    });
 }

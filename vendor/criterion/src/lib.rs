@@ -1,0 +1,152 @@
+//! Offline minimal stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no registry access, so the real `criterion`
+//! cannot be fetched. This stub implements the small API surface the
+//! workspace benches use — `Criterion::bench_function`,
+//! `Criterion::benchmark_group` (with `sample_size`/`bench_function`/
+//! `finish`), `Bencher::iter`, and the `criterion_group!`/`criterion_main!`
+//! macros — and reports mean wall-clock time per iteration. It honors
+//! `--bench` (ignored filter args) so `cargo bench` invocations pass through.
+//! Replace with the real crates.io `criterion` once network access exists.
+
+use std::hint;
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level benchmark driver; collects and times benchmark functions.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes `--bench` and an optional name filter; keep the
+        // filter so `cargo bench <name>` narrows what runs, ignore flags.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            sample_size: 10,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark and prints its mean iteration time.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.sample_size, self.filter.as_deref(), f);
+        self
+    }
+
+    /// Starts a named group of benchmarks sharing configuration.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks with shared sample-size configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs `f` as a named benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.sample_size, self.criterion.filter.as_deref(), f);
+        self
+    }
+
+    /// Finishes the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; `iter` times the provided routine.
+pub struct Bencher {
+    samples: usize,
+    total_nanos: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `sample` times.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            hint::black_box(routine());
+        }
+        self.total_nanos += start.elapsed().as_nanos();
+        self.iters += self.samples as u64;
+    }
+}
+
+fn run_one<F>(id: &str, samples: usize, filter: Option<&str>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(filter) = filter {
+        if !id.contains(filter) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        samples,
+        total_nanos: 0,
+        iters: 0,
+    };
+    f(&mut bencher);
+    if bencher.iters > 0 {
+        let mean = bencher.total_nanos as f64 / bencher.iters as f64;
+        println!(
+            "bench {id}: {:.3} ms/iter ({} iters)",
+            mean / 1e6,
+            bencher.iters
+        );
+    }
+}
+
+/// Bundles benchmark functions into a single runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` that runs each registered benchmark group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

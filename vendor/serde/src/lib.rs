@@ -1,0 +1,15 @@
+//! Offline API-surface stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names in both the trait and macro
+//! namespaces so `use serde::{Deserialize, Serialize};` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. The derives expand
+//! to nothing (see `serde_derive`); replace this vendored stub with the real
+//! crates.io `serde` once network access is available.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
