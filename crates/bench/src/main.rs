@@ -11,10 +11,19 @@
 //!             fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17
 //! --full:     run the full-size sweeps (complete 650+-point DSE, full
 //!             20-minute at-scale trace) instead of the quick versions.
+//!
+//! reproduce at-scale [--quick] [--seed N] [--racks N]
+//!                    [--balancer round-robin|least-loaded] [--out PATH]
+//!
+//! Sweeps scheduler x keepalive x platform over the bursty Figure-13 trace
+//! and an Azure-style synthetic workload, sharded over multiple racks, and
+//! writes a machine-readable JSON report (default: BENCH_cluster.json).
 //! ```
 
 use std::env;
 
+use dscs_cluster::at_scale::{at_scale_sweep, AtScaleOptions, SweepScale};
+use dscs_cluster::policy::LoadBalancer;
 use dscs_cluster::sim::simulate_platform;
 use dscs_cluster::trace::RateProfile;
 use dscs_core::benchmarks::Benchmark;
@@ -30,7 +39,6 @@ use dscs_dse::space::{enumerate, enumerate_small};
 use dscs_platforms::PlatformKind;
 use dscs_simcore::rng::DeterministicRng;
 use dscs_simcore::stats::geometric_mean;
-use dscs_simcore::time::SimDuration;
 
 /// One experiment entry: the names that select it, and its runner (the bool
 /// carries the `--full` flag).
@@ -38,6 +46,11 @@ type Experiment = (&'static [&'static str], fn(bool));
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
+    if let Some(at) = args.iter().position(|a| a == "at-scale") {
+        let rest: Vec<String> = args[..at].iter().chain(&args[at + 1..]).cloned().collect();
+        at_scale(&rest);
+        return;
+    }
     let full = args.iter().any(|a| a == "--full");
     let which = args
         .iter()
@@ -69,7 +82,7 @@ fn main() {
     let known =
         |name: &str| name == "all" || experiments.iter().any(|(names, _)| names.contains(&name));
     if !known(&which) {
-        let mut names: Vec<&str> = vec!["all"];
+        let mut names: Vec<&str> = vec!["all", "at-scale"];
         names.extend(experiments.iter().flat_map(|(n, _)| n.iter().copied()));
         eprintln!(
             "unknown experiment '{which}'; expected one of: {}",
@@ -322,11 +335,7 @@ fn fig13(full: bool) {
         RateProfile::paper_bursty()
     } else {
         // One-quarter-length trace with the same rate steps for quick runs.
-        let mut p = RateProfile::paper_bursty();
-        for seg in &mut p.segments {
-            seg.0 = SimDuration::from_secs_f64(seg.0.as_secs_f64() / 4.0);
-        }
-        p
+        RateProfile::paper_bursty().compressed(4.0)
     };
     let trace = profile.generate(&mut DeterministicRng::seeded(99));
     println!("trace: {} requests over {}", trace.len(), profile.horizon());
@@ -391,4 +400,123 @@ fn fig16() {
 fn fig17() {
     header("Figure 17: cold vs warm containers");
     sensitivity(&exp::fig17_cold_start_sensitivity(), "cold=1");
+}
+
+/// `reproduce at-scale [--quick] [--seed N] [--racks N] [--balancer NAME]
+/// [--out PATH]`: the scheduler x keepalive x platform x workload policy
+/// sweep, written as a machine-readable JSON report.
+fn at_scale(args: &[String]) {
+    let mut options = if args.iter().any(|a| a == "--quick") {
+        AtScaleOptions::quick()
+    } else {
+        AtScaleOptions::full()
+    };
+    let mut out_path = String::from("BENCH_cluster.json");
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |name: &str| {
+            iter.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{name} needs a value");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match arg.as_str() {
+            "--quick" => {}
+            // The full-size sweep is the default; accept the flag the other
+            // experiments use for it.
+            "--full" => options.scale = SweepScale::Full,
+            "--seed" => {
+                options.seed = value_of("--seed").parse().unwrap_or_else(|_| {
+                    eprintln!("--seed must be an integer");
+                    std::process::exit(2);
+                });
+            }
+            "--racks" => {
+                options.racks = value_of("--racks").parse().unwrap_or_else(|_| {
+                    eprintln!("--racks must be a positive integer");
+                    std::process::exit(2);
+                });
+                if options.racks == 0 {
+                    eprintln!("--racks must be a positive integer");
+                    std::process::exit(2);
+                }
+            }
+            "--out" => out_path = value_of("--out"),
+            "--balancer" => {
+                let name = value_of("--balancer");
+                options.balancer = LoadBalancer::ALL
+                    .into_iter()
+                    .find(|b| b.name() == name)
+                    .unwrap_or_else(|| {
+                        eprintln!(
+                            "--balancer must be one of: {}",
+                            LoadBalancer::ALL.map(|b| b.name()).join(", ")
+                        );
+                        std::process::exit(2);
+                    });
+            }
+            other => {
+                eprintln!("unknown at-scale option '{other}'");
+                eprintln!(
+                    "usage: reproduce at-scale [--quick] [--seed N] [--racks N] \
+                     [--balancer round-robin|least-loaded] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    header(&format!(
+        "At-scale policy sweep ({}, {} racks, {} balancer, seed {})",
+        options.scale.name(),
+        options.racks,
+        options.balancer.name(),
+        options.seed
+    ));
+    if options.scale == SweepScale::Full {
+        println!("running the full 20-minute traces; pass --quick for a fast run");
+    }
+    let report = at_scale_sweep(options);
+    for w in &report.workloads {
+        println!(
+            "workload {:<8} {:>9} requests over {:>7.1} s",
+            w.name, w.requests, w.horizon_s
+        );
+    }
+    println!(
+        "\n{:<8} {:<18} {:<6} {:<18} {:>10} {:>9} {:>11} {:>12} {:>12}",
+        "workload",
+        "platform",
+        "sched",
+        "keepalive",
+        "completed",
+        "rejected",
+        "cold starts",
+        "mean ms",
+        "p99 ms"
+    );
+    for c in &report.cells {
+        println!(
+            "{:<8} {:<18} {:<6} {:<18} {:>10} {:>9} {:>11} {:>12.1} {:>12.1}",
+            c.workload,
+            c.platform.name(),
+            c.scheduler.name(),
+            c.keepalive.name(),
+            c.completed,
+            c.rejected,
+            c.cold_starts,
+            c.mean_latency_ms,
+            c.p99_latency_ms
+        );
+    }
+    let json = report.to_json();
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("\nwrote {} cells to {out_path}", report.cells.len()),
+        Err(err) => {
+            eprintln!("failed to write {out_path}: {err}");
+            std::process::exit(1);
+        }
+    }
 }

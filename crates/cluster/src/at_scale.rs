@@ -1,0 +1,347 @@
+//! The at-scale policy sweep: scheduler × keepalive × platform × workload.
+//!
+//! Where Figure 13 fixes one policy point (FCFS, fixed keepalive, one rack),
+//! this experiment sweeps the whole policy grid over multiple workloads and
+//! multi-rack configurations, and emits a machine-readable JSON report. CI
+//! runs the quick version of the sweep every build and uploads the report as
+//! an artifact (`BENCH_cluster.json`), giving the repo a tracked performance
+//! trajectory. Fixed-seed runs are byte-for-byte reproducible.
+
+use serde::{Deserialize, Serialize};
+
+use dscs_platforms::PlatformKind;
+use dscs_simcore::json::JsonValue;
+use dscs_simcore::rng::DeterministicRng;
+use dscs_simcore::time::SimDuration;
+
+use crate::policy::{KeepalivePolicy, LoadBalancer, SchedulerPolicy};
+use crate::sim::{ClusterConfig, ClusterSim};
+use crate::trace::{RateProfile, TraceRequest};
+use crate::workload::{AzureWorkload, Workload};
+
+/// How much of the full-size experiment to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SweepScale {
+    /// Tiny traces for unit tests (seconds of simulated time).
+    Smoke,
+    /// Shortened traces for CI smoke runs (a couple of simulated minutes).
+    Quick,
+    /// The full 20-minute traces.
+    Full,
+}
+
+impl SweepScale {
+    /// Machine-readable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SweepScale::Smoke => "smoke",
+            SweepScale::Quick => "quick",
+            SweepScale::Full => "full",
+        }
+    }
+}
+
+/// Options for one at-scale sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AtScaleOptions {
+    /// Experiment size.
+    pub scale: SweepScale,
+    /// Master seed; trace generation and service jitter derive from it.
+    pub seed: u64,
+    /// Number of racks the front end shards over.
+    pub racks: u32,
+    /// The front-end load balancer.
+    pub balancer: LoadBalancer,
+}
+
+impl AtScaleOptions {
+    /// The CI quick configuration: two racks, round-robin, seed 42.
+    pub fn quick() -> Self {
+        AtScaleOptions {
+            scale: SweepScale::Quick,
+            seed: 42,
+            racks: 2,
+            balancer: LoadBalancer::RoundRobin,
+        }
+    }
+
+    /// The full-size configuration: four racks (800 instances), round-robin.
+    pub fn full() -> Self {
+        AtScaleOptions {
+            racks: 4,
+            scale: SweepScale::Full,
+            ..AtScaleOptions::quick()
+        }
+    }
+
+    /// A minimal configuration for unit tests.
+    pub fn smoke() -> Self {
+        AtScaleOptions {
+            scale: SweepScale::Smoke,
+            ..AtScaleOptions::quick()
+        }
+    }
+}
+
+/// One cell of the sweep: a (workload, platform, scheduler, keepalive) point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepCell {
+    /// Workload name (`"bursty"`, `"azure"`).
+    pub workload: &'static str,
+    /// Platform under test.
+    pub platform: PlatformKind,
+    /// Scheduler policy.
+    pub scheduler: SchedulerPolicy,
+    /// Keepalive policy.
+    pub keepalive: KeepalivePolicy,
+    /// Requests offered by the trace.
+    pub requests: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests rejected on queue overflow.
+    pub rejected: u64,
+    /// Requests that paid a cold start.
+    pub cold_starts: u64,
+    /// Mean wall-clock latency (ms).
+    pub mean_latency_ms: f64,
+    /// p99 wall-clock latency (ms).
+    pub p99_latency_ms: f64,
+    /// Peak queued requests (per-bucket mean maximum, all racks).
+    pub peak_queue: f64,
+    /// Simulated makespan in seconds.
+    pub makespan_s: f64,
+    /// Requests completed per rack.
+    pub rack_completed: Vec<u64>,
+}
+
+/// Description of one workload used by the sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSummary {
+    /// Workload name.
+    pub name: &'static str,
+    /// Number of requests in the generated trace.
+    pub requests: u64,
+    /// Trace horizon in seconds.
+    pub horizon_s: f64,
+}
+
+/// The full sweep result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AtScaleReport {
+    /// The options the sweep ran under.
+    pub options: AtScaleOptions,
+    /// The workloads replayed.
+    pub workloads: Vec<WorkloadSummary>,
+    /// Every sweep cell, in deterministic order (workload, platform,
+    /// scheduler, keepalive).
+    pub cells: Vec<SweepCell>,
+}
+
+impl AtScaleReport {
+    /// The cells for one (workload, platform) pair.
+    pub fn cells_for(&self, workload: &str, platform: PlatformKind) -> Vec<&SweepCell> {
+        self.cells
+            .iter()
+            .filter(|c| c.workload == workload && c.platform == platform)
+            .collect()
+    }
+
+    /// Renders the report as compact, byte-for-byte reproducible JSON.
+    pub fn to_json(&self) -> String {
+        let mut root = JsonValue::object();
+        root.push("schema", "dscs-at-scale-v1");
+        root.push("scale", self.options.scale.name());
+        root.push("seed", self.options.seed);
+        root.push("racks", self.options.racks);
+        root.push("balancer", self.options.balancer.name());
+        root.push(
+            "workloads",
+            JsonValue::Array(
+                self.workloads
+                    .iter()
+                    .map(|w| {
+                        let mut obj = JsonValue::object();
+                        obj.push("name", w.name);
+                        obj.push("requests", w.requests);
+                        obj.push("horizon_s", w.horizon_s);
+                        obj
+                    })
+                    .collect(),
+            ),
+        );
+        root.push(
+            "cells",
+            JsonValue::Array(
+                self.cells
+                    .iter()
+                    .map(|c| {
+                        let mut obj = JsonValue::object();
+                        obj.push("workload", c.workload);
+                        obj.push("platform", c.platform.name());
+                        obj.push("scheduler", c.scheduler.name());
+                        obj.push("keepalive", c.keepalive.name());
+                        obj.push("requests", c.requests);
+                        obj.push("completed", c.completed);
+                        obj.push("rejected", c.rejected);
+                        obj.push("cold_starts", c.cold_starts);
+                        obj.push("mean_latency_ms", c.mean_latency_ms);
+                        obj.push("p99_latency_ms", c.p99_latency_ms);
+                        obj.push("peak_queue", c.peak_queue);
+                        obj.push("makespan_s", c.makespan_s);
+                        obj.push("rack_completed", c.rack_completed.clone());
+                        obj
+                    })
+                    .collect(),
+            ),
+        );
+        root.render()
+    }
+}
+
+/// The platforms the sweep compares (the Figure 13 pair).
+pub const SWEEP_PLATFORMS: [PlatformKind; 2] = [PlatformKind::BaselineCpu, PlatformKind::DscsDsa];
+
+/// Builds the sweep's workload traces at `scale` from `seed`.
+fn sweep_workloads(scale: SweepScale, seed: u64) -> Vec<(&'static str, Vec<TraceRequest>, f64)> {
+    let mut master = DeterministicRng::seeded(seed);
+    let bursty = match scale {
+        SweepScale::Smoke => RateProfile::paper_bursty().compressed(100.0),
+        SweepScale::Quick => RateProfile::paper_bursty().compressed(16.0),
+        SweepScale::Full => RateProfile::paper_bursty(),
+    };
+    let azure = match scale {
+        SweepScale::Smoke => AzureWorkload {
+            functions: 16,
+            base_rps: 200.0,
+            horizon: SimDuration::from_secs(20),
+            diurnal_period: SimDuration::from_secs(10),
+            step: SimDuration::from_secs(2),
+            ..AzureWorkload::default()
+        },
+        SweepScale::Quick => AzureWorkload::quick(),
+        SweepScale::Full => AzureWorkload::default(),
+    };
+    let mut out = Vec::new();
+    let mut bursty_rng = master.fork(1);
+    out.push((
+        Workload::name(&bursty),
+        Workload::generate(&bursty, &mut bursty_rng).expect("built-in profile is valid"),
+        Workload::horizon(&bursty).as_secs_f64(),
+    ));
+    let mut azure_rng = master.fork(2);
+    out.push((
+        azure.name(),
+        azure
+            .generate(&mut azure_rng)
+            .expect("built-in workload is valid"),
+        azure.horizon().as_secs_f64(),
+    ));
+    out
+}
+
+/// Runs the policy sweep: every scheduler × keepalive × platform combination
+/// over every workload, sharded over `options.racks` racks.
+pub fn at_scale_sweep(options: AtScaleOptions) -> AtScaleReport {
+    let workloads = sweep_workloads(options.scale, options.seed);
+    let mut cells = Vec::new();
+    // The end-to-end model evaluation behind ClusterSim::new depends only on
+    // the platform; policy cells reuse it via `reconfigured`.
+    let base_sims: Vec<ClusterSim> = SWEEP_PLATFORMS
+        .iter()
+        .map(|&p| ClusterSim::new(p, ClusterConfig::default()))
+        .collect();
+    for &(name, ref trace, _) in &workloads {
+        for (platform, base) in SWEEP_PLATFORMS.into_iter().zip(&base_sims) {
+            for scheduler in SchedulerPolicy::ALL {
+                for keepalive in KeepalivePolicy::all_default() {
+                    let config = ClusterConfig {
+                        scheduler,
+                        keepalive,
+                        ..ClusterConfig::default()
+                    };
+                    let sim = base.reconfigured(config);
+                    let (report, racks) = sim.run_sharded(
+                        trace,
+                        options.seed ^ 0x5EED,
+                        options.racks,
+                        options.balancer,
+                    );
+                    cells.push(SweepCell {
+                        workload: name,
+                        platform,
+                        scheduler,
+                        keepalive,
+                        requests: trace.len() as u64,
+                        completed: report.completed,
+                        rejected: report.rejected,
+                        cold_starts: report.cold_starts,
+                        mean_latency_ms: report.mean_latency_ms(),
+                        p99_latency_ms: report.p99_latency_ms(),
+                        peak_queue: report.peak_queue(),
+                        makespan_s: report.makespan.as_secs_f64(),
+                        rack_completed: racks.iter().map(|r| r.completed).collect(),
+                    });
+                }
+            }
+        }
+    }
+    AtScaleReport {
+        options,
+        workloads: workloads
+            .iter()
+            .map(|&(name, ref trace, horizon_s)| WorkloadSummary {
+                name,
+                requests: trace.len() as u64,
+                horizon_s,
+            })
+            .collect(),
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_covers_the_whole_grid() {
+        let report = at_scale_sweep(AtScaleOptions::smoke());
+        // 2 workloads x 2 platforms x 3 schedulers x 3 keepalive policies.
+        assert_eq!(report.cells.len(), 2 * 2 * 3 * 3);
+        assert_eq!(report.workloads.len(), 2);
+        for cell in &report.cells {
+            assert_eq!(cell.completed + cell.rejected, cell.requests);
+            assert!(cell.mean_latency_ms > 0.0);
+            assert_eq!(cell.rack_completed.len(), 2);
+        }
+    }
+
+    #[test]
+    fn sweep_json_is_reproducible_and_parsable_in_shape() {
+        let a = at_scale_sweep(AtScaleOptions::smoke()).to_json();
+        let b = at_scale_sweep(AtScaleOptions::smoke()).to_json();
+        assert_eq!(a, b, "fixed seed must reproduce byte-for-byte");
+        assert!(a.starts_with('{') && a.ends_with('}'));
+        assert!(a.contains("\"schema\":\"dscs-at-scale-v1\""));
+        assert!(a.contains("\"workload\":\"azure\""));
+        assert!(a.contains("\"keepalive\":\"hybrid-histogram\""));
+    }
+
+    #[test]
+    fn dscs_outperforms_the_baseline_across_the_grid() {
+        let report = at_scale_sweep(AtScaleOptions::smoke());
+        for workload in ["bursty", "azure"] {
+            let base: f64 = report
+                .cells_for(workload, PlatformKind::BaselineCpu)
+                .iter()
+                .map(|c| c.mean_latency_ms)
+                .sum();
+            let dscs: f64 = report
+                .cells_for(workload, PlatformKind::DscsDsa)
+                .iter()
+                .map(|c| c.mean_latency_ms)
+                .sum();
+            assert!(dscs < base, "{workload}: dscs {dscs} vs baseline {base}");
+        }
+    }
+}

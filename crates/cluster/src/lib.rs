@@ -1,13 +1,23 @@
 //! # dscs-cluster
 //!
-//! At-scale datacenter simulation for the DSCS-Serverless evaluation
-//! (Figure 13): a 200-instance rack served by an FCFS scheduler with a
-//! 10 000-deep queue, driven by a bursty 20-minute Poisson trace, with
-//! per-request service times taken from the end-to-end model.
+//! At-scale datacenter simulation for the DSCS-Serverless evaluation: racks of
+//! up to 200 function instances behind bounded scheduler queues, driven by
+//! pluggable workloads, scheduler policies, keepalive policies and a
+//! multi-rack front-end load balancer.
 //!
-//! * [`trace`] — bursty request-trace generation (Figure 13a).
-//! * [`sim`] — the discrete-event cluster simulation and its reported series
-//!   (queued functions over time, wall-clock latency over time).
+//! * [`trace`] — the bursty Figure-13a request trace ([`RateProfile`]).
+//! * [`workload`] — the [`Workload`] trait and the Azure-functions-style
+//!   synthetic generator ([`AzureWorkload`]: Zipf popularity skew, diurnal
+//!   cycles, burst episodes).
+//! * [`policy`] — scheduler policies (FCFS, shortest-job-first, per-benchmark
+//!   fair), keepalive policies (none, fixed window, hybrid histogram) and
+//!   front-end load balancers (round-robin, least-loaded).
+//! * [`sim`] — the discrete-event cluster simulation: cold starts priced by
+//!   `dscs-faas`'s container-lifecycle model, multi-rack sharding, and the
+//!   reported series (queued functions over time, wall-clock latency over
+//!   time).
+//! * [`at_scale`] — the policy sweep behind `reproduce at-scale` and the CI
+//!   perf artifact (`BENCH_cluster.json`).
 //!
 //! # Example
 //!
@@ -28,8 +38,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod at_scale;
+pub mod policy;
 pub mod sim;
 pub mod trace;
+pub mod workload;
 
-pub use sim::{simulate_platform, ClusterConfig, ClusterReport, ClusterSim};
+pub use at_scale::{at_scale_sweep, AtScaleOptions, AtScaleReport, SweepCell, SweepScale};
+pub use policy::{KeepalivePolicy, KeepaliveState, LoadBalancer, SchedQueue, SchedulerPolicy};
+pub use sim::{simulate_platform, ClusterConfig, ClusterReport, ClusterSim, RackSummary};
 pub use trace::{RateProfile, TraceRequest};
+pub use workload::{AzureWorkload, Workload, WorkloadError};

@@ -1,0 +1,493 @@
+//! Pluggable scheduling, keepalive and load-balancing policies.
+//!
+//! The paper's at-scale evaluation fixes one policy point: FCFS scheduling,
+//! a 10-minute fixed keepalive, one rack. Serverless-platform studies (e.g.
+//! *Serverless in the Wild*'s hybrid-histogram keepalive) show the policy
+//! choice dominates cold-start behaviour and therefore tail latency, so the
+//! cluster simulation threads three policy axes through every run:
+//!
+//! * [`SchedulerPolicy`] — which queued request starts next when an instance
+//!   frees up (FCFS, shortest-job-first by model cost, per-benchmark fair).
+//! * [`KeepalivePolicy`] — how long an idle function's container stays warm
+//!   (none, fixed window, hybrid histogram learned from idle times).
+//! * [`LoadBalancer`] — how a multi-rack front end shards arriving requests
+//!   (round-robin, least-loaded).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use dscs_core::benchmarks::Benchmark;
+use dscs_simcore::time::{SimDuration, SimTime};
+
+/// Which queued request is started next when capacity frees up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulerPolicy {
+    /// First-come-first-served (the paper's policy).
+    Fcfs,
+    /// Shortest job first, by the platform's modelled service time for the
+    /// request's benchmark. Starves heavy benchmarks under overload but
+    /// minimises mean latency.
+    ShortestJobFirst,
+    /// Round-robin over per-benchmark FIFO queues, so one hot application
+    /// cannot starve the others.
+    FairPerBenchmark,
+}
+
+impl SchedulerPolicy {
+    /// Every scheduler policy.
+    pub const ALL: [SchedulerPolicy; 3] = [
+        SchedulerPolicy::Fcfs,
+        SchedulerPolicy::ShortestJobFirst,
+        SchedulerPolicy::FairPerBenchmark,
+    ];
+
+    /// Machine-readable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerPolicy::Fcfs => "fcfs",
+            SchedulerPolicy::ShortestJobFirst => "sjf",
+            SchedulerPolicy::FairPerBenchmark => "fair",
+        }
+    }
+}
+
+/// How long an idle function's container stays warm before eviction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum KeepalivePolicy {
+    /// Evict immediately: every non-concurrent invocation is a cold start.
+    NoKeepalive,
+    /// Keep every container warm for a fixed window after its last use
+    /// (OpenWhisk-style; the paper assumes 10 minutes).
+    FixedWindow(SimDuration),
+    /// Hybrid histogram (after *Serverless in the Wild*): learn each
+    /// function's idle-time distribution in a per-function histogram and keep
+    /// the container warm to the tail percentile of observed idle times,
+    /// falling back to `range` while the pattern is uncertain.
+    HybridHistogram {
+        /// Maximum window (and histogram span).
+        range: SimDuration,
+        /// Histogram bin width.
+        bin: SimDuration,
+    },
+}
+
+impl KeepalivePolicy {
+    /// The paper's fixed 10-minute keepalive.
+    pub fn paper_default() -> Self {
+        KeepalivePolicy::FixedWindow(SimDuration::from_secs(600))
+    }
+
+    /// The default hybrid-histogram configuration (10-minute range, 10-second
+    /// bins — scaled-down analogues of the 4-hour/1-minute Azure study).
+    pub fn hybrid_default() -> Self {
+        KeepalivePolicy::HybridHistogram {
+            range: SimDuration::from_secs(600),
+            bin: SimDuration::from_secs(10),
+        }
+    }
+
+    /// A representative instance of every keepalive policy.
+    pub fn all_default() -> [KeepalivePolicy; 3] {
+        [
+            KeepalivePolicy::NoKeepalive,
+            KeepalivePolicy::paper_default(),
+            KeepalivePolicy::hybrid_default(),
+        ]
+    }
+
+    /// Machine-readable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KeepalivePolicy::NoKeepalive => "no-keepalive",
+            KeepalivePolicy::FixedWindow(_) => "fixed-window",
+            KeepalivePolicy::HybridHistogram { .. } => "hybrid-histogram",
+        }
+    }
+}
+
+/// How a multi-rack front end shards arriving requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LoadBalancer {
+    /// Rotate through racks in arrival order.
+    RoundRobin,
+    /// Send each request to the rack with the fewest in-flight plus queued
+    /// requests (ties broken by lowest rack index, for determinism).
+    LeastLoaded,
+}
+
+impl LoadBalancer {
+    /// Every balancer.
+    pub const ALL: [LoadBalancer; 2] = [LoadBalancer::RoundRobin, LoadBalancer::LeastLoaded];
+
+    /// Machine-readable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LoadBalancer::RoundRobin => "round-robin",
+            LoadBalancer::LeastLoaded => "least-loaded",
+        }
+    }
+}
+
+/// A policy-driven scheduler queue over request indices into a trace.
+///
+/// All disciplines are deterministic: ties (equal service times, the
+/// round-robin cursor) resolve by submission order.
+#[derive(Debug)]
+pub struct SchedQueue {
+    policy: SchedulerPolicy,
+    fcfs: VecDeque<usize>,
+    // SJF: min-heap on (service nanos, submission seq), so equal service
+    // times pop in FIFO order.
+    sjf: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    seq: u64,
+    per_bench: Vec<VecDeque<usize>>,
+    cursor: usize,
+    len: usize,
+}
+
+impl SchedQueue {
+    /// Creates an empty queue under `policy`.
+    pub fn new(policy: SchedulerPolicy) -> Self {
+        SchedQueue {
+            policy,
+            fcfs: VecDeque::new(),
+            sjf: BinaryHeap::new(),
+            seq: 0,
+            per_bench: (0..Benchmark::ALL.len()).map(|_| VecDeque::new()).collect(),
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Enqueues trace index `idx` for `benchmark` with modelled service time
+    /// `service` (used by shortest-job-first ordering).
+    pub fn push(&mut self, idx: usize, benchmark: Benchmark, service: SimDuration) {
+        match self.policy {
+            SchedulerPolicy::Fcfs => self.fcfs.push_back(idx),
+            SchedulerPolicy::ShortestJobFirst => {
+                self.sjf.push(Reverse((service.as_nanos(), self.seq, idx)));
+                self.seq += 1;
+            }
+            SchedulerPolicy::FairPerBenchmark => {
+                let b = Benchmark::ALL
+                    .iter()
+                    .position(|&x| x == benchmark)
+                    .expect("benchmark in suite");
+                self.per_bench[b].push_back(idx);
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Removes and returns the next request to start, per the policy.
+    pub fn pop(&mut self) -> Option<usize> {
+        let popped = match self.policy {
+            SchedulerPolicy::Fcfs => self.fcfs.pop_front(),
+            SchedulerPolicy::ShortestJobFirst => self.sjf.pop().map(|Reverse((_, _, idx))| idx),
+            SchedulerPolicy::FairPerBenchmark => {
+                let n = self.per_bench.len();
+                let mut found = None;
+                for step in 0..n {
+                    let b = (self.cursor + step) % n;
+                    if let Some(idx) = self.per_bench[b].pop_front() {
+                        self.cursor = (b + 1) % n;
+                        found = Some(idx);
+                        break;
+                    }
+                }
+                found
+            }
+        };
+        if popped.is_some() {
+            self.len -= 1;
+        }
+        popped
+    }
+}
+
+/// Runtime warm/cold bookkeeping for one rack under a [`KeepalivePolicy`].
+///
+/// Tracks, per function id, when its most recent invocation finishes and (for
+/// the hybrid policy) a histogram of observed idle gaps. The decision rule is
+/// conservative in the *Serverless in the Wild* sense: a container is never
+/// evicted before the policy's current window for its function has elapsed.
+#[derive(Debug)]
+pub struct KeepaliveState {
+    policy: KeepalivePolicy,
+    last_finish: HashMap<u32, SimTime>,
+    histograms: HashMap<u32, IdleHistogram>,
+}
+
+/// Minimum idle-gap observations before the hybrid histogram trusts its
+/// learned tail over the conservative full range.
+const HYBRID_MIN_SAMPLES: u64 = 10;
+/// Fraction of observations the learned window must cover (the study's 99th
+/// percentile).
+const HYBRID_TAIL: f64 = 0.99;
+/// Safety margin multiplier on the learned tail window.
+const HYBRID_MARGIN: f64 = 1.10;
+/// Out-of-bounds rate above which the pattern is declared too spread to learn.
+const HYBRID_OOB_LIMIT: f64 = 0.10;
+
+#[derive(Debug, Default)]
+struct IdleHistogram {
+    bins: Vec<u64>,
+    total: u64,
+    out_of_bounds: u64,
+}
+
+impl IdleHistogram {
+    fn observe(&mut self, idle: SimDuration, bin: SimDuration, range: SimDuration) {
+        let n_bins = (range.as_nanos().div_ceil(bin.as_nanos())) as usize;
+        if self.bins.is_empty() {
+            self.bins = vec![0; n_bins.max(1)];
+        }
+        let idx = (idle.as_nanos() / bin.as_nanos()) as usize;
+        if idx < self.bins.len() {
+            self.bins[idx] += 1;
+            self.total += 1;
+        } else {
+            self.out_of_bounds += 1;
+        }
+    }
+
+    /// The bin index covering `tail` of the observed mass.
+    fn tail_bin(&self, tail: f64) -> usize {
+        let mut seen = 0u64;
+        for (i, &count) in self.bins.iter().enumerate() {
+            seen += count;
+            if seen as f64 >= tail * self.total as f64 {
+                return i;
+            }
+        }
+        self.bins.len().saturating_sub(1)
+    }
+
+    fn oob_rate(&self) -> f64 {
+        let all = self.total + self.out_of_bounds;
+        if all == 0 {
+            0.0
+        } else {
+            self.out_of_bounds as f64 / all as f64
+        }
+    }
+}
+
+impl KeepaliveState {
+    /// Creates empty state for `policy`.
+    ///
+    /// # Panics
+    /// Panics if a hybrid-histogram policy has a zero bin width or a range
+    /// smaller than one bin (the histogram would be degenerate).
+    pub fn new(policy: KeepalivePolicy) -> Self {
+        if let KeepalivePolicy::HybridHistogram { range, bin } = policy {
+            assert!(
+                !bin.is_zero(),
+                "hybrid-histogram bin width must be non-zero"
+            );
+            assert!(range >= bin, "hybrid-histogram range must cover one bin");
+        }
+        KeepaliveState {
+            policy,
+            last_finish: HashMap::new(),
+            histograms: HashMap::new(),
+        }
+    }
+
+    /// The policy this state enforces.
+    pub fn policy(&self) -> KeepalivePolicy {
+        self.policy
+    }
+
+    /// The current keepalive window for `function`: how long past its last
+    /// finish a warm container survives.
+    pub fn window(&self, function: u32) -> SimDuration {
+        match self.policy {
+            KeepalivePolicy::NoKeepalive => SimDuration::ZERO,
+            KeepalivePolicy::FixedWindow(w) => w,
+            KeepalivePolicy::HybridHistogram { range, bin } => {
+                let Some(hist) = self.histograms.get(&function) else {
+                    return range;
+                };
+                if hist.total < HYBRID_MIN_SAMPLES || hist.oob_rate() > HYBRID_OOB_LIMIT {
+                    // Pattern unknown or too spread: stay conservative so a
+                    // warm container is never evicted early.
+                    return range;
+                }
+                let learned = bin * (hist.tail_bin(HYBRID_TAIL) as u64 + 1);
+                (learned * HYBRID_MARGIN).min(range)
+            }
+        }
+    }
+
+    /// Whether an invocation of `function` arriving at `now` finds a warm
+    /// container, given its most recent finish time. A function whose previous
+    /// invocation is still running (finish in the future) is always warm.
+    pub fn is_warm(&self, function: u32, now: SimTime) -> bool {
+        match self.last_finish.get(&function) {
+            None => false,
+            Some(&finish) => now.saturating_since(finish) <= self.window(function),
+        }
+    }
+
+    /// Records that an invocation of `function` starting at `now` will finish
+    /// at `finish`, feeding the observed idle gap to the learning policy.
+    pub fn record_invocation(&mut self, function: u32, now: SimTime, finish: SimTime) {
+        if let KeepalivePolicy::HybridHistogram { range, bin } = self.policy {
+            if let Some(&prev) = self.last_finish.get(&function) {
+                let idle = now.saturating_since(prev);
+                self.histograms
+                    .entry(function)
+                    .or_default()
+                    .observe(idle, bin, range);
+            }
+        }
+        // Keep the furthest-out finish time: with many concurrent instances
+        // the container pool stays warm until the last one drains.
+        let entry = self.last_finish.entry(function).or_insert(finish);
+        if finish > *entry {
+            *entry = finish;
+        }
+    }
+
+    #[cfg(test)]
+    fn last_finish_for_test(&self, function: u32) -> SimTime {
+        self.last_finish[&function]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn fcfs_pops_in_submission_order() {
+        let mut q = SchedQueue::new(SchedulerPolicy::Fcfs);
+        for i in 0..5 {
+            q.push(
+                i,
+                Benchmark::ALL[i % 8],
+                SimDuration::from_millis(5 - i as u64),
+            );
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sjf_pops_cheapest_first_with_fifo_ties() {
+        let mut q = SchedQueue::new(SchedulerPolicy::ShortestJobFirst);
+        q.push(0, Benchmark::ALL[0], SimDuration::from_millis(30));
+        q.push(1, Benchmark::ALL[1], SimDuration::from_millis(10));
+        q.push(2, Benchmark::ALL[2], SimDuration::from_millis(10));
+        q.push(3, Benchmark::ALL[3], SimDuration::from_millis(20));
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn fair_round_robins_across_benchmarks() {
+        let mut q = SchedQueue::new(SchedulerPolicy::FairPerBenchmark);
+        // Three requests of benchmark 0, one of benchmark 1.
+        q.push(10, Benchmark::ALL[0], SimDuration::from_millis(1));
+        q.push(11, Benchmark::ALL[0], SimDuration::from_millis(1));
+        q.push(12, Benchmark::ALL[0], SimDuration::from_millis(1));
+        q.push(20, Benchmark::ALL[1], SimDuration::from_millis(1));
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop()).collect();
+        // The lone benchmark-1 request is served second, not last.
+        assert_eq!(order, vec![10, 20, 11, 12]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn no_keepalive_is_always_cold_after_finish() {
+        let mut s = KeepaliveState::new(KeepalivePolicy::NoKeepalive);
+        assert!(!s.is_warm(0, secs(0)));
+        s.record_invocation(0, secs(0), secs(1));
+        // Still running: warm.
+        assert!(s.is_warm(0, secs(1)));
+        // One nanosecond after finish: cold.
+        assert!(!s.is_warm(0, SimTime::from_nanos(1_000_000_001)));
+    }
+
+    #[test]
+    fn fixed_window_honours_its_window() {
+        let mut s = KeepaliveState::new(KeepalivePolicy::FixedWindow(SimDuration::from_secs(60)));
+        s.record_invocation(7, secs(0), secs(10));
+        assert!(s.is_warm(7, secs(70)));
+        assert!(!s.is_warm(7, secs(71)));
+    }
+
+    #[test]
+    fn hybrid_starts_conservative_then_learns_the_tail() {
+        let policy = KeepalivePolicy::HybridHistogram {
+            range: SimDuration::from_secs(600),
+            bin: SimDuration::from_secs(10),
+        };
+        let mut s = KeepaliveState::new(policy);
+        // Unknown function: full range.
+        assert_eq!(s.window(3), SimDuration::from_secs(600));
+        // Invocations every ~25 s: idle gaps land in the 20-30 s bin.
+        let mut t = 0u64;
+        for _ in 0..40 {
+            s.record_invocation(3, secs(t), secs(t + 1));
+            t += 26;
+        }
+        let w = s.window(3);
+        assert!(
+            w >= SimDuration::from_secs(30) && w < SimDuration::from_secs(60),
+            "learned window {w}"
+        );
+        // The learned window still covers the observed pattern.
+        assert!(s.is_warm(3, s.last_finish_for_test(3) + SimDuration::from_secs(25)));
+    }
+
+    #[test]
+    fn hybrid_never_shrinks_below_observed_tail() {
+        let policy = KeepalivePolicy::HybridHistogram {
+            range: SimDuration::from_secs(600),
+            bin: SimDuration::from_secs(10),
+        };
+        let mut s = KeepaliveState::new(policy);
+        let mut t = 0u64;
+        for _ in 0..50 {
+            s.record_invocation(1, secs(t), secs(t + 1));
+            t += 45; // 44 s idle gaps
+        }
+        // Window must cover the 44 s gaps (bin 4 -> >= 50 s).
+        assert!(s.window(1) >= SimDuration::from_secs(45), "{}", s.window(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_bin_hybrid_histogram_is_rejected() {
+        let _ = KeepaliveState::new(KeepalivePolicy::HybridHistogram {
+            range: SimDuration::from_secs(600),
+            bin: SimDuration::ZERO,
+        });
+    }
+
+    #[test]
+    fn concurrent_instances_keep_the_pool_warm() {
+        let mut s = KeepaliveState::new(KeepalivePolicy::FixedWindow(SimDuration::from_secs(5)));
+        s.record_invocation(0, secs(0), secs(100));
+        s.record_invocation(0, secs(1), secs(2)); // shorter, finishes earlier
+        assert!(s.is_warm(0, secs(50)), "long-running instance keeps warm");
+    }
+}

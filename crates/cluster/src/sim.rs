@@ -1,38 +1,54 @@
-//! At-scale cluster simulation (Figure 13).
+//! At-scale cluster simulation (Figure 13 and beyond).
 //!
-//! A discrete-event simulation of a rack serving the request trace: up to 200
-//! function instances (the paper's cap), a 10 000-deep FCFS scheduler queue,
-//! and per-request service times taken from the end-to-end model for the
-//! platform under test (baseline CPU with remote storage, or DSCS-Serverless).
-//! The outputs are the series Figure 13 plots: offered load, queued functions
-//! over time, and wall-clock request latency over time.
+//! A discrete-event simulation of one or more racks serving a request trace.
+//! Each rack holds up to `max_instances` concurrent function instances (the
+//! paper caps both systems at 200 per rack) behind a bounded scheduler queue;
+//! a front-end load balancer shards arrivals across racks. Per-request service
+//! times come from the end-to-end model for the platform under test, and cold
+//! starts — priced by [`dscs_faas::coldstart::ColdStartModel`] and governed by
+//! the configured [`KeepalivePolicy`] — are charged onto the request that
+//! finds its function's container cold. DSCS-Serverless platforms cache
+//! evicted images on the drive's flash, so their repeat cold starts pull over
+//! the P2P path instead of the remote registry.
+//!
+//! The outputs are the series Figure 13 plots (offered load, queued functions
+//! over time, wall-clock request latency over time) plus cold-start counts and
+//! per-rack summaries for the at-scale policy sweeps.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet};
 
 use serde::{Deserialize, Serialize};
 
 use dscs_core::benchmarks::Benchmark;
 use dscs_core::endtoend::{EvalOptions, SystemModel};
-use dscs_platforms::PlatformKind;
+use dscs_faas::coldstart::{ColdStartModel, ImageSource};
+use dscs_platforms::{PlatformKind, PlatformLocation};
 use dscs_simcore::events::Simulator;
+use dscs_simcore::quantity::Bytes;
 use dscs_simcore::rng::DeterministicRng;
 use dscs_simcore::series::TimeSeries;
 use dscs_simcore::stats::Summary;
 use dscs_simcore::time::{SimDuration, SimTime};
 
+use crate::policy::{KeepalivePolicy, KeepaliveState, LoadBalancer, SchedQueue, SchedulerPolicy};
 use crate::trace::TraceRequest;
 
-/// Cluster configuration.
+/// Per-rack cluster configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ClusterConfig {
-    /// Maximum concurrent function instances (the paper caps both systems at 200).
+    /// Maximum concurrent function instances per rack (the paper caps both
+    /// systems at 200).
     pub max_instances: u32,
-    /// Scheduler queue depth (requests beyond this are rejected).
+    /// Scheduler queue depth per rack (requests beyond this are rejected).
     pub queue_depth: usize,
     /// Per-request service-time jitter: multiplicative lognormal sigma.
     pub service_jitter_sigma: f64,
     /// Bucket width for the reported time series.
     pub bucket: SimDuration,
+    /// Queue discipline used when an instance frees up.
+    pub scheduler: SchedulerPolicy,
+    /// Container keepalive policy deciding when invocations run cold.
+    pub keepalive: KeepalivePolicy,
 }
 
 impl Default for ClusterConfig {
@@ -42,18 +58,20 @@ impl Default for ClusterConfig {
             queue_depth: 10_000,
             service_jitter_sigma: 0.15,
             bucket: SimDuration::from_secs(60),
+            scheduler: SchedulerPolicy::Fcfs,
+            keepalive: KeepalivePolicy::paper_default(),
         }
     }
 }
 
-/// Result of one cluster simulation.
+/// Result of one cluster simulation (aggregated over all racks).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterReport {
     /// The platform simulated.
     pub platform: PlatformKind,
     /// Offered load per bucket (requests per second) — Figure 13a.
     pub offered_rps: Vec<f64>,
-    /// Mean number of queued requests per bucket — Figure 13b.
+    /// Mean number of queued requests per bucket (all racks) — Figure 13b.
     pub queued: Vec<f64>,
     /// Mean wall-clock latency per bucket in milliseconds — Figures 13c/13d.
     pub latency_ms: Vec<f64>,
@@ -61,6 +79,8 @@ pub struct ClusterReport {
     pub completed: u64,
     /// Number of rejected requests (queue overflow).
     pub rejected: u64,
+    /// Number of requests that paid a cold start.
+    pub cold_starts: u64,
     /// Summary of all wall-clock latencies (seconds).
     pub latency_summary: Option<Summary>,
     /// Total simulated time to drain the trace (wall-clock makespan).
@@ -75,43 +95,149 @@ impl ClusterReport {
             .map_or(0.0, |s| s.mean() * 1e3)
     }
 
+    /// The p99 wall-clock latency over the whole run, in milliseconds.
+    pub fn p99_latency_ms(&self) -> f64 {
+        self.latency_summary.as_ref().map_or(0.0, |s| s.p99() * 1e3)
+    }
+
     /// Peak queue depth observed (per-bucket mean maximum).
     pub fn peak_queue(&self) -> f64 {
         self.queued.iter().copied().fold(0.0, f64::max)
     }
 }
 
+/// Per-rack outcome of a sharded run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RackSummary {
+    /// Rack index.
+    pub rack: u32,
+    /// Requests completed on this rack.
+    pub completed: u64,
+    /// Requests rejected by this rack's queue.
+    pub rejected: u64,
+    /// Cold starts paid on this rack.
+    pub cold_starts: u64,
+    /// Maximum queue depth this rack reached.
+    pub peak_queue: usize,
+}
+
 #[derive(Debug, Clone, Copy)]
 enum Event {
     Arrival(usize),
-    Completion,
+    Completion { rack: usize },
+}
+
+/// Precomputed cold-start penalties for one benchmark.
+#[derive(Debug, Clone, Copy)]
+struct ColdCosts {
+    /// Image pulled from the remote registry (first cold start everywhere).
+    remote: SimDuration,
+    /// Image reloaded from the drive's flash over the P2P path (repeat cold
+    /// starts on in-storage platforms).
+    local: SimDuration,
+}
+
+struct RackState {
+    queue: SchedQueue,
+    keepalive: KeepaliveState,
+    cached_on_flash: HashSet<u32>,
+    rng: DeterministicRng,
+    busy: u32,
+    completed: u64,
+    rejected: u64,
+    cold_starts: u64,
+    peak_queue: usize,
+}
+
+impl RackState {
+    fn load(&self) -> usize {
+        self.busy as usize + self.queue.len()
+    }
 }
 
 /// The cluster simulator.
 #[derive(Debug)]
 pub struct ClusterSim {
+    platform: PlatformKind,
     config: ClusterConfig,
     service_times: HashMap<Benchmark, SimDuration>,
+    cold_costs: HashMap<Benchmark, ColdCosts>,
+    /// Whether the platform's drive can cache evicted images on flash (the
+    /// DSCS-Serverless P2P reload path).
+    flash_cache: bool,
 }
 
 impl ClusterSim {
     /// Builds a simulator for `platform`, pre-computing per-benchmark service
     /// times from the end-to-end model (median storage latency; queueing, not
-    /// the storage tail, dominates at scale).
+    /// the storage tail, dominates at scale) and cold-start penalties from the
+    /// container-lifecycle model.
     pub fn new(platform: PlatformKind, config: ClusterConfig) -> Self {
         let system = SystemModel::new();
         let options = EvalOptions {
             quantile: 0.50,
             ..EvalOptions::default()
         };
-        let service_times = Benchmark::ALL
+        let service_times: HashMap<Benchmark, SimDuration> = Benchmark::ALL
             .iter()
             .map(|&b| (b, system.evaluate(b, platform, options).total_latency()))
             .collect();
+
+        let cold_model = ColdStartModel::default();
+        let spec = platform.spec();
+        let cold_costs = Benchmark::ALL
+            .iter()
+            .map(|&b| {
+                let bench = b.spec();
+                let image: Bytes = bench
+                    .pipeline()
+                    .functions
+                    .iter()
+                    .map(|f| f.image_size)
+                    .sum();
+                let weights = bench.model(1).weight_bytes();
+                let weight_load = cold_model.weight_load_latency(weights, spec.memory_bandwidth);
+                let costs = ColdCosts {
+                    remote: cold_model.cold_start_latency(image, ImageSource::RemoteRegistry)
+                        + weight_load,
+                    local: cold_model.cold_start_latency(image, ImageSource::LocalFlash)
+                        + weight_load,
+                };
+                (b, costs)
+            })
+            .collect();
+
         ClusterSim {
+            platform,
             config,
             service_times,
+            cold_costs,
+            flash_cache: spec.location == PlatformLocation::InStorage,
         }
+    }
+
+    /// A copy of this simulator with a different cluster configuration,
+    /// reusing the precomputed service times and cold-start costs (which
+    /// depend only on the platform). Policy sweeps use this to avoid
+    /// re-evaluating the end-to-end model for every policy cell.
+    pub fn reconfigured(&self, config: ClusterConfig) -> ClusterSim {
+        ClusterSim {
+            platform: self.platform,
+            config,
+            service_times: self.service_times.clone(),
+            cold_costs: self.cold_costs.clone(),
+            flash_cache: self.flash_cache,
+        }
+    }
+
+    /// The platform this simulator models.
+    pub fn platform(&self) -> PlatformKind {
+        self.platform
+    }
+
+    /// The configuration the simulator runs under.
+    pub fn config(&self) -> ClusterConfig {
+        self.config
     }
 
     /// The service time used for one benchmark.
@@ -119,85 +245,174 @@ impl ClusterSim {
         self.service_times[&benchmark]
     }
 
-    /// Runs the trace on `platform` and reports the Figure 13 series.
-    pub fn run(&self, platform: PlatformKind, trace: &[TraceRequest], seed: u64) -> ClusterReport {
+    /// The cold-start penalty a first (registry) cold start of `benchmark`
+    /// pays on this platform.
+    pub fn cold_start_cost(&self, benchmark: Benchmark) -> SimDuration {
+        self.cold_costs[&benchmark].remote
+    }
+
+    /// Runs the trace over a single rack and reports the Figure 13 series.
+    pub fn run(&self, trace: &[TraceRequest], seed: u64) -> ClusterReport {
+        self.run_sharded(trace, seed, 1, LoadBalancer::RoundRobin).0
+    }
+
+    /// Runs the trace sharded over `racks` racks behind `balancer`, returning
+    /// the aggregate report plus per-rack summaries.
+    ///
+    /// # Panics
+    /// Panics if the trace is empty or `racks` is zero.
+    pub fn run_sharded(
+        &self,
+        trace: &[TraceRequest],
+        seed: u64,
+        racks: u32,
+        balancer: LoadBalancer,
+    ) -> (ClusterReport, Vec<RackSummary>) {
         assert!(!trace.is_empty(), "trace must not be empty");
+        assert!(racks > 0, "need at least one rack");
         let horizon =
             trace.last().expect("non-empty").arrival - SimTime::ZERO + SimDuration::from_secs(120);
         let mut offered = TimeSeries::new(self.config.bucket, horizon);
         let mut queued_series = TimeSeries::new(self.config.bucket, horizon);
         let mut latency_series = TimeSeries::new(self.config.bucket, horizon);
 
-        let mut rng = DeterministicRng::seeded(seed);
+        let mut master = DeterministicRng::seeded(seed);
+        let mut rack_states: Vec<RackState> = (0..racks)
+            .map(|r| RackState {
+                queue: SchedQueue::new(self.config.scheduler),
+                keepalive: KeepaliveState::new(self.config.keepalive),
+                cached_on_flash: HashSet::new(),
+                rng: master.fork(u64::from(r)),
+                busy: 0,
+                completed: 0,
+                rejected: 0,
+                cold_starts: 0,
+                peak_queue: 0,
+            })
+            .collect();
+
         let mut sim: Simulator<Event> = Simulator::new();
         for (idx, request) in trace.iter().enumerate() {
             sim.schedule_at(request.arrival, Event::Arrival(idx));
             offered.record_event(request.arrival);
         }
 
-        let mut queue: VecDeque<usize> = VecDeque::new();
-        let mut busy: u32 = 0;
-        let mut completed: u64 = 0;
-        let mut rejected: u64 = 0;
+        let mut round_robin: usize = 0;
+        let mut total_queued: usize = 0;
         let mut latencies: Vec<f64> = Vec::with_capacity(trace.len());
 
         sim.run(|sim, now, event| {
-            match event {
+            let rack_idx = match event {
                 Event::Arrival(idx) => {
-                    if queue.len() >= self.config.queue_depth {
-                        rejected += 1;
+                    let r = match balancer {
+                        LoadBalancer::RoundRobin => {
+                            let r = round_robin % rack_states.len();
+                            round_robin += 1;
+                            r
+                        }
+                        LoadBalancer::LeastLoaded => rack_states
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(i, rack)| (rack.load(), *i))
+                            .map(|(i, _)| i)
+                            .expect("at least one rack"),
+                    };
+                    let rack = &mut rack_states[r];
+                    if rack.queue.len() >= self.config.queue_depth {
+                        rack.rejected += 1;
                     } else {
-                        queue.push_back(idx);
+                        let request = &trace[idx];
+                        rack.queue.push(
+                            idx,
+                            request.benchmark,
+                            self.service_times[&request.benchmark],
+                        );
+                        total_queued += 1;
+                        rack.peak_queue = rack.peak_queue.max(rack.queue.len());
                     }
+                    r
                 }
-                Event::Completion => {
-                    busy -= 1;
+                Event::Completion { rack } => {
+                    rack_states[rack].busy -= 1;
+                    rack
                 }
-            }
-            // Greedily start queued requests on free instances (FCFS).
-            while busy < self.config.max_instances {
-                let Some(idx) = queue.pop_front() else { break };
+            };
+            // Greedily start queued requests on this rack's free instances,
+            // in the order the scheduler policy dictates.
+            let rack = &mut rack_states[rack_idx];
+            while rack.busy < self.config.max_instances {
+                let Some(idx) = rack.queue.pop() else { break };
+                total_queued -= 1;
                 let request = &trace[idx];
                 let base = self.service_times[&request.benchmark];
-                let jitter = (self.config.service_jitter_sigma * rng.standard_normal()).exp();
-                let service = base * jitter;
+                let jitter = (self.config.service_jitter_sigma * rack.rng.standard_normal()).exp();
+                let mut service = base * jitter;
+                if !rack.keepalive.is_warm(request.function, now) {
+                    let costs = self.cold_costs[&request.benchmark];
+                    let penalty =
+                        if self.flash_cache && rack.cached_on_flash.contains(&request.function) {
+                            costs.local
+                        } else {
+                            costs.remote
+                        };
+                    service += penalty;
+                    rack.cold_starts += 1;
+                    if self.flash_cache {
+                        rack.cached_on_flash.insert(request.function);
+                    }
+                }
+                rack.keepalive
+                    .record_invocation(request.function, now, now + service);
                 let wait = now.saturating_since(request.arrival);
                 let wall = wait + service;
                 latencies.push(wall.as_secs_f64());
                 latency_series.record(request.arrival, wall.as_millis_f64());
-                completed += 1;
-                busy += 1;
-                sim.schedule_in(service, Event::Completion);
+                rack.completed += 1;
+                rack.busy += 1;
+                sim.schedule_in(service, Event::Completion { rack: rack_idx });
             }
-            queued_series.record(now, queue.len() as f64);
+            queued_series.record(now, total_queued as f64);
         });
 
         let makespan = sim.now() - SimTime::ZERO;
-        ClusterReport {
-            platform,
+        let summaries: Vec<RackSummary> = rack_states
+            .iter()
+            .enumerate()
+            .map(|(i, rack)| RackSummary {
+                rack: i as u32,
+                completed: rack.completed,
+                rejected: rack.rejected,
+                cold_starts: rack.cold_starts,
+                peak_queue: rack.peak_queue,
+            })
+            .collect();
+        let report = ClusterReport {
+            platform: self.platform,
             offered_rps: offered.rates_per_sec(),
             queued: queued_series.means_filled(),
             latency_ms: latency_series.means_filled(),
-            completed,
-            rejected,
+            completed: summaries.iter().map(|r| r.completed).sum(),
+            rejected: summaries.iter().map(|r| r.rejected).sum(),
+            cold_starts: summaries.iter().map(|r| r.cold_starts).sum(),
             latency_summary: if latencies.is_empty() {
                 None
             } else {
                 Some(Summary::from_samples(&latencies))
             },
             makespan,
-        }
+        };
+        (report, summaries)
     }
 }
 
 /// Convenience runner: simulates one platform over a trace with default
-/// cluster configuration.
+/// cluster configuration (single rack, FCFS, fixed 10-minute keepalive).
 pub fn simulate_platform(
     platform: PlatformKind,
     trace: &[TraceRequest],
     seed: u64,
 ) -> ClusterReport {
-    ClusterSim::new(platform, ClusterConfig::default()).run(platform, trace, seed)
+    ClusterSim::new(platform, ClusterConfig::default()).run(trace, seed)
 }
 
 #[cfg(test)]
@@ -254,7 +469,7 @@ mod tests {
         };
         let trace = short_trace(500.0, 20, 7);
         let sim = ClusterSim::new(PlatformKind::BaselineCpu, config);
-        let report = sim.run(PlatformKind::BaselineCpu, &trace, 8);
+        let report = sim.run(&trace, 8);
         assert!(report.rejected > 0);
         assert_eq!(report.completed + report.rejected, trace.len() as u64);
     }
@@ -272,5 +487,95 @@ mod tests {
         let trace = short_trace(2500.0, 60, 9);
         let report = simulate_platform(PlatformKind::BaselineCpu, &trace, 10);
         assert!(report.makespan > SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn default_keepalive_pays_one_cold_start_per_function() {
+        // With the 10-minute fixed window and a 20-second trace, each of the
+        // eight benchmark functions runs cold exactly once.
+        let trace = short_trace(50.0, 20, 11);
+        let report = simulate_platform(PlatformKind::DscsDsa, &trace, 12);
+        assert_eq!(report.cold_starts, 8, "one cold start per function");
+    }
+
+    #[test]
+    fn no_keepalive_pays_many_more_cold_starts() {
+        let config = ClusterConfig {
+            keepalive: KeepalivePolicy::NoKeepalive,
+            ..ClusterConfig::default()
+        };
+        // Sparse arrivals so invocations rarely overlap.
+        let trace = short_trace(5.0, 30, 13);
+        let sim = ClusterSim::new(PlatformKind::DscsDsa, config);
+        let report = sim.run(&trace, 14);
+        let warm = simulate_platform(PlatformKind::DscsDsa, &trace, 14);
+        assert!(
+            report.cold_starts > warm.cold_starts * 3,
+            "no-keepalive {} vs fixed {}",
+            report.cold_starts,
+            warm.cold_starts
+        );
+        assert!(report.mean_latency_ms() > warm.mean_latency_ms());
+    }
+
+    #[test]
+    fn flash_caching_makes_dscs_repeat_cold_starts_cheaper() {
+        let sim = ClusterSim::new(PlatformKind::DscsDsa, ClusterConfig::default());
+        let costs = sim.cold_costs[&Benchmark::CreditRiskAssessment];
+        assert!(costs.local < costs.remote);
+        // The baseline CPU never caches on drive flash.
+        let cpu = ClusterSim::new(PlatformKind::BaselineCpu, ClusterConfig::default());
+        assert!(!cpu.flash_cache);
+        assert!(sim.flash_cache);
+    }
+
+    #[test]
+    fn cold_start_costs_are_seconds_scale() {
+        let sim = ClusterSim::new(PlatformKind::BaselineCpu, ClusterConfig::default());
+        for b in Benchmark::ALL {
+            let cost = sim.cold_start_cost(b);
+            assert!(
+                cost > SimDuration::from_millis(500) && cost < SimDuration::from_secs(120),
+                "{b}: {cost}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharding_splits_work_and_preserves_totals() {
+        let trace = short_trace(800.0, 30, 15);
+        let sim = ClusterSim::new(PlatformKind::DscsDsa, ClusterConfig::default());
+        for balancer in LoadBalancer::ALL {
+            let (report, racks) = sim.run_sharded(&trace, 16, 4, balancer);
+            assert_eq!(racks.len(), 4);
+            assert_eq!(report.completed + report.rejected, trace.len() as u64);
+            let per_rack: Vec<u64> = racks.iter().map(|r| r.completed).collect();
+            assert!(
+                per_rack.iter().all(|&c| c > 0),
+                "{balancer:?}: every rack serves work: {per_rack:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_racks_absorb_more_load() {
+        // A load that overwhelms one baseline rack is absorbed by four.
+        let trace = short_trace(2500.0, 60, 17);
+        let sim = ClusterSim::new(PlatformKind::BaselineCpu, ClusterConfig::default());
+        let (one, _) = sim.run_sharded(&trace, 18, 1, LoadBalancer::RoundRobin);
+        let (four, _) = sim.run_sharded(&trace, 18, 4, LoadBalancer::RoundRobin);
+        assert!(four.mean_latency_ms() < one.mean_latency_ms() / 2.0);
+        assert!(four.peak_queue() < one.peak_queue());
+    }
+
+    #[test]
+    fn least_loaded_beats_round_robin_under_skewed_service_times() {
+        // SJF-free comparison: with heterogeneous service times, least-loaded
+        // should never do much worse than round-robin on mean latency.
+        let trace = short_trace(1800.0, 45, 19);
+        let sim = ClusterSim::new(PlatformKind::BaselineCpu, ClusterConfig::default());
+        let (rr, _) = sim.run_sharded(&trace, 20, 3, LoadBalancer::RoundRobin);
+        let (ll, _) = sim.run_sharded(&trace, 20, 3, LoadBalancer::LeastLoaded);
+        assert!(ll.mean_latency_ms() <= rr.mean_latency_ms() * 1.05);
     }
 }

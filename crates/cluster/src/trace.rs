@@ -4,7 +4,9 @@
 //! bursty trace: request rates that step between levels over a 20-minute
 //! window, with Poisson arrivals inside each segment and the application of
 //! each request sampled uniformly from the benchmark suite — the same recipe as
-//! the prior work the paper follows.
+//! the prior work the paper follows. [`RateProfile`] implements the
+//! [`Workload`] trait, so the same simulation also runs Azure-style traces
+//! (see [`crate::workload`]).
 
 use serde::{Deserialize, Serialize};
 
@@ -12,6 +14,8 @@ use dscs_core::benchmarks::Benchmark;
 use dscs_simcore::dist::PoissonArrivals;
 use dscs_simcore::rng::DeterministicRng;
 use dscs_simcore::time::{SimDuration, SimTime};
+
+use crate::workload::{Workload, WorkloadError};
 
 /// One request in the trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -22,6 +26,11 @@ pub struct TraceRequest {
     pub arrival: SimTime,
     /// The application invoked.
     pub benchmark: Benchmark,
+    /// Identifier of the serverless function invoked. Keepalive policies track
+    /// warm containers per function; for the bursty Figure-13 trace this is
+    /// the benchmark's index, while Azure-style workloads spread many
+    /// functions over the same eight applications.
+    pub function: u32,
 }
 
 /// A piecewise-constant arrival-rate profile.
@@ -58,6 +67,19 @@ impl RateProfile {
         }
     }
 
+    /// A horizontally compressed copy (same rate steps over `1/factor` of the
+    /// time), used by quick runs.
+    pub fn compressed(&self, factor: f64) -> Self {
+        assert!(factor >= 1.0 && factor.is_finite(), "factor must be >= 1");
+        RateProfile {
+            segments: self
+                .segments
+                .iter()
+                .map(|&(d, r)| (SimDuration::from_secs_f64(d.as_secs_f64() / factor), r))
+                .collect(),
+        }
+    }
+
     /// Total trace duration.
     pub fn horizon(&self) -> SimDuration {
         self.segments.iter().map(|(d, _)| *d).sum()
@@ -66,28 +88,67 @@ impl RateProfile {
     /// Generates the request trace.
     ///
     /// # Panics
-    /// Panics if the profile has no segments.
+    /// Panics if the profile fails [`RateProfile::validate`] (empty segment
+    /// list, non-finite/negative rate or zero-length segment). Use
+    /// [`Workload::generate`] for the non-panicking variant.
     pub fn generate(&self, rng: &mut DeterministicRng) -> Vec<TraceRequest> {
-        assert!(
-            !self.segments.is_empty(),
-            "profile needs at least one segment"
-        );
+        match Workload::generate(self, rng) {
+            Ok(trace) => trace,
+            Err(WorkloadError::EmptyProfile) => panic!("profile needs at least one segment"),
+            Err(err) => panic!("invalid rate profile: {err}"),
+        }
+    }
+}
+
+impl Workload for RateProfile {
+    fn name(&self) -> &'static str {
+        "bursty"
+    }
+
+    fn horizon(&self) -> SimDuration {
+        RateProfile::horizon(self)
+    }
+
+    fn validate(&self) -> Result<(), WorkloadError> {
+        if self.segments.is_empty() {
+            return Err(WorkloadError::EmptyProfile);
+        }
+        for (segment, &(duration, rate)) in self.segments.iter().enumerate() {
+            if !rate.is_finite() || rate < 0.0 {
+                return Err(WorkloadError::InvalidRate { segment, rate });
+            }
+            if duration.is_zero() {
+                return Err(WorkloadError::ZeroDuration { segment });
+            }
+        }
+        Ok(())
+    }
+
+    fn generate(&self, rng: &mut DeterministicRng) -> Result<Vec<TraceRequest>, WorkloadError> {
+        self.validate()?;
         let mut requests = Vec::new();
         let mut offset = SimDuration::ZERO;
         let mut id = 0u64;
         for &(duration, rate) in &self.segments {
-            let arrivals = PoissonArrivals::new(rate).arrivals_until(duration, rng);
+            // A zero-rate segment contributes silence, not arrivals.
+            let arrivals = if rate > 0.0 {
+                PoissonArrivals::new(rate).arrivals_until(duration, rng)
+            } else {
+                Vec::new()
+            };
             for t in arrivals {
+                let function = rng.next_index(Benchmark::ALL.len()) as u32;
                 requests.push(TraceRequest {
                     id,
                     arrival: SimTime::ZERO + offset + t,
-                    benchmark: *rng.choose(&Benchmark::ALL),
+                    benchmark: Benchmark::ALL[function as usize],
+                    function,
                 });
                 id += 1;
             }
             offset += duration;
         }
-        requests
+        Ok(requests)
     }
 }
 
@@ -117,7 +178,7 @@ mod tests {
         );
         assert!(trace
             .iter()
-            .all(|r| r.arrival < SimTime::ZERO + profile.horizon()));
+            .all(|r| r.arrival < SimTime::ZERO + RateProfile::horizon(&profile)));
     }
 
     #[test]
@@ -140,5 +201,85 @@ mod tests {
         let a = profile.generate(&mut DeterministicRng::seeded(13));
         let b = profile.generate(&mut DeterministicRng::seeded(13));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn function_ids_track_benchmarks() {
+        let profile = RateProfile {
+            segments: vec![(SimDuration::from_secs(5), 100.0)],
+        };
+        let trace = profile.generate(&mut DeterministicRng::seeded(14));
+        assert!(trace
+            .iter()
+            .all(|r| Benchmark::ALL[r.function as usize] == r.benchmark));
+    }
+
+    #[test]
+    fn empty_profile_yields_typed_error() {
+        let profile = RateProfile { segments: vec![] };
+        assert_eq!(profile.validate(), Err(WorkloadError::EmptyProfile));
+    }
+
+    #[test]
+    fn bad_rates_yield_typed_errors() {
+        let profile = RateProfile {
+            segments: vec![
+                (SimDuration::from_secs(1), 10.0),
+                (SimDuration::from_secs(1), f64::NAN),
+            ],
+        };
+        assert!(matches!(
+            profile.validate(),
+            Err(WorkloadError::InvalidRate { segment: 1, rate }) if rate.is_nan()
+        ));
+
+        let profile = RateProfile {
+            segments: vec![(SimDuration::from_secs(1), -3.0)],
+        };
+        assert_eq!(
+            profile.validate(),
+            Err(WorkloadError::InvalidRate {
+                segment: 0,
+                rate: -3.0
+            })
+        );
+
+        let profile = RateProfile {
+            segments: vec![(SimDuration::ZERO, 10.0)],
+        };
+        assert_eq!(
+            profile.validate(),
+            Err(WorkloadError::ZeroDuration { segment: 0 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn panicking_generate_keeps_its_contract() {
+        let profile = RateProfile { segments: vec![] };
+        let _ = profile.generate(&mut DeterministicRng::seeded(1));
+    }
+
+    #[test]
+    fn zero_rate_segments_produce_silence_not_errors() {
+        let profile = RateProfile {
+            segments: vec![
+                (SimDuration::from_secs(1), 0.0),
+                (SimDuration::from_secs(1), 50.0),
+            ],
+        };
+        assert_eq!(profile.validate(), Ok(()));
+        let trace = profile.generate(&mut DeterministicRng::seeded(15));
+        assert!(!trace.is_empty());
+        assert!(trace
+            .iter()
+            .all(|r| r.arrival >= SimTime::ZERO + SimDuration::from_secs(1)));
+    }
+
+    #[test]
+    fn compression_shrinks_the_horizon() {
+        let profile = RateProfile::paper_bursty();
+        let quick = profile.compressed(4.0);
+        assert_eq!(RateProfile::horizon(&quick), SimDuration::from_secs(5 * 60));
     }
 }

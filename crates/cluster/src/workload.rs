@@ -1,0 +1,361 @@
+//! Workload abstraction and the Azure-style synthetic generator.
+//!
+//! The at-scale evaluation originally replayed a single hard-coded 20-minute
+//! bursty profile (Figure 13a). Production serverless platforms see far more
+//! varied traffic: the Azure Functions traces behind *Serverless in the Wild*
+//! show per-function popularity that is heavily skewed (a few functions get
+//! most invocations), inter-arrival times that are Poisson-like per function,
+//! and aggregate rates that follow diurnal cycles punctuated by bursts. This
+//! module provides a common [`Workload`] trait over trace generators, and
+//! [`AzureWorkload`], a synthetic generator reproducing those three properties,
+//! alongside the original [`RateProfile`](crate::trace::RateProfile) trace.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use dscs_core::benchmarks::Benchmark;
+use dscs_simcore::dist::{PoissonArrivals, ZipfIndex};
+use dscs_simcore::rng::DeterministicRng;
+use dscs_simcore::time::{SimDuration, SimTime};
+
+use crate::trace::TraceRequest;
+
+/// Errors produced by workload validation and generation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// A rate profile has no segments.
+    EmptyProfile,
+    /// A rate is negative, NaN or infinite.
+    InvalidRate {
+        /// Index of the offending segment (or 0 for scalar-rate workloads).
+        segment: usize,
+        /// The offending rate value.
+        rate: f64,
+    },
+    /// A segment (or the whole workload) has zero duration.
+    ZeroDuration {
+        /// Index of the offending segment (or 0 for scalar-horizon workloads).
+        segment: usize,
+    },
+    /// A named scalar parameter is out of its documented range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::EmptyProfile => write!(f, "rate profile has no segments"),
+            WorkloadError::InvalidRate { segment, rate } => {
+                write!(f, "segment {segment} has invalid rate {rate}")
+            }
+            WorkloadError::ZeroDuration { segment } => {
+                write!(f, "segment {segment} has zero duration")
+            }
+            WorkloadError::InvalidParameter { name, value } => {
+                write!(f, "parameter {name} = {value} is out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+/// A request-trace generator.
+///
+/// Implementations must be deterministic: the same seed (via the caller's
+/// [`DeterministicRng`]) must produce the identical trace, so at-scale runs
+/// are byte-for-byte reproducible.
+pub trait Workload {
+    /// Short machine-readable name used in reports (`"bursty"`, `"azure"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Total duration the generated trace covers.
+    fn horizon(&self) -> SimDuration;
+
+    /// Checks the workload parameters, returning the first violation found.
+    fn validate(&self) -> Result<(), WorkloadError>;
+
+    /// Generates the request trace, validating parameters first.
+    fn generate(&self, rng: &mut DeterministicRng) -> Result<Vec<TraceRequest>, WorkloadError>;
+}
+
+/// Azure-functions-style synthetic workload.
+///
+/// `functions` distinct serverless functions share the cluster. Popularity
+/// follows a Zipf law with exponent `popularity_skew`; each function is bound
+/// round-robin to one of the eight benchmark applications (which determines
+/// its service time and container image). The aggregate arrival rate is
+/// `base_rps` modulated by a sinusoidal diurnal cycle and by random burst
+/// episodes; arrivals inside each modulation step are Poisson.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AzureWorkload {
+    /// Number of distinct functions (>= 1).
+    pub functions: u32,
+    /// Zipf popularity exponent (0 = uniform; ~1 matches the Azure traces).
+    pub popularity_skew: f64,
+    /// Mean aggregate request rate in requests/second.
+    pub base_rps: f64,
+    /// Trace duration.
+    pub horizon: SimDuration,
+    /// Peak-to-mean amplitude of the diurnal cycle, in `[0, 1)`.
+    pub diurnal_amplitude: f64,
+    /// Period of the diurnal cycle.
+    pub diurnal_period: SimDuration,
+    /// Rate multiplier during a burst episode (>= 1).
+    pub burst_factor: f64,
+    /// Fraction of modulation steps that are burst episodes, in `[0, 1]`.
+    pub burst_fraction: f64,
+    /// Width of one rate-modulation step (arrivals are Poisson within a step).
+    pub step: SimDuration,
+}
+
+impl Default for AzureWorkload {
+    fn default() -> Self {
+        AzureWorkload {
+            functions: 64,
+            popularity_skew: 1.0,
+            base_rps: 1200.0,
+            horizon: SimDuration::from_secs(20 * 60),
+            diurnal_amplitude: 0.4,
+            diurnal_period: SimDuration::from_secs(10 * 60),
+            burst_factor: 2.0,
+            burst_fraction: 0.1,
+            step: SimDuration::from_secs(10),
+        }
+    }
+}
+
+impl AzureWorkload {
+    /// A short, light configuration for quick runs and CI smoke tests.
+    pub fn quick() -> Self {
+        AzureWorkload {
+            functions: 24,
+            base_rps: 600.0,
+            horizon: SimDuration::from_secs(120),
+            diurnal_period: SimDuration::from_secs(60),
+            ..AzureWorkload::default()
+        }
+    }
+
+    /// The benchmark application function `f` is bound to (round-robin).
+    pub fn benchmark_of(function: u32) -> Benchmark {
+        Benchmark::ALL[function as usize % Benchmark::ALL.len()]
+    }
+
+    /// The instantaneous rate multiplier at `t` (diurnal component only).
+    fn diurnal(&self, t: SimDuration) -> f64 {
+        let phase = t.as_secs_f64() / self.diurnal_period.as_secs_f64();
+        1.0 + self.diurnal_amplitude * (std::f64::consts::TAU * phase).sin()
+    }
+}
+
+impl Workload for AzureWorkload {
+    fn name(&self) -> &'static str {
+        "azure"
+    }
+
+    fn horizon(&self) -> SimDuration {
+        self.horizon
+    }
+
+    fn validate(&self) -> Result<(), WorkloadError> {
+        if self.functions == 0 {
+            return Err(WorkloadError::InvalidParameter {
+                name: "functions",
+                value: 0.0,
+            });
+        }
+        if !self.popularity_skew.is_finite() || self.popularity_skew < 0.0 {
+            return Err(WorkloadError::InvalidParameter {
+                name: "popularity_skew",
+                value: self.popularity_skew,
+            });
+        }
+        if !self.base_rps.is_finite() || self.base_rps <= 0.0 {
+            return Err(WorkloadError::InvalidRate {
+                segment: 0,
+                rate: self.base_rps,
+            });
+        }
+        if self.horizon.is_zero() {
+            return Err(WorkloadError::ZeroDuration { segment: 0 });
+        }
+        if !(0.0..1.0).contains(&self.diurnal_amplitude) {
+            return Err(WorkloadError::InvalidParameter {
+                name: "diurnal_amplitude",
+                value: self.diurnal_amplitude,
+            });
+        }
+        if self.diurnal_period.is_zero() {
+            return Err(WorkloadError::InvalidParameter {
+                name: "diurnal_period",
+                value: 0.0,
+            });
+        }
+        if !self.burst_factor.is_finite() || self.burst_factor < 1.0 {
+            return Err(WorkloadError::InvalidParameter {
+                name: "burst_factor",
+                value: self.burst_factor,
+            });
+        }
+        if !(0.0..=1.0).contains(&self.burst_fraction) {
+            return Err(WorkloadError::InvalidParameter {
+                name: "burst_fraction",
+                value: self.burst_fraction,
+            });
+        }
+        if self.step.is_zero() || self.step > self.horizon {
+            return Err(WorkloadError::InvalidParameter {
+                name: "step",
+                value: self.step.as_secs_f64(),
+            });
+        }
+        Ok(())
+    }
+
+    fn generate(&self, rng: &mut DeterministicRng) -> Result<Vec<TraceRequest>, WorkloadError> {
+        self.validate()?;
+        let zipf = ZipfIndex::new(self.functions as usize, self.popularity_skew);
+        let mut requests = Vec::new();
+        let mut offset = SimDuration::ZERO;
+        let mut id = 0u64;
+        while offset < self.horizon {
+            let step = self.step.min(self.horizon - offset);
+            let burst = if rng.bernoulli(self.burst_fraction) {
+                self.burst_factor
+            } else {
+                1.0
+            };
+            let rate = self.base_rps * self.diurnal(offset) * burst;
+            let arrivals = PoissonArrivals::new(rate).arrivals_until(step, rng);
+            for t in arrivals {
+                let function = zipf.sample(rng) as u32;
+                requests.push(TraceRequest {
+                    id,
+                    arrival: SimTime::ZERO + offset + t,
+                    benchmark: AzureWorkload::benchmark_of(function),
+                    function,
+                });
+                id += 1;
+            }
+            offset += step;
+        }
+        Ok(requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_workload_validates() {
+        assert_eq!(AzureWorkload::default().validate(), Ok(()));
+        assert_eq!(AzureWorkload::quick().validate(), Ok(()));
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected_with_typed_errors() {
+        let mut w = AzureWorkload::quick();
+        w.base_rps = f64::NAN;
+        assert!(matches!(
+            w.validate(),
+            Err(WorkloadError::InvalidRate { rate, .. }) if rate.is_nan()
+        ));
+
+        let mut w = AzureWorkload::quick();
+        w.base_rps = -5.0;
+        assert!(matches!(
+            w.validate(),
+            Err(WorkloadError::InvalidRate { .. })
+        ));
+
+        let mut w = AzureWorkload::quick();
+        w.functions = 0;
+        assert!(matches!(
+            w.validate(),
+            Err(WorkloadError::InvalidParameter {
+                name: "functions",
+                ..
+            })
+        ));
+
+        let mut w = AzureWorkload::quick();
+        w.horizon = SimDuration::ZERO;
+        assert_eq!(
+            w.validate(),
+            Err(WorkloadError::ZeroDuration { segment: 0 })
+        );
+
+        let mut w = AzureWorkload::quick();
+        w.burst_factor = 0.5;
+        assert!(matches!(
+            w.validate(),
+            Err(WorkloadError::InvalidParameter {
+                name: "burst_factor",
+                ..
+            })
+        ));
+
+        let mut w = AzureWorkload::quick();
+        w.diurnal_amplitude = 1.0;
+        assert!(w.validate().is_err(), "amplitude 1.0 allows zero rates");
+    }
+
+    #[test]
+    fn generation_fails_fast_on_invalid_parameters() {
+        let mut w = AzureWorkload::quick();
+        w.base_rps = f64::INFINITY;
+        let err = w
+            .generate(&mut DeterministicRng::seeded(1))
+            .expect_err("must reject");
+        assert!(matches!(err, WorkloadError::InvalidRate { .. }));
+    }
+
+    #[test]
+    fn trace_is_sorted_bounded_and_plausible() {
+        let w = AzureWorkload::quick();
+        let trace = w.generate(&mut DeterministicRng::seeded(2)).expect("valid");
+        assert!(trace.windows(2).all(|p| p[0].arrival <= p[1].arrival));
+        assert!(trace
+            .iter()
+            .all(|r| r.arrival < SimTime::ZERO + w.horizon()));
+        // ~600 rps over 120 s, modulated: within a broad band.
+        let expected = w.base_rps * w.horizon.as_secs_f64();
+        let n = trace.len() as f64;
+        assert!(n > expected * 0.5 && n < expected * 2.0, "len {n}");
+        // Function ids map consistently to benchmarks.
+        assert!(trace
+            .iter()
+            .all(|r| r.benchmark == AzureWorkload::benchmark_of(r.function)));
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let w = AzureWorkload::quick();
+        let trace = w.generate(&mut DeterministicRng::seeded(3)).expect("valid");
+        let count = |f: u32| trace.iter().filter(|r| r.function == f).count();
+        let hottest = count(0);
+        let coldest = count(w.functions - 1);
+        assert!(
+            hottest > 4 * coldest.max(1),
+            "hottest {hottest} vs coldest {coldest}"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let w = AzureWorkload::quick();
+        let a = w.generate(&mut DeterministicRng::seeded(4)).expect("valid");
+        let b = w.generate(&mut DeterministicRng::seeded(4)).expect("valid");
+        assert_eq!(a, b);
+        let c = w.generate(&mut DeterministicRng::seeded(5)).expect("valid");
+        assert_ne!(a.len(), c.len());
+    }
+}

@@ -4,7 +4,10 @@
 //! Each runner returns plain data (rows or series) so the benchmark harness and
 //! the `reproduce` binary can print, compare and regress them. Figures that
 //! need the design-space exploration (7, 8, 12) or the at-scale cluster
-//! simulation (13) live in `dscs-dse` and `dscs-cluster` respectively.
+//! simulation (13) live in `dscs-dse` and `dscs-cluster` respectively; the
+//! at-scale policy sweep (scheduler x keepalive x platform x workload, the
+//! `reproduce at-scale` subcommand) is `dscs_cluster::at_scale`, kept there
+//! because `dscs-cluster` sits above this crate in the dependency graph.
 
 use serde::{Deserialize, Serialize};
 

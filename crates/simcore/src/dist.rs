@@ -333,6 +333,72 @@ impl PoissonArrivals {
     }
 }
 
+/// A Zipf-distributed index sampler over `0..n`.
+///
+/// Rank `k` (0-based) is drawn with probability proportional to
+/// `1 / (k + 1)^s`. Azure-functions-style workloads are heavily skewed — a few
+/// functions receive most invocations while a long tail is called rarely — and
+/// this sampler provides that popularity skew for the synthetic workload
+/// generator. `s = 0` degenerates to the uniform distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZipfIndex {
+    /// Cumulative probabilities, one per rank; the last entry is 1.0.
+    cdf: Vec<f64>,
+}
+
+impl ZipfIndex {
+    /// Creates a sampler over `n` ranks with skew exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative or not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "skew must be non-negative and finite"
+        );
+        let weights: Vec<f64> = (0..n).map(|k| (k as f64 + 1.0).powf(-s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let mut cdf: Vec<f64> = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        // Guard against floating-point shortfall at the top.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        ZipfIndex { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler has no ranks (never true for a constructed sampler).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The probability mass of rank `k`.
+    pub fn probability(&self, k: usize) -> f64 {
+        let hi = self.cdf[k];
+        let lo = if k == 0 { 0.0 } else { self.cdf[k - 1] };
+        hi - lo
+    }
+
+    /// Draws one rank in `0..len()`.
+    pub fn sample(&self, rng: &mut DeterministicRng) -> usize {
+        let u = rng.next_f64();
+        // Binary search for the first cumulative probability >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
 /// Inverse CDF of the standard normal distribution (Acklam's rational
 /// approximation, max relative error ~1.15e-9). Sufficient for calibrating
 /// latency quantiles.
@@ -490,5 +556,38 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_rate_poisson_rejected() {
         let _ = PoissonArrivals::new(0.0);
+    }
+
+    #[test]
+    fn zipf_skews_towards_low_ranks() {
+        let zipf = ZipfIndex::new(16, 1.2);
+        let mut rng = DeterministicRng::seeded(9);
+        let mut counts = [0u64; 16];
+        for _ in 0..20_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[8] * 4, "counts {counts:?}");
+        assert!(counts[0] > counts[15] * 8, "counts {counts:?}");
+    }
+
+    #[test]
+    fn zipf_zero_skew_is_uniform() {
+        let zipf = ZipfIndex::new(4, 0.0);
+        for k in 0..4 {
+            assert!((zipf.probability(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_probabilities_sum_to_one() {
+        let zipf = ZipfIndex::new(100, 0.9);
+        let total: f64 = (0..100).map(|k| zipf.probability(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_zipf_rejected() {
+        let _ = ZipfIndex::new(0, 1.0);
     }
 }

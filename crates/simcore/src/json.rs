@@ -1,0 +1,213 @@
+//! Minimal deterministic JSON emission.
+//!
+//! The workspace vendors an API-surface stub of `serde` (no `serde_json`), so
+//! machine-readable reports — the at-scale sweep artifact CI uploads, for one —
+//! are emitted through this small value tree instead. Rendering is fully
+//! deterministic: object keys keep insertion order and floats use Rust's
+//! shortest-roundtrip formatting, so a fixed-seed report is byte-for-byte
+//! reproducible across runs.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (emitted without a decimal point).
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A finite float. Non-finite values render as `null` (JSON has no NaN).
+    Float(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An object; keys keep insertion order for reproducible output.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// An empty object, to be filled with [`JsonValue::push`].
+    pub fn object() -> Self {
+        JsonValue::Object(Vec::new())
+    }
+
+    /// Appends a key/value pair to an object.
+    ///
+    /// # Panics
+    /// Panics if `self` is not an object.
+    pub fn push(&mut self, key: impl Into<String>, value: impl Into<JsonValue>) -> &mut Self {
+        match self {
+            JsonValue::Object(pairs) => pairs.push((key.into(), value.into())),
+            other => panic!("push on non-object JSON value {other:?}"),
+        }
+        self
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            JsonValue::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            JsonValue::Float(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+
+impl From<i64> for JsonValue {
+    fn from(i: i64) -> Self {
+        JsonValue::Int(i)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(u: u64) -> Self {
+        JsonValue::UInt(u)
+    }
+}
+
+impl From<u32> for JsonValue {
+    fn from(u: u32) -> Self {
+        JsonValue::UInt(u64::from(u))
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(u: usize) -> Self {
+        JsonValue::UInt(u as u64)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(x: f64) -> Self {
+        JsonValue::Float(x)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(s: String) -> Self {
+        JsonValue::Str(s)
+    }
+}
+
+impl<T: Into<JsonValue>> From<Vec<T>> for JsonValue {
+    fn from(items: Vec<T>) -> Self {
+        JsonValue::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars() {
+        assert_eq!(JsonValue::Null.render(), "null");
+        assert_eq!(JsonValue::from(true).render(), "true");
+        assert_eq!(JsonValue::from(42u64).render(), "42");
+        assert_eq!(JsonValue::from(-7i64).render(), "-7");
+        assert_eq!(JsonValue::from(1.5).render(), "1.5");
+        assert_eq!(JsonValue::Float(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(JsonValue::from("a\"b\\c\nd").render(), r#""a\"b\\c\nd""#);
+        assert_eq!(JsonValue::from("\u{1}").render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn objects_preserve_insertion_order() {
+        let mut obj = JsonValue::object();
+        obj.push("zulu", 1u64).push("alpha", 2u64);
+        assert_eq!(obj.render(), r#"{"zulu":1,"alpha":2}"#);
+    }
+
+    #[test]
+    fn arrays_nest() {
+        let v = JsonValue::from(vec![1.0, 2.5]);
+        assert_eq!(v.render(), "[1,2.5]");
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let mut obj = JsonValue::object();
+        obj.push("xs", vec![0.1, 0.2, 0.30000000000000004]);
+        assert_eq!(obj.render(), obj.render());
+    }
+}

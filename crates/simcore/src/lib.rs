@@ -21,6 +21,8 @@
 //! * [`events`] — a small discrete-event simulation engine used by the at-scale
 //!   datacenter simulation.
 //! * [`series`] — time-bucketed series for "metric over wall-clock time" figures.
+//! * [`json`] — a minimal deterministic JSON emitter for machine-readable
+//!   reports (the vendored `serde` stub has no `serde_json`).
 //!
 //! # Example
 //!
@@ -41,6 +43,7 @@
 pub mod dist;
 pub mod events;
 pub mod fit;
+pub mod json;
 pub mod pareto;
 pub mod quantity;
 pub mod rng;
@@ -50,10 +53,11 @@ pub mod time;
 
 pub use dist::{
     ConstantDist, Distribution, ExponentialDist, LogNormalDist, PoissonArrivals, ScaledDist,
-    UniformDist,
+    UniformDist, ZipfIndex,
 };
 pub use events::{Event, EventQueue, Simulator};
 pub use fit::{polyfit, Polynomial};
+pub use json::JsonValue;
 pub use pareto::{pareto_frontier, ParetoPoint};
 pub use quantity::{AreaMm2, Bandwidth, Bytes, Dollars, Frequency, Joules, Watts};
 pub use rng::DeterministicRng;

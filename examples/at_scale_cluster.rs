@@ -1,20 +1,24 @@
-//! At-scale comparison (Figure 13): replay a bursty request trace against a
-//! 200-instance cluster of baseline CPU nodes and of DSCS-Serverless drives,
-//! and print the queue depth and wall-clock latency over time.
+//! At-scale comparison (Figure 13 and beyond): replay a bursty request trace
+//! and an Azure-style synthetic workload against clusters of baseline CPU
+//! nodes and of DSCS-Serverless drives, under different scheduler and
+//! keepalive policies, sharded over multiple racks.
 //!
-//! A shortened trace keeps the example fast; `reproduce fig13 --full` runs the
-//! whole 20-minute trace.
+//! Shortened traces keep the example fast; `reproduce at-scale` runs the full
+//! policy sweep and writes a machine-readable JSON report.
 //!
 //! Run with: `cargo run --release --example at_scale_cluster`
 
-use dscs_serverless::cluster::sim::simulate_platform;
+use dscs_serverless::cluster::policy::{KeepalivePolicy, LoadBalancer, SchedulerPolicy};
+use dscs_serverless::cluster::sim::{simulate_platform, ClusterConfig, ClusterSim};
 use dscs_serverless::cluster::trace::RateProfile;
+use dscs_serverless::cluster::workload::{AzureWorkload, Workload};
 use dscs_serverless::platforms::PlatformKind;
 use dscs_serverless::simcore::rng::DeterministicRng;
 use dscs_serverless::simcore::time::SimDuration;
 
 fn main() {
-    // A five-minute slice of the bursty profile.
+    // Part 1 — the paper's Figure 13: a five-minute slice of the bursty
+    // profile on a single 200-instance rack, FCFS, fixed keepalive.
     let profile = RateProfile {
         segments: vec![
             (SimDuration::from_secs(60), 900.0),
@@ -25,14 +29,18 @@ fn main() {
         ],
     };
     let trace = profile.generate(&mut DeterministicRng::seeded(7));
-    println!("trace: {} requests over {}", trace.len(), profile.horizon());
+    println!(
+        "bursty trace: {} requests over {}",
+        trace.len(),
+        profile.horizon()
+    );
 
     for platform in [PlatformKind::BaselineCpu, PlatformKind::DscsDsa] {
         let report = simulate_platform(platform, &trace, 11);
         println!("\n{}:", platform.name());
         println!(
-            "  completed {} / rejected {}",
-            report.completed, report.rejected
+            "  completed {} / rejected {} / cold starts {}",
+            report.completed, report.rejected, report.cold_starts
         );
         println!(
             "  mean wall-clock latency {:.1} ms, makespan {}",
@@ -50,6 +58,41 @@ fn main() {
                 .iter()
                 .map(|x| x.round())
                 .collect::<Vec<_>>()
+        );
+    }
+
+    // Part 2 — the workload subsystem: an Azure-style trace (Zipf function
+    // popularity, diurnal rate, bursts) sharded over four racks behind a
+    // least-loaded balancer, with keepalive policies compared head to head.
+    let azure = AzureWorkload::quick();
+    let azure_trace = azure
+        .generate(&mut DeterministicRng::seeded(13))
+        .expect("built-in workload is valid");
+    println!(
+        "\nazure trace: {} requests over {} across {} functions",
+        azure_trace.len(),
+        azure.horizon(),
+        azure.functions
+    );
+
+    for keepalive in KeepalivePolicy::all_default() {
+        let config = ClusterConfig {
+            scheduler: SchedulerPolicy::Fcfs,
+            keepalive,
+            ..ClusterConfig::default()
+        };
+        let sim = ClusterSim::new(PlatformKind::DscsDsa, config);
+        let (report, racks) = sim.run_sharded(&azure_trace, 17, 4, LoadBalancer::LeastLoaded);
+        println!("\nDSCS x 4 racks, {}:", keepalive.name());
+        println!(
+            "  cold starts {} / mean {:.1} ms / p99 {:.1} ms",
+            report.cold_starts,
+            report.mean_latency_ms(),
+            report.p99_latency_ms()
+        );
+        println!(
+            "  per-rack completed: {:?}",
+            racks.iter().map(|r| r.completed).collect::<Vec<_>>()
         );
     }
 }

@@ -1,0 +1,111 @@
+//! Integration tests for the at-scale workload subsystem: the policy sweep,
+//! multi-rack sharding, and the machine-readable report CI uploads.
+
+use dscs_serverless::cluster::at_scale::{at_scale_sweep, AtScaleOptions};
+use dscs_serverless::cluster::policy::{KeepalivePolicy, LoadBalancer, SchedulerPolicy};
+use dscs_serverless::cluster::sim::{ClusterConfig, ClusterSim};
+use dscs_serverless::cluster::workload::{AzureWorkload, Workload, WorkloadError};
+use dscs_serverless::platforms::PlatformKind;
+use dscs_serverless::simcore::rng::DeterministicRng;
+
+#[test]
+fn fixed_seed_sweep_report_is_byte_for_byte_reproducible() {
+    let options = AtScaleOptions::smoke();
+    let a = at_scale_sweep(options).to_json();
+    let b = at_scale_sweep(options).to_json();
+    assert_eq!(a, b);
+    // A different seed changes the report.
+    let c = at_scale_sweep(AtScaleOptions {
+        seed: options.seed + 1,
+        ..options
+    })
+    .to_json();
+    assert_ne!(a, c);
+}
+
+#[test]
+fn sweep_covers_both_platforms_all_policies_and_both_workloads() {
+    let report = at_scale_sweep(AtScaleOptions::smoke());
+    for platform in [PlatformKind::BaselineCpu, PlatformKind::DscsDsa] {
+        for workload in ["bursty", "azure"] {
+            let cells = report.cells_for(workload, platform);
+            assert_eq!(
+                cells.len(),
+                SchedulerPolicy::ALL.len() * KeepalivePolicy::all_default().len(),
+                "{workload}/{platform:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_rack_run_is_deterministic_across_balancers() {
+    let azure = AzureWorkload {
+        functions: 12,
+        base_rps: 250.0,
+        horizon: dscs_serverless::simcore::time::SimDuration::from_secs(30),
+        ..AzureWorkload::default()
+    };
+    let trace = azure
+        .generate(&mut DeterministicRng::seeded(5))
+        .expect("valid");
+    let sim = ClusterSim::new(PlatformKind::DscsDsa, ClusterConfig::default());
+    for balancer in LoadBalancer::ALL {
+        let (a, racks_a) = sim.run_sharded(&trace, 9, 3, balancer);
+        let (b, racks_b) = sim.run_sharded(&trace, 9, 3, balancer);
+        assert_eq!(a, b, "{balancer:?} aggregate");
+        assert_eq!(racks_a, racks_b, "{balancer:?} racks");
+        assert_eq!(a.completed + a.rejected, trace.len() as u64);
+    }
+}
+
+#[test]
+fn keepalive_policies_order_cold_start_counts() {
+    // Sparse arrivals so invocations rarely overlap: no-keepalive runs cold
+    // almost every time, the fixed window almost never (trace << window).
+    let azure = AzureWorkload {
+        functions: 8,
+        base_rps: 4.0,
+        horizon: dscs_serverless::simcore::time::SimDuration::from_secs(60),
+        ..AzureWorkload::default()
+    };
+    let trace = azure
+        .generate(&mut DeterministicRng::seeded(6))
+        .expect("valid");
+    let run = |keepalive| {
+        let config = ClusterConfig {
+            keepalive,
+            ..ClusterConfig::default()
+        };
+        ClusterSim::new(PlatformKind::DscsDsa, config).run(&trace, 3)
+    };
+    let none = run(KeepalivePolicy::NoKeepalive);
+    let fixed = run(KeepalivePolicy::paper_default());
+    let hybrid = run(KeepalivePolicy::hybrid_default());
+    assert!(
+        none.cold_starts > fixed.cold_starts,
+        "none {} vs fixed {}",
+        none.cold_starts,
+        fixed.cold_starts
+    );
+    assert!(
+        hybrid.cold_starts <= none.cold_starts,
+        "hybrid {} vs none {}",
+        hybrid.cold_starts,
+        none.cold_starts
+    );
+    assert!(none.mean_latency_ms() > fixed.mean_latency_ms());
+}
+
+#[test]
+fn workload_validation_errors_are_typed_and_displayable() {
+    let bad = AzureWorkload {
+        base_rps: -1.0,
+        ..AzureWorkload::default()
+    };
+    let err = bad
+        .generate(&mut DeterministicRng::seeded(1))
+        .expect_err("negative rate must be rejected");
+    assert!(matches!(err, WorkloadError::InvalidRate { .. }));
+    assert!(err.to_string().contains("invalid rate"));
+}

@@ -52,6 +52,26 @@ fn different_seeds_produce_different_latency_series() {
 }
 
 #[test]
+fn same_seed_produces_bit_identical_multi_rack_runs() {
+    use dscs_serverless::cluster::policy::{LoadBalancer, SchedulerPolicy};
+    use dscs_serverless::cluster::sim::{ClusterConfig, ClusterSim};
+
+    let trace = one_minute_trace(11);
+    let config = ClusterConfig {
+        scheduler: SchedulerPolicy::ShortestJobFirst,
+        ..ClusterConfig::default()
+    };
+    let sim = ClusterSim::new(PlatformKind::DscsDsa, config);
+    for balancer in LoadBalancer::ALL {
+        let (a, racks_a) = sim.run_sharded(&trace, 33, 4, balancer);
+        let (b, racks_b) = sim.run_sharded(&trace, 33, 4, balancer);
+        assert_eq!(a.latency_ms, b.latency_ms, "{balancer:?} latency series");
+        assert_eq!(a.cold_starts, b.cold_starts, "{balancer:?} cold starts");
+        assert_eq!(racks_a, racks_b, "{balancer:?} per-rack summaries");
+    }
+}
+
+#[test]
 fn same_seed_produces_bit_identical_traces() {
     let t1 = one_minute_trace(42);
     let t2 = one_minute_trace(42);

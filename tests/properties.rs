@@ -274,3 +274,124 @@ fn dsa_configs_validate() {
         }
     });
 }
+
+/// Workload generators are pure functions of their seed and always produce
+/// sorted, in-horizon traces with consistent function->benchmark bindings.
+#[test]
+fn workload_traces_are_deterministic_sorted_and_bounded() {
+    use dscs_serverless::cluster::workload::{AzureWorkload, Workload};
+    use dscs_serverless::simcore::time::SimTime;
+
+    check(0xAB, |case, rng| {
+        let workload = AzureWorkload {
+            functions: int_in(rng, 1, 48) as u32,
+            popularity_skew: rng.uniform(0.0, 2.0),
+            base_rps: rng.uniform(5.0, 400.0),
+            horizon: SimDuration::from_secs(int_in(rng, 5, 40)),
+            diurnal_amplitude: rng.uniform(0.0, 0.9),
+            diurnal_period: SimDuration::from_secs(int_in(rng, 5, 60)),
+            burst_factor: rng.uniform(1.0, 4.0),
+            burst_fraction: rng.uniform(0.0, 1.0),
+            step: SimDuration::from_secs(int_in(rng, 1, 5)),
+        };
+        assert_eq!(workload.validate(), Ok(()), "case {case}");
+        let seed = int_in(rng, 0, 1_000_000);
+        let a = workload
+            .generate(&mut DeterministicRng::seeded(seed))
+            .expect("validated workload generates");
+        let b = workload
+            .generate(&mut DeterministicRng::seeded(seed))
+            .expect("validated workload generates");
+        assert_eq!(a, b, "case {case}: same seed, same trace");
+        assert!(
+            a.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "case {case}: sorted"
+        );
+        let end = SimTime::ZERO + workload.horizon;
+        assert!(a.iter().all(|r| r.arrival < end), "case {case}: bounded");
+        assert!(
+            a.iter().all(|r| r.function < workload.functions
+                && r.benchmark == AzureWorkload::benchmark_of(r.function)),
+            "case {case}: function binding"
+        );
+    });
+}
+
+/// Rate-profile validation rejects exactly the malformed inputs: any
+/// non-finite or negative rate, any zero-length segment, or no segments.
+#[test]
+fn rate_profile_validation_catches_malformed_segments() {
+    use dscs_serverless::cluster::trace::RateProfile;
+    use dscs_serverless::cluster::workload::{Workload, WorkloadError};
+
+    check(0xAC, |case, rng| {
+        let len = int_in(rng, 1, 8) as usize;
+        let mut segments: Vec<(SimDuration, f64)> = (0..len)
+            .map(|_| {
+                (
+                    SimDuration::from_secs(int_in(rng, 1, 30)),
+                    rng.uniform(0.0, 500.0),
+                )
+            })
+            .collect();
+        let profile = RateProfile {
+            segments: segments.clone(),
+        };
+        assert_eq!(profile.validate(), Ok(()), "case {case}: well-formed");
+
+        // Corrupt one segment and expect a typed error naming it.
+        let victim = rng.next_index(len);
+        let bad_rate = *rng.choose(&[f64::NAN, f64::INFINITY, -1.0]);
+        segments[victim].1 = bad_rate;
+        let profile = RateProfile { segments };
+        match profile.validate() {
+            Err(WorkloadError::InvalidRate { segment, .. }) => {
+                assert_eq!(segment, victim, "case {case}")
+            }
+            other => panic!("case {case}: expected InvalidRate, got {other:?}"),
+        }
+    });
+}
+
+/// The hybrid-histogram keepalive never evicts a warm container before its
+/// current window: for any observation history, an invocation arriving within
+/// the reported window of the last finish always finds the container warm.
+#[test]
+fn hybrid_histogram_never_evicts_before_its_window() {
+    use dscs_serverless::cluster::policy::{KeepalivePolicy, KeepaliveState};
+    use dscs_serverless::simcore::time::SimTime;
+
+    check(0xAD, |case, rng| {
+        let bin = SimDuration::from_secs(int_in(rng, 1, 20));
+        let range = bin * int_in(rng, 2, 60);
+        let policy = KeepalivePolicy::HybridHistogram { range, bin };
+        let mut state = KeepaliveState::new(policy);
+        let function = int_in(rng, 0, 4) as u32;
+        let mut now = SimTime::ZERO;
+        let mut last_finish = None;
+        for _ in 0..int_in(rng, 1, 120) {
+            // Random idle gaps, some beyond the histogram range.
+            let gap = SimDuration::from_secs_f64(rng.uniform(0.0, 1.5 * range.as_secs_f64()));
+            now += gap;
+            let window = state.window(function);
+            if let Some(finish) = last_finish {
+                let idle = now.saturating_since(finish);
+                // The invariant under test: inside the window => warm.
+                if idle <= window {
+                    assert!(
+                        state.is_warm(function, now),
+                        "case {case}: idle {idle} within window {window} but cold"
+                    );
+                }
+            }
+            let service = SimDuration::from_secs_f64(rng.uniform(0.01, 2.0));
+            state.record_invocation(function, now, now + service);
+            last_finish = Some(now + service);
+            now += service;
+        }
+        // The window never collapses below one bin nor exceeds the range.
+        let w = state.window(function);
+        assert!(w >= bin.min(range), "case {case}: window {w} < bin {bin}");
+        assert!(w <= range, "case {case}: window {w} exceeds range {range}");
+    });
+}
