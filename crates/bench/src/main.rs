@@ -15,14 +15,23 @@
 //! reproduce at-scale [--quick] [--seed N] [--racks N]
 //!                    [--balancer round-robin|least-loaded] [--out PATH]
 //!
-//! Sweeps scheduler x keepalive x platform over the bursty Figure-13 trace
-//! and an Azure-style synthetic workload, sharded over multiple racks, and
-//! writes a machine-readable JSON report (default: BENCH_cluster.json).
+//! Sweeps scheduler x keepalive x scaling x platform over the bursty
+//! Figure-13 trace and an Azure-style synthetic workload, sharded over
+//! multiple racks, and writes a machine-readable JSON report (default:
+//! BENCH_cluster.json).
+//!
+//! reproduce perf-gate BASELINE.json CURRENT.json [--threshold PCT]
+//!
+//! Diffs two at-scale reports cell by cell and exits non-zero on mean/p99
+//! latency regressions beyond the threshold (default 10%). A missing
+//! baseline file passes vacuously, so the first CI run after enabling the
+//! gate succeeds.
 //! ```
 
 use std::env;
 
 use dscs_cluster::at_scale::{at_scale_sweep, AtScaleOptions, SweepScale};
+use dscs_cluster::perf_gate::compare_reports;
 use dscs_cluster::policy::LoadBalancer;
 use dscs_cluster::sim::simulate_platform;
 use dscs_cluster::trace::RateProfile;
@@ -49,6 +58,11 @@ fn main() {
     if let Some(at) = args.iter().position(|a| a == "at-scale") {
         let rest: Vec<String> = args[..at].iter().chain(&args[at + 1..]).cloned().collect();
         at_scale(&rest);
+        return;
+    }
+    if let Some(at) = args.iter().position(|a| a == "perf-gate") {
+        let rest: Vec<String> = args[..at].iter().chain(&args[at + 1..]).cloned().collect();
+        perf_gate(&rest);
         return;
     }
     let full = args.iter().any(|a| a == "--full");
@@ -82,7 +96,7 @@ fn main() {
     let known =
         |name: &str| name == "all" || experiments.iter().any(|(names, _)| names.contains(&name));
     if !known(&which) {
-        let mut names: Vec<&str> = vec!["all", "at-scale"];
+        let mut names: Vec<&str> = vec!["all", "at-scale", "perf-gate"];
         names.extend(experiments.iter().flat_map(|(n, _)| n.iter().copied()));
         eprintln!(
             "unknown experiment '{which}'; expected one of: {}",
@@ -486,27 +500,35 @@ fn at_scale(args: &[String]) {
         );
     }
     println!(
-        "\n{:<8} {:<18} {:<6} {:<18} {:>10} {:>9} {:>11} {:>12} {:>12}",
+        "\n{:<8} {:<18} {:<6} {:<16} {:<10} {:>9} {:>8} {:>10} {:>8} {:>7} {:>6} {:>10} {:>10}",
         "workload",
         "platform",
         "sched",
         "keepalive",
+        "scaling",
         "completed",
-        "rejected",
-        "cold starts",
+        "cold",
+        "prewarm %",
+        "lag s",
+        "peak",
+        "waste",
         "mean ms",
         "p99 ms"
     );
     for c in &report.cells {
         println!(
-            "{:<8} {:<18} {:<6} {:<18} {:>10} {:>9} {:>11} {:>12.1} {:>12.1}",
+            "{:<8} {:<18} {:<6} {:<16} {:<10} {:>9} {:>8} {:>10.2} {:>8.1} {:>7} {:>6.0} {:>10.1} {:>10.1}",
             c.workload,
             c.platform.name(),
             c.scheduler.name(),
             c.keepalive.name(),
+            c.scaling.name(),
             c.completed,
-            c.rejected,
             c.cold_starts,
+            c.prewarm_hit_rate * 100.0,
+            c.scaling_lag_s,
+            c.peak_instances,
+            c.wasted_warm_s,
             c.mean_latency_ms,
             c.p99_latency_ms
         );
@@ -519,4 +541,79 @@ fn at_scale(args: &[String]) {
             std::process::exit(1);
         }
     }
+}
+
+/// `reproduce perf-gate BASELINE.json CURRENT.json [--threshold PCT]`: the CI
+/// perf-regression gate. Exits 1 when any sweep cell's mean or p99 latency
+/// regressed beyond the threshold relative to the baseline report; a missing
+/// baseline file passes vacuously (the first gated run has no history).
+fn perf_gate(args: &[String]) {
+    let mut threshold = 10.0f64;
+    let mut paths: Vec<&String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let value = iter.next().and_then(|v| v.parse::<f64>().ok());
+                match value {
+                    Some(v) if v.is_finite() && v > 0.0 => threshold = v,
+                    _ => {
+                        eprintln!("--threshold needs a positive percentage");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other if !other.starts_with("--") => paths.push(arg),
+            other => {
+                eprintln!("unknown perf-gate option '{other}'");
+                eprintln!(
+                    "usage: reproduce perf-gate BASELINE.json CURRENT.json [--threshold PCT]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        eprintln!("usage: reproduce perf-gate BASELINE.json CURRENT.json [--threshold PCT]");
+        std::process::exit(2);
+    };
+
+    header(&format!("Perf gate ({threshold}% threshold)"));
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => text,
+        Err(err) => {
+            println!("no baseline at {baseline_path} ({err}); passing vacuously");
+            return;
+        }
+    };
+    let current = match std::fs::read_to_string(current_path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("failed to read current report {current_path}: {err}");
+            std::process::exit(1);
+        }
+    };
+    let outcome = match compare_reports(&baseline, &current, threshold) {
+        Ok(outcome) => outcome,
+        Err(err) => {
+            eprintln!("perf gate could not compare reports: {err}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "compared {} cells ({} skipped: only on one side)",
+        outcome.compared, outcome.skipped
+    );
+    if outcome.passed() {
+        println!("OK: no latency regression beyond {threshold}%");
+        return;
+    }
+    eprintln!(
+        "FAIL: {} metric(s) regressed beyond {threshold}%:",
+        outcome.regressions.len()
+    );
+    for regression in &outcome.regressions {
+        eprintln!("  {regression}");
+    }
+    std::process::exit(1);
 }

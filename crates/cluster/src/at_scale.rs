@@ -1,11 +1,15 @@
-//! The at-scale policy sweep: scheduler × keepalive × platform × workload.
+//! The at-scale policy sweep: scheduler × keepalive × scaling × platform ×
+//! workload.
 //!
-//! Where Figure 13 fixes one policy point (FCFS, fixed keepalive, one rack),
-//! this experiment sweeps the whole policy grid over multiple workloads and
-//! multi-rack configurations, and emits a machine-readable JSON report. CI
-//! runs the quick version of the sweep every build and uploads the report as
-//! an artifact (`BENCH_cluster.json`), giving the repo a tracked performance
-//! trajectory. Fixed-seed runs are byte-for-byte reproducible.
+//! Where Figure 13 fixes one policy point (FCFS, fixed keepalive, fixed
+//! 200-instance racks), this experiment sweeps the whole policy grid —
+//! including the autoscaling axis and the hybrid histogram's prewarm window —
+//! over multiple workloads and multi-rack configurations, and emits a
+//! machine-readable JSON report. CI runs the quick version of the sweep every
+//! build, uploads the report as an artifact (`BENCH_cluster.json`), and diffs
+//! it against the previous run's artifact (see [`crate::perf_gate`]), giving
+//! the repo a tracked, gated performance trajectory. Fixed-seed runs are
+//! byte-for-byte reproducible.
 
 use serde::{Deserialize, Serialize};
 
@@ -14,7 +18,7 @@ use dscs_simcore::json::JsonValue;
 use dscs_simcore::rng::DeterministicRng;
 use dscs_simcore::time::SimDuration;
 
-use crate::policy::{KeepalivePolicy, LoadBalancer, SchedulerPolicy};
+use crate::policy::{KeepalivePolicy, LoadBalancer, ScalingPolicy, SchedulerPolicy};
 use crate::sim::{ClusterConfig, ClusterSim};
 use crate::trace::{RateProfile, TraceRequest};
 use crate::workload::{AzureWorkload, Workload};
@@ -83,7 +87,8 @@ impl AtScaleOptions {
     }
 }
 
-/// One cell of the sweep: a (workload, platform, scheduler, keepalive) point.
+/// One cell of the sweep: a (workload, platform, scheduler, keepalive,
+/// scaling) point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepCell {
     /// Workload name (`"bursty"`, `"azure"`).
@@ -94,6 +99,8 @@ pub struct SweepCell {
     pub scheduler: SchedulerPolicy,
     /// Keepalive policy.
     pub keepalive: KeepalivePolicy,
+    /// Instance-pool scaling policy.
+    pub scaling: ScalingPolicy,
     /// Requests offered by the trace.
     pub requests: u64,
     /// Requests completed.
@@ -102,6 +109,20 @@ pub struct SweepCell {
     pub rejected: u64,
     /// Requests that paid a cold start.
     pub cold_starts: u64,
+    /// Invocations that found a proactively prewarmed instance.
+    pub prewarm_hits: u64,
+    /// Fraction of completed requests that found a prewarmed instance.
+    pub prewarm_hit_rate: f64,
+    /// Idle warm-seconds the keepalive policy held without a reuse.
+    pub wasted_warm_s: f64,
+    /// Scale-up decisions taken across all racks.
+    pub scale_ups: u64,
+    /// Scale-down decisions taken across all racks.
+    pub scale_downs: u64,
+    /// Seconds spent waiting on instance provisioning across all racks.
+    pub scaling_lag_s: f64,
+    /// Largest provisioned instance count any rack reached.
+    pub peak_instances: u32,
     /// Mean wall-clock latency (ms).
     pub mean_latency_ms: f64,
     /// p99 wall-clock latency (ms).
@@ -146,10 +167,30 @@ impl AtScaleReport {
             .collect()
     }
 
+    /// The single cell at one full policy point, if the sweep covered it.
+    /// Policies are matched by their report names (`"fcfs"`,
+    /// `"hybrid-prewarm"`, `"reactive"`, ...).
+    pub fn cell(
+        &self,
+        workload: &str,
+        platform: PlatformKind,
+        scheduler: &str,
+        keepalive: &str,
+        scaling: &str,
+    ) -> Option<&SweepCell> {
+        self.cells.iter().find(|c| {
+            c.workload == workload
+                && c.platform == platform
+                && c.scheduler.name() == scheduler
+                && c.keepalive.name() == keepalive
+                && c.scaling.name() == scaling
+        })
+    }
+
     /// Renders the report as compact, byte-for-byte reproducible JSON.
     pub fn to_json(&self) -> String {
         let mut root = JsonValue::object();
-        root.push("schema", "dscs-at-scale-v1");
+        root.push("schema", "dscs-at-scale-v2");
         root.push("scale", self.options.scale.name());
         root.push("seed", self.options.seed);
         root.push("racks", self.options.racks);
@@ -180,10 +221,18 @@ impl AtScaleReport {
                         obj.push("platform", c.platform.name());
                         obj.push("scheduler", c.scheduler.name());
                         obj.push("keepalive", c.keepalive.name());
+                        obj.push("scaling", c.scaling.name());
                         obj.push("requests", c.requests);
                         obj.push("completed", c.completed);
                         obj.push("rejected", c.rejected);
                         obj.push("cold_starts", c.cold_starts);
+                        obj.push("prewarm_hits", c.prewarm_hits);
+                        obj.push("prewarm_hit_rate", c.prewarm_hit_rate);
+                        obj.push("wasted_warm_s", c.wasted_warm_s);
+                        obj.push("scale_ups", c.scale_ups);
+                        obj.push("scale_downs", c.scale_downs);
+                        obj.push("scaling_lag_s", c.scaling_lag_s);
+                        obj.push("peak_instances", c.peak_instances);
                         obj.push("mean_latency_ms", c.mean_latency_ms);
                         obj.push("p99_latency_ms", c.p99_latency_ms);
                         obj.push("peak_queue", c.peak_queue);
@@ -239,8 +288,8 @@ fn sweep_workloads(scale: SweepScale, seed: u64) -> Vec<(&'static str, Vec<Trace
     out
 }
 
-/// Runs the policy sweep: every scheduler × keepalive × platform combination
-/// over every workload, sharded over `options.racks` racks.
+/// Runs the policy sweep: every scheduler × keepalive × scaling × platform
+/// combination over every workload, sharded over `options.racks` racks.
 pub fn at_scale_sweep(options: AtScaleOptions) -> AtScaleReport {
     let workloads = sweep_workloads(options.scale, options.seed);
     let mut cells = Vec::new();
@@ -254,33 +303,44 @@ pub fn at_scale_sweep(options: AtScaleOptions) -> AtScaleReport {
         for (platform, base) in SWEEP_PLATFORMS.into_iter().zip(&base_sims) {
             for scheduler in SchedulerPolicy::ALL {
                 for keepalive in KeepalivePolicy::all_default() {
-                    let config = ClusterConfig {
-                        scheduler,
-                        keepalive,
-                        ..ClusterConfig::default()
-                    };
-                    let sim = base.reconfigured(config);
-                    let (report, racks) = sim.run_sharded(
-                        trace,
-                        options.seed ^ 0x5EED,
-                        options.racks,
-                        options.balancer,
-                    );
-                    cells.push(SweepCell {
-                        workload: name,
-                        platform,
-                        scheduler,
-                        keepalive,
-                        requests: trace.len() as u64,
-                        completed: report.completed,
-                        rejected: report.rejected,
-                        cold_starts: report.cold_starts,
-                        mean_latency_ms: report.mean_latency_ms(),
-                        p99_latency_ms: report.p99_latency_ms(),
-                        peak_queue: report.peak_queue(),
-                        makespan_s: report.makespan.as_secs_f64(),
-                        rack_completed: racks.iter().map(|r| r.completed).collect(),
-                    });
+                    for scaling in ScalingPolicy::all_default() {
+                        let config = ClusterConfig {
+                            scheduler,
+                            keepalive,
+                            scaling,
+                            ..ClusterConfig::default()
+                        };
+                        let sim = base.reconfigured(config);
+                        let (report, racks) = sim.run_sharded(
+                            trace,
+                            options.seed ^ 0x5EED,
+                            options.racks,
+                            options.balancer,
+                        );
+                        cells.push(SweepCell {
+                            workload: name,
+                            platform,
+                            scheduler,
+                            keepalive,
+                            scaling,
+                            requests: trace.len() as u64,
+                            completed: report.completed,
+                            rejected: report.rejected,
+                            cold_starts: report.cold_starts,
+                            prewarm_hits: report.prewarm_hits,
+                            prewarm_hit_rate: report.prewarm_hit_rate(),
+                            wasted_warm_s: report.wasted_warm_seconds,
+                            scale_ups: report.scale_ups,
+                            scale_downs: report.scale_downs,
+                            scaling_lag_s: report.scaling_lag_s,
+                            peak_instances: report.peak_instances,
+                            mean_latency_ms: report.mean_latency_ms(),
+                            p99_latency_ms: report.p99_latency_ms(),
+                            peak_queue: report.peak_queue(),
+                            makespan_s: report.makespan.as_secs_f64(),
+                            rack_completed: racks.iter().map(|r| r.completed).collect(),
+                        });
+                    }
                 }
             }
         }
@@ -306,13 +366,19 @@ mod tests {
     #[test]
     fn smoke_sweep_covers_the_whole_grid() {
         let report = at_scale_sweep(AtScaleOptions::smoke());
-        // 2 workloads x 2 platforms x 3 schedulers x 3 keepalive policies.
-        assert_eq!(report.cells.len(), 2 * 2 * 3 * 3);
+        // 2 workloads x 2 platforms x 3 schedulers x 4 keepalive policies
+        // x 3 scaling policies.
+        assert_eq!(report.cells.len(), 2 * 2 * 3 * 4 * 3);
         assert_eq!(report.workloads.len(), 2);
         for cell in &report.cells {
             assert_eq!(cell.completed + cell.rejected, cell.requests);
             assert!(cell.mean_latency_ms > 0.0);
             assert_eq!(cell.rack_completed.len(), 2);
+            assert!(cell.peak_instances <= 200);
+            if matches!(cell.scaling, ScalingPolicy::Fixed) {
+                assert_eq!(cell.scale_ups, 0, "fixed racks never scale");
+                assert_eq!(cell.scaling_lag_s, 0.0);
+            }
         }
     }
 
@@ -322,9 +388,17 @@ mod tests {
         let b = at_scale_sweep(AtScaleOptions::smoke()).to_json();
         assert_eq!(a, b, "fixed seed must reproduce byte-for-byte");
         assert!(a.starts_with('{') && a.ends_with('}'));
-        assert!(a.contains("\"schema\":\"dscs-at-scale-v1\""));
+        assert!(a.contains("\"schema\":\"dscs-at-scale-v2\""));
         assert!(a.contains("\"workload\":\"azure\""));
         assert!(a.contains("\"keepalive\":\"hybrid-histogram\""));
+        assert!(a.contains("\"keepalive\":\"hybrid-prewarm\""));
+        assert!(a.contains("\"scaling\":\"reactive\""));
+        assert!(a.contains("\"scaling\":\"predictive\""));
+        let parsed = JsonValue::parse(&a).expect("report JSON parses");
+        assert_eq!(
+            parsed.get("schema").and_then(JsonValue::as_str),
+            Some("dscs-at-scale-v2")
+        );
     }
 
     #[test]

@@ -10,14 +10,18 @@
 //!   synthetic generator ([`AzureWorkload`]: Zipf popularity skew, diurnal
 //!   cycles, burst episodes).
 //! * [`policy`] — scheduler policies (FCFS, shortest-job-first, per-benchmark
-//!   fair), keepalive policies (none, fixed window, hybrid histogram) and
-//!   front-end load balancers (round-robin, least-loaded).
+//!   fair), keepalive policies (none, fixed window, hybrid histogram with an
+//!   optional prewarm head percentile), instance-pool scaling policies
+//!   (fixed cap, reactive, predictive) and front-end load balancers
+//!   (round-robin, least-loaded).
 //! * [`sim`] — the discrete-event cluster simulation: cold starts priced by
-//!   `dscs-faas`'s container-lifecycle model, multi-rack sharding, and the
-//!   reported series (queued functions over time, wall-clock latency over
-//!   time).
+//!   `dscs-faas`'s container-lifecycle model, elastic per-rack instance pools
+//!   with modelled provisioning delay, multi-rack sharding, and the reported
+//!   series (queued functions over time, wall-clock latency over time).
 //! * [`at_scale`] — the policy sweep behind `reproduce at-scale` and the CI
 //!   perf artifact (`BENCH_cluster.json`).
+//! * [`perf_gate`] — the CI perf-regression gate: diffs two at-scale reports
+//!   and fails on latency regressions beyond a threshold.
 //!
 //! # Example
 //!
@@ -39,13 +43,18 @@
 #![warn(missing_docs)]
 
 pub mod at_scale;
+pub mod perf_gate;
 pub mod policy;
 pub mod sim;
 pub mod trace;
 pub mod workload;
 
 pub use at_scale::{at_scale_sweep, AtScaleOptions, AtScaleReport, SweepCell, SweepScale};
-pub use policy::{KeepalivePolicy, KeepaliveState, LoadBalancer, SchedQueue, SchedulerPolicy};
+pub use perf_gate::{compare_reports, GateOutcome};
+pub use policy::{
+    KeepalivePolicy, KeepaliveState, KeepaliveStats, LoadBalancer, ScalingPolicy, SchedQueue,
+    SchedulerPolicy,
+};
 pub use sim::{simulate_platform, ClusterConfig, ClusterReport, ClusterSim, RackSummary};
 pub use trace::{RateProfile, TraceRequest};
 pub use workload::{AzureWorkload, Workload, WorkloadError};

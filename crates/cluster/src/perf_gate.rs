@@ -1,0 +1,300 @@
+//! Perf-trajectory regression gate over at-scale sweep reports.
+//!
+//! CI uploads every build's `BENCH_cluster.json` (see [`crate::at_scale`]).
+//! This module diffs the current report against the previous run's artifact,
+//! cell by cell, and flags mean/p99 latency regressions beyond a threshold —
+//! the repo's tracked performance trajectory becomes a gate instead of a
+//! graph. The comparison is schema-tolerant: cells are matched by their full
+//! policy identity (workload, platform, scheduler, keepalive, scaling — the
+//! scaling axis defaults to `"fixed"` for pre-v2 reports), and cells present
+//! on only one side are reported as skipped rather than failing, so the first
+//! run after a sweep-shape change passes vacuously for the new cells.
+
+use std::fmt;
+
+use dscs_simcore::json::JsonValue;
+
+/// The latency metrics the gate compares per cell.
+const GATED_METRICS: [&str; 2] = ["mean_latency_ms", "p99_latency_ms"];
+
+/// Latencies below this floor (in ms) are noise, not signal; the gate skips
+/// them rather than flagging a large relative change on a tiny base.
+const METRIC_FLOOR_MS: f64 = 0.01;
+
+/// One metric regression beyond the threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Cell identity, e.g. `azure/DSCS-DSA/fcfs/hybrid-prewarm/reactive`.
+    pub cell: String,
+    /// The metric that regressed (`mean_latency_ms` or `p99_latency_ms`).
+    pub metric: &'static str,
+    /// Baseline value (previous run).
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Relative change in percent (positive = slower).
+    pub change_pct: f64,
+}
+
+impl fmt::Display for Regression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} {:.3} -> {:.3} ms (+{:.1}%)",
+            self.cell, self.metric, self.baseline, self.current, self.change_pct
+        )
+    }
+}
+
+/// Outcome of one gate comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateOutcome {
+    /// Cells whose metrics were compared on both sides.
+    pub compared: usize,
+    /// Cells present on only one side (schema or sweep-shape drift).
+    pub skipped: usize,
+    /// Metric regressions beyond the threshold, worst first.
+    pub regressions: Vec<Regression>,
+}
+
+impl GateOutcome {
+    /// Whether the gate passes (no regression beyond the threshold).
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Errors produced by [`compare_reports`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateError {
+    /// A report failed to parse as JSON.
+    Malformed {
+        /// Which side failed (`"baseline"` or `"current"`).
+        which: &'static str,
+        /// The parser's message.
+        message: String,
+    },
+    /// A report parsed but has no `cells` array.
+    MissingCells {
+        /// Which side is missing cells.
+        which: &'static str,
+    },
+}
+
+impl fmt::Display for GateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateError::Malformed { which, message } => {
+                write!(f, "{which} report is not valid JSON: {message}")
+            }
+            GateError::MissingCells { which } => {
+                write!(f, "{which} report has no cells array")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GateError {}
+
+/// The full policy identity of one sweep cell. Pre-v2 reports have no
+/// `scaling` key; those cells ran the fixed cap.
+fn cell_key(cell: &JsonValue) -> Option<String> {
+    let field = |key: &str, default: Option<&str>| {
+        cell.get(key)
+            .and_then(JsonValue::as_str)
+            .or(default)
+            .map(str::to_string)
+    };
+    Some(
+        [
+            field("workload", None)?,
+            field("platform", None)?,
+            field("scheduler", None)?,
+            field("keepalive", None)?,
+            field("scaling", Some("fixed"))?,
+        ]
+        .join("/"),
+    )
+}
+
+fn cells(report: &JsonValue, which: &'static str) -> Result<Vec<JsonValue>, GateError> {
+    report
+        .get("cells")
+        .and_then(JsonValue::as_array)
+        .map(<[JsonValue]>::to_vec)
+        .ok_or(GateError::MissingCells { which })
+}
+
+/// Diffs `current` against `baseline` (both rendered at-scale reports) and
+/// returns every mean/p99 latency regression beyond `threshold_pct` percent.
+pub fn compare_reports(
+    baseline: &str,
+    current: &str,
+    threshold_pct: f64,
+) -> Result<GateOutcome, GateError> {
+    let parse = |text: &str, which: &'static str| {
+        JsonValue::parse(text).map_err(|err| GateError::Malformed {
+            which,
+            message: err.to_string(),
+        })
+    };
+    let baseline = parse(baseline, "baseline")?;
+    let current = parse(current, "current")?;
+    let baseline_cells = cells(&baseline, "baseline")?;
+    let current_cells = cells(&current, "current")?;
+
+    let baseline_by_key: Vec<(String, &JsonValue)> = baseline_cells
+        .iter()
+        .filter_map(|c| cell_key(c).map(|k| (k, c)))
+        .collect();
+
+    let mut compared = 0;
+    let mut skipped = 0;
+    let mut regressions = Vec::new();
+    let mut matched_keys = 0;
+    for cell in &current_cells {
+        let Some(key) = cell_key(cell) else {
+            skipped += 1;
+            continue;
+        };
+        let Some((_, base)) = baseline_by_key.iter().find(|(k, _)| *k == key) else {
+            skipped += 1;
+            continue;
+        };
+        matched_keys += 1;
+        compared += 1;
+        for metric in GATED_METRICS {
+            let (Some(before), Some(after)) = (
+                base.get(metric).and_then(JsonValue::as_f64),
+                cell.get(metric).and_then(JsonValue::as_f64),
+            ) else {
+                continue;
+            };
+            if before < METRIC_FLOOR_MS && after < METRIC_FLOOR_MS {
+                continue;
+            }
+            if before > 0.0 && after > before * (1.0 + threshold_pct / 100.0) {
+                regressions.push(Regression {
+                    cell: key.clone(),
+                    metric,
+                    baseline: before,
+                    current: after,
+                    change_pct: (after / before - 1.0) * 100.0,
+                });
+            }
+        }
+    }
+    skipped += baseline_by_key.len().saturating_sub(matched_keys);
+    regressions.sort_by(|a, b| {
+        b.change_pct
+            .partial_cmp(&a.change_pct)
+            .expect("finite percentages")
+            .then_with(|| a.cell.cmp(&b.cell))
+    });
+    Ok(GateOutcome {
+        compared,
+        skipped,
+        regressions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cells: &[(&str, f64, f64)]) -> String {
+        let mut root = JsonValue::object();
+        root.push("schema", "dscs-at-scale-v2");
+        root.push(
+            "cells",
+            JsonValue::Array(
+                cells
+                    .iter()
+                    .map(|&(keepalive, mean, p99)| {
+                        let mut c = JsonValue::object();
+                        c.push("workload", "azure");
+                        c.push("platform", "DSCS-DSA");
+                        c.push("scheduler", "fcfs");
+                        c.push("keepalive", keepalive);
+                        c.push("scaling", "fixed");
+                        c.push("mean_latency_ms", mean);
+                        c.push("p99_latency_ms", p99);
+                        c
+                    })
+                    .collect(),
+            ),
+        );
+        root.render()
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report(&[("fixed-window", 10.0, 20.0)]);
+        let outcome = compare_reports(&r, &r, 10.0).expect("valid");
+        assert!(outcome.passed());
+        assert_eq!(outcome.compared, 1);
+        assert_eq!(outcome.skipped, 0);
+    }
+
+    #[test]
+    fn regressions_beyond_threshold_fail_worst_first() {
+        let base = report(&[("fixed-window", 10.0, 20.0), ("no-keepalive", 5.0, 9.0)]);
+        let cur = report(&[("fixed-window", 10.5, 25.0), ("no-keepalive", 8.0, 9.0)]);
+        let outcome = compare_reports(&base, &cur, 10.0).expect("valid");
+        assert!(!outcome.passed());
+        // mean 10 -> 10.5 is +5%, below threshold; p99 20 -> 25 and
+        // mean 5 -> 8 are beyond it.
+        assert_eq!(outcome.regressions.len(), 2);
+        assert_eq!(outcome.regressions[0].metric, "mean_latency_ms");
+        assert!((outcome.regressions[0].change_pct - 60.0).abs() < 1e-9);
+        assert_eq!(outcome.regressions[1].metric, "p99_latency_ms");
+        assert!(outcome.regressions[0].to_string().contains("no-keepalive"));
+    }
+
+    #[test]
+    fn improvements_and_new_cells_pass() {
+        let base = report(&[("fixed-window", 10.0, 20.0)]);
+        let cur = report(&[("fixed-window", 8.0, 15.0), ("hybrid-prewarm", 50.0, 90.0)]);
+        let outcome = compare_reports(&base, &cur, 10.0).expect("valid");
+        assert!(outcome.passed());
+        assert_eq!(outcome.compared, 1);
+        assert_eq!(outcome.skipped, 1, "the new cell is skipped, not failed");
+    }
+
+    #[test]
+    fn pre_v2_baselines_match_fixed_scaling_cells() {
+        // A v1 baseline cell has no scaling key; it must compare against the
+        // current report's fixed-scaling cell.
+        let mut v1_cell = JsonValue::object();
+        v1_cell.push("workload", "azure");
+        v1_cell.push("platform", "DSCS-DSA");
+        v1_cell.push("scheduler", "fcfs");
+        v1_cell.push("keepalive", "fixed-window");
+        v1_cell.push("mean_latency_ms", 10.0);
+        v1_cell.push("p99_latency_ms", 20.0);
+        let mut v1 = JsonValue::object();
+        v1.push("schema", "dscs-at-scale-v1");
+        v1.push("cells", JsonValue::Array(vec![v1_cell]));
+
+        let cur = report(&[("fixed-window", 13.0, 20.0)]);
+        let outcome = compare_reports(&v1.render(), &cur, 10.0).expect("valid");
+        assert_eq!(outcome.compared, 1);
+        assert_eq!(outcome.regressions.len(), 1, "mean 10 -> 13 regressed");
+    }
+
+    #[test]
+    fn malformed_reports_are_typed_errors() {
+        let good = report(&[("fixed-window", 10.0, 20.0)]);
+        assert!(matches!(
+            compare_reports("not json", &good, 10.0),
+            Err(GateError::Malformed {
+                which: "baseline",
+                ..
+            })
+        ));
+        assert!(matches!(
+            compare_reports(&good, "{}", 10.0),
+            Err(GateError::MissingCells { which: "current" })
+        ));
+    }
+}

@@ -9,7 +9,13 @@
 //! * [`SchedulerPolicy`] — which queued request starts next when an instance
 //!   frees up (FCFS, shortest-job-first by model cost, per-benchmark fair).
 //! * [`KeepalivePolicy`] — how long an idle function's container stays warm
-//!   (none, fixed window, hybrid histogram learned from idle times).
+//!   (none, fixed window, hybrid histogram learned from idle times), including
+//!   the histogram's *prewarm window*: the head percentile of observed idle
+//!   gaps, below which the container is released and proactively re-warmed in
+//!   anticipation of the predicted next invocation.
+//! * [`ScalingPolicy`] — how a rack's instance pool grows and shrinks (fixed
+//!   cap, reactive queue-depth scaling, predictive scaling from the keepalive
+//!   histograms' arrival-rate estimates).
 //! * [`LoadBalancer`] — how a multi-rack front end shards arriving requests
 //!   (round-robin, least-loaded).
 
@@ -65,11 +71,21 @@ pub enum KeepalivePolicy {
     /// function's idle-time distribution in a per-function histogram and keep
     /// the container warm to the tail percentile of observed idle times,
     /// falling back to `range` while the pattern is uncertain.
+    ///
+    /// With `head > 0`, the policy also *prewarms*: once a function's pattern
+    /// is learned, its container is released at finish (freeing its memory)
+    /// and proactively re-warmed at the head percentile of the observed idle
+    /// gaps, so the predicted next invocation still finds a warm instance —
+    /// the study's head/tail window pair. `head == 0` disables prewarming and
+    /// keeps the container warm for the whole eviction window, the pre-PR-3
+    /// behaviour.
     HybridHistogram {
         /// Maximum window (and histogram span).
         range: SimDuration,
         /// Histogram bin width.
         bin: SimDuration,
+        /// Prewarm head percentile in `[0, 1)`; `0` disables prewarming.
+        head: f64,
     },
 }
 
@@ -80,20 +96,33 @@ impl KeepalivePolicy {
     }
 
     /// The default hybrid-histogram configuration (10-minute range, 10-second
-    /// bins — scaled-down analogues of the 4-hour/1-minute Azure study).
+    /// bins — scaled-down analogues of the 4-hour/1-minute Azure study),
+    /// without prewarming.
     pub fn hybrid_default() -> Self {
         KeepalivePolicy::HybridHistogram {
             range: SimDuration::from_secs(600),
             bin: SimDuration::from_secs(10),
+            head: 0.0,
+        }
+    }
+
+    /// The hybrid histogram with its prewarm window enabled at the study's
+    /// 5th-percentile head.
+    pub fn prewarm_default() -> Self {
+        KeepalivePolicy::HybridHistogram {
+            range: SimDuration::from_secs(600),
+            bin: SimDuration::from_secs(10),
+            head: 0.05,
         }
     }
 
     /// A representative instance of every keepalive policy.
-    pub fn all_default() -> [KeepalivePolicy; 3] {
+    pub fn all_default() -> [KeepalivePolicy; 4] {
         [
             KeepalivePolicy::NoKeepalive,
             KeepalivePolicy::paper_default(),
             KeepalivePolicy::hybrid_default(),
+            KeepalivePolicy::prewarm_default(),
         ]
     }
 
@@ -102,6 +131,7 @@ impl KeepalivePolicy {
         match self {
             KeepalivePolicy::NoKeepalive => "no-keepalive",
             KeepalivePolicy::FixedWindow(_) => "fixed-window",
+            KeepalivePolicy::HybridHistogram { head, .. } if *head > 0.0 => "hybrid-prewarm",
             KeepalivePolicy::HybridHistogram { .. } => "hybrid-histogram",
         }
     }
@@ -130,10 +160,137 @@ impl LoadBalancer {
     }
 }
 
+/// How a rack's function-instance pool grows and shrinks.
+///
+/// The paper pins each rack at a fixed 200-instance cap. Production
+/// serverless platforms instead scale the pool elastically: reactively on
+/// observed queue pressure, or predictively from learned arrival rates. Both
+/// elastic policies respect the rack's `[min_instances, max_instances]`
+/// bounds and pay a modelled provisioning delay on every scale-up, so the
+/// simulation exposes the scaling-lag vs. cold-start tradeoff.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ScalingPolicy {
+    /// The paper's policy: the rack always runs `max_instances`.
+    Fixed,
+    /// Queue-depth reactive scaling, evaluated every `interval`: grow by
+    /// `step` while the queue is at or above `scale_up_queue`, shrink by
+    /// `step` while it is at or below `scale_down_queue`.
+    Reactive {
+        /// Queue depth at or above which the rack requests more instances.
+        scale_up_queue: usize,
+        /// Queue depth at or below which the rack releases instances.
+        scale_down_queue: usize,
+        /// Instances added or removed per scaling decision.
+        step: u32,
+        /// Decision evaluation interval (the policy's reaction lag).
+        interval: SimDuration,
+    },
+    /// Predictive scaling, evaluated every `interval`: size the pool to the
+    /// keepalive histograms' aggregate arrival-rate estimate times the mean
+    /// modelled service time, padded by `headroom`.
+    Predictive {
+        /// Decision evaluation interval.
+        interval: SimDuration,
+        /// Capacity multiplier on the predicted demand (>= 1 keeps slack).
+        headroom: f64,
+    },
+}
+
+impl ScalingPolicy {
+    /// The default reactive configuration: react every 5 seconds, grow by 32
+    /// instances when 32+ requests queue, shrink when the queue is nearly
+    /// empty.
+    pub fn reactive_default() -> Self {
+        ScalingPolicy::Reactive {
+            scale_up_queue: 32,
+            scale_down_queue: 2,
+            step: 32,
+            interval: SimDuration::from_secs(5),
+        }
+    }
+
+    /// The default predictive configuration: re-estimate every 5 seconds with
+    /// 25% capacity headroom over the predicted demand.
+    pub fn predictive_default() -> Self {
+        ScalingPolicy::Predictive {
+            interval: SimDuration::from_secs(5),
+            headroom: 1.25,
+        }
+    }
+
+    /// A representative instance of every scaling policy.
+    pub fn all_default() -> [ScalingPolicy; 3] {
+        [
+            ScalingPolicy::Fixed,
+            ScalingPolicy::reactive_default(),
+            ScalingPolicy::predictive_default(),
+        ]
+    }
+
+    /// Machine-readable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScalingPolicy::Fixed => "fixed",
+            ScalingPolicy::Reactive { .. } => "reactive",
+            ScalingPolicy::Predictive { .. } => "predictive",
+        }
+    }
+
+    /// The decision interval, or `None` for the fixed cap (which never
+    /// re-evaluates).
+    pub fn interval(&self) -> Option<SimDuration> {
+        match self {
+            ScalingPolicy::Fixed => None,
+            ScalingPolicy::Reactive { interval, .. }
+            | ScalingPolicy::Predictive { interval, .. } => Some(*interval),
+        }
+    }
+
+    /// Checks the policy parameters.
+    ///
+    /// # Panics
+    /// Panics on a zero decision interval (the simulation would tick forever
+    /// without advancing), a zero reactive step, or a non-finite / sub-unit
+    /// predictive headroom.
+    pub fn validate(&self) {
+        match self {
+            ScalingPolicy::Fixed => {}
+            ScalingPolicy::Reactive {
+                scale_up_queue,
+                scale_down_queue,
+                step,
+                interval,
+            } => {
+                assert!(!interval.is_zero(), "reactive interval must be non-zero");
+                assert!(*step > 0, "reactive step must be at least one instance");
+                assert!(
+                    scale_down_queue < scale_up_queue,
+                    "reactive thresholds must not overlap: a queue depth \
+                     satisfying both would make scale-down unreachable"
+                );
+            }
+            ScalingPolicy::Predictive { interval, headroom } => {
+                assert!(!interval.is_zero(), "predictive interval must be non-zero");
+                assert!(
+                    headroom.is_finite() && *headroom >= 1.0,
+                    "predictive headroom must be finite and >= 1"
+                );
+            }
+        }
+    }
+}
+
 /// A policy-driven scheduler queue over request indices into a trace.
 ///
 /// All disciplines are deterministic: ties (equal service times, the
 /// round-robin cursor) resolve by submission order.
+///
+/// `len`/`is_empty` are derived from the underlying per-policy structures
+/// rather than a separately maintained counter. An earlier revision cached
+/// the count and decremented it on pop, which under the fair round-robin
+/// policy left the cached value trusting that no per-benchmark subqueue went
+/// stale between a drain and the next audit; deriving the count makes the
+/// accessors structurally consistent with the subqueues by construction.
 #[derive(Debug)]
 pub struct SchedQueue {
     policy: SchedulerPolicy,
@@ -144,7 +301,6 @@ pub struct SchedQueue {
     seq: u64,
     per_bench: Vec<VecDeque<usize>>,
     cursor: usize,
-    len: usize,
 }
 
 impl SchedQueue {
@@ -157,18 +313,21 @@ impl SchedQueue {
             seq: 0,
             per_bench: (0..Benchmark::ALL.len()).map(|_| VecDeque::new()).collect(),
             cursor: 0,
-            len: 0,
         }
     }
 
-    /// Number of queued requests.
+    /// Number of queued requests, counted from the live per-policy structures.
     pub fn len(&self) -> usize {
-        self.len
+        match self.policy {
+            SchedulerPolicy::Fcfs => self.fcfs.len(),
+            SchedulerPolicy::ShortestJobFirst => self.sjf.len(),
+            SchedulerPolicy::FairPerBenchmark => self.per_bench.iter().map(VecDeque::len).sum(),
+        }
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len() == 0
     }
 
     /// Enqueues trace index `idx` for `benchmark` with modelled service time
@@ -188,12 +347,11 @@ impl SchedQueue {
                 self.per_bench[b].push_back(idx);
             }
         }
-        self.len += 1;
     }
 
     /// Removes and returns the next request to start, per the policy.
     pub fn pop(&mut self) -> Option<usize> {
-        let popped = match self.policy {
+        match self.policy {
             SchedulerPolicy::Fcfs => self.fcfs.pop_front(),
             SchedulerPolicy::ShortestJobFirst => self.sjf.pop().map(|Reverse((_, _, idx))| idx),
             SchedulerPolicy::FairPerBenchmark => {
@@ -209,25 +367,72 @@ impl SchedQueue {
                 }
                 found
             }
-        };
-        if popped.is_some() {
-            self.len -= 1;
         }
-        popped
     }
 }
 
 /// Runtime warm/cold bookkeeping for one rack under a [`KeepalivePolicy`].
 ///
 /// Tracks, per function id, when its most recent invocation finishes and (for
-/// the hybrid policy) a histogram of observed idle gaps. The decision rule is
-/// conservative in the *Serverless in the Wild* sense: a container is never
-/// evicted before the policy's current window for its function has elapsed.
+/// the hybrid policy, or whenever arrival tracking is requested) a histogram
+/// of observed idle gaps. The decision rule is conservative in the
+/// *Serverless in the Wild* sense: a container is never evicted before the
+/// policy's current window for its function has elapsed. With a prewarm head
+/// percentile configured, the container is instead *released* at finish and
+/// proactively re-warmed at the head percentile of the learned idle gaps —
+/// trading a sliver of cold-start risk for the memory the container would
+/// have held during the gap the pattern says never sees an arrival.
+///
+/// The state also keeps the warm-memory ledger the Figure-17-style comparison
+/// needs: warm-seconds held per function pool and the share of them wasted
+/// (held to eviction without a reuse), plus prewarm hits (invocations that
+/// found a proactively warmed instance).
 #[derive(Debug)]
 pub struct KeepaliveState {
     policy: KeepalivePolicy,
     last_finish: HashMap<u32, SimTime>,
     histograms: HashMap<u32, IdleHistogram>,
+    /// Per-function arrival statistics backing the learned arrival-rate
+    /// estimate the predictive autoscaler consumes (fed by
+    /// [`KeepaliveState::note_arrival`]).
+    arrivals: HashMap<u32, ArrivalTrack>,
+    /// Whether idle gaps are observed into the histograms (the hybrid
+    /// policy's learning signal).
+    observe_gaps: bool,
+    /// Histogram geometry used for gap observation.
+    gap_bin: SimDuration,
+    gap_range: SimDuration,
+    stats: KeepaliveStats,
+}
+
+/// Exact per-function arrival statistics: invocation count and the first/last
+/// arrival times, giving a whole-history mean inter-arrival rate. (A binned
+/// idle-gap mean cannot resolve sub-bin inter-arrivals, which is exactly
+/// where demand is highest.)
+#[derive(Debug, Clone, Copy)]
+struct ArrivalTrack {
+    count: u64,
+    first: SimTime,
+    last: SimTime,
+}
+
+/// Warm-memory and prewarming counters accumulated by a [`KeepaliveState`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct KeepaliveStats {
+    /// Warm starts the prewarm policy *predicted*: invocations of a
+    /// learned-pattern function (under a non-zero head percentile) whose
+    /// idle gap landed inside the prewarm-to-eviction band. When the
+    /// function's prewarm window is non-zero the instance had actually been
+    /// released and proactively re-warmed; with a zero window (all gaps
+    /// inside the first bin) the prediction is degenerate — the container
+    /// was simply kept warm — but the arrival still counts as anticipated.
+    pub prewarm_hits: u64,
+    /// Total container-idle seconds the policy held memory warm.
+    pub warm_seconds: f64,
+    /// The subset of [`KeepaliveStats::warm_seconds`] that never led to a
+    /// warm start: windows held to eviction (or to the end of the run)
+    /// without a reuse.
+    pub wasted_warm_seconds: f64,
 }
 
 /// Minimum idle-gap observations before the hybrid histogram trusts its
@@ -285,24 +490,43 @@ impl IdleHistogram {
     }
 }
 
+/// Histogram geometry used for arrival-rate tracking when the keepalive
+/// policy itself is not histogram-based.
+const TRACKING_RANGE: SimDuration = SimDuration::from_secs(600);
+const TRACKING_BIN: SimDuration = SimDuration::from_secs(10);
+
 impl KeepaliveState {
     /// Creates empty state for `policy`.
     ///
     /// # Panics
-    /// Panics if a hybrid-histogram policy has a zero bin width or a range
-    /// smaller than one bin (the histogram would be degenerate).
+    /// Panics if a hybrid-histogram policy has a zero bin width, a range
+    /// smaller than one bin (the histogram would be degenerate), or a head
+    /// percentile outside `[0, 1)`.
     pub fn new(policy: KeepalivePolicy) -> Self {
-        if let KeepalivePolicy::HybridHistogram { range, bin } = policy {
-            assert!(
-                !bin.is_zero(),
-                "hybrid-histogram bin width must be non-zero"
-            );
-            assert!(range >= bin, "hybrid-histogram range must cover one bin");
-        }
+        let (observe_gaps, gap_bin, gap_range) = match policy {
+            KeepalivePolicy::HybridHistogram { range, bin, head } => {
+                assert!(
+                    !bin.is_zero(),
+                    "hybrid-histogram bin width must be non-zero"
+                );
+                assert!(range >= bin, "hybrid-histogram range must cover one bin");
+                assert!(
+                    (0.0..1.0).contains(&head),
+                    "hybrid-histogram head percentile must be in [0, 1)"
+                );
+                (true, bin, range)
+            }
+            _ => (false, TRACKING_BIN, TRACKING_RANGE),
+        };
         KeepaliveState {
             policy,
             last_finish: HashMap::new(),
             histograms: HashMap::new(),
+            arrivals: HashMap::new(),
+            observe_gaps,
+            gap_bin,
+            gap_range,
+            stats: KeepaliveStats::default(),
         }
     }
 
@@ -311,43 +535,105 @@ impl KeepaliveState {
         self.policy
     }
 
+    /// The accumulated prewarm/warm-memory counters.
+    pub fn stats(&self) -> KeepaliveStats {
+        self.stats
+    }
+
+    /// Whether the hybrid histogram for `function` has learned a trustworthy
+    /// pattern (enough samples, few out-of-range gaps).
+    fn learned(&self, function: u32) -> bool {
+        self.histograms.get(&function).is_some_and(|hist| {
+            hist.total >= HYBRID_MIN_SAMPLES && hist.oob_rate() <= HYBRID_OOB_LIMIT
+        })
+    }
+
     /// The current keepalive window for `function`: how long past its last
     /// finish a warm container survives.
     pub fn window(&self, function: u32) -> SimDuration {
         match self.policy {
             KeepalivePolicy::NoKeepalive => SimDuration::ZERO,
             KeepalivePolicy::FixedWindow(w) => w,
-            KeepalivePolicy::HybridHistogram { range, bin } => {
-                let Some(hist) = self.histograms.get(&function) else {
-                    return range;
-                };
-                if hist.total < HYBRID_MIN_SAMPLES || hist.oob_rate() > HYBRID_OOB_LIMIT {
+            KeepalivePolicy::HybridHistogram { range, bin, .. } => {
+                if !self.learned(function) {
                     // Pattern unknown or too spread: stay conservative so a
                     // warm container is never evicted early.
                     return range;
                 }
+                let hist = &self.histograms[&function];
                 let learned = bin * (hist.tail_bin(HYBRID_TAIL) as u64 + 1);
                 (learned * HYBRID_MARGIN).min(range)
             }
         }
     }
 
+    /// The current prewarm window for `function`: how long past its last
+    /// finish the released container stays cold before it is proactively
+    /// re-warmed. Zero — prewarming disabled, container warm from the finish
+    /// on — unless the policy has a non-zero head percentile and the
+    /// function's pattern is learned.
+    ///
+    /// The window is the left edge of the bin covering the head percentile of
+    /// observed idle gaps (the study's 5th-percentile prewarm point): at most
+    /// `head` of the observed mass lies below it, which is exactly the
+    /// accepted cold-start risk the released memory buys. A function whose
+    /// gaps all land in the first bin gets a zero window — its container is
+    /// never released, and prewarming degenerates to the plain hybrid
+    /// keepalive. Always `<=` the eviction window.
+    pub fn prewarm_window(&self, function: u32) -> SimDuration {
+        let KeepalivePolicy::HybridHistogram { bin, head, .. } = self.policy else {
+            return SimDuration::ZERO;
+        };
+        if head <= 0.0 || !self.learned(function) {
+            return SimDuration::ZERO;
+        }
+        let edge = self.histograms[&function].tail_bin(head);
+        (bin * edge as u64).min(self.window(function))
+    }
+
     /// Whether an invocation of `function` arriving at `now` finds a warm
-    /// container, given its most recent finish time. A function whose previous
-    /// invocation is still running (finish in the future) is always warm.
+    /// container, given its most recent finish time. A function whose
+    /// previous invocation is still running (finish in the future) is always
+    /// warm; with prewarming, an idle gap shorter than the prewarm window
+    /// lands before the proactive re-warm and runs cold.
     pub fn is_warm(&self, function: u32, now: SimTime) -> bool {
         match self.last_finish.get(&function) {
             None => false,
-            Some(&finish) => now.saturating_since(finish) <= self.window(function),
+            Some(&finish) => {
+                let idle = now.saturating_since(finish);
+                idle <= self.window(function)
+                    && (idle.is_zero() || idle >= self.prewarm_window(function))
+            }
         }
     }
 
     /// Records that an invocation of `function` starting at `now` will finish
-    /// at `finish`, feeding the observed idle gap to the learning policy.
+    /// at `finish`, feeding the observed idle gap to the learning policy and
+    /// the warm-memory ledger.
     pub fn record_invocation(&mut self, function: u32, now: SimTime, finish: SimTime) {
-        if let KeepalivePolicy::HybridHistogram { range, bin } = self.policy {
-            if let Some(&prev) = self.last_finish.get(&function) {
-                let idle = now.saturating_since(prev);
+        if let Some(&prev) = self.last_finish.get(&function) {
+            let idle = now.saturating_since(prev);
+            let window = self.window(function);
+            let prewarm = self.prewarm_window(function);
+            if idle <= window && (idle.is_zero() || idle >= prewarm) {
+                // Warm start: the pool held memory from the prewarm point (or
+                // the finish, without prewarming) until this arrival.
+                self.stats.warm_seconds += idle.saturating_sub(prewarm).as_secs_f64();
+                if !idle.is_zero() && self.prewarm_enabled() && self.learned(function) {
+                    self.stats.prewarm_hits += 1;
+                }
+            } else if idle > window {
+                // Evicted before this arrival: the whole held window was
+                // wasted.
+                let held = window.saturating_sub(prewarm).as_secs_f64();
+                self.stats.warm_seconds += held;
+                self.stats.wasted_warm_seconds += held;
+            }
+            // Third case — cold because the arrival landed before the
+            // prewarm point: the container was released at finish, so no
+            // memory was held at all.
+            if self.observe_gaps {
+                let (bin, range) = (self.gap_bin, self.gap_range);
                 self.histograms
                     .entry(function)
                     .or_default()
@@ -360,6 +646,70 @@ impl KeepaliveState {
         if finish > *entry {
             *entry = finish;
         }
+    }
+
+    /// Closes the warm-memory ledger at the end of a run: every container
+    /// still warm at `end` held its (remaining) window without a further
+    /// reuse, which counts as wasted. Functions are flushed in id order so
+    /// the floating-point accumulation is deterministic.
+    pub fn finish_accounting(&mut self, end: SimTime) {
+        let mut functions: Vec<u32> = self.last_finish.keys().copied().collect();
+        functions.sort_unstable();
+        for function in functions {
+            let finish = self.last_finish[&function];
+            let elapsed = end.saturating_since(finish);
+            let window = self.window(function);
+            let prewarm = self.prewarm_window(function);
+            let held = elapsed.min(window).saturating_sub(prewarm).as_secs_f64();
+            self.stats.warm_seconds += held;
+            self.stats.wasted_warm_seconds += held;
+        }
+    }
+
+    /// Records that a request for `function` *arrived* at `now` (whether or
+    /// not it could start immediately). The predictive autoscaler feeds this
+    /// so its demand estimate tracks offered load rather than the throttled
+    /// start rate a backlogged rack would otherwise observe.
+    pub fn note_arrival(&mut self, function: u32, now: SimTime) {
+        let track = self.arrivals.entry(function).or_insert(ArrivalTrack {
+            count: 0,
+            first: now,
+            last: now,
+        });
+        track.count += 1;
+        track.last = now;
+    }
+
+    /// Aggregate arrival-rate estimate in requests/second, from the
+    /// per-function arrival statistics kept alongside the keepalive
+    /// histograms: each function contributes its mean observed inter-arrival
+    /// rate, `(count - 1) / (last - first)`. Functions are summed in id order
+    /// so the floating-point accumulation is deterministic. Zero until at
+    /// least one function has two arrivals (via
+    /// [`KeepaliveState::note_arrival`]).
+    ///
+    /// The estimate spans the whole observed history, so it adapts to rate
+    /// changes with a lag — which is exactly the predictive autoscaler's
+    /// failure mode the scaling-lag metric is meant to expose.
+    pub fn arrival_rate_estimate(&self) -> f64 {
+        let mut functions: Vec<u32> = self.arrivals.keys().copied().collect();
+        functions.sort_unstable();
+        functions
+            .iter()
+            .map(|f| {
+                let track = &self.arrivals[f];
+                let span = track.last.saturating_since(track.first).as_secs_f64();
+                if track.count < 2 || span <= 0.0 {
+                    0.0
+                } else {
+                    (track.count - 1) as f64 / span
+                }
+            })
+            .sum()
+    }
+
+    fn prewarm_enabled(&self) -> bool {
+        matches!(self.policy, KeepalivePolicy::HybridHistogram { head, .. } if head > 0.0)
     }
 
     #[cfg(test)]
@@ -439,6 +789,7 @@ mod tests {
         let policy = KeepalivePolicy::HybridHistogram {
             range: SimDuration::from_secs(600),
             bin: SimDuration::from_secs(10),
+            head: 0.0,
         };
         let mut s = KeepaliveState::new(policy);
         // Unknown function: full range.
@@ -463,6 +814,7 @@ mod tests {
         let policy = KeepalivePolicy::HybridHistogram {
             range: SimDuration::from_secs(600),
             bin: SimDuration::from_secs(10),
+            head: 0.0,
         };
         let mut s = KeepaliveState::new(policy);
         let mut t = 0u64;
@@ -480,6 +832,17 @@ mod tests {
         let _ = KeepaliveState::new(KeepalivePolicy::HybridHistogram {
             range: SimDuration::from_secs(600),
             bin: SimDuration::ZERO,
+            head: 0.0,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "head percentile")]
+    fn out_of_range_prewarm_head_is_rejected() {
+        let _ = KeepaliveState::new(KeepalivePolicy::HybridHistogram {
+            range: SimDuration::from_secs(600),
+            bin: SimDuration::from_secs(10),
+            head: 1.0,
         });
     }
 
@@ -489,5 +852,186 @@ mod tests {
         s.record_invocation(0, secs(0), secs(100));
         s.record_invocation(0, secs(1), secs(2)); // shorter, finishes earlier
         assert!(s.is_warm(0, secs(50)), "long-running instance keeps warm");
+    }
+
+    /// Satellite regression test: `len`/`is_empty` stay consistent with the
+    /// fair round-robin subqueues across interleaved pushes, pops and full
+    /// drains — including pops on an already-empty queue, which previously
+    /// relied on a separately maintained counter.
+    #[test]
+    fn fair_queue_len_stays_consistent_through_drains() {
+        let mut q = SchedQueue::new(SchedulerPolicy::FairPerBenchmark);
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None, "pop on empty returns None");
+        assert_eq!(q.len(), 0, "pop on empty must not desync len");
+
+        // Uneven load: three requests on benchmark 0, one on benchmark 3.
+        q.push(0, Benchmark::ALL[0], SimDuration::from_millis(1));
+        q.push(1, Benchmark::ALL[0], SimDuration::from_millis(1));
+        q.push(2, Benchmark::ALL[3], SimDuration::from_millis(1));
+        q.push(3, Benchmark::ALL[0], SimDuration::from_millis(1));
+        assert_eq!(q.len(), 4);
+
+        let mut remaining = 4;
+        while q.pop().is_some() {
+            remaining -= 1;
+            assert_eq!(q.len(), remaining, "len tracks the live subqueues");
+            assert_eq!(q.is_empty(), remaining == 0);
+        }
+        assert_eq!(remaining, 0);
+
+        // After a full drain the stale (empty) subqueues and the round-robin
+        // cursor must not leak phantom length.
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.len(), 0);
+
+        // The queue keeps working after the drain.
+        q.push(9, Benchmark::ALL[5], SimDuration::from_millis(1));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some(9));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn scaling_policy_names_and_defaults() {
+        assert_eq!(ScalingPolicy::Fixed.name(), "fixed");
+        assert_eq!(ScalingPolicy::reactive_default().name(), "reactive");
+        assert_eq!(ScalingPolicy::predictive_default().name(), "predictive");
+        assert_eq!(ScalingPolicy::Fixed.interval(), None);
+        for policy in ScalingPolicy::all_default() {
+            policy.validate();
+        }
+        assert!(ScalingPolicy::reactive_default().interval().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "interval")]
+    fn zero_interval_reactive_scaling_is_rejected() {
+        ScalingPolicy::Reactive {
+            scale_up_queue: 1,
+            scale_down_queue: 0,
+            step: 1,
+            interval: SimDuration::ZERO,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "thresholds must not overlap")]
+    fn overlapping_reactive_thresholds_are_rejected() {
+        ScalingPolicy::Reactive {
+            scale_up_queue: 4,
+            scale_down_queue: 8,
+            step: 1,
+            interval: SimDuration::from_secs(5),
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "headroom")]
+    fn sub_unit_predictive_headroom_is_rejected() {
+        ScalingPolicy::Predictive {
+            interval: SimDuration::from_secs(5),
+            headroom: 0.5,
+        }
+        .validate();
+    }
+
+    #[test]
+    fn prewarm_window_is_zero_until_the_pattern_is_learned() {
+        let mut s = KeepaliveState::new(KeepalivePolicy::prewarm_default());
+        assert_eq!(s.prewarm_window(0), SimDuration::ZERO);
+        // Reliable 45 s gaps: the head percentile floor lands at the 40 s bin
+        // edge once learned, and stays below the eviction window.
+        let mut t = 0u64;
+        for _ in 0..40 {
+            s.record_invocation(0, secs(t), secs(t + 1));
+            t += 46;
+        }
+        let prewarm = s.prewarm_window(0);
+        assert_eq!(prewarm, SimDuration::from_secs(40), "head-bin left edge");
+        assert!(prewarm <= s.window(0));
+    }
+
+    #[test]
+    fn prewarm_releases_the_container_before_its_window() {
+        let mut s = KeepaliveState::new(KeepalivePolicy::prewarm_default());
+        let mut t = 0u64;
+        for _ in 0..40 {
+            s.record_invocation(7, secs(t), secs(t + 1));
+            t += 46;
+        }
+        let finish = s.last_finish_for_test(7);
+        // Before the prewarm point: released, cold (except while running).
+        assert!(s.is_warm(7, finish), "still running/just finished is warm");
+        assert!(
+            !s.is_warm(7, finish + SimDuration::from_secs(10)),
+            "released before the prewarm point"
+        );
+        // Between prewarm and eviction: proactively warmed.
+        assert!(s.is_warm(7, finish + SimDuration::from_secs(45)));
+        // Past the eviction window: evicted.
+        assert!(!s.is_warm(7, finish + SimDuration::from_secs(599)));
+    }
+
+    #[test]
+    fn prewarm_hits_and_warm_seconds_accumulate() {
+        let mut s = KeepaliveState::new(KeepalivePolicy::prewarm_default());
+        let mut t = 0u64;
+        for _ in 0..40 {
+            s.record_invocation(3, secs(t), secs(t + 1));
+            t += 46;
+        }
+        let stats = s.stats();
+        assert!(stats.prewarm_hits > 0, "learned arrivals count as hits");
+        assert!(stats.warm_seconds > 0.0);
+        // Without prewarming the same history holds strictly more memory.
+        let mut baseline = KeepaliveState::new(KeepalivePolicy::hybrid_default());
+        let mut t = 0u64;
+        for _ in 0..40 {
+            baseline.record_invocation(3, secs(t), secs(t + 1));
+            t += 46;
+        }
+        assert_eq!(baseline.stats().prewarm_hits, 0);
+        assert!(baseline.stats().warm_seconds > stats.warm_seconds);
+    }
+
+    #[test]
+    fn finish_accounting_charges_residual_warmth_as_wasted() {
+        let mut s = KeepaliveState::new(KeepalivePolicy::FixedWindow(SimDuration::from_secs(60)));
+        s.record_invocation(0, secs(0), secs(10));
+        s.finish_accounting(secs(1000));
+        let stats = s.stats();
+        assert!((stats.warm_seconds - 60.0).abs() < 1e-9, "{stats:?}");
+        assert!((stats.wasted_warm_seconds - 60.0).abs() < 1e-9, "{stats:?}");
+
+        let mut none = KeepaliveState::new(KeepalivePolicy::NoKeepalive);
+        none.record_invocation(0, secs(0), secs(10));
+        none.finish_accounting(secs(1000));
+        assert_eq!(none.stats().warm_seconds, 0.0, "no-keepalive holds nothing");
+    }
+
+    #[test]
+    fn arrival_rate_estimate_tracks_noted_arrivals() {
+        // One arrival every 20 s => 0.05 req/s, under any keepalive policy.
+        let mut s = KeepaliveState::new(KeepalivePolicy::paper_default());
+        assert_eq!(s.arrival_rate_estimate(), 0.0, "no observations yet");
+        for i in 0..30u64 {
+            s.note_arrival(0, secs(i * 20));
+        }
+        let rate = s.arrival_rate_estimate();
+        assert!(
+            (rate - 0.05).abs() < 1e-12,
+            "estimate {rate} should be 1/20"
+        );
+        // Two functions sum their rates; sub-second inter-arrivals resolve
+        // exactly (a binned estimator could not see past its bin width).
+        for i in 0..101u64 {
+            s.note_arrival(1, SimTime::from_nanos(i * 100_000_000));
+        }
+        let rate = s.arrival_rate_estimate();
+        assert!((rate - 10.05).abs() < 1e-9, "estimate {rate}");
     }
 }

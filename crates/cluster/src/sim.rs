@@ -1,19 +1,24 @@
 //! At-scale cluster simulation (Figure 13 and beyond).
 //!
 //! A discrete-event simulation of one or more racks serving a request trace.
-//! Each rack holds up to `max_instances` concurrent function instances (the
-//! paper caps both systems at 200 per rack) behind a bounded scheduler queue;
-//! a front-end load balancer shards arrivals across racks. Per-request service
-//! times come from the end-to-end model for the platform under test, and cold
-//! starts — priced by [`dscs_faas::coldstart::ColdStartModel`] and governed by
-//! the configured [`KeepalivePolicy`] — are charged onto the request that
-//! finds its function's container cold. DSCS-Serverless platforms cache
-//! evicted images on the drive's flash, so their repeat cold starts pull over
-//! the P2P path instead of the remote registry.
+//! Each rack runs an instance pool governed by a [`ScalingPolicy`]: the
+//! paper's fixed 200-instance cap, or elastic reactive/predictive autoscaling
+//! between `min_instances` and `max_instances` with a modelled provisioning
+//! delay on every scale-up. Arrivals beyond a bounded scheduler queue are
+//! rejected; a front-end load balancer shards arrivals across racks.
+//! Per-request service times come from the end-to-end model for the platform
+//! under test, and cold starts — priced by
+//! [`dscs_faas::coldstart::ColdStartModel`] and governed by the configured
+//! [`KeepalivePolicy`] (including its prewarm window) — are charged onto the
+//! request that finds its function's container cold. DSCS-Serverless
+//! platforms cache evicted images on the drive's flash, so their repeat cold
+//! starts pull over the P2P path instead of the remote registry.
 //!
 //! The outputs are the series Figure 13 plots (offered load, queued functions
-//! over time, wall-clock request latency over time) plus cold-start counts and
-//! per-rack summaries for the at-scale policy sweeps.
+//! over time, wall-clock request latency over time) plus cold-start counts,
+//! autoscaling metrics (scaling lag, peak instances), prewarming metrics
+//! (hits, wasted warm-seconds) and per-rack summaries for the at-scale policy
+//! sweeps.
 
 use std::collections::{HashMap, HashSet};
 
@@ -30,15 +35,21 @@ use dscs_simcore::series::TimeSeries;
 use dscs_simcore::stats::Summary;
 use dscs_simcore::time::{SimDuration, SimTime};
 
-use crate::policy::{KeepalivePolicy, KeepaliveState, LoadBalancer, SchedQueue, SchedulerPolicy};
+use crate::policy::{
+    KeepalivePolicy, KeepaliveState, LoadBalancer, ScalingPolicy, SchedQueue, SchedulerPolicy,
+};
 use crate::trace::TraceRequest;
 
 /// Per-rack cluster configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ClusterConfig {
     /// Maximum concurrent function instances per rack (the paper caps both
-    /// systems at 200).
+    /// systems at 200). A [`ScalingPolicy::Fixed`] rack always runs this
+    /// many; elastic racks never exceed it.
     pub max_instances: u32,
+    /// Minimum instances an elastic rack keeps provisioned (and the pool an
+    /// autoscaled rack starts from). Ignored under [`ScalingPolicy::Fixed`].
+    pub min_instances: u32,
     /// Scheduler queue depth per rack (requests beyond this are rejected).
     pub queue_depth: usize,
     /// Per-request service-time jitter: multiplicative lognormal sigma.
@@ -49,17 +60,25 @@ pub struct ClusterConfig {
     pub scheduler: SchedulerPolicy,
     /// Container keepalive policy deciding when invocations run cold.
     pub keepalive: KeepalivePolicy,
+    /// How the rack's instance pool grows and shrinks.
+    pub scaling: ScalingPolicy,
+    /// Modelled delay between a scale-up decision and the new instances
+    /// coming online (scale-downs release immediately).
+    pub provisioning_delay: SimDuration,
 }
 
 impl Default for ClusterConfig {
     fn default() -> Self {
         ClusterConfig {
             max_instances: 200,
+            min_instances: 8,
             queue_depth: 10_000,
             service_jitter_sigma: 0.15,
             bucket: SimDuration::from_secs(60),
             scheduler: SchedulerPolicy::Fcfs,
             keepalive: KeepalivePolicy::paper_default(),
+            scaling: ScalingPolicy::Fixed,
+            provisioning_delay: SimDuration::from_secs(2),
         }
     }
 }
@@ -81,6 +100,24 @@ pub struct ClusterReport {
     pub rejected: u64,
     /// Number of requests that paid a cold start.
     pub cold_starts: u64,
+    /// Invocations that found a proactively prewarmed instance (hybrid
+    /// keepalive with a non-zero head percentile).
+    pub prewarm_hits: u64,
+    /// Container-idle seconds the keepalive policy held memory warm, summed
+    /// over racks.
+    pub warm_seconds: f64,
+    /// The share of [`ClusterReport::warm_seconds`] held to eviction (or the
+    /// end of the run) without a reuse.
+    pub wasted_warm_seconds: f64,
+    /// Scale-up decisions taken across all racks.
+    pub scale_ups: u64,
+    /// Scale-down decisions taken across all racks.
+    pub scale_downs: u64,
+    /// Total seconds racks spent waiting on instance provisioning (the sum
+    /// of decision-to-commit delays over all scale-ups).
+    pub scaling_lag_s: f64,
+    /// Largest provisioned instance count any rack reached.
+    pub peak_instances: u32,
     /// Summary of all wall-clock latencies (seconds).
     pub latency_summary: Option<Summary>,
     /// Total simulated time to drain the trace (wall-clock makespan).
@@ -104,6 +141,15 @@ impl ClusterReport {
     pub fn peak_queue(&self) -> f64 {
         self.queued.iter().copied().fold(0.0, f64::max)
     }
+
+    /// Fraction of completed requests that found a prewarmed instance.
+    pub fn prewarm_hit_rate(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.prewarm_hits as f64 / self.completed as f64
+        }
+    }
 }
 
 /// Per-rack outcome of a sharded run.
@@ -117,14 +163,35 @@ pub struct RackSummary {
     pub rejected: u64,
     /// Cold starts paid on this rack.
     pub cold_starts: u64,
+    /// Prewarm hits on this rack.
+    pub prewarm_hits: u64,
     /// Maximum queue depth this rack reached.
     pub peak_queue: usize,
+    /// Largest provisioned instance count this rack reached.
+    pub peak_instances: u32,
+    /// Smallest provisioned instance count this rack reached.
+    pub low_instances: u32,
+    /// Scale-up decisions this rack took.
+    pub scale_ups: u64,
+    /// Scale-down decisions this rack took.
+    pub scale_downs: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
 enum Event {
     Arrival(usize),
-    Completion { rack: usize },
+    Completion {
+        rack: usize,
+    },
+    /// Periodic autoscaling evaluation on one rack.
+    ScaleTick {
+        rack: usize,
+    },
+    /// `add` provisioned instances come online on one rack.
+    ScaleCommit {
+        rack: usize,
+        add: u32,
+    },
 }
 
 /// Precomputed cold-start penalties for one benchmark.
@@ -143,10 +210,19 @@ struct RackState {
     cached_on_flash: HashSet<u32>,
     rng: DeterministicRng,
     busy: u32,
+    /// Instances currently provisioned and able to run requests.
+    capacity: u32,
+    /// Instances requested but still provisioning (in the scale-up pipeline).
+    pending: u32,
     completed: u64,
     rejected: u64,
     cold_starts: u64,
     peak_queue: usize,
+    peak_instances: u32,
+    low_instances: u32,
+    scale_ups: u64,
+    scale_downs: u64,
+    scaling_lag: SimDuration,
 }
 
 impl RackState {
@@ -161,6 +237,9 @@ pub struct ClusterSim {
     platform: PlatformKind,
     config: ClusterConfig,
     service_times: HashMap<Benchmark, SimDuration>,
+    /// Unweighted mean service time over the benchmark suite, used by
+    /// predictive autoscaling to convert arrival rates into instance demand.
+    mean_service_s: f64,
     cold_costs: HashMap<Benchmark, ColdCosts>,
     /// Whether the platform's drive can cache evicted images on flash (the
     /// DSCS-Serverless P2P reload path).
@@ -207,10 +286,17 @@ impl ClusterSim {
             })
             .collect();
 
+        let mean_service_s = Benchmark::ALL
+            .iter()
+            .map(|b| service_times[b].as_secs_f64())
+            .sum::<f64>()
+            / Benchmark::ALL.len() as f64;
+
         ClusterSim {
             platform,
             config,
             service_times,
+            mean_service_s,
             cold_costs,
             flash_cache: spec.location == PlatformLocation::InStorage,
         }
@@ -225,6 +311,7 @@ impl ClusterSim {
             platform: self.platform,
             config,
             service_times: self.service_times.clone(),
+            mean_service_s: self.mean_service_s,
             cold_costs: self.cold_costs.clone(),
             flash_cache: self.flash_cache,
         }
@@ -259,8 +346,18 @@ impl ClusterSim {
     /// Runs the trace sharded over `racks` racks behind `balancer`, returning
     /// the aggregate report plus per-rack summaries.
     ///
+    /// Under [`ScalingPolicy::Fixed`] every rack runs `max_instances` for the
+    /// whole trace and the event/RNG sequence is identical to the
+    /// pre-autoscaling simulator, so fixed-cap results are bit-for-bit
+    /// stable. Elastic racks start at `min_instances` and are re-evaluated on
+    /// their policy's interval; scale-ups come online `provisioning_delay`
+    /// later.
+    ///
     /// # Panics
-    /// Panics if the trace is empty or `racks` is zero.
+    /// Panics if the trace is empty, `racks` is zero, the scaling policy
+    /// fails [`ScalingPolicy::validate`], or an elastic configuration has
+    /// `min_instances` of zero (the rack could never start work) or above
+    /// `max_instances`.
     pub fn run_sharded(
         &self,
         trace: &[TraceRequest],
@@ -270,6 +367,24 @@ impl ClusterSim {
     ) -> (ClusterReport, Vec<RackSummary>) {
         assert!(!trace.is_empty(), "trace must not be empty");
         assert!(racks > 0, "need at least one rack");
+        self.config.scaling.validate();
+        let elastic = !matches!(self.config.scaling, ScalingPolicy::Fixed);
+        if elastic {
+            assert!(
+                self.config.min_instances > 0,
+                "elastic racks need at least one instance"
+            );
+            assert!(
+                self.config.min_instances <= self.config.max_instances,
+                "min_instances must not exceed max_instances"
+            );
+        }
+        let predictive = matches!(self.config.scaling, ScalingPolicy::Predictive { .. });
+        let initial_capacity = if elastic {
+            self.config.min_instances
+        } else {
+            self.config.max_instances
+        };
         let horizon =
             trace.last().expect("non-empty").arrival - SimTime::ZERO + SimDuration::from_secs(120);
         let mut offered = TimeSeries::new(self.config.bucket, horizon);
@@ -284,10 +399,17 @@ impl ClusterSim {
                 cached_on_flash: HashSet::new(),
                 rng: master.fork(u64::from(r)),
                 busy: 0,
+                capacity: initial_capacity,
+                pending: 0,
                 completed: 0,
                 rejected: 0,
                 cold_starts: 0,
                 peak_queue: 0,
+                peak_instances: initial_capacity,
+                low_instances: initial_capacity,
+                scale_ups: 0,
+                scale_downs: 0,
+                scaling_lag: SimDuration::ZERO,
             })
             .collect();
 
@@ -296,14 +418,26 @@ impl ClusterSim {
             sim.schedule_at(request.arrival, Event::Arrival(idx));
             offered.record_event(request.arrival);
         }
+        if let Some(interval) = self.config.scaling.interval() {
+            for rack in 0..racks as usize {
+                sim.schedule_at(SimTime::ZERO + interval, Event::ScaleTick { rack });
+            }
+        }
 
         let mut round_robin: usize = 0;
         let mut total_queued: usize = 0;
+        let mut arrivals_pending: usize = trace.len();
+        let mut last_activity = SimTime::ZERO;
         let mut latencies: Vec<f64> = Vec::with_capacity(trace.len());
 
         sim.run(|sim, now, event| {
+            // Events that can free or add capacity (or enqueue work) run the
+            // start loop on their rack afterwards; scale ticks only take
+            // decisions.
             let rack_idx = match event {
                 Event::Arrival(idx) => {
+                    arrivals_pending -= 1;
+                    last_activity = now;
                     let r = match balancer {
                         LoadBalancer::RoundRobin => {
                             let r = round_robin % rack_states.len();
@@ -318,10 +452,15 @@ impl ClusterSim {
                             .expect("at least one rack"),
                     };
                     let rack = &mut rack_states[r];
+                    let request = &trace[idx];
+                    if predictive {
+                        // Predictive scaling estimates demand from offered
+                        // load, not the (capacity-throttled) start rate.
+                        rack.keepalive.note_arrival(request.function, now);
+                    }
                     if rack.queue.len() >= self.config.queue_depth {
                         rack.rejected += 1;
                     } else {
-                        let request = &trace[idx];
                         rack.queue.push(
                             idx,
                             request.benchmark,
@@ -330,17 +469,40 @@ impl ClusterSim {
                         total_queued += 1;
                         rack.peak_queue = rack.peak_queue.max(rack.queue.len());
                     }
-                    r
+                    Some(r)
                 }
                 Event::Completion { rack } => {
                     rack_states[rack].busy -= 1;
-                    rack
+                    last_activity = now;
+                    Some(rack)
+                }
+                Event::ScaleTick { rack } => {
+                    self.scale_decision(sim, &mut rack_states[rack], rack);
+                    let r = &rack_states[rack];
+                    if arrivals_pending > 0 || r.busy > 0 || !r.queue.is_empty() {
+                        let interval = self
+                            .config
+                            .scaling
+                            .interval()
+                            .expect("ticks only run for elastic policies");
+                        sim.schedule_in(interval, Event::ScaleTick { rack });
+                    }
+                    None
+                }
+                Event::ScaleCommit { rack, add } => {
+                    let r = &mut rack_states[rack];
+                    r.pending -= add;
+                    r.capacity += add;
+                    r.peak_instances = r.peak_instances.max(r.capacity);
+                    r.scaling_lag += self.config.provisioning_delay;
+                    Some(rack)
                 }
             };
+            let Some(rack_idx) = rack_idx else { return };
             // Greedily start queued requests on this rack's free instances,
             // in the order the scheduler policy dictates.
             let rack = &mut rack_states[rack_idx];
-            while rack.busy < self.config.max_instances {
+            while rack.busy < rack.capacity {
                 let Some(idx) = rack.queue.pop() else { break };
                 total_queued -= 1;
                 let request = &trace[idx];
@@ -374,7 +536,13 @@ impl ClusterSim {
             queued_series.record(now, total_queued as f64);
         });
 
-        let makespan = sim.now() - SimTime::ZERO;
+        // Close the warm-memory ledger: containers still warm at the end of
+        // the run held their remaining window without a reuse.
+        let makespan = last_activity - SimTime::ZERO;
+        for rack in &mut rack_states {
+            rack.keepalive.finish_accounting(last_activity);
+        }
+
         let summaries: Vec<RackSummary> = rack_states
             .iter()
             .enumerate()
@@ -383,7 +551,12 @@ impl ClusterSim {
                 completed: rack.completed,
                 rejected: rack.rejected,
                 cold_starts: rack.cold_starts,
+                prewarm_hits: rack.keepalive.stats().prewarm_hits,
                 peak_queue: rack.peak_queue,
+                peak_instances: rack.peak_instances,
+                low_instances: rack.low_instances,
+                scale_ups: rack.scale_ups,
+                scale_downs: rack.scale_downs,
             })
             .collect();
         let report = ClusterReport {
@@ -394,6 +567,26 @@ impl ClusterSim {
             completed: summaries.iter().map(|r| r.completed).sum(),
             rejected: summaries.iter().map(|r| r.rejected).sum(),
             cold_starts: summaries.iter().map(|r| r.cold_starts).sum(),
+            prewarm_hits: summaries.iter().map(|r| r.prewarm_hits).sum(),
+            warm_seconds: rack_states
+                .iter()
+                .map(|r| r.keepalive.stats().warm_seconds)
+                .sum(),
+            wasted_warm_seconds: rack_states
+                .iter()
+                .map(|r| r.keepalive.stats().wasted_warm_seconds)
+                .sum(),
+            scale_ups: summaries.iter().map(|r| r.scale_ups).sum(),
+            scale_downs: summaries.iter().map(|r| r.scale_downs).sum(),
+            scaling_lag_s: rack_states
+                .iter()
+                .map(|r| r.scaling_lag.as_secs_f64())
+                .sum(),
+            peak_instances: summaries
+                .iter()
+                .map(|r| r.peak_instances)
+                .max()
+                .unwrap_or(0),
             latency_summary: if latencies.is_empty() {
                 None
             } else {
@@ -402,6 +595,84 @@ impl ClusterSim {
             makespan,
         };
         (report, summaries)
+    }
+
+    /// One autoscaling evaluation on `rack`: reactive policies watch the
+    /// queue depth, predictive policies size the pool to the learned
+    /// arrival-rate estimate. Scale-ups enter the provisioning pipeline and
+    /// commit `provisioning_delay` later; scale-downs release immediately
+    /// (running requests finish, the freed instances just stop accepting new
+    /// work).
+    fn scale_decision(&self, sim: &mut Simulator<Event>, rack: &mut RackState, rack_idx: usize) {
+        let (min, max) = (self.config.min_instances, self.config.max_instances);
+        match self.config.scaling {
+            ScalingPolicy::Fixed => unreachable!("fixed racks never tick"),
+            ScalingPolicy::Reactive {
+                scale_up_queue,
+                scale_down_queue,
+                step,
+                ..
+            } => {
+                let provisioned = rack.capacity + rack.pending;
+                let depth = rack.queue.len();
+                if depth >= scale_up_queue && provisioned < max {
+                    let add = step.min(max - provisioned);
+                    rack.pending += add;
+                    rack.scale_ups += 1;
+                    sim.schedule_in(
+                        self.config.provisioning_delay,
+                        Event::ScaleCommit {
+                            rack: rack_idx,
+                            add,
+                        },
+                    );
+                } else if depth <= scale_down_queue && rack.capacity > min {
+                    let drop = step.min(rack.capacity - min);
+                    rack.capacity -= drop;
+                    rack.scale_downs += 1;
+                    rack.low_instances = rack.low_instances.min(rack.capacity);
+                }
+            }
+            ScalingPolicy::Predictive { interval, headroom } => {
+                // Steady-state demand from the learned arrival rate, plus a
+                // backlog term sized to drain the current queue within one
+                // decision interval — cold-start pileups would otherwise sit
+                // behind a pool sized only for warm steady state.
+                let rate = rack.keepalive.arrival_rate_estimate();
+                let steady = rate * self.mean_service_s * headroom;
+                let backlog =
+                    rack.queue.len() as f64 * self.mean_service_s / interval.as_secs_f64();
+                // Saturation escape hatch: warm service times underprice a
+                // pool stuck in multi-second cold starts, so a fully busy
+                // pool with work still queued doubles instead of trusting
+                // the model.
+                let provisioned = u64::from(rack.capacity) + u64::from(rack.pending);
+                let pressured = if rack.busy >= rack.capacity && !rack.queue.is_empty() {
+                    provisioned * 2
+                } else {
+                    0
+                };
+                let demand = (steady.max(backlog).ceil() as u64).max(pressured);
+                let target = demand.clamp(u64::from(min), u64::from(max)) as u32;
+                let provisioned = rack.capacity + rack.pending;
+                if target > provisioned {
+                    let add = target - provisioned;
+                    rack.pending += add;
+                    rack.scale_ups += 1;
+                    sim.schedule_in(
+                        self.config.provisioning_delay,
+                        Event::ScaleCommit {
+                            rack: rack_idx,
+                            add,
+                        },
+                    );
+                } else if target < rack.capacity {
+                    rack.capacity = target;
+                    rack.scale_downs += 1;
+                    rack.low_instances = rack.low_instances.min(rack.capacity);
+                }
+            }
+        }
     }
 }
 
@@ -566,6 +837,143 @@ mod tests {
         let (four, _) = sim.run_sharded(&trace, 18, 4, LoadBalancer::RoundRobin);
         assert!(four.mean_latency_ms() < one.mean_latency_ms() / 2.0);
         assert!(four.peak_queue() < one.peak_queue());
+    }
+
+    #[test]
+    fn reactive_scaling_grows_under_load_and_stays_bounded() {
+        let config = ClusterConfig {
+            scaling: ScalingPolicy::reactive_default(),
+            ..ClusterConfig::default()
+        };
+        let trace = short_trace(1500.0, 60, 21);
+        let sim = ClusterSim::new(PlatformKind::BaselineCpu, config);
+        let (report, racks) = sim.run_sharded(&trace, 22, 2, LoadBalancer::RoundRobin);
+        assert!(report.scale_ups > 0, "overload must trigger scale-ups");
+        assert!(report.scaling_lag_s > 0.0, "scale-ups pay provisioning lag");
+        assert!(report.peak_instances > config.min_instances);
+        assert!(report.peak_instances <= config.max_instances);
+        for rack in &racks {
+            assert!(rack.low_instances >= config.min_instances);
+            assert!(rack.peak_instances <= config.max_instances);
+        }
+    }
+
+    #[test]
+    fn reactive_scaling_releases_instances_when_load_fades() {
+        // A burst followed by a long quiet tail: the rack must shrink again.
+        let profile = RateProfile {
+            segments: vec![
+                (SimDuration::from_secs(20), 1200.0),
+                (SimDuration::from_secs(120), 2.0),
+            ],
+        };
+        let trace = profile.generate(&mut DeterministicRng::seeded(23));
+        let config = ClusterConfig {
+            scaling: ScalingPolicy::reactive_default(),
+            ..ClusterConfig::default()
+        };
+        let sim = ClusterSim::new(PlatformKind::BaselineCpu, config);
+        let (report, racks) = sim.run_sharded(&trace, 24, 1, LoadBalancer::RoundRobin);
+        assert!(report.scale_ups > 0);
+        assert!(report.scale_downs > 0, "quiet tail must release instances");
+        assert!(racks[0].low_instances < racks[0].peak_instances);
+    }
+
+    #[test]
+    fn predictive_scaling_tracks_offered_load() {
+        let config = ClusterConfig {
+            scaling: ScalingPolicy::predictive_default(),
+            ..ClusterConfig::default()
+        };
+        let trace = short_trace(1200.0, 60, 25);
+        let sim = ClusterSim::new(PlatformKind::BaselineCpu, config);
+        let (report, _) = sim.run_sharded(&trace, 26, 2, LoadBalancer::RoundRobin);
+        assert!(report.scale_ups > 0, "sustained load must provision");
+        assert!(report.peak_instances > config.min_instances);
+        assert!(report.peak_instances <= config.max_instances);
+        assert_eq!(report.completed + report.rejected, trace.len() as u64);
+    }
+
+    #[test]
+    fn fixed_scaling_matches_a_pinned_elastic_pool_bit_for_bit() {
+        // An autoscaler whose bounds pin the pool at the fixed cap takes the
+        // same decisions as no autoscaler at all: every series, summary and
+        // rack outcome must be identical, which also proves the scale-tick
+        // machinery perturbs neither the RNG stream nor the event ordering.
+        let trace = short_trace(700.0, 45, 27);
+        let fixed = ClusterSim::new(PlatformKind::DscsDsa, ClusterConfig::default());
+        let pinned = fixed.reconfigured(ClusterConfig {
+            scaling: ScalingPolicy::reactive_default(),
+            min_instances: 200,
+            ..ClusterConfig::default()
+        });
+        let (a, racks_a) = fixed.run_sharded(&trace, 28, 2, LoadBalancer::LeastLoaded);
+        let (b, racks_b) = pinned.run_sharded(&trace, 28, 2, LoadBalancer::LeastLoaded);
+        assert_eq!(a, b);
+        assert_eq!(racks_a, racks_b);
+    }
+
+    #[test]
+    fn prewarming_reports_hits_and_saves_warm_seconds() {
+        let trace = short_trace(80.0, 60, 29);
+        let base = ClusterSim::new(PlatformKind::DscsDsa, ClusterConfig::default());
+        let hybrid = base.reconfigured(ClusterConfig {
+            keepalive: KeepalivePolicy::hybrid_default(),
+            ..ClusterConfig::default()
+        });
+        let prewarm = base.reconfigured(ClusterConfig {
+            keepalive: KeepalivePolicy::prewarm_default(),
+            ..ClusterConfig::default()
+        });
+        let plain = hybrid.run(&trace, 30);
+        let warmed = prewarm.run(&trace, 30);
+        assert_eq!(plain.prewarm_hits, 0, "no head percentile, no hits");
+        assert!(warmed.prewarm_hits > 0, "prewarmed instances get found");
+        assert!(warmed.prewarm_hit_rate() > 0.0);
+        assert!(
+            warmed.cold_starts <= plain.cold_starts,
+            "prewarm {} vs plain {}",
+            warmed.cold_starts,
+            plain.cold_starts
+        );
+        assert!(
+            warmed.warm_seconds <= plain.warm_seconds,
+            "released-then-prewarmed pools hold less memory"
+        );
+    }
+
+    #[test]
+    fn warm_second_accounting_orders_keepalive_policies() {
+        // Memory cost: no-keepalive holds nothing, the 10-minute fixed
+        // window holds the most, the hybrid histogram sits in between.
+        let trace = short_trace(40.0, 30, 31);
+        let base = ClusterSim::new(PlatformKind::DscsDsa, ClusterConfig::default());
+        let run = |keepalive| {
+            base.reconfigured(ClusterConfig {
+                keepalive,
+                ..ClusterConfig::default()
+            })
+            .run(&trace, 32)
+        };
+        let none = run(KeepalivePolicy::NoKeepalive);
+        let fixed = run(KeepalivePolicy::paper_default());
+        assert_eq!(none.warm_seconds, 0.0);
+        assert!(fixed.warm_seconds > 0.0);
+        assert!(fixed.wasted_warm_seconds > 0.0, "final windows are wasted");
+        assert!(fixed.wasted_warm_seconds <= fixed.warm_seconds);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instance")]
+    fn zero_min_instance_elastic_rack_is_rejected() {
+        let config = ClusterConfig {
+            scaling: ScalingPolicy::reactive_default(),
+            min_instances: 0,
+            ..ClusterConfig::default()
+        };
+        let trace = short_trace(10.0, 5, 33);
+        let sim = ClusterSim::new(PlatformKind::DscsDsa, config);
+        let _ = sim.run(&trace, 34);
     }
 
     #[test]

@@ -6,7 +6,18 @@
 //! deterministic: object keys keep insertion order and floats use Rust's
 //! shortest-roundtrip formatting, so a fixed-seed report is byte-for-byte
 //! reproducible across runs.
+//!
+//! The module also provides a small recursive-descent [`JsonValue::parse`] so
+//! reports can be read back: the perf-regression gate diffs the previous CI
+//! run's artifact against the current one. Numbers roundtrip losslessly —
+//! floats use shortest-roundtrip formatting on the way out and
+//! `str::parse::<f64>` on the way back in, both of which are exact — but the
+//! *variant* is not preserved for whole-valued floats: `Float(12.0)` renders
+//! as `12` (JSON has one number type) and parses back as `UInt(12)`. Compare
+//! parsed values against parsed values, or numerically via
+//! [`JsonValue::as_f64`], not against hand-built trees.
 
+use std::fmt;
 use std::fmt::Write as _;
 
 /// A JSON value.
@@ -55,6 +66,73 @@ impl JsonValue {
         out
     }
 
+    /// Parses a JSON document.
+    ///
+    /// Accepts standard JSON with arbitrary whitespace. Numerals without a
+    /// fraction or exponent parse to [`JsonValue::UInt`]/[`JsonValue::Int`];
+    /// everything else numeric parses to [`JsonValue::Float`]. Values
+    /// rendered by [`JsonValue::render`] parse back numerically lossless,
+    /// but not always variant-identical: a whole-valued `Float` renders
+    /// without a decimal point and parses back as an integer, and non-finite
+    /// floats render as `null`. See the module docs for the comparison
+    /// guidance.
+    pub fn parse(input: &str) -> Result<JsonValue, JsonParseError> {
+        let mut parser = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_whitespace();
+        let value = parser.value()?;
+        parser.skip_whitespace();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.error("trailing characters after document"));
+        }
+        Ok(value)
+    }
+
+    /// Looks up `key` in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, converting integers; `None` for non-numbers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Int(i) => Some(*i as f64),
+            JsonValue::UInt(u) => Some(*u as f64),
+            JsonValue::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer; `None` for anything else.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::UInt(u) => Some(*u),
+            JsonValue::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice; `None` for non-strings.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice; `None` for non-arrays.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
     fn write(&self, out: &mut String) {
         match self {
             JsonValue::Null => out.push_str("null"),
@@ -96,6 +174,225 @@ impl JsonValue {
                 out.push('}');
             }
         }
+    }
+}
+
+/// A parse failure: what went wrong and the byte offset it happened at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Byte offset into the input where the failure was detected.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> JsonParseError {
+        JsonParseError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(pairs));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(pairs));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("invalid \\u escape"))?;
+                            // Reports only emit BMP scalars; surrogate pairs
+                            // are out of scope for this reader.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.error("\\u escape is not a scalar value"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so the
+                    // byte stream is valid UTF-8 by construction).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("peeked a byte");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+        if integral {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(JsonValue::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(JsonValue::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(JsonValue::Float)
+            .map_err(|_| JsonParseError {
+                message: format!("invalid number '{text}'"),
+                offset: start,
+            })
     }
 }
 
@@ -209,5 +506,76 @@ mod tests {
         let mut obj = JsonValue::object();
         obj.push("xs", vec![0.1, 0.2, 0.30000000000000004]);
         assert_eq!(obj.render(), obj.render());
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(JsonValue::parse("null"), Ok(JsonValue::Null));
+        assert_eq!(JsonValue::parse(" true "), Ok(JsonValue::Bool(true)));
+        assert_eq!(JsonValue::parse("false"), Ok(JsonValue::Bool(false)));
+        assert_eq!(JsonValue::parse("42"), Ok(JsonValue::UInt(42)));
+        assert_eq!(JsonValue::parse("-7"), Ok(JsonValue::Int(-7)));
+        assert_eq!(JsonValue::parse("1.5"), Ok(JsonValue::Float(1.5)));
+        assert_eq!(JsonValue::parse("2e3"), Ok(JsonValue::Float(2000.0)));
+        assert_eq!(
+            JsonValue::parse(r#""a\"b\\c\nd""#),
+            Ok(JsonValue::from("a\"b\\c\nd"))
+        );
+        assert_eq!(JsonValue::parse("\"\\u0041\""), Ok(JsonValue::from("A")));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let parsed = JsonValue::parse(r#"{"a":[1,2.5,{"b":null}],"c":"x"}"#).expect("valid");
+        assert_eq!(parsed.get("c").and_then(JsonValue::as_str), Some("x"));
+        let items = parsed
+            .get("a")
+            .and_then(JsonValue::as_array)
+            .expect("array");
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].as_u64(), Some(1));
+        assert_eq!(items[1].as_f64(), Some(2.5));
+        assert_eq!(items[2].get("b"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "", "{", "[1,", "tru", "{\"a\"}", "{\"a\":}", "1 2", "nul", "\"abc", "[1 2]",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+        let err = JsonValue::parse("[1,]").expect_err("dangling comma");
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn render_parse_roundtrips_exactly() {
+        let mut obj = JsonValue::object();
+        obj.push("name", "at-scale \"quick\" run");
+        obj.push("mean", 176.9002399829629);
+        obj.push("count", 18136u64);
+        obj.push("delta", -3i64);
+        obj.push("xs", vec![0.1, 0.30000000000000004]);
+        obj.push("none", JsonValue::Null);
+        let parsed = JsonValue::parse(&obj.render()).expect("rendered JSON parses");
+        assert_eq!(parsed, obj);
+        assert_eq!(parsed.render(), obj.render());
+    }
+
+    #[test]
+    fn whole_valued_floats_parse_back_as_integers() {
+        // The documented variant caveat: JSON has one number type, so a
+        // whole-valued Float renders as "12" and comes back as UInt. The
+        // value is numerically lossless either way.
+        let whole = JsonValue::Float(12.0);
+        assert_eq!(whole.render(), "12");
+        let parsed = JsonValue::parse(&whole.render()).expect("parses");
+        assert_eq!(parsed, JsonValue::UInt(12));
+        assert_ne!(
+            parsed, whole,
+            "variant differs even though the value matches"
+        );
+        assert_eq!(parsed.as_f64(), whole.as_f64());
     }
 }

@@ -1,14 +1,16 @@
 //! At-scale comparison (Figure 13 and beyond): replay a bursty request trace
 //! and an Azure-style synthetic workload against clusters of baseline CPU
-//! nodes and of DSCS-Serverless drives, under different scheduler and
-//! keepalive policies, sharded over multiple racks.
+//! nodes and of DSCS-Serverless drives, under different scheduler, keepalive
+//! and autoscaling policies, sharded over multiple racks.
 //!
 //! Shortened traces keep the example fast; `reproduce at-scale` runs the full
 //! policy sweep and writes a machine-readable JSON report.
 //!
 //! Run with: `cargo run --release --example at_scale_cluster`
 
-use dscs_serverless::cluster::policy::{KeepalivePolicy, LoadBalancer, SchedulerPolicy};
+use dscs_serverless::cluster::policy::{
+    KeepalivePolicy, LoadBalancer, ScalingPolicy, SchedulerPolicy,
+};
 use dscs_serverless::cluster::sim::{simulate_platform, ClusterConfig, ClusterSim};
 use dscs_serverless::cluster::trace::RateProfile;
 use dscs_serverless::cluster::workload::{AzureWorkload, Workload};
@@ -91,8 +93,47 @@ fn main() {
             report.p99_latency_ms()
         );
         println!(
+            "  prewarm hits {} ({:.1}%) / warm-seconds held {:.0} (wasted {:.0})",
+            report.prewarm_hits,
+            report.prewarm_hit_rate() * 100.0,
+            report.warm_seconds,
+            report.wasted_warm_seconds
+        );
+        println!(
             "  per-rack completed: {:?}",
             racks.iter().map(|r| r.completed).collect::<Vec<_>>()
+        );
+    }
+
+    // Part 3 — autoscaling: the same Azure trace on elastic DSCS racks. A
+    // fixed cap holds 200 instances per rack for the whole run; the reactive
+    // and predictive policies grow from 8 on demand, paying provisioning lag
+    // on bursts but releasing the pool when traffic fades.
+    println!("\nautoscaling on the azure trace (DSCS x 4 racks, prewarm keepalive):");
+    for scaling in ScalingPolicy::all_default() {
+        let config = ClusterConfig {
+            scheduler: SchedulerPolicy::Fcfs,
+            keepalive: KeepalivePolicy::prewarm_default(),
+            scaling,
+            ..ClusterConfig::default()
+        };
+        let sim = ClusterSim::new(PlatformKind::DscsDsa, config);
+        let (report, racks) = sim.run_sharded(&azure_trace, 17, 4, LoadBalancer::LeastLoaded);
+        println!("\n  {}:", scaling.name());
+        println!(
+            "    instances/rack: peak {} low {} / scale-ups {} downs {} / lag {:.1} s",
+            report.peak_instances,
+            racks.iter().map(|r| r.low_instances).min().unwrap_or(0),
+            report.scale_ups,
+            report.scale_downs,
+            report.scaling_lag_s
+        );
+        println!(
+            "    cold starts {} / prewarm hits {:.1}% / mean {:.1} ms / p99 {:.1} ms",
+            report.cold_starts,
+            report.prewarm_hit_rate() * 100.0,
+            report.mean_latency_ms(),
+            report.p99_latency_ms()
         );
     }
 }

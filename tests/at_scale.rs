@@ -1,12 +1,21 @@
 //! Integration tests for the at-scale workload subsystem: the policy sweep,
-//! multi-rack sharding, and the machine-readable report CI uploads.
+//! multi-rack sharding, autoscaling and prewarming, and the machine-readable
+//! report CI uploads.
 
 use dscs_serverless::cluster::at_scale::{at_scale_sweep, AtScaleOptions};
-use dscs_serverless::cluster::policy::{KeepalivePolicy, LoadBalancer, SchedulerPolicy};
+use dscs_serverless::cluster::policy::{
+    KeepalivePolicy, LoadBalancer, ScalingPolicy, SchedulerPolicy,
+};
 use dscs_serverless::cluster::sim::{ClusterConfig, ClusterSim};
 use dscs_serverless::cluster::workload::{AzureWorkload, Workload, WorkloadError};
 use dscs_serverless::platforms::PlatformKind;
+use dscs_serverless::simcore::json::JsonValue;
 use dscs_serverless::simcore::rng::DeterministicRng;
+
+/// The smoke-sweep report captured at PR 2, before the autoscaling and
+/// prewarming axes existed. Every fixed-cap cell of today's sweep must still
+/// produce exactly these numbers.
+const PR2_GOLDEN_SMOKE: &str = include_str!("golden/at_scale_smoke_pr2.json");
 
 #[test]
 fn fixed_seed_sweep_report_is_byte_for_byte_reproducible() {
@@ -31,10 +40,119 @@ fn sweep_covers_both_platforms_all_policies_and_both_workloads() {
             let cells = report.cells_for(workload, platform);
             assert_eq!(
                 cells.len(),
-                SchedulerPolicy::ALL.len() * KeepalivePolicy::all_default().len(),
+                SchedulerPolicy::ALL.len()
+                    * KeepalivePolicy::all_default().len()
+                    * ScalingPolicy::all_default().len(),
                 "{workload}/{platform:?}"
             );
         }
+    }
+}
+
+/// Golden regression test: the fixed-cap cells of today's sweep are
+/// byte-identical (every shared metric, compared on parsed JSON values, so
+/// float equality is exact) to the report PR 2 produced for the same seed.
+/// The autoscaling and prewarming axes may only *add* cells and fields.
+#[test]
+fn fixed_cap_cells_match_the_pr2_golden_report() {
+    let golden = JsonValue::parse(PR2_GOLDEN_SMOKE).expect("golden fixture parses");
+    let current = JsonValue::parse(&at_scale_sweep(AtScaleOptions::smoke()).to_json())
+        .expect("sweep report parses");
+    let key = |cell: &JsonValue| -> Vec<String> {
+        ["workload", "platform", "scheduler", "keepalive"]
+            .iter()
+            .map(|k| {
+                cell.get(k)
+                    .and_then(JsonValue::as_str)
+                    .expect("cell identity field")
+                    .to_string()
+            })
+            .collect()
+    };
+    let current_cells = current
+        .get("cells")
+        .and_then(JsonValue::as_array)
+        .expect("cells");
+    let golden_cells = golden
+        .get("cells")
+        .and_then(JsonValue::as_array)
+        .expect("cells");
+    assert!(!golden_cells.is_empty());
+    for golden_cell in golden_cells {
+        let golden_key = key(golden_cell);
+        let fixed = current_cells
+            .iter()
+            .find(|c| {
+                c.get("scaling").and_then(JsonValue::as_str) == Some("fixed")
+                    && key(c) == golden_key
+            })
+            .unwrap_or_else(|| panic!("no fixed cell for {golden_key:?}"));
+        let JsonValue::Object(golden_fields) = golden_cell else {
+            panic!("golden cell is not an object")
+        };
+        for (field, golden_value) in golden_fields {
+            let current_value = fixed
+                .get(field)
+                .unwrap_or_else(|| panic!("{golden_key:?} lost field {field}"));
+            assert_eq!(
+                current_value, golden_value,
+                "{golden_key:?}: field {field} drifted from the PR 2 report"
+            );
+        }
+    }
+}
+
+/// Golden integration test for prewarming: on the bursty Azure workload the
+/// hybrid histogram's prewarm window finds warm instances (non-zero hit
+/// rate), and never pays more cold starts than the same seed without
+/// prewarming.
+#[test]
+fn prewarming_hits_without_extra_cold_starts_on_azure() {
+    let report = at_scale_sweep(AtScaleOptions::smoke());
+    for platform in [PlatformKind::BaselineCpu, PlatformKind::DscsDsa] {
+        for scaling in ["fixed", "reactive", "predictive"] {
+            let prewarm = report
+                .cell("azure", platform, "fcfs", "hybrid-prewarm", scaling)
+                .expect("prewarm cell swept");
+            let baseline = report
+                .cell("azure", platform, "fcfs", "hybrid-histogram", scaling)
+                .expect("no-prewarm cell swept");
+            assert!(
+                prewarm.prewarm_hit_rate > 0.0,
+                "{platform:?}/{scaling}: prewarm hit rate must be non-zero"
+            );
+            assert!(prewarm.prewarm_hits > 0);
+            assert_eq!(baseline.prewarm_hits, 0);
+            assert!(
+                prewarm.cold_starts <= baseline.cold_starts,
+                "{platform:?}/{scaling}: prewarm {} vs baseline {} cold starts",
+                prewarm.cold_starts,
+                baseline.cold_starts
+            );
+        }
+    }
+}
+
+/// Elastic cells expose the scaling-lag metrics the Figure-17-style
+/// comparison needs: on the Azure workload the reactive and predictive racks
+/// scale up from `min_instances`, pay provisioning lag, and stay within
+/// bounds.
+#[test]
+fn elastic_azure_cells_report_scaling_lag() {
+    let report = at_scale_sweep(AtScaleOptions::smoke());
+    for scaling in ["reactive", "predictive"] {
+        let cell = report
+            .cell(
+                "azure",
+                PlatformKind::BaselineCpu,
+                "fcfs",
+                "hybrid-prewarm",
+                scaling,
+            )
+            .expect("elastic cell swept");
+        assert!(cell.scale_ups > 0, "{scaling}: must scale up");
+        assert!(cell.scaling_lag_s > 0.0, "{scaling}: lag metric populated");
+        assert!(cell.peak_instances > 8 && cell.peak_instances <= 200);
     }
 }
 

@@ -72,6 +72,53 @@ fn same_seed_produces_bit_identical_multi_rack_runs() {
 }
 
 #[test]
+fn same_seed_produces_bit_identical_autoscaled_runs() {
+    use dscs_serverless::cluster::policy::{KeepalivePolicy, LoadBalancer, ScalingPolicy};
+    use dscs_serverless::cluster::sim::{ClusterConfig, ClusterSim};
+
+    let trace = one_minute_trace(11);
+    for scaling in [
+        ScalingPolicy::reactive_default(),
+        ScalingPolicy::predictive_default(),
+    ] {
+        let config = ClusterConfig {
+            scaling,
+            keepalive: KeepalivePolicy::prewarm_default(),
+            ..ClusterConfig::default()
+        };
+        let sim = ClusterSim::new(PlatformKind::DscsDsa, config);
+        let (a, racks_a) = sim.run_sharded(&trace, 55, 3, LoadBalancer::LeastLoaded);
+        let (b, racks_b) = sim.run_sharded(&trace, 55, 3, LoadBalancer::LeastLoaded);
+        assert_eq!(a, b, "{scaling:?} aggregate report");
+        assert_eq!(racks_a, racks_b, "{scaling:?} per-rack summaries");
+        assert_eq!(
+            a.scaling_lag_s.to_bits(),
+            b.scaling_lag_s.to_bits(),
+            "{scaling:?} lag"
+        );
+        assert_eq!(
+            a.warm_seconds.to_bits(),
+            b.warm_seconds.to_bits(),
+            "{scaling:?} warm-seconds accumulate in a fixed order"
+        );
+    }
+}
+
+/// The full sweep — which now includes the reactive and predictive scaling
+/// axes and the prewarm keepalive — renders byte-identical JSON across two
+/// runs with the same seed.
+#[test]
+fn at_scale_report_json_is_byte_identical_across_runs() {
+    use dscs_serverless::cluster::at_scale::{at_scale_sweep, AtScaleOptions};
+
+    let a = at_scale_sweep(AtScaleOptions::smoke()).to_json();
+    let b = at_scale_sweep(AtScaleOptions::smoke()).to_json();
+    assert_eq!(a, b);
+    assert!(a.contains("\"scaling\":\"reactive\""));
+    assert!(a.contains("\"scaling\":\"predictive\""));
+}
+
+#[test]
 fn same_seed_produces_bit_identical_traces() {
     let t1 = one_minute_trace(42);
     let t2 = one_minute_trace(42);

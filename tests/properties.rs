@@ -364,7 +364,11 @@ fn hybrid_histogram_never_evicts_before_its_window() {
     check(0xAD, |case, rng| {
         let bin = SimDuration::from_secs(int_in(rng, 1, 20));
         let range = bin * int_in(rng, 2, 60);
-        let policy = KeepalivePolicy::HybridHistogram { range, bin };
+        let policy = KeepalivePolicy::HybridHistogram {
+            range,
+            bin,
+            head: 0.0,
+        };
         let mut state = KeepaliveState::new(policy);
         let function = int_in(rng, 0, 4) as u32;
         let mut now = SimTime::ZERO;
@@ -393,5 +397,167 @@ fn hybrid_histogram_never_evicts_before_its_window() {
         let w = state.window(function);
         assert!(w >= bin.min(range), "case {case}: window {w} < bin {bin}");
         assert!(w <= range, "case {case}: window {w} exceeds range {range}");
+    });
+}
+
+/// For any prewarm head percentile and any observation history, the prewarm
+/// window never exceeds the eviction window, and it stays zero until the
+/// pattern is learned.
+#[test]
+fn prewarm_window_never_exceeds_the_eviction_window() {
+    use dscs_serverless::cluster::policy::{KeepalivePolicy, KeepaliveState};
+    use dscs_serverless::simcore::time::SimTime;
+
+    check(0xAE, |case, rng| {
+        let bin = SimDuration::from_secs(int_in(rng, 1, 20));
+        let range = bin * int_in(rng, 2, 60);
+        let head = rng.uniform(0.0, 0.5);
+        let policy = KeepalivePolicy::HybridHistogram { range, bin, head };
+        let mut state = KeepaliveState::new(policy);
+        let function = int_in(rng, 0, 4) as u32;
+        assert_eq!(
+            state.prewarm_window(function),
+            SimDuration::ZERO,
+            "case {case}: unlearned pattern must not prewarm"
+        );
+        let mut now = SimTime::ZERO;
+        for _ in 0..int_in(rng, 1, 150) {
+            let gap = SimDuration::from_secs_f64(rng.uniform(0.0, 1.3 * range.as_secs_f64()));
+            now += gap;
+            let service = SimDuration::from_secs_f64(rng.uniform(0.01, 2.0));
+            state.record_invocation(function, now, now + service);
+            now += service;
+            let prewarm = state.prewarm_window(function);
+            let window = state.window(function);
+            assert!(
+                prewarm <= window,
+                "case {case}: prewarm {prewarm} exceeds eviction window {window}"
+            );
+        }
+    });
+}
+
+/// Autoscaled racks never exceed `max_instances` nor drop below
+/// `min_instances`, for random elastic policies over random workloads.
+#[test]
+fn autoscaler_respects_its_instance_bounds() {
+    use dscs_serverless::cluster::policy::{LoadBalancer, ScalingPolicy};
+    use dscs_serverless::cluster::sim::{ClusterConfig, ClusterSim};
+    use dscs_serverless::cluster::trace::RateProfile;
+    use dscs_serverless::platforms::PlatformKind;
+
+    // Evaluating the end-to-end model dominates the property's cost; the
+    // per-case work is just the (tiny) trace replay, so share one base
+    // simulator and reconfigure it per case.
+    let base = ClusterSim::new(PlatformKind::DscsDsa, ClusterConfig::default());
+    check(0xAF, |case, rng| {
+        let min_instances = int_in(rng, 1, 12) as u32;
+        let max_instances = min_instances + int_in(rng, 0, 80) as u32;
+        let scaling = if rng.bernoulli(0.5) {
+            let scale_up_queue = int_in(rng, 1, 64) as usize;
+            ScalingPolicy::Reactive {
+                scale_up_queue,
+                scale_down_queue: int_in(rng, 0, scale_up_queue as u64) as usize,
+                step: int_in(rng, 1, 40) as u32,
+                interval: SimDuration::from_millis(int_in(rng, 200, 3000)),
+            }
+        } else {
+            ScalingPolicy::Predictive {
+                interval: SimDuration::from_millis(int_in(rng, 200, 3000)),
+                headroom: rng.uniform(1.0, 2.0),
+            }
+        };
+        let config = ClusterConfig {
+            min_instances,
+            max_instances,
+            scaling,
+            ..ClusterConfig::default()
+        };
+        let profile = RateProfile {
+            segments: vec![
+                (
+                    SimDuration::from_secs(int_in(rng, 1, 6)),
+                    rng.uniform(5.0, 400.0),
+                ),
+                (
+                    SimDuration::from_secs(int_in(rng, 1, 6)),
+                    rng.uniform(5.0, 400.0),
+                ),
+            ],
+        };
+        let trace = profile.generate(&mut DeterministicRng::seeded(int_in(rng, 0, 1000)));
+        if trace.is_empty() {
+            return;
+        }
+        let sim = base.reconfigured(config);
+        let racks = 1 + int_in(rng, 0, 2) as u32;
+        let (report, summaries) = sim.run_sharded(
+            &trace,
+            int_in(rng, 0, 1000),
+            racks,
+            LoadBalancer::RoundRobin,
+        );
+        assert!(
+            report.peak_instances <= max_instances,
+            "case {case}: peak {} exceeds max {max_instances}",
+            report.peak_instances
+        );
+        for rack in &summaries {
+            assert!(
+                rack.low_instances >= min_instances,
+                "case {case}: rack {} dropped to {} below min {min_instances}",
+                rack.rack,
+                rack.low_instances
+            );
+            assert!(rack.peak_instances <= max_instances, "case {case}");
+        }
+        assert_eq!(
+            report.completed + report.rejected,
+            trace.len() as u64,
+            "case {case}: every request accounted for"
+        );
+    });
+}
+
+/// With `ScalingPolicy::Fixed` the simulator is bit-identical to an elastic
+/// pool pinned at the cap (`min == max`): the scale-tick machinery must not
+/// perturb the RNG stream, the event ordering, or any reported series.
+#[test]
+fn fixed_scaling_is_bit_identical_to_a_pinned_pool() {
+    use dscs_serverless::cluster::policy::{LoadBalancer, ScalingPolicy};
+    use dscs_serverless::cluster::sim::{ClusterConfig, ClusterSim};
+    use dscs_serverless::cluster::trace::RateProfile;
+    use dscs_serverless::platforms::PlatformKind;
+
+    let fixed_sim = ClusterSim::new(PlatformKind::DscsDsa, ClusterConfig::default());
+    check(0xB0, |case, rng| {
+        let profile = RateProfile {
+            segments: vec![(
+                SimDuration::from_secs(int_in(rng, 2, 8)),
+                rng.uniform(20.0, 600.0),
+            )],
+        };
+        let trace = profile.generate(&mut DeterministicRng::seeded(int_in(rng, 0, 1000)));
+        if trace.is_empty() {
+            return;
+        }
+        let scale_up_queue = int_in(rng, 1, 100) as usize;
+        let pinned = fixed_sim.reconfigured(ClusterConfig {
+            scaling: ScalingPolicy::Reactive {
+                scale_up_queue,
+                scale_down_queue: int_in(rng, 0, scale_up_queue as u64) as usize,
+                step: int_in(rng, 1, 50) as u32,
+                interval: SimDuration::from_millis(int_in(rng, 100, 2000)),
+            },
+            min_instances: 200,
+            max_instances: 200,
+            ..ClusterConfig::default()
+        });
+        let seed = int_in(rng, 0, 1000);
+        let racks = 1 + int_in(rng, 0, 2) as u32;
+        let (a, racks_a) = fixed_sim.run_sharded(&trace, seed, racks, LoadBalancer::RoundRobin);
+        let (b, racks_b) = pinned.run_sharded(&trace, seed, racks, LoadBalancer::RoundRobin);
+        assert_eq!(a, b, "case {case}: reports must be bit-identical");
+        assert_eq!(racks_a, racks_b, "case {case}");
     });
 }
