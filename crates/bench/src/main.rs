@@ -13,19 +13,23 @@
 //!             20-minute at-scale trace) instead of the quick versions.
 //!
 //! reproduce at-scale [--quick] [--seed N] [--racks N]
-//!                    [--balancer round-robin|least-loaded] [--out PATH]
+//!                    [--balancer round-robin|least-loaded|locality]
+//!                    [--out PATH]
 //!
-//! Sweeps scheduler x keepalive x scaling x platform over the bursty
-//! Figure-13 trace and an Azure-style synthetic workload, sharded over
-//! multiple racks, and writes a machine-readable JSON report (default:
-//! BENCH_cluster.json).
+//! Sweeps scheduler x keepalive x scaling x balancer x platform over the
+//! bursty Figure-13 trace and an Azure-style synthetic workload, sharded
+//! over multiple racks against a rack-aware object-store placement (cells
+//! report locality hit rates and cross-rack bytes), and writes a
+//! machine-readable JSON report (default: BENCH_cluster.json). --balancer
+//! restricts the sweep to one balancer; the default sweeps all three.
 //!
 //! reproduce perf-gate BASELINE.json CURRENT.json [--threshold PCT]
 //!
 //! Diffs two at-scale reports cell by cell and exits non-zero on mean/p99
 //! latency regressions beyond the threshold (default 10%). A missing
 //! baseline file passes vacuously, so the first CI run after enabling the
-//! gate succeeds.
+//! gate succeeds; so does a baseline with a different schema version (the
+//! numbers are not comparable across a schema bump).
 //! ```
 
 use std::env;
@@ -460,22 +464,24 @@ fn at_scale(args: &[String]) {
             "--out" => out_path = value_of("--out"),
             "--balancer" => {
                 let name = value_of("--balancer");
-                options.balancer = LoadBalancer::ALL
-                    .into_iter()
-                    .find(|b| b.name() == name)
-                    .unwrap_or_else(|| {
-                        eprintln!(
-                            "--balancer must be one of: {}",
-                            LoadBalancer::ALL.map(|b| b.name()).join(", ")
-                        );
-                        std::process::exit(2);
-                    });
+                options.balancer = Some(
+                    LoadBalancer::ALL
+                        .into_iter()
+                        .find(|b| b.name() == name)
+                        .unwrap_or_else(|| {
+                            eprintln!(
+                                "--balancer must be one of: {}",
+                                LoadBalancer::ALL.map(|b| b.name()).join(", ")
+                            );
+                            std::process::exit(2);
+                        }),
+                );
             }
             other => {
                 eprintln!("unknown at-scale option '{other}'");
                 eprintln!(
                     "usage: reproduce at-scale [--quick] [--seed N] [--racks N] \
-                     [--balancer round-robin|least-loaded] [--out PATH]"
+                     [--balancer round-robin|least-loaded|locality] [--out PATH]"
                 );
                 std::process::exit(2);
             }
@@ -486,7 +492,7 @@ fn at_scale(args: &[String]) {
         "At-scale policy sweep ({}, {} racks, {} balancer, seed {})",
         options.scale.name(),
         options.racks,
-        options.balancer.name(),
+        options.balancer.map_or("all", |b| b.name()),
         options.seed
     ));
     if options.scale == SweepScale::Full {
@@ -500,35 +506,37 @@ fn at_scale(args: &[String]) {
         );
     }
     println!(
-        "\n{:<8} {:<18} {:<6} {:<16} {:<10} {:>9} {:>8} {:>10} {:>8} {:>7} {:>6} {:>10} {:>10}",
+        "\n{:<8} {:<18} {:<6} {:<16} {:<10} {:<12} {:>9} {:>8} {:>10} {:>9} {:>10} {:>7} {:>10} {:>10}",
         "workload",
         "platform",
         "sched",
         "keepalive",
         "scaling",
+        "balancer",
         "completed",
         "cold",
         "prewarm %",
-        "lag s",
+        "local %",
+        "xrack MiB",
         "peak",
-        "waste",
         "mean ms",
         "p99 ms"
     );
     for c in &report.cells {
         println!(
-            "{:<8} {:<18} {:<6} {:<16} {:<10} {:>9} {:>8} {:>10.2} {:>8.1} {:>7} {:>6.0} {:>10.1} {:>10.1}",
+            "{:<8} {:<18} {:<6} {:<16} {:<10} {:<12} {:>9} {:>8} {:>10.2} {:>9.2} {:>10.1} {:>7} {:>10.1} {:>10.1}",
             c.workload,
             c.platform.name(),
             c.scheduler.name(),
             c.keepalive.name(),
             c.scaling.name(),
+            c.balancer.name(),
             c.completed,
             c.cold_starts,
             c.prewarm_hit_rate * 100.0,
-            c.scaling_lag_s,
+            c.locality_hit_rate * 100.0,
+            c.cross_rack_bytes as f64 / (1024.0 * 1024.0),
             c.peak_instances,
-            c.wasted_warm_s,
             c.mean_latency_ms,
             c.p99_latency_ms
         );
@@ -600,8 +608,11 @@ fn perf_gate(args: &[String]) {
             std::process::exit(1);
         }
     };
+    if let Some(note) = &outcome.schema_note {
+        println!("schema change detected: {note}");
+    }
     println!(
-        "compared {} cells ({} skipped: only on one side)",
+        "compared {} cells ({} skipped: only on one side or schema change)",
         outcome.compared, outcome.skipped
     );
     if outcome.passed() {

@@ -1,13 +1,17 @@
-//! The at-scale policy sweep: scheduler × keepalive × scaling × platform ×
-//! workload.
+//! The at-scale policy sweep: scheduler × keepalive × scaling × balancer ×
+//! platform × workload.
 //!
 //! Where Figure 13 fixes one policy point (FCFS, fixed keepalive, fixed
-//! 200-instance racks), this experiment sweeps the whole policy grid —
-//! including the autoscaling axis and the hybrid histogram's prewarm window —
-//! over multiple workloads and multi-rack configurations, and emits a
-//! machine-readable JSON report. CI runs the quick version of the sweep every
-//! build, uploads the report as an artifact (`BENCH_cluster.json`), and diffs
-//! it against the previous run's artifact (see [`crate::perf_gate`]), giving
+//! 200-instance racks, local data), this experiment sweeps the whole policy
+//! grid — including the autoscaling axis, the hybrid histogram's prewarm
+//! window and the front-end balancer axis — over multiple workloads and
+//! multi-rack configurations, and emits a machine-readable JSON report
+//! (schema `dscs-at-scale-v3`). Every cell runs against a [`DataLayer`]
+//! built for its workload's trace, so dispatch is data-aware: reports carry
+//! each cell's locality hit rate, cross-rack bytes moved and the fetch
+//! latency charged. CI runs the quick version of the sweep every build,
+//! uploads the report as an artifact (`BENCH_cluster.json`), and diffs it
+//! against the previous run's artifact (see [`crate::perf_gate`]), giving
 //! the repo a tracked, gated performance trajectory. Fixed-seed runs are
 //! byte-for-byte reproducible.
 
@@ -18,6 +22,7 @@ use dscs_simcore::json::JsonValue;
 use dscs_simcore::rng::DeterministicRng;
 use dscs_simcore::time::SimDuration;
 
+use crate::data::DataLayer;
 use crate::policy::{KeepalivePolicy, LoadBalancer, ScalingPolicy, SchedulerPolicy};
 use crate::sim::{ClusterConfig, ClusterSim};
 use crate::trace::{RateProfile, TraceRequest};
@@ -54,22 +59,25 @@ pub struct AtScaleOptions {
     pub seed: u64,
     /// Number of racks the front end shards over.
     pub racks: u32,
-    /// The front-end load balancer.
-    pub balancer: LoadBalancer,
+    /// Restricts the sweep to one front-end load balancer; `None` sweeps the
+    /// whole balancer axis ([`LoadBalancer::ALL`]).
+    pub balancer: Option<LoadBalancer>,
 }
 
 impl AtScaleOptions {
-    /// The CI quick configuration: two racks, round-robin, seed 42.
+    /// The CI quick configuration: two racks, the full balancer axis, seed
+    /// 42.
     pub fn quick() -> Self {
         AtScaleOptions {
             scale: SweepScale::Quick,
             seed: 42,
             racks: 2,
-            balancer: LoadBalancer::RoundRobin,
+            balancer: None,
         }
     }
 
-    /// The full-size configuration: four racks (800 instances), round-robin.
+    /// The full-size configuration: four racks (800 instances), full
+    /// balancer axis.
     pub fn full() -> Self {
         AtScaleOptions {
             racks: 4,
@@ -88,7 +96,7 @@ impl AtScaleOptions {
 }
 
 /// One cell of the sweep: a (workload, platform, scheduler, keepalive,
-/// scaling) point.
+/// scaling, balancer) point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepCell {
     /// Workload name (`"bursty"`, `"azure"`).
@@ -101,6 +109,8 @@ pub struct SweepCell {
     pub keepalive: KeepalivePolicy,
     /// Instance-pool scaling policy.
     pub scaling: ScalingPolicy,
+    /// Front-end load balancer.
+    pub balancer: LoadBalancer,
     /// Requests offered by the trace.
     pub requests: u64,
     /// Requests completed.
@@ -123,6 +133,13 @@ pub struct SweepCell {
     pub scaling_lag_s: f64,
     /// Largest provisioned instance count any rack reached.
     pub peak_instances: u32,
+    /// Fraction of started requests that ran on a rack holding a replica of
+    /// their object.
+    pub locality_hit_rate: f64,
+    /// Bytes moved across racks by remote object fetches.
+    pub cross_rack_bytes: u64,
+    /// Total cross-rack fetch latency charged onto invocations (seconds).
+    pub fetch_latency_s: f64,
     /// Mean wall-clock latency (ms).
     pub mean_latency_ms: f64,
     /// p99 wall-clock latency (ms).
@@ -154,7 +171,7 @@ pub struct AtScaleReport {
     /// The workloads replayed.
     pub workloads: Vec<WorkloadSummary>,
     /// Every sweep cell, in deterministic order (workload, platform,
-    /// scheduler, keepalive).
+    /// scheduler, keepalive, scaling, balancer).
     pub cells: Vec<SweepCell>,
 }
 
@@ -169,7 +186,7 @@ impl AtScaleReport {
 
     /// The single cell at one full policy point, if the sweep covered it.
     /// Policies are matched by their report names (`"fcfs"`,
-    /// `"hybrid-prewarm"`, `"reactive"`, ...).
+    /// `"hybrid-prewarm"`, `"reactive"`, `"locality"`, ...).
     pub fn cell(
         &self,
         workload: &str,
@@ -177,6 +194,7 @@ impl AtScaleReport {
         scheduler: &str,
         keepalive: &str,
         scaling: &str,
+        balancer: &str,
     ) -> Option<&SweepCell> {
         self.cells.iter().find(|c| {
             c.workload == workload
@@ -184,17 +202,21 @@ impl AtScaleReport {
                 && c.scheduler.name() == scheduler
                 && c.keepalive.name() == keepalive
                 && c.scaling.name() == scaling
+                && c.balancer.name() == balancer
         })
     }
 
     /// Renders the report as compact, byte-for-byte reproducible JSON.
     pub fn to_json(&self) -> String {
         let mut root = JsonValue::object();
-        root.push("schema", "dscs-at-scale-v2");
+        root.push("schema", "dscs-at-scale-v3");
         root.push("scale", self.options.scale.name());
         root.push("seed", self.options.seed);
         root.push("racks", self.options.racks);
-        root.push("balancer", self.options.balancer.name());
+        root.push(
+            "balancer",
+            self.options.balancer.map_or("all", |b| b.name()),
+        );
         root.push(
             "workloads",
             JsonValue::Array(
@@ -222,6 +244,7 @@ impl AtScaleReport {
                         obj.push("scheduler", c.scheduler.name());
                         obj.push("keepalive", c.keepalive.name());
                         obj.push("scaling", c.scaling.name());
+                        obj.push("balancer", c.balancer.name());
                         obj.push("requests", c.requests);
                         obj.push("completed", c.completed);
                         obj.push("rejected", c.rejected);
@@ -233,6 +256,9 @@ impl AtScaleReport {
                         obj.push("scale_downs", c.scale_downs);
                         obj.push("scaling_lag_s", c.scaling_lag_s);
                         obj.push("peak_instances", c.peak_instances);
+                        obj.push("locality_hit_rate", c.locality_hit_rate);
+                        obj.push("cross_rack_bytes", c.cross_rack_bytes);
+                        obj.push("fetch_latency_s", c.fetch_latency_s);
                         obj.push("mean_latency_ms", c.mean_latency_ms);
                         obj.push("p99_latency_ms", c.p99_latency_ms);
                         obj.push("peak_queue", c.peak_queue);
@@ -288,10 +314,16 @@ fn sweep_workloads(scale: SweepScale, seed: u64) -> Vec<(&'static str, Vec<Trace
     out
 }
 
-/// Runs the policy sweep: every scheduler × keepalive × scaling × platform
-/// combination over every workload, sharded over `options.racks` racks.
+/// Runs the policy sweep: every scheduler × keepalive × scaling × balancer ×
+/// platform combination over every workload, sharded over `options.racks`
+/// racks, against a per-workload [`DataLayer`] so every cell pays real
+/// data-movement costs.
 pub fn at_scale_sweep(options: AtScaleOptions) -> AtScaleReport {
     let workloads = sweep_workloads(options.scale, options.seed);
+    let balancers: Vec<LoadBalancer> = match options.balancer {
+        Some(balancer) => vec![balancer],
+        None => LoadBalancer::ALL.to_vec(),
+    };
     let mut cells = Vec::new();
     // The end-to-end model evaluation behind ClusterSim::new depends only on
     // the platform; policy cells reuse it via `reconfigured`.
@@ -300,46 +332,56 @@ pub fn at_scale_sweep(options: AtScaleOptions) -> AtScaleReport {
         .map(|&p| ClusterSim::new(p, ClusterConfig::default()))
         .collect();
     for &(name, ref trace, _) in &workloads {
+        // Placement depends only on the trace and rack count; all policy
+        // cells of one workload dispatch against the same layout.
+        let data = DataLayer::for_trace(trace, options.racks, options.seed ^ 0xDA7A);
         for (platform, base) in SWEEP_PLATFORMS.into_iter().zip(&base_sims) {
             for scheduler in SchedulerPolicy::ALL {
                 for keepalive in KeepalivePolicy::all_default() {
                     for scaling in ScalingPolicy::all_default() {
-                        let config = ClusterConfig {
-                            scheduler,
-                            keepalive,
-                            scaling,
-                            ..ClusterConfig::default()
-                        };
-                        let sim = base.reconfigured(config);
-                        let (report, racks) = sim.run_sharded(
-                            trace,
-                            options.seed ^ 0x5EED,
-                            options.racks,
-                            options.balancer,
-                        );
-                        cells.push(SweepCell {
-                            workload: name,
-                            platform,
-                            scheduler,
-                            keepalive,
-                            scaling,
-                            requests: trace.len() as u64,
-                            completed: report.completed,
-                            rejected: report.rejected,
-                            cold_starts: report.cold_starts,
-                            prewarm_hits: report.prewarm_hits,
-                            prewarm_hit_rate: report.prewarm_hit_rate(),
-                            wasted_warm_s: report.wasted_warm_seconds,
-                            scale_ups: report.scale_ups,
-                            scale_downs: report.scale_downs,
-                            scaling_lag_s: report.scaling_lag_s,
-                            peak_instances: report.peak_instances,
-                            mean_latency_ms: report.mean_latency_ms(),
-                            p99_latency_ms: report.p99_latency_ms(),
-                            peak_queue: report.peak_queue(),
-                            makespan_s: report.makespan.as_secs_f64(),
-                            rack_completed: racks.iter().map(|r| r.completed).collect(),
-                        });
+                        for &balancer in &balancers {
+                            let config = ClusterConfig {
+                                scheduler,
+                                keepalive,
+                                scaling,
+                                ..ClusterConfig::default()
+                            };
+                            let sim = base.reconfigured(config);
+                            let (report, racks) = sim.run_sharded_with_data(
+                                trace,
+                                options.seed ^ 0x5EED,
+                                options.racks,
+                                balancer,
+                                Some(&data),
+                            );
+                            cells.push(SweepCell {
+                                workload: name,
+                                platform,
+                                scheduler,
+                                keepalive,
+                                scaling,
+                                balancer,
+                                requests: trace.len() as u64,
+                                completed: report.completed,
+                                rejected: report.rejected,
+                                cold_starts: report.cold_starts,
+                                prewarm_hits: report.prewarm_hits,
+                                prewarm_hit_rate: report.prewarm_hit_rate(),
+                                wasted_warm_s: report.wasted_warm_seconds,
+                                scale_ups: report.scale_ups,
+                                scale_downs: report.scale_downs,
+                                scaling_lag_s: report.scaling_lag_s,
+                                peak_instances: report.peak_instances,
+                                locality_hit_rate: report.locality_hit_rate(),
+                                cross_rack_bytes: report.cross_rack_bytes,
+                                fetch_latency_s: report.fetch_latency_s,
+                                mean_latency_ms: report.mean_latency_ms(),
+                                p99_latency_ms: report.p99_latency_ms(),
+                                peak_queue: report.peak_queue(),
+                                makespan_s: report.makespan.as_secs_f64(),
+                                rack_completed: racks.iter().map(|r| r.completed).collect(),
+                            });
+                        }
                     }
                 }
             }
@@ -362,19 +404,30 @@ pub fn at_scale_sweep(options: AtScaleOptions) -> AtScaleReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::OnceLock;
+
+    /// One shared smoke sweep: the grid is 432 cells, so tests that only
+    /// *read* the report reuse a single run (the reproducibility test still
+    /// performs its own two independent runs).
+    fn smoke_report() -> &'static AtScaleReport {
+        static REPORT: OnceLock<AtScaleReport> = OnceLock::new();
+        REPORT.get_or_init(|| at_scale_sweep(AtScaleOptions::smoke()))
+    }
 
     #[test]
     fn smoke_sweep_covers_the_whole_grid() {
-        let report = at_scale_sweep(AtScaleOptions::smoke());
+        let report = smoke_report();
         // 2 workloads x 2 platforms x 3 schedulers x 4 keepalive policies
-        // x 3 scaling policies.
-        assert_eq!(report.cells.len(), 2 * 2 * 3 * 4 * 3);
+        // x 3 scaling policies x 3 balancers.
+        assert_eq!(report.cells.len(), 2 * 2 * 3 * 4 * 3 * 3);
         assert_eq!(report.workloads.len(), 2);
         for cell in &report.cells {
             assert_eq!(cell.completed + cell.rejected, cell.requests);
             assert!(cell.mean_latency_ms > 0.0);
             assert_eq!(cell.rack_completed.len(), 2);
             assert!(cell.peak_instances <= 200);
+            assert!((0.0..=1.0).contains(&cell.locality_hit_rate));
+            assert!(cell.fetch_latency_s >= 0.0);
             if matches!(cell.scaling, ScalingPolicy::Fixed) {
                 assert_eq!(cell.scale_ups, 0, "fixed racks never scale");
                 assert_eq!(cell.scaling_lag_s, 0.0);
@@ -388,22 +441,30 @@ mod tests {
         let b = at_scale_sweep(AtScaleOptions::smoke()).to_json();
         assert_eq!(a, b, "fixed seed must reproduce byte-for-byte");
         assert!(a.starts_with('{') && a.ends_with('}'));
-        assert!(a.contains("\"schema\":\"dscs-at-scale-v2\""));
+        assert!(a.contains("\"schema\":\"dscs-at-scale-v3\""));
         assert!(a.contains("\"workload\":\"azure\""));
         assert!(a.contains("\"keepalive\":\"hybrid-histogram\""));
         assert!(a.contains("\"keepalive\":\"hybrid-prewarm\""));
         assert!(a.contains("\"scaling\":\"reactive\""));
         assert!(a.contains("\"scaling\":\"predictive\""));
+        assert!(a.contains("\"balancer\":\"locality\""));
+        assert!(a.contains("\"locality_hit_rate\""));
+        assert!(a.contains("\"cross_rack_bytes\""));
         let parsed = JsonValue::parse(&a).expect("report JSON parses");
         assert_eq!(
             parsed.get("schema").and_then(JsonValue::as_str),
-            Some("dscs-at-scale-v2")
+            Some("dscs-at-scale-v3")
         );
     }
 
+    // The locality-beats-round-robin acceptance comparison lives at the
+    // integration level (tests/at_scale.rs), backed by the byte-for-byte
+    // golden fixture, and is re-checked by CI's report validation — no
+    // in-crate twin needed.
+
     #[test]
     fn dscs_outperforms_the_baseline_across_the_grid() {
-        let report = at_scale_sweep(AtScaleOptions::smoke());
+        let report = smoke_report();
         for workload in ["bursty", "azure"] {
             let base: f64 = report
                 .cells_for(workload, PlatformKind::BaselineCpu)

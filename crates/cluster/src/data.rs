@@ -1,0 +1,196 @@
+//! The cluster's data-placement layer: couples
+//! [`dscs_storage::object_store::ObjectStore`] into dispatch.
+//!
+//! The paper's core claim is that pushing compute into the storage drives
+//! wins because the data does not move — so the cluster simulation has to
+//! know where each request's data *is*. [`DataLayer`] pre-populates a
+//! rack-aware object store with every object a trace touches (each rack owns
+//! a pod of storage nodes; replicas stay in their home rack, the data-gravity
+//! layout the in-storage execution model assumes), then answers the two
+//! questions the simulator asks on the hot path:
+//!
+//! * which racks hold a replica of this request's object (the locality-aware
+//!   balancer's dispatch input), and
+//! * what a non-local rack pays to fetch the object — the
+//!   [`RemoteFetchModel`] price over the network/RPC stack and the drive's
+//!   PCIe hop, replacing the old assumption that every rack reads locally.
+//!
+//! Placement is deterministic: the same trace, rack count and seed reproduce
+//! the same layout, so sharded runs stay byte-for-byte reproducible.
+
+use std::collections::HashMap;
+
+use dscs_simcore::quantity::Bytes;
+use dscs_simcore::rng::DeterministicRng;
+use dscs_simcore::time::SimDuration;
+use dscs_storage::object_store::{ObjectStore, RemoteFetchModel};
+
+use crate::trace::TraceRequest;
+use crate::workload::ObjectCatalog;
+
+/// Storage pod each rack contributes to the store.
+const CONVENTIONAL_PER_RACK: u32 = 4;
+const DSCS_PER_RACK: u32 = 2;
+/// Replication factor of the trace's objects.
+const REPLICATION: usize = 3;
+/// Replicas stay within the object's home rack (data gravity): in-storage
+/// acceleration only pays off where the bytes already are.
+const RACK_SPREAD: u32 = 1;
+
+/// The placement of every object one trace touches, plus the fetch-cost
+/// model charged when a request runs on a rack without a replica.
+#[derive(Debug, Clone)]
+pub struct DataLayer {
+    store: ObjectStore,
+    racks: u32,
+    /// (function, object) -> sorted racks holding a replica.
+    placement: HashMap<(u32, u32), Vec<u32>>,
+    fetch: RemoteFetchModel,
+    /// Memoized per-size fetch latencies (object sizes come from a small
+    /// deterministic set, so the hot path never re-prices a fetch).
+    fetch_costs: HashMap<Bytes, SimDuration>,
+}
+
+impl DataLayer {
+    /// Builds the layer for `trace` over `racks` racks: a rack-aware store
+    /// (every rack holds 4 conventional + 2 DSCS storage nodes), populated
+    /// with each distinct object the trace reads, in trace order, from a
+    /// placement RNG derived from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `racks` is zero.
+    pub fn for_trace(trace: &[TraceRequest], racks: u32, seed: u64) -> DataLayer {
+        let mut store = ObjectStore::with_rack_layout(
+            racks,
+            CONVENTIONAL_PER_RACK,
+            DSCS_PER_RACK,
+            REPLICATION,
+            RACK_SPREAD,
+        );
+        let mut rng = DeterministicRng::seeded(seed);
+        let fetch = RemoteFetchModel::datacenter_default();
+        let mut placement: HashMap<(u32, u32), Vec<u32>> = HashMap::new();
+        let mut fetch_costs: HashMap<Bytes, SimDuration> = HashMap::new();
+        for request in trace {
+            let ident = (request.function, request.object);
+            if placement.contains_key(&ident) {
+                continue;
+            }
+            let key = ObjectCatalog::key(request.function, request.object);
+            // Every benchmark is an ML pipeline over its stored input, so
+            // every object is acceleratable: its primary replica lands on a
+            // DSCS drive of the home rack.
+            store
+                .put(&key, request.object_bytes, true, &mut rng)
+                .expect("rack layout always has DSCS nodes");
+            let racks_holding = store.racks_holding(&key).expect("object just placed");
+            placement.insert(ident, racks_holding);
+            fetch_costs
+                .entry(request.object_bytes)
+                .or_insert_with(|| fetch.fetch_latency(request.object_bytes));
+        }
+        DataLayer {
+            store,
+            racks,
+            placement,
+            fetch,
+            fetch_costs,
+        }
+    }
+
+    /// Number of racks the layer spans.
+    pub fn rack_count(&self) -> u32 {
+        self.racks
+    }
+
+    /// The underlying object store.
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// Number of distinct objects placed.
+    pub fn object_count(&self) -> usize {
+        self.placement.len()
+    }
+
+    /// The sorted racks holding a replica of `(function, object)`; empty for
+    /// objects the layer never placed.
+    pub fn replica_racks(&self, function: u32, object: u32) -> &[u32] {
+        self.placement
+            .get(&(function, object))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether `rack` holds a replica of `(function, object)`.
+    pub fn holds(&self, function: u32, object: u32, rack: u32) -> bool {
+        self.replica_racks(function, object).contains(&rack)
+    }
+
+    /// The deterministic latency a rack without a replica pays to fetch
+    /// `size` bytes from a remote rack.
+    pub fn fetch_latency(&self, size: Bytes) -> SimDuration {
+        self.fetch_costs
+            .get(&size)
+            .copied()
+            .unwrap_or_else(|| self.fetch.fetch_latency(size))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::RateProfile;
+    use crate::workload::Workload;
+
+    fn short_trace(seed: u64) -> Vec<TraceRequest> {
+        let profile = RateProfile {
+            segments: vec![(SimDuration::from_secs(5), 120.0)],
+        };
+        Workload::generate(&profile, &mut DeterministicRng::seeded(seed)).expect("valid")
+    }
+
+    #[test]
+    fn covers_every_object_the_trace_reads() {
+        let trace = short_trace(1);
+        let data = DataLayer::for_trace(&trace, 3, 7);
+        assert!(data.object_count() > 0);
+        for request in &trace {
+            let racks = data.replica_racks(request.function, request.object);
+            assert!(!racks.is_empty(), "request {} unplaced", request.id);
+            assert!(racks.iter().all(|&r| r < 3), "rack out of range: {racks:?}");
+        }
+        assert_eq!(data.rack_count(), 3);
+        assert_eq!(data.store().object_count(), data.object_count());
+    }
+
+    #[test]
+    fn placement_is_deterministic_per_seed() {
+        let trace = short_trace(2);
+        let a = DataLayer::for_trace(&trace, 4, 9);
+        let b = DataLayer::for_trace(&trace, 4, 9);
+        for request in &trace {
+            assert_eq!(
+                a.replica_racks(request.function, request.object),
+                b.replica_racks(request.function, request.object)
+            );
+        }
+    }
+
+    #[test]
+    fn unplaced_objects_report_no_replicas() {
+        let trace = short_trace(3);
+        let data = DataLayer::for_trace(&trace, 2, 11);
+        assert!(data.replica_racks(9999, 0).is_empty());
+        assert!(!data.holds(9999, 0, 0));
+    }
+
+    #[test]
+    fn fetch_latency_is_positive_and_monotone_in_size() {
+        let trace = short_trace(4);
+        let data = DataLayer::for_trace(&trace, 2, 13);
+        let small = data.fetch_latency(Bytes::from_kib(256));
+        let large = data.fetch_latency(Bytes::from_mib(8));
+        assert!(small > SimDuration::ZERO);
+        assert!(large > small);
+    }
+}

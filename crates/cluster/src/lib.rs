@@ -13,7 +13,10 @@
 //!   fair), keepalive policies (none, fixed window, hybrid histogram with an
 //!   optional prewarm head percentile), instance-pool scaling policies
 //!   (fixed cap, reactive, predictive) and front-end load balancers
-//!   (round-robin, least-loaded).
+//!   (round-robin, least-loaded, data-locality-aware with spill).
+//! * [`data`] — the data-placement layer: a rack-aware
+//!   `dscs-storage` object store pre-populated with every object a trace
+//!   reads, plus the cross-rack fetch costs charged to non-local dispatch.
 //! * [`sim`] — the discrete-event cluster simulation: cold starts priced by
 //!   `dscs-faas`'s container-lifecycle model, elastic per-rack instance pools
 //!   with modelled provisioning delay, multi-rack sharding, and the reported
@@ -43,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod at_scale;
+pub mod data;
 pub mod perf_gate;
 pub mod policy;
 pub mod sim;
@@ -50,6 +54,7 @@ pub mod trace;
 pub mod workload;
 
 pub use at_scale::{at_scale_sweep, AtScaleOptions, AtScaleReport, SweepCell, SweepScale};
+pub use data::DataLayer;
 pub use perf_gate::{compare_reports, GateOutcome};
 pub use policy::{
     KeepalivePolicy, KeepaliveState, KeepaliveStats, LoadBalancer, ScalingPolicy, SchedQueue,
@@ -57,4 +62,4 @@ pub use policy::{
 };
 pub use sim::{simulate_platform, ClusterConfig, ClusterReport, ClusterSim, RackSummary};
 pub use trace::{RateProfile, TraceRequest};
-pub use workload::{AzureWorkload, Workload, WorkloadError};
+pub use workload::{AzureWorkload, ObjectCatalog, ObjectPopulation, Workload, WorkloadError};

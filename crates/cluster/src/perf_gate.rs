@@ -4,11 +4,18 @@
 //! This module diffs the current report against the previous run's artifact,
 //! cell by cell, and flags mean/p99 latency regressions beyond a threshold —
 //! the repo's tracked performance trajectory becomes a gate instead of a
-//! graph. The comparison is schema-tolerant: cells are matched by their full
-//! policy identity (workload, platform, scheduler, keepalive, scaling — the
-//! scaling axis defaults to `"fixed"` for pre-v2 reports), and cells present
-//! on only one side are reported as skipped rather than failing, so the first
-//! run after a sweep-shape change passes vacuously for the new cells.
+//! graph. The comparison is schema-tolerant in two ways. Within one schema
+//! version, cells are matched by their full policy identity (workload,
+//! platform, scheduler, keepalive, scaling, balancer — the scaling and
+//! balancer axes default to `"fixed"`/`"round-robin"` when a cell omits
+//! them, which can only happen for untagged or hand-trimmed reports, since
+//! tagged reports always carry every axis their schema defines), and cells
+//! present on only one side are reported as skipped rather than failing.
+//! Across schema versions (e.g. a v2 baseline against a v3 current report,
+//! where the physics itself changed), the gate passes vacuously with an
+//! explanatory note instead of comparing incomparable numbers or erroring
+//! on missing fields — so the first CI run after a schema bump stays green
+//! and the next run re-arms the gate.
 
 use std::fmt;
 
@@ -55,6 +62,9 @@ pub struct GateOutcome {
     pub skipped: usize,
     /// Metric regressions beyond the threshold, worst first.
     pub regressions: Vec<Regression>,
+    /// Set when the reports carry different schema versions: the comparison
+    /// was skipped entirely and the gate passed vacuously, for this reason.
+    pub schema_note: Option<String>,
 }
 
 impl GateOutcome {
@@ -97,7 +107,8 @@ impl fmt::Display for GateError {
 impl std::error::Error for GateError {}
 
 /// The full policy identity of one sweep cell. Pre-v2 reports have no
-/// `scaling` key; those cells ran the fixed cap.
+/// `scaling` key (those cells ran the fixed cap); pre-v3 reports have no
+/// per-cell `balancer` key (those sweeps ran round-robin).
 fn cell_key(cell: &JsonValue) -> Option<String> {
     let field = |key: &str, default: Option<&str>| {
         cell.get(key)
@@ -112,9 +123,18 @@ fn cell_key(cell: &JsonValue) -> Option<String> {
             field("scheduler", None)?,
             field("keepalive", None)?,
             field("scaling", Some("fixed"))?,
+            field("balancer", Some("round-robin"))?,
         ]
         .join("/"),
     )
+}
+
+/// The report's schema tag; reports predating the tag count as `"(untagged)"`.
+fn schema_of(report: &JsonValue) -> &str {
+    report
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("(untagged)")
 }
 
 fn cells(report: &JsonValue, which: &'static str) -> Result<Vec<JsonValue>, GateError> {
@@ -142,6 +162,23 @@ pub fn compare_reports(
     let current = parse(current, "current")?;
     let baseline_cells = cells(&baseline, "baseline")?;
     let current_cells = cells(&current, "current")?;
+
+    // A schema bump means the cells are not comparable (the report layout —
+    // or the modelled physics behind the numbers — changed). Pass vacuously
+    // with a note rather than diffing incomparable latencies; the next run's
+    // baseline will carry the new schema and the gate re-arms.
+    let (baseline_schema, current_schema) = (schema_of(&baseline), schema_of(&current));
+    if baseline_schema != current_schema {
+        return Ok(GateOutcome {
+            compared: 0,
+            skipped: baseline_cells.len() + current_cells.len(),
+            regressions: Vec::new(),
+            schema_note: Some(format!(
+                "baseline schema {baseline_schema} != current schema {current_schema}; \
+                 reports are not comparable, passing vacuously"
+            )),
+        });
+    }
 
     let baseline_by_key: Vec<(String, &JsonValue)> = baseline_cells
         .iter()
@@ -195,6 +232,7 @@ pub fn compare_reports(
         compared,
         skipped,
         regressions,
+        schema_note: None,
     })
 }
 
@@ -261,25 +299,78 @@ mod tests {
         assert_eq!(outcome.skipped, 1, "the new cell is skipped, not failed");
     }
 
+    /// Satellite regression test: a baseline carrying an older schema
+    /// version (e.g. the v2 artifact of the run before a schema bump) passes
+    /// vacuously with an explanatory note instead of erroring on missing
+    /// fields or flagging spurious regressions against changed physics.
     #[test]
-    fn pre_v2_baselines_match_fixed_scaling_cells() {
-        // A v1 baseline cell has no scaling key; it must compare against the
-        // current report's fixed-scaling cell.
-        let mut v1_cell = JsonValue::object();
-        v1_cell.push("workload", "azure");
-        v1_cell.push("platform", "DSCS-DSA");
-        v1_cell.push("scheduler", "fcfs");
-        v1_cell.push("keepalive", "fixed-window");
-        v1_cell.push("mean_latency_ms", 10.0);
-        v1_cell.push("p99_latency_ms", 20.0);
-        let mut v1 = JsonValue::object();
-        v1.push("schema", "dscs-at-scale-v1");
-        v1.push("cells", JsonValue::Array(vec![v1_cell]));
+    fn older_schema_baselines_pass_vacuously_with_a_note() {
+        let mut v2_cell = JsonValue::object();
+        v2_cell.push("workload", "azure");
+        v2_cell.push("platform", "DSCS-DSA");
+        v2_cell.push("scheduler", "fcfs");
+        v2_cell.push("keepalive", "fixed-window");
+        v2_cell.push("scaling", "fixed");
+        v2_cell.push("mean_latency_ms", 10.0);
+        v2_cell.push("p99_latency_ms", 20.0);
+        let mut v2 = JsonValue::object();
+        v2.push("schema", "dscs-at-scale-v2");
+        v2.push("cells", JsonValue::Array(vec![v2_cell]));
 
-        let cur = report(&[("fixed-window", 13.0, 20.0)]);
-        let outcome = compare_reports(&v1.render(), &cur, 10.0).expect("valid");
-        assert_eq!(outcome.compared, 1);
-        assert_eq!(outcome.regressions.len(), 1, "mean 10 -> 13 regressed");
+        let mut v3 = JsonValue::parse(&report(&[("fixed-window", 1000.0, 2000.0)])).expect("json");
+        let JsonValue::Object(pairs) = &mut v3 else {
+            panic!("report is an object")
+        };
+        pairs[0].1 = JsonValue::from("dscs-at-scale-v3");
+
+        // A 100x "regression" against the old schema still passes: the
+        // numbers are not comparable across the bump.
+        let outcome = compare_reports(&v2.render(), &v3.render(), 10.0).expect("valid");
+        assert!(outcome.passed());
+        assert_eq!(outcome.compared, 0);
+        assert_eq!(outcome.skipped, 2);
+        let note = outcome.schema_note.expect("note explains the vacuous pass");
+        assert!(note.contains("dscs-at-scale-v2") && note.contains("dscs-at-scale-v3"));
+
+        // Same schema on both sides: the gate compares and arms normally.
+        let same = compare_reports(
+            &report(&[("fixed-window", 10.0, 20.0)]),
+            &report(&[("fixed-window", 10.0, 20.0)]),
+            10.0,
+        )
+        .expect("valid");
+        assert_eq!(same.schema_note, None);
+        assert_eq!(same.compared, 1);
+    }
+
+    #[test]
+    fn cells_differing_only_by_balancer_are_distinct() {
+        let cell = |balancer: &str, mean: f64| {
+            let mut c = JsonValue::object();
+            c.push("workload", "azure");
+            c.push("platform", "DSCS-DSA");
+            c.push("scheduler", "fcfs");
+            c.push("keepalive", "fixed-window");
+            c.push("scaling", "fixed");
+            c.push("balancer", balancer);
+            c.push("mean_latency_ms", mean);
+            c.push("p99_latency_ms", mean * 2.0);
+            c
+        };
+        let make = |cells: Vec<JsonValue>| {
+            let mut root = JsonValue::object();
+            root.push("schema", "dscs-at-scale-v3");
+            root.push("cells", JsonValue::Array(cells));
+            root.render()
+        };
+        let base = make(vec![cell("round-robin", 10.0), cell("locality", 5.0)]);
+        // The locality cell regresses, the round-robin cell improves: the
+        // gate must not cross-match them.
+        let cur = make(vec![cell("round-robin", 9.0), cell("locality", 8.0)]);
+        let outcome = compare_reports(&base, &cur, 10.0).expect("valid");
+        assert_eq!(outcome.compared, 2);
+        assert_eq!(outcome.regressions.len(), 2, "locality mean and p99");
+        assert!(outcome.regressions[0].cell.ends_with("locality"));
     }
 
     #[test]

@@ -17,7 +17,8 @@
 //!   cap, reactive queue-depth scaling, predictive scaling from the keepalive
 //!   histograms' arrival-rate estimates).
 //! * [`LoadBalancer`] — how a multi-rack front end shards arriving requests
-//!   (round-robin, least-loaded).
+//!   (round-robin, least-loaded, data-locality-aware with a spill
+//!   threshold).
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -137,6 +138,10 @@ impl KeepalivePolicy {
     }
 }
 
+/// Default queue depth above which the locality-aware balancer abandons a
+/// replica rack and spills to the least-loaded rack.
+pub const DEFAULT_SPILL_THRESHOLD: usize = 64;
+
 /// How a multi-rack front end shards arriving requests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum LoadBalancer {
@@ -145,17 +150,42 @@ pub enum LoadBalancer {
     /// Send each request to the rack with the fewest in-flight plus queued
     /// requests (ties broken by lowest rack index, for determinism).
     LeastLoaded,
+    /// Data-locality-aware: prefer the least-loaded rack holding a replica of
+    /// the request's object (no cross-rack fetch), but spill to the globally
+    /// least-loaded rack — paying the fetch — once the best replica rack's
+    /// queue exceeds `spill_threshold`. This is the locality-vs-load tension
+    /// the in-storage execution model lives on: data does not move, so either
+    /// the request goes to the data or the bytes cross the fabric.
+    LocalityAware {
+        /// Queue depth at a replica rack beyond which the request spills to
+        /// the least-loaded rack instead.
+        spill_threshold: usize,
+    },
 }
 
 impl LoadBalancer {
-    /// Every balancer.
-    pub const ALL: [LoadBalancer; 2] = [LoadBalancer::RoundRobin, LoadBalancer::LeastLoaded];
+    /// Every balancer (the locality policy at its default spill threshold).
+    pub const ALL: [LoadBalancer; 3] = [
+        LoadBalancer::RoundRobin,
+        LoadBalancer::LeastLoaded,
+        LoadBalancer::LocalityAware {
+            spill_threshold: DEFAULT_SPILL_THRESHOLD,
+        },
+    ];
+
+    /// The locality-aware balancer at its default spill threshold.
+    pub fn locality_default() -> Self {
+        LoadBalancer::LocalityAware {
+            spill_threshold: DEFAULT_SPILL_THRESHOLD,
+        }
+    }
 
     /// Machine-readable name used in reports.
     pub fn name(&self) -> &'static str {
         match self {
             LoadBalancer::RoundRobin => "round-robin",
             LoadBalancer::LeastLoaded => "least-loaded",
+            LoadBalancer::LocalityAware { .. } => "locality",
         }
     }
 }
@@ -405,15 +435,20 @@ pub struct KeepaliveState {
     stats: KeepaliveStats,
 }
 
-/// Exact per-function arrival statistics: invocation count and the first/last
-/// arrival times, giving a whole-history mean inter-arrival rate. (A binned
-/// idle-gap mean cannot resolve sub-bin inter-arrivals, which is exactly
-/// where demand is highest.)
+/// Per-function arrival statistics behind the exponentially-decayed rate
+/// estimate: an event counter whose mass decays with time constant
+/// [`ARRIVAL_RATE_TAU_S`], so recent arrivals dominate and a diurnal rate
+/// shift is tracked within a few time constants instead of being averaged
+/// against the whole observed history. (A binned idle-gap mean cannot
+/// resolve sub-bin inter-arrivals, which is exactly where demand is highest —
+/// the decayed counter resolves them exactly.)
 #[derive(Debug, Clone, Copy)]
 struct ArrivalTrack {
     count: u64,
     first: SimTime,
     last: SimTime,
+    /// Exponentially-decayed arrival mass as of `last`.
+    decayed: f64,
 }
 
 /// Warm-memory and prewarming counters accumulated by a [`KeepaliveState`].
@@ -494,6 +529,11 @@ impl IdleHistogram {
 /// policy itself is not histogram-based.
 const TRACKING_RANGE: SimDuration = SimDuration::from_secs(600);
 const TRACKING_BIN: SimDuration = SimDuration::from_secs(10);
+
+/// Time constant (seconds) of the exponentially-decayed arrival-rate
+/// estimator: arrivals older than a few minutes stop influencing the
+/// predictive autoscaler's demand estimate.
+const ARRIVAL_RATE_TAU_S: f64 = 60.0;
 
 impl KeepaliveState {
     /// Creates empty state for `policy`.
@@ -675,35 +715,47 @@ impl KeepaliveState {
             count: 0,
             first: now,
             last: now,
+            decayed: 0.0,
         });
+        let dt = now.saturating_since(track.last).as_secs_f64();
+        track.decayed = track.decayed * (-dt / ARRIVAL_RATE_TAU_S).exp() + 1.0;
         track.count += 1;
         track.last = now;
     }
 
-    /// Aggregate arrival-rate estimate in requests/second, from the
+    /// Aggregate arrival-rate estimate in requests/second at `now`, from the
     /// per-function arrival statistics kept alongside the keepalive
-    /// histograms: each function contributes its mean observed inter-arrival
-    /// rate, `(count - 1) / (last - first)`. Functions are summed in id order
-    /// so the floating-point accumulation is deterministic. Zero until at
-    /// least one function has two arrivals (via
-    /// [`KeepaliveState::note_arrival`]).
+    /// histograms.
     ///
-    /// The estimate spans the whole observed history, so it adapts to rate
-    /// changes with a lag — which is exactly the predictive autoscaler's
-    /// failure mode the scaling-lag metric is meant to expose.
-    pub fn arrival_rate_estimate(&self) -> f64 {
+    /// Each function contributes an *exponentially-decayed* rate: its arrival
+    /// mass decays with a 60-second time constant, is decayed
+    /// further to `now`, de-biased by the half-event a discrete sum
+    /// over-counts, and normalised by the effective window
+    /// `tau * (1 - exp(-age/tau))` so the estimate is unbiased during warmup
+    /// too. A whole-history mean — the previous implementation — adapts to a
+    /// diurnal rate shift only as fast as the history grows; the decayed
+    /// estimate forgets the stale rate within a few time constants, which is
+    /// what lets the predictive autoscaler track shifting demand (see the
+    /// step-change unit test).
+    ///
+    /// Functions are summed in id order so the floating-point accumulation is
+    /// deterministic. Zero until at least one function has two arrivals (via
+    /// [`KeepaliveState::note_arrival`]).
+    pub fn arrival_rate_estimate(&self, now: SimTime) -> f64 {
         let mut functions: Vec<u32> = self.arrivals.keys().copied().collect();
         functions.sort_unstable();
         functions
             .iter()
             .map(|f| {
                 let track = &self.arrivals[f];
-                let span = track.last.saturating_since(track.first).as_secs_f64();
-                if track.count < 2 || span <= 0.0 {
-                    0.0
-                } else {
-                    (track.count - 1) as f64 / span
+                let age = now.saturating_since(track.first).as_secs_f64();
+                if track.count < 2 || age <= 0.0 {
+                    return 0.0;
                 }
+                let staleness = now.saturating_since(track.last).as_secs_f64();
+                let mass = (track.decayed * (-staleness / ARRIVAL_RATE_TAU_S).exp() - 0.5).max(0.0);
+                let window = ARRIVAL_RATE_TAU_S * (1.0 - (-age / ARRIVAL_RATE_TAU_S).exp());
+                mass / window
             })
             .sum()
     }
@@ -1017,21 +1069,77 @@ mod tests {
     fn arrival_rate_estimate_tracks_noted_arrivals() {
         // One arrival every 20 s => 0.05 req/s, under any keepalive policy.
         let mut s = KeepaliveState::new(KeepalivePolicy::paper_default());
-        assert_eq!(s.arrival_rate_estimate(), 0.0, "no observations yet");
+        assert_eq!(s.arrival_rate_estimate(secs(0)), 0.0, "no observations yet");
         for i in 0..30u64 {
             s.note_arrival(0, secs(i * 20));
         }
-        let rate = s.arrival_rate_estimate();
+        let rate = s.arrival_rate_estimate(secs(29 * 20));
         assert!(
-            (rate - 0.05).abs() < 1e-12,
-            "estimate {rate} should be 1/20"
+            (rate - 0.05).abs() < 0.05 * 0.05,
+            "estimate {rate} should be within 5% of 1/20"
         );
         // Two functions sum their rates; sub-second inter-arrivals resolve
         // exactly (a binned estimator could not see past its bin width).
-        for i in 0..101u64 {
-            s.note_arrival(1, SimTime::from_nanos(i * 100_000_000));
+        let mut s = KeepaliveState::new(KeepalivePolicy::paper_default());
+        for i in 0..30u64 {
+            s.note_arrival(0, secs(i * 20));
         }
-        let rate = s.arrival_rate_estimate();
-        assert!((rate - 10.05).abs() < 1e-9, "estimate {rate}");
+        for i in 0..601u64 {
+            s.note_arrival(1, secs(520) + SimDuration::from_millis(i * 100));
+        }
+        let rate = s.arrival_rate_estimate(secs(580));
+        assert!(
+            (rate - 10.05).abs() < 0.5,
+            "estimate {rate} should be ~10.05"
+        );
+    }
+
+    /// Satellite regression test: the exponentially-decayed estimator
+    /// converges to a step change in the offered rate much faster than the
+    /// whole-history mean it replaced — the lag the ROADMAP called out.
+    #[test]
+    fn decayed_estimate_tracks_a_rate_step_faster_than_whole_history() {
+        let mut s = KeepaliveState::new(KeepalivePolicy::paper_default());
+        // Phase 1: 600 s at 0.1 req/s (one arrival every 10 s).
+        let mut count = 0u64;
+        for i in 0..60u64 {
+            s.note_arrival(0, secs(i * 10));
+            count += 1;
+        }
+        // Phase 2: the rate steps to 1 req/s for 240 s (four time constants).
+        let mut last = secs(590);
+        for i in 0..241u64 {
+            last = secs(600 + i);
+            s.note_arrival(0, last);
+            count += 1;
+        }
+        let windowed = s.arrival_rate_estimate(last);
+        let whole_history = (count - 1) as f64 / last.saturating_since(secs(0)).as_secs_f64();
+        let true_rate = 1.0;
+        assert!(
+            (windowed - true_rate).abs() < 0.1,
+            "decayed estimate {windowed} should sit near the new rate"
+        );
+        assert!(
+            (whole_history - true_rate).abs() > 5.0 * (windowed - true_rate).abs(),
+            "whole-history {whole_history} must lag far behind windowed {windowed}"
+        );
+    }
+
+    /// After a long silence the decayed estimate forgets the old rate; the
+    /// whole-history mean cannot.
+    #[test]
+    fn decayed_estimate_fades_when_arrivals_stop() {
+        let mut s = KeepaliveState::new(KeepalivePolicy::paper_default());
+        for i in 0..120u64 {
+            s.note_arrival(0, secs(i));
+        }
+        let active = s.arrival_rate_estimate(secs(119));
+        assert!(active > 0.8, "active estimate {active}");
+        let faded = s.arrival_rate_estimate(secs(119 + 600));
+        assert!(
+            faded < 0.01 * active,
+            "ten time constants of silence must fade the estimate: {faded}"
+        );
     }
 }

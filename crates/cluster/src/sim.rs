@@ -5,7 +5,11 @@
 //! paper's fixed 200-instance cap, or elastic reactive/predictive autoscaling
 //! between `min_instances` and `max_instances` with a modelled provisioning
 //! delay on every scale-up. Arrivals beyond a bounded scheduler queue are
-//! rejected; a front-end load balancer shards arrivals across racks.
+//! rejected; a front-end load balancer shards arrivals across racks. With a
+//! [`DataLayer`] attached ([`ClusterSim::run_sharded_with_data`]), dispatch
+//! is data-aware: the locality balancer routes requests toward the racks
+//! holding their object's replicas, and any request started without a local
+//! replica is charged the modelled cross-rack fetch.
 //! Per-request service times come from the end-to-end model for the platform
 //! under test, and cold starts — priced by
 //! [`dscs_faas::coldstart::ColdStartModel`] and governed by the configured
@@ -35,6 +39,7 @@ use dscs_simcore::series::TimeSeries;
 use dscs_simcore::stats::Summary;
 use dscs_simcore::time::{SimDuration, SimTime};
 
+use crate::data::DataLayer;
 use crate::policy::{
     KeepalivePolicy, KeepaliveState, LoadBalancer, ScalingPolicy, SchedQueue, SchedulerPolicy,
 };
@@ -118,6 +123,16 @@ pub struct ClusterReport {
     pub scaling_lag_s: f64,
     /// Largest provisioned instance count any rack reached.
     pub peak_instances: u32,
+    /// Requests that started on a rack holding a replica of their object
+    /// (zero when the run has no [`DataLayer`] attached).
+    pub locality_hits: u64,
+    /// Requests that started on a rack *without* a replica and paid the
+    /// modelled cross-rack fetch.
+    pub remote_fetches: u64,
+    /// Bytes moved across racks by those remote fetches.
+    pub cross_rack_bytes: u64,
+    /// Total fetch latency charged onto invocations, in seconds.
+    pub fetch_latency_s: f64,
     /// Summary of all wall-clock latencies (seconds).
     pub latency_summary: Option<Summary>,
     /// Total simulated time to drain the trace (wall-clock makespan).
@@ -150,6 +165,17 @@ impl ClusterReport {
             self.prewarm_hits as f64 / self.completed as f64
         }
     }
+
+    /// Fraction of started requests that ran on a rack holding a replica of
+    /// their object. Zero when the run tracked no data placement.
+    pub fn locality_hit_rate(&self) -> f64 {
+        let tracked = self.locality_hits + self.remote_fetches;
+        if tracked == 0 {
+            0.0
+        } else {
+            self.locality_hits as f64 / tracked as f64
+        }
+    }
 }
 
 /// Per-rack outcome of a sharded run.
@@ -175,6 +201,12 @@ pub struct RackSummary {
     pub scale_ups: u64,
     /// Scale-down decisions this rack took.
     pub scale_downs: u64,
+    /// Requests this rack served with a local replica of their object.
+    pub locality_hits: u64,
+    /// Requests this rack served by fetching the object from a remote rack.
+    pub remote_fetches: u64,
+    /// Bytes this rack pulled across the fabric for those fetches.
+    pub cross_rack_bytes: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -223,6 +255,10 @@ struct RackState {
     scale_ups: u64,
     scale_downs: u64,
     scaling_lag: SimDuration,
+    locality_hits: u64,
+    remote_fetches: u64,
+    cross_rack_bytes: u64,
+    fetch_latency: SimDuration,
 }
 
 impl RackState {
@@ -343,8 +379,28 @@ impl ClusterSim {
         self.run_sharded(trace, seed, 1, LoadBalancer::RoundRobin).0
     }
 
+    /// Runs the trace sharded over `racks` racks behind `balancer`, with no
+    /// data placement tracked: every rack is assumed to read its inputs
+    /// locally, the paper's original Figure-13 setup.
+    pub fn run_sharded(
+        &self,
+        trace: &[TraceRequest],
+        seed: u64,
+        racks: u32,
+        balancer: LoadBalancer,
+    ) -> (ClusterReport, Vec<RackSummary>) {
+        self.run_sharded_with_data(trace, seed, racks, balancer, None)
+    }
+
     /// Runs the trace sharded over `racks` racks behind `balancer`, returning
     /// the aggregate report plus per-rack summaries.
+    ///
+    /// With a [`DataLayer`] attached, dispatch knows where each request's
+    /// object lives: the locality-aware balancer prefers replica racks, and
+    /// *any* request that starts on a rack without a replica — under any
+    /// balancer — is charged the modelled cross-rack fetch latency, with the
+    /// moved bytes and fetch time reported. Without one, behaviour (and the
+    /// event/RNG sequence) is identical to the pre-data-layer simulator.
     ///
     /// Under [`ScalingPolicy::Fixed`] every rack runs `max_instances` for the
     /// whole trace and the event/RNG sequence is identical to the
@@ -354,19 +410,28 @@ impl ClusterSim {
     /// later.
     ///
     /// # Panics
-    /// Panics if the trace is empty, `racks` is zero, the scaling policy
+    /// Panics if the trace is empty, `racks` is zero, the data layer (when
+    /// present) was built for a different rack count, the scaling policy
     /// fails [`ScalingPolicy::validate`], or an elastic configuration has
     /// `min_instances` of zero (the rack could never start work) or above
     /// `max_instances`.
-    pub fn run_sharded(
+    pub fn run_sharded_with_data(
         &self,
         trace: &[TraceRequest],
         seed: u64,
         racks: u32,
         balancer: LoadBalancer,
+        data: Option<&DataLayer>,
     ) -> (ClusterReport, Vec<RackSummary>) {
         assert!(!trace.is_empty(), "trace must not be empty");
         assert!(racks > 0, "need at least one rack");
+        if let Some(data) = data {
+            assert_eq!(
+                data.rack_count(),
+                racks,
+                "data layer must cover exactly the sharded racks"
+            );
+        }
         self.config.scaling.validate();
         let elastic = !matches!(self.config.scaling, ScalingPolicy::Fixed);
         if elastic {
@@ -410,6 +475,10 @@ impl ClusterSim {
                 scale_ups: 0,
                 scale_downs: 0,
                 scaling_lag: SimDuration::ZERO,
+                locality_hits: 0,
+                remote_fetches: 0,
+                cross_rack_bytes: 0,
+                fetch_latency: SimDuration::ZERO,
             })
             .collect();
 
@@ -438,18 +507,44 @@ impl ClusterSim {
                 Event::Arrival(idx) => {
                     arrivals_pending -= 1;
                     last_activity = now;
+                    let least_loaded = |racks: &[RackState]| {
+                        racks
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(i, rack)| (rack.load(), *i))
+                            .map(|(i, _)| i)
+                            .expect("at least one rack")
+                    };
                     let r = match balancer {
                         LoadBalancer::RoundRobin => {
                             let r = round_robin % rack_states.len();
                             round_robin += 1;
                             r
                         }
-                        LoadBalancer::LeastLoaded => rack_states
-                            .iter()
-                            .enumerate()
-                            .min_by_key(|(i, rack)| (rack.load(), *i))
-                            .map(|(i, _)| i)
-                            .expect("at least one rack"),
+                        LoadBalancer::LeastLoaded => least_loaded(&rack_states),
+                        LoadBalancer::LocalityAware { spill_threshold } => {
+                            // Prefer the least-loaded rack holding a replica
+                            // of the request's object; once its queue exceeds
+                            // the spill threshold — or is full, which would
+                            // reject the request outright — the fetch is
+                            // cheaper than the wait, so fall back to
+                            // least-loaded. Without a data layer there is no
+                            // placement to honour.
+                            let request = &trace[idx];
+                            let local = data.and_then(|d| {
+                                d.replica_racks(request.function, request.object)
+                                    .iter()
+                                    .map(|&r| r as usize)
+                                    .filter(|&r| r < rack_states.len())
+                                    .min_by_key(|&r| (rack_states[r].load(), r))
+                            });
+                            let saturated =
+                                spill_threshold.min(self.config.queue_depth.saturating_sub(1));
+                            match local {
+                                Some(r) if rack_states[r].queue.len() <= saturated => r,
+                                _ => least_loaded(&rack_states),
+                            }
+                        }
                     };
                     let rack = &mut rack_states[r];
                     let request = &trace[idx];
@@ -477,7 +572,7 @@ impl ClusterSim {
                     Some(rack)
                 }
                 Event::ScaleTick { rack } => {
-                    self.scale_decision(sim, &mut rack_states[rack], rack);
+                    self.scale_decision(sim, &mut rack_states[rack], rack, now);
                     let r = &rack_states[rack];
                     if arrivals_pending > 0 || r.busy > 0 || !r.queue.is_empty() {
                         let interval = self
@@ -523,6 +618,19 @@ impl ClusterSim {
                         rack.cached_on_flash.insert(request.function);
                     }
                 }
+                if let Some(data) = data {
+                    if data.holds(request.function, request.object, rack_idx as u32) {
+                        rack.locality_hits += 1;
+                    } else {
+                        // The object lives elsewhere: the invocation carries
+                        // the cross-rack fetch before it can execute.
+                        let fetch = data.fetch_latency(request.object_bytes);
+                        service += fetch;
+                        rack.remote_fetches += 1;
+                        rack.cross_rack_bytes += request.object_bytes.as_u64();
+                        rack.fetch_latency += fetch;
+                    }
+                }
                 rack.keepalive
                     .record_invocation(request.function, now, now + service);
                 let wait = now.saturating_since(request.arrival);
@@ -557,6 +665,9 @@ impl ClusterSim {
                 low_instances: rack.low_instances,
                 scale_ups: rack.scale_ups,
                 scale_downs: rack.scale_downs,
+                locality_hits: rack.locality_hits,
+                remote_fetches: rack.remote_fetches,
+                cross_rack_bytes: rack.cross_rack_bytes,
             })
             .collect();
         let report = ClusterReport {
@@ -587,6 +698,13 @@ impl ClusterSim {
                 .map(|r| r.peak_instances)
                 .max()
                 .unwrap_or(0),
+            locality_hits: summaries.iter().map(|r| r.locality_hits).sum(),
+            remote_fetches: summaries.iter().map(|r| r.remote_fetches).sum(),
+            cross_rack_bytes: summaries.iter().map(|r| r.cross_rack_bytes).sum(),
+            fetch_latency_s: rack_states
+                .iter()
+                .map(|r| r.fetch_latency.as_secs_f64())
+                .sum(),
             latency_summary: if latencies.is_empty() {
                 None
             } else {
@@ -603,7 +721,13 @@ impl ClusterSim {
     /// commit `provisioning_delay` later; scale-downs release immediately
     /// (running requests finish, the freed instances just stop accepting new
     /// work).
-    fn scale_decision(&self, sim: &mut Simulator<Event>, rack: &mut RackState, rack_idx: usize) {
+    fn scale_decision(
+        &self,
+        sim: &mut Simulator<Event>,
+        rack: &mut RackState,
+        rack_idx: usize,
+        now: SimTime,
+    ) {
         let (min, max) = (self.config.min_instances, self.config.max_instances);
         match self.config.scaling {
             ScalingPolicy::Fixed => unreachable!("fixed racks never tick"),
@@ -638,7 +762,7 @@ impl ClusterSim {
                 // backlog term sized to drain the current queue within one
                 // decision interval — cold-start pileups would otherwise sit
                 // behind a pool sized only for warm steady state.
-                let rate = rack.keepalive.arrival_rate_estimate();
+                let rate = rack.keepalive.arrival_rate_estimate(now);
                 let steady = rate * self.mean_service_s * headroom;
                 let backlog =
                     rack.queue.len() as f64 * self.mean_service_s / interval.as_secs_f64();
@@ -974,6 +1098,58 @@ mod tests {
         let trace = short_trace(10.0, 5, 33);
         let sim = ClusterSim::new(PlatformKind::DscsDsa, config);
         let _ = sim.run(&trace, 34);
+    }
+
+    /// A replica rack whose queue is *full* counts as saturated even when
+    /// the spill threshold is deeper than the queue: the locality balancer
+    /// must spill to an idle rack instead of dispatching into a rejection.
+    #[test]
+    fn locality_balancer_spills_before_rejecting_at_a_full_replica_rack() {
+        use crate::data::DataLayer;
+        use dscs_simcore::quantity::Bytes;
+
+        // Every request reads the same object, whose single replica set
+        // lives in one rack; the queue (10) is far below the spill
+        // threshold (64). 400 near-simultaneous requests fit the two racks'
+        // combined instances + queues (2 x (200 + 10)) only if the balancer
+        // spills off the full replica rack.
+        let trace: Vec<TraceRequest> = (0..400)
+            .map(|i| TraceRequest {
+                id: i,
+                arrival: SimTime::from_nanos(i * 1_000),
+                benchmark: Benchmark::ALL[0],
+                function: 0,
+                object: 0,
+                object_bytes: Bytes::from_kib(256),
+            })
+            .collect();
+        let racks = 2;
+        let data = DataLayer::for_trace(&trace, racks, 5);
+        let config = ClusterConfig {
+            queue_depth: 10,
+            ..ClusterConfig::default()
+        };
+        let sim = ClusterSim::new(PlatformKind::DscsDsa, config);
+        let (report, summaries) = sim.run_sharded_with_data(
+            &trace,
+            6,
+            racks,
+            LoadBalancer::locality_default(),
+            Some(&data),
+        );
+        assert_eq!(
+            report.rejected, 0,
+            "two racks hold 420 instance+queue slots for 400 requests; \
+             a full replica rack must spill, not reject"
+        );
+        assert!(
+            summaries.iter().all(|r| r.completed > 0),
+            "spilling must actually reach the non-replica rack: {summaries:?}"
+        );
+        assert!(
+            report.remote_fetches > 0,
+            "spilled requests pay the cross-rack fetch"
+        );
     }
 
     #[test]

@@ -12,10 +12,11 @@ use serde::{Deserialize, Serialize};
 
 use dscs_core::benchmarks::Benchmark;
 use dscs_simcore::dist::PoissonArrivals;
+use dscs_simcore::quantity::Bytes;
 use dscs_simcore::rng::DeterministicRng;
 use dscs_simcore::time::{SimDuration, SimTime};
 
-use crate::workload::{Workload, WorkloadError};
+use crate::workload::{ObjectCatalog, Workload, WorkloadError};
 
 /// One request in the trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -31,6 +32,13 @@ pub struct TraceRequest {
     /// the benchmark's index, while Azure-style workloads spread many
     /// functions over the same eight applications.
     pub function: u32,
+    /// The object (within the function's [`crate::workload::ObjectPopulation`])
+    /// this invocation reads. Locality-aware placement dispatches on where
+    /// this object's replicas live.
+    pub object: u32,
+    /// Size of that object — the payload a non-local rack must fetch across
+    /// the datacenter fabric.
+    pub object_bytes: Bytes,
 }
 
 /// A piecewise-constant arrival-rate profile.
@@ -126,6 +134,7 @@ impl Workload for RateProfile {
 
     fn generate(&self, rng: &mut DeterministicRng) -> Result<Vec<TraceRequest>, WorkloadError> {
         self.validate()?;
+        let catalog = ObjectCatalog::new(self.objects());
         let mut requests = Vec::new();
         let mut offset = SimDuration::ZERO;
         let mut id = 0u64;
@@ -138,11 +147,14 @@ impl Workload for RateProfile {
             };
             for t in arrivals {
                 let function = rng.next_index(Benchmark::ALL.len()) as u32;
+                let object = catalog.object_for(function, id);
                 requests.push(TraceRequest {
                     id,
                     arrival: SimTime::ZERO + offset + t,
                     benchmark: Benchmark::ALL[function as usize],
                     function,
+                    object,
+                    object_bytes: catalog.size_of(function, object),
                 });
                 id += 1;
             }

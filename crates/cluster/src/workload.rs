@@ -10,12 +10,24 @@
 //! [`AzureWorkload`], a synthetic generator reproducing those three properties,
 //! alongside the original [`RateProfile`](crate::trace::RateProfile) trace.
 
+//!
+//! Every request additionally names the *object* it reads — serverless
+//! functions are storage-triggered in the paper's model, so the trace carries
+//! data identities, not just function identities. [`ObjectPopulation`]
+//! describes each function's object working set (Zipf-skewed popularity over
+//! a bounded set of objects, mirroring the skew of function popularity
+//! itself) and [`ObjectCatalog`] stamps deterministic object ids and sizes
+//! onto requests. Object assignment is hash-based, not RNG-stream-based, so
+//! adding data identities leaves arrival sequences bit-compatible with
+//! earlier trace versions.
+
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
 use dscs_core::benchmarks::Benchmark;
 use dscs_simcore::dist::{PoissonArrivals, ZipfIndex};
+use dscs_simcore::quantity::Bytes;
 use dscs_simcore::rng::DeterministicRng;
 use dscs_simcore::time::{SimDuration, SimTime};
 
@@ -66,6 +78,141 @@ impl fmt::Display for WorkloadError {
 
 impl std::error::Error for WorkloadError {}
 
+/// The per-function object working set a workload's requests read from.
+///
+/// Each function owns `objects_per_function` distinct objects; a request
+/// reads one of them, drawn Zipf(`skew`) so a function's hot objects dominate
+/// its traffic the same way hot functions dominate the cluster's. Object
+/// sizes are deterministic per (function, object): `base_size` scaled by a
+/// hashed number of doublings, spanning the serverless payload range.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObjectPopulation {
+    /// Distinct objects per function (>= 1).
+    pub objects_per_function: u32,
+    /// Zipf skew over a function's objects (0 = uniform).
+    pub skew: f64,
+    /// Smallest object size.
+    pub base_size: Bytes,
+    /// Object sizes span `base_size` to `base_size << size_doublings`.
+    pub size_doublings: u32,
+}
+
+impl Default for ObjectPopulation {
+    fn default() -> Self {
+        ObjectPopulation {
+            objects_per_function: 32,
+            skew: 1.1,
+            // 256 KiB .. 8 MiB: the image/audio/text payload range of the
+            // benchmark suite (AWS caps serverless payloads at ~20 MB).
+            base_size: Bytes::from_kib(256),
+            size_doublings: 5,
+        }
+    }
+}
+
+impl ObjectPopulation {
+    /// Checks the population parameters, returning the first violation found.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        if self.objects_per_function == 0 {
+            return Err(WorkloadError::InvalidParameter {
+                name: "objects_per_function",
+                value: 0.0,
+            });
+        }
+        if !self.skew.is_finite() || self.skew < 0.0 {
+            return Err(WorkloadError::InvalidParameter {
+                name: "object_skew",
+                value: self.skew,
+            });
+        }
+        if self.base_size == Bytes::ZERO {
+            return Err(WorkloadError::InvalidParameter {
+                name: "base_size",
+                value: 0.0,
+            });
+        }
+        // The largest object is base_size << size_doublings; it must fit a
+        // u64 or size_of would overflow the shift.
+        if self.size_doublings >= 64
+            || self
+                .base_size
+                .as_u64()
+                .checked_mul(1u64 << self.size_doublings)
+                .is_none()
+        {
+            return Err(WorkloadError::InvalidParameter {
+                name: "size_doublings",
+                value: f64::from(self.size_doublings),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// SplitMix64 finalizer, used as a stateless hash so object assignment never
+/// consumes from the trace generator's RNG stream.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Salt separating object-identity hashing from size hashing.
+const OBJECT_SALT: u64 = 0x0B1E_C7ED_5EED_0001;
+const SIZE_SALT: u64 = 0x0B1E_C7ED_5EED_0002;
+
+/// Deterministic object assignment derived from an [`ObjectPopulation`]:
+/// maps (function, request id) to the object the request reads and
+/// (function, object) to that object's size and store key.
+#[derive(Debug, Clone)]
+pub struct ObjectCatalog {
+    population: ObjectPopulation,
+    zipf: ZipfIndex,
+}
+
+impl ObjectCatalog {
+    /// Builds the catalog.
+    ///
+    /// # Panics
+    /// Panics if the population fails [`ObjectPopulation::validate`].
+    pub fn new(population: ObjectPopulation) -> Self {
+        population
+            .validate()
+            .unwrap_or_else(|err| panic!("invalid object population: {err}"));
+        ObjectCatalog {
+            population,
+            zipf: ZipfIndex::new(population.objects_per_function as usize, population.skew),
+        }
+    }
+
+    /// The population this catalog realises.
+    pub fn population(&self) -> ObjectPopulation {
+        self.population
+    }
+
+    /// The object a request of `function` with trace id `request_id` reads:
+    /// a Zipf draw over the function's objects, derived by hashing rather
+    /// than sampling so the caller's RNG stream is untouched.
+    pub fn object_for(&self, function: u32, request_id: u64) -> u32 {
+        let h = mix64(mix64(OBJECT_SALT ^ u64::from(function)).wrapping_add(request_id));
+        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.zipf.rank_of(u) as u32
+    }
+
+    /// The deterministic size of `(function, object)`.
+    pub fn size_of(&self, function: u32, object: u32) -> Bytes {
+        let h = mix64(SIZE_SALT ^ (u64::from(function) << 32) ^ u64::from(object));
+        let doublings = h % u64::from(self.population.size_doublings + 1);
+        Bytes::new(self.population.base_size.as_u64() << doublings)
+    }
+
+    /// The store key of `(function, object)` — the name the object lives
+    /// under in the cluster's [`dscs_storage::object_store::ObjectStore`].
+    pub fn key(function: u32, object: u32) -> String {
+        format!("f{function}/o{object}")
+    }
+}
+
 /// A request-trace generator.
 ///
 /// Implementations must be deterministic: the same seed (via the caller's
@@ -77,6 +224,12 @@ pub trait Workload {
 
     /// Total duration the generated trace covers.
     fn horizon(&self) -> SimDuration;
+
+    /// The object working set the workload's requests read from. The default
+    /// is the suite-wide [`ObjectPopulation::default`].
+    fn objects(&self) -> ObjectPopulation {
+        ObjectPopulation::default()
+    }
 
     /// Checks the workload parameters, returning the first violation found.
     fn validate(&self) -> Result<(), WorkloadError>;
@@ -222,6 +375,7 @@ impl Workload for AzureWorkload {
     fn generate(&self, rng: &mut DeterministicRng) -> Result<Vec<TraceRequest>, WorkloadError> {
         self.validate()?;
         let zipf = ZipfIndex::new(self.functions as usize, self.popularity_skew);
+        let catalog = ObjectCatalog::new(self.objects());
         let mut requests = Vec::new();
         let mut offset = SimDuration::ZERO;
         let mut id = 0u64;
@@ -236,11 +390,14 @@ impl Workload for AzureWorkload {
             let arrivals = PoissonArrivals::new(rate).arrivals_until(step, rng);
             for t in arrivals {
                 let function = zipf.sample(rng) as u32;
+                let object = catalog.object_for(function, id);
                 requests.push(TraceRequest {
                     id,
                     arrival: SimTime::ZERO + offset + t,
                     benchmark: AzureWorkload::benchmark_of(function),
                     function,
+                    object,
+                    object_bytes: catalog.size_of(function, object),
                 });
                 id += 1;
             }
@@ -347,6 +504,63 @@ mod tests {
             hottest > 4 * coldest.max(1),
             "hottest {hottest} vs coldest {coldest}"
         );
+    }
+
+    #[test]
+    fn object_population_rejects_overflowing_sizes() {
+        assert_eq!(ObjectPopulation::default().validate(), Ok(()));
+        let oversized = ObjectPopulation {
+            size_doublings: 64,
+            ..ObjectPopulation::default()
+        };
+        assert!(matches!(
+            oversized.validate(),
+            Err(WorkloadError::InvalidParameter {
+                name: "size_doublings",
+                ..
+            })
+        ));
+        // Shift in range but the product overflows u64.
+        let huge_base = ObjectPopulation {
+            base_size: Bytes::from_gib(1 << 30),
+            size_doublings: 4,
+            ..ObjectPopulation::default()
+        };
+        assert!(matches!(
+            huge_base.validate(),
+            Err(WorkloadError::InvalidParameter {
+                name: "size_doublings",
+                ..
+            })
+        ));
+        let zero_objects = ObjectPopulation {
+            objects_per_function: 0,
+            ..ObjectPopulation::default()
+        };
+        assert!(zero_objects.validate().is_err());
+    }
+
+    #[test]
+    fn object_catalog_is_deterministic_and_in_range() {
+        let population = ObjectPopulation::default();
+        let catalog = ObjectCatalog::new(population);
+        let largest = Bytes::new(population.base_size.as_u64() << population.size_doublings);
+        for id in 0..2000u64 {
+            let object = catalog.object_for(3, id);
+            assert!(object < population.objects_per_function);
+            assert_eq!(object, catalog.object_for(3, id), "pure function of id");
+            let size = catalog.size_of(3, object);
+            assert!(size >= population.base_size && size <= largest, "{size}");
+        }
+        // Zipf skew: the hottest object dominates a uniform share.
+        let hot = (0..4000u64)
+            .filter(|&id| catalog.object_for(7, id) == 0)
+            .count();
+        assert!(
+            hot > 4000 / population.objects_per_function as usize * 4,
+            "hot object drew {hot} of 4000"
+        );
+        assert_eq!(ObjectCatalog::key(2, 9), "f2/o9");
     }
 
     #[test]

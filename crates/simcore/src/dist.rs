@@ -393,7 +393,17 @@ impl ZipfIndex {
 
     /// Draws one rank in `0..len()`.
     pub fn sample(&self, rng: &mut DeterministicRng) -> usize {
-        let u = rng.next_f64();
+        self.rank_of(rng.next_f64())
+    }
+
+    /// The rank whose CDF interval contains `u` (the inverse-CDF transform).
+    /// Callers that derive `u` from a hash instead of an RNG stream get Zipf
+    /// draws without perturbing the stream — trace generators use this to
+    /// stamp per-request object identities while keeping arrival sequences
+    /// bit-compatible.
+    ///
+    /// Values outside `[0, 1)` clamp to the first/last rank.
+    pub fn rank_of(&self, u: f64) -> usize {
         // Binary search for the first cumulative probability >= u.
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }

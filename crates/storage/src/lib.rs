@@ -45,7 +45,9 @@ pub mod pcie;
 pub use drive::{DscsDrive, HostSoftwareCosts, P2pDriverCosts, SsdDrive};
 pub use flash::{FlashArray, FlashConfig};
 pub use network::{NetworkConfig, NetworkModel};
-pub use object_store::{DriveClass, ObjectMeta, ObjectStore, StorageNodeId, StoreError};
+pub use object_store::{
+    DriveClass, ObjectMeta, ObjectStore, RemoteFetchModel, StorageNodeId, StoreError,
+};
 pub use pcie::{PcieGeneration, PcieLink};
 
 #[cfg(test)]

@@ -5,6 +5,14 @@
 //! replica of objects belonging to acceleratable functions onto DSCS-Drives so
 //! the in-storage DSA can reach the data over the P2P path (Section 5.2).
 //!
+//! Storage nodes live in *racks*: [`ObjectStore::with_rack_layout`] maps node
+//! ids onto rack indices, placement keeps an object's replicas within a
+//! bounded number of racks (data gravity), and [`ObjectStore::racks_holding`]
+//! answers the question the cluster's locality-aware load balancer asks on
+//! every dispatch. A request scheduled onto a rack without a replica pays the
+//! cross-rack fetch priced by [`RemoteFetchModel`] — the network/RPC stack
+//! plus the drive's PCIe hop — instead of assuming the data is local.
+//!
 //! The store tracks object metadata only (sizes and placement); latency always
 //! comes from the drive/network models.
 
@@ -14,6 +22,10 @@ use serde::{Deserialize, Serialize};
 
 use dscs_simcore::quantity::Bytes;
 use dscs_simcore::rng::DeterministicRng;
+use dscs_simcore::time::SimDuration;
+
+use crate::network::{NetworkConfig, NetworkModel};
+use crate::pcie::PcieLink;
 
 /// Identifier of a storage node in the cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -65,6 +77,15 @@ impl std::error::Error for StoreError {}
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ObjectStore {
     nodes: HashMap<StorageNodeId, DriveClass>,
+    /// Rack index of each node. Single-rack constructors map everything onto
+    /// rack 0.
+    node_racks: HashMap<StorageNodeId, u32>,
+    /// Number of racks the nodes span (rack indices are `0..racks`).
+    racks: u32,
+    /// Maximum number of distinct racks one object's replicas may span.
+    /// `1` keeps every replica in the object's home rack (data gravity);
+    /// `racks` places replicas anywhere.
+    rack_spread: u32,
     objects: HashMap<String, ObjectMeta>,
     replication: usize,
     /// Chunk size used to split very large objects across drives.
@@ -72,7 +93,8 @@ pub struct ObjectStore {
 }
 
 impl ObjectStore {
-    /// Creates a store over the given nodes with a replication factor.
+    /// Creates a single-rack store over the given nodes with a replication
+    /// factor.
     ///
     /// # Panics
     /// Panics if `nodes` is empty or `replication` is zero.
@@ -83,16 +105,20 @@ impl ObjectStore {
         let nodes: HashMap<_, _> = nodes.into_iter().collect();
         assert!(!nodes.is_empty(), "object store needs at least one node");
         assert!(replication >= 1, "replication factor must be at least 1");
+        let node_racks = nodes.keys().map(|&id| (id, 0)).collect();
         ObjectStore {
             nodes,
+            node_racks,
+            racks: 1,
+            rack_spread: 1,
             objects: HashMap::new(),
             replication,
             chunk_size: Bytes::from_mib(64),
         }
     }
 
-    /// A store with `conventional` plain-SSD nodes and `dscs` DSCS-Drive nodes,
-    /// 3-way replicated (the common S3-style setup).
+    /// A single-rack store with `conventional` plain-SSD nodes and `dscs`
+    /// DSCS-Drive nodes, 3-way replicated (the common S3-style setup).
     pub fn with_node_counts(conventional: u32, dscs: u32) -> Self {
         assert!(conventional + dscs > 0, "need at least one storage node");
         let mut nodes = Vec::new();
@@ -105,9 +131,81 @@ impl ObjectStore {
         ObjectStore::new(nodes, 3.min((conventional + dscs) as usize))
     }
 
+    /// A multi-rack store: every rack holds `conventional_per_rack` plain-SSD
+    /// nodes followed by `dscs_per_rack` DSCS-Drive nodes (node ids are
+    /// assigned rack-major). Replicas of one object stay within `rack_spread`
+    /// neighbouring racks, starting from the object's home rack.
+    ///
+    /// # Panics
+    /// Panics if `racks` is zero, a rack would hold no nodes, `replication`
+    /// is zero, or `rack_spread` is zero or exceeds `racks`.
+    pub fn with_rack_layout(
+        racks: u32,
+        conventional_per_rack: u32,
+        dscs_per_rack: u32,
+        replication: usize,
+        rack_spread: u32,
+    ) -> Self {
+        assert!(racks > 0, "need at least one rack");
+        let per_rack = conventional_per_rack + dscs_per_rack;
+        assert!(per_rack > 0, "every rack needs at least one storage node");
+        assert!(replication >= 1, "replication factor must be at least 1");
+        assert!(
+            rack_spread >= 1 && rack_spread <= racks,
+            "rack spread must be in [1, racks]"
+        );
+        let mut nodes = HashMap::new();
+        let mut node_racks = HashMap::new();
+        for rack in 0..racks {
+            for slot in 0..per_rack {
+                let id = StorageNodeId(rack * per_rack + slot);
+                let class = if slot < conventional_per_rack {
+                    DriveClass::Conventional
+                } else {
+                    DriveClass::Dscs
+                };
+                nodes.insert(id, class);
+                node_racks.insert(id, rack);
+            }
+        }
+        ObjectStore {
+            nodes,
+            node_racks,
+            racks,
+            rack_spread,
+            objects: HashMap::new(),
+            replication: replication.min((per_rack * rack_spread) as usize),
+            chunk_size: Bytes::from_mib(64),
+        }
+    }
+
     /// Number of storage nodes.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Number of racks the store's nodes span.
+    pub fn rack_count(&self) -> u32 {
+        self.racks
+    }
+
+    /// Rack index of a node.
+    pub fn rack_of(&self, node: StorageNodeId) -> Option<u32> {
+        self.node_racks.get(&node).copied()
+    }
+
+    /// The racks holding a replica of `key`, sorted and deduplicated — the
+    /// placement answer a locality-aware load balancer dispatches on.
+    pub fn racks_holding(&self, key: &str) -> Result<Vec<u32>, StoreError> {
+        let meta = self.get(key)?;
+        let mut racks: Vec<u32> = meta
+            .replicas
+            .iter()
+            .filter_map(|&n| self.rack_of(n))
+            .collect();
+        racks.sort_unstable();
+        racks.dedup();
+        Ok(racks)
     }
 
     /// Number of stored objects.
@@ -122,8 +220,10 @@ impl ObjectStore {
 
     /// Stores (or replaces) an object. If `acceleratable` is set and the store
     /// has DSCS nodes, the primary replica is placed on a DSCS-Drive so the
-    /// in-storage accelerator can reach the data; otherwise replicas are
-    /// spread across random nodes.
+    /// in-storage accelerator can reach the data. The primary's rack (or a
+    /// random *home rack*, for non-acceleratable objects) anchors placement:
+    /// the remaining replicas land on random distinct nodes within the home
+    /// rack and its `rack_spread - 1` neighbouring racks.
     pub fn put(
         &mut self,
         key: impl Into<String>,
@@ -133,20 +233,33 @@ impl ObjectStore {
     ) -> Result<ObjectMeta, StoreError> {
         let key = key.into();
         let mut replicas = Vec::with_capacity(self.replication);
-        if acceleratable {
+        let home = if acceleratable {
             let dscs_nodes: Vec<StorageNodeId> = self.nodes_of_class(DriveClass::Dscs);
             if dscs_nodes.is_empty() {
                 return Err(StoreError::NoNodesOfClass(DriveClass::Dscs));
             }
-            replicas.push(*rng.choose(&dscs_nodes));
-        }
-        let all: Vec<StorageNodeId> = {
-            let mut v: Vec<_> = self.nodes.keys().copied().collect();
+            let primary = *rng.choose(&dscs_nodes);
+            replicas.push(primary);
+            self.node_racks[&primary]
+        } else if self.racks == 1 {
+            0
+        } else {
+            rng.next_index(self.racks as usize) as u32
+        };
+        let allowed: Vec<StorageNodeId> = {
+            let mut v: Vec<_> = self
+                .nodes
+                .keys()
+                .copied()
+                .filter(|n| {
+                    (self.node_racks[n] + self.racks - home) % self.racks < self.rack_spread
+                })
+                .collect();
             v.sort_unstable();
             v
         };
-        while replicas.len() < self.replication.min(all.len()) {
-            let candidate = *rng.choose(&all);
+        while replicas.len() < self.replication.min(allowed.len()) {
+            let candidate = *rng.choose(&allowed);
             if !replicas.contains(&candidate) {
                 replicas.push(candidate);
             }
@@ -203,6 +316,59 @@ impl ObjectStore {
             .collect();
         v.sort_unstable();
         v
+    }
+}
+
+/// Prices the object fetch a request pays when it is scheduled onto a rack
+/// that holds no replica of its input: one RPC over the datacenter fabric to
+/// a rack that does ([`crate::network`]), plus the drive-side PCIe hop that
+/// moves the payload off the remote drive ([`crate::pcie`]). Local placement
+/// pays neither — which is exactly the asymmetry a locality-aware scheduler
+/// exploits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RemoteFetchModel {
+    network: NetworkModel,
+    drive_link: PcieLink,
+    /// Quantile of the network's base-latency distribution used for the
+    /// deterministic per-fetch cost (queueing, not the storage tail,
+    /// dominates at cluster scale).
+    quantile: f64,
+}
+
+impl RemoteFetchModel {
+    /// The default datacenter configuration: the paper's disaggregated
+    /// network/RPC stack at its median base latency, over an NVMe drive link.
+    pub fn datacenter_default() -> Self {
+        RemoteFetchModel {
+            network: NetworkModel::new(NetworkConfig::disaggregated_datacenter()),
+            drive_link: PcieLink::nvme_drive(),
+            quantile: 0.5,
+        }
+    }
+
+    /// A copy evaluating the network base latency at quantile `q` (the
+    /// tail-sensitivity knob).
+    ///
+    /// # Panics
+    /// Panics if `q` is not in `(0, 1)`.
+    pub fn at_quantile(&self, q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0, 1)");
+        RemoteFetchModel {
+            quantile: q,
+            ..*self
+        }
+    }
+
+    /// Deterministic latency of fetching `size` bytes from a remote rack.
+    pub fn fetch_latency(&self, size: Bytes) -> SimDuration {
+        self.network.access_latency_at_quantile(size, self.quantile)
+            + self.drive_link.transfer_latency(size)
+    }
+
+    /// Energy attributable to moving `size` bytes across racks (fabric NICs
+    /// and switches plus the drive-side PCIe hop).
+    pub fn fetch_energy_joules(&self, size: Bytes) -> f64 {
+        self.network.transfer_energy_joules(size) + self.drive_link.transfer_energy_joules(size)
     }
 }
 
@@ -296,5 +462,103 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn empty_store_rejected() {
         let _ = ObjectStore::new(Vec::<(StorageNodeId, DriveClass)>::new(), 3);
+    }
+
+    #[test]
+    fn single_rack_constructors_map_everything_to_rack_zero() {
+        let s = store();
+        assert_eq!(s.rack_count(), 1);
+        assert_eq!(s.rack_of(StorageNodeId(0)), Some(0));
+        assert_eq!(s.rack_of(StorageNodeId(99)), None);
+    }
+
+    #[test]
+    fn rack_layout_assigns_nodes_rack_major() {
+        let s = ObjectStore::with_rack_layout(3, 2, 1, 2, 1);
+        assert_eq!(s.rack_count(), 3);
+        assert_eq!(s.node_count(), 9);
+        // Rack 1 holds nodes 3..6; the last node per rack is the DSCS drive.
+        assert_eq!(s.rack_of(StorageNodeId(3)), Some(1));
+        assert_eq!(
+            s.node_class(StorageNodeId(3)),
+            Some(DriveClass::Conventional)
+        );
+        assert_eq!(s.node_class(StorageNodeId(5)), Some(DriveClass::Dscs));
+    }
+
+    #[test]
+    fn rack_local_placement_keeps_replicas_in_one_rack() {
+        let mut s = ObjectStore::with_rack_layout(4, 3, 2, 3, 1);
+        let mut rng = DeterministicRng::seeded(7);
+        for i in 0..32 {
+            let key = format!("obj-{i}");
+            let meta = s
+                .put(&key, Bytes::from_mib(1), i % 2 == 0, &mut rng)
+                .expect("put");
+            let racks = s.racks_holding(&key).expect("placed");
+            assert_eq!(racks.len(), 1, "spread 1 keeps one rack: {racks:?}");
+            assert!(racks[0] < 4);
+            assert_eq!(meta.replicas.len(), 3);
+            let mut unique = meta.replicas.clone();
+            unique.sort_unstable();
+            unique.dedup();
+            assert_eq!(unique.len(), 3, "replicas stay distinct");
+        }
+    }
+
+    #[test]
+    fn rack_spread_bounds_the_racks_replicas_span() {
+        let mut s = ObjectStore::with_rack_layout(4, 1, 1, 4, 2);
+        let mut rng = DeterministicRng::seeded(8);
+        for i in 0..24 {
+            let key = format!("obj-{i}");
+            s.put(&key, Bytes::from_kib(64), true, &mut rng)
+                .expect("put");
+            let racks = s.racks_holding(&key).expect("placed");
+            assert!(
+                (1..=2).contains(&racks.len()),
+                "spread 2 spans at most two racks: {racks:?}"
+            );
+            // With one DSCS node per rack, the primary pins the home rack.
+            let primary_rack = s
+                .rack_of(s.get(&key).expect("meta").replicas[0])
+                .expect("rack");
+            assert!(racks.contains(&primary_rack));
+        }
+    }
+
+    #[test]
+    fn acceleratable_objects_home_on_their_dscs_rack() {
+        let mut s = ObjectStore::with_rack_layout(2, 2, 1, 2, 1);
+        let mut rng = DeterministicRng::seeded(9);
+        let meta = s
+            .put("model-input", Bytes::from_mib(4), true, &mut rng)
+            .expect("put");
+        assert_eq!(s.node_class(meta.replicas[0]), Some(DriveClass::Dscs));
+        let home = s.rack_of(meta.replicas[0]).expect("rack");
+        for &replica in &meta.replicas {
+            assert_eq!(s.rack_of(replica), Some(home));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rack spread")]
+    fn zero_rack_spread_rejected() {
+        let _ = ObjectStore::with_rack_layout(2, 1, 1, 2, 0);
+    }
+
+    #[test]
+    fn remote_fetch_costs_scale_with_size_and_quantile() {
+        let fetch = RemoteFetchModel::datacenter_default();
+        let small = fetch.fetch_latency(Bytes::from_kib(64));
+        let large = fetch.fetch_latency(Bytes::from_mib(8));
+        assert!(large > small);
+        // Median base latency is tens of milliseconds (Figure 3): a remote
+        // fetch is never free.
+        assert!(small > SimDuration::from_millis(10), "small fetch {small}");
+        let tail = fetch.at_quantile(0.99).fetch_latency(Bytes::from_kib(64));
+        assert!(tail > small, "tail fetch {tail} vs median {small}");
+        let e = fetch.fetch_energy_joules(Bytes::from_mib(1));
+        assert!(e > 0.0);
     }
 }

@@ -1,27 +1,35 @@
 //! Integration tests for the at-scale workload subsystem: the policy sweep,
-//! multi-rack sharding, autoscaling and prewarming, and the machine-readable
-//! report CI uploads.
+//! multi-rack sharding, autoscaling and prewarming, data-locality-aware
+//! dispatch, and the machine-readable report CI uploads.
 
-use dscs_serverless::cluster::at_scale::{at_scale_sweep, AtScaleOptions};
+use std::sync::OnceLock;
+
+use dscs_serverless::cluster::at_scale::{at_scale_sweep, AtScaleOptions, AtScaleReport};
 use dscs_serverless::cluster::policy::{
     KeepalivePolicy, LoadBalancer, ScalingPolicy, SchedulerPolicy,
 };
 use dscs_serverless::cluster::sim::{ClusterConfig, ClusterSim};
 use dscs_serverless::cluster::workload::{AzureWorkload, Workload, WorkloadError};
 use dscs_serverless::platforms::PlatformKind;
-use dscs_serverless::simcore::json::JsonValue;
 use dscs_serverless::simcore::rng::DeterministicRng;
 
-/// The smoke-sweep report captured at PR 2, before the autoscaling and
-/// prewarming axes existed. Every fixed-cap cell of today's sweep must still
-/// produce exactly these numbers.
-const PR2_GOLDEN_SMOKE: &str = include_str!("golden/at_scale_smoke_pr2.json");
+/// The smoke-sweep report captured at PR 4, when the data-locality layer and
+/// the balancer axis landed (schema v3). Today's sweep must reproduce it
+/// byte-for-byte; regenerate deliberately with
+/// `UPDATE_GOLDEN=1 cargo test --test at_scale`.
+const PR4_GOLDEN_SMOKE: &str = include_str!("golden/at_scale_smoke_pr4.json");
+
+/// One shared smoke sweep (432 cells) for the tests that only read it.
+fn smoke_report() -> &'static AtScaleReport {
+    static REPORT: OnceLock<AtScaleReport> = OnceLock::new();
+    REPORT.get_or_init(|| at_scale_sweep(AtScaleOptions::smoke()))
+}
 
 #[test]
 fn fixed_seed_sweep_report_is_byte_for_byte_reproducible() {
     let options = AtScaleOptions::smoke();
     let a = at_scale_sweep(options).to_json();
-    let b = at_scale_sweep(options).to_json();
+    let b = smoke_report().to_json();
     assert_eq!(a, b);
     // A different seed changes the report.
     let c = at_scale_sweep(AtScaleOptions {
@@ -34,7 +42,7 @@ fn fixed_seed_sweep_report_is_byte_for_byte_reproducible() {
 
 #[test]
 fn sweep_covers_both_platforms_all_policies_and_both_workloads() {
-    let report = at_scale_sweep(AtScaleOptions::smoke());
+    let report = smoke_report();
     for platform in [PlatformKind::BaselineCpu, PlatformKind::DscsDsa] {
         for workload in ["bursty", "azure"] {
             let cells = report.cells_for(workload, platform);
@@ -42,63 +50,44 @@ fn sweep_covers_both_platforms_all_policies_and_both_workloads() {
                 cells.len(),
                 SchedulerPolicy::ALL.len()
                     * KeepalivePolicy::all_default().len()
-                    * ScalingPolicy::all_default().len(),
+                    * ScalingPolicy::all_default().len()
+                    * LoadBalancer::ALL.len(),
                 "{workload}/{platform:?}"
             );
         }
     }
 }
 
-/// Golden regression test: the fixed-cap cells of today's sweep are
-/// byte-identical (every shared metric, compared on parsed JSON values, so
-/// float equality is exact) to the report PR 2 produced for the same seed.
-/// The autoscaling and prewarming axes may only *add* cells and fields.
+/// Golden regression test: the whole schema-v3 smoke report is pinned
+/// byte-for-byte against the fixture captured when the data-locality layer
+/// landed. Any drift in trace generation, placement, dispatch, charging or
+/// JSON rendering shows up here immediately.
 #[test]
-fn fixed_cap_cells_match_the_pr2_golden_report() {
-    let golden = JsonValue::parse(PR2_GOLDEN_SMOKE).expect("golden fixture parses");
-    let current = JsonValue::parse(&at_scale_sweep(AtScaleOptions::smoke()).to_json())
-        .expect("sweep report parses");
-    let key = |cell: &JsonValue| -> Vec<String> {
-        ["workload", "platform", "scheduler", "keepalive"]
-            .iter()
-            .map(|k| {
-                cell.get(k)
-                    .and_then(JsonValue::as_str)
-                    .expect("cell identity field")
-                    .to_string()
-            })
-            .collect()
-    };
-    let current_cells = current
-        .get("cells")
-        .and_then(JsonValue::as_array)
-        .expect("cells");
-    let golden_cells = golden
-        .get("cells")
-        .and_then(JsonValue::as_array)
-        .expect("cells");
-    assert!(!golden_cells.is_empty());
-    for golden_cell in golden_cells {
-        let golden_key = key(golden_cell);
-        let fixed = current_cells
-            .iter()
-            .find(|c| {
-                c.get("scaling").and_then(JsonValue::as_str) == Some("fixed")
-                    && key(c) == golden_key
-            })
-            .unwrap_or_else(|| panic!("no fixed cell for {golden_key:?}"));
-        let JsonValue::Object(golden_fields) = golden_cell else {
-            panic!("golden cell is not an object")
-        };
-        for (field, golden_value) in golden_fields {
-            let current_value = fixed
-                .get(field)
-                .unwrap_or_else(|| panic!("{golden_key:?} lost field {field}"));
-            assert_eq!(
-                current_value, golden_value,
-                "{golden_key:?}: field {field} drifted from the PR 2 report"
-            );
-        }
+fn smoke_sweep_matches_the_pr4_golden_report() {
+    let json = smoke_report().to_json();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/at_scale_smoke_pr4.json"
+        );
+        std::fs::write(path, &json).expect("write golden fixture");
+        return;
+    }
+    if json != PR4_GOLDEN_SMOKE {
+        let diverges_at = json
+            .bytes()
+            .zip(PR4_GOLDEN_SMOKE.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| json.len().min(PR4_GOLDEN_SMOKE.len()));
+        let start = diverges_at.saturating_sub(120);
+        panic!(
+            "smoke report drifted from the PR 4 golden fixture at byte {diverges_at}:\n\
+             current:  ...{}\n\
+             golden:   ...{}\n\
+             (regenerate deliberately with UPDATE_GOLDEN=1 cargo test --test at_scale)",
+            &json[start..(diverges_at + 120).min(json.len())],
+            &PR4_GOLDEN_SMOKE[start..(diverges_at + 120).min(PR4_GOLDEN_SMOKE.len())],
+        );
     }
 }
 
@@ -108,14 +97,28 @@ fn fixed_cap_cells_match_the_pr2_golden_report() {
 /// prewarming.
 #[test]
 fn prewarming_hits_without_extra_cold_starts_on_azure() {
-    let report = at_scale_sweep(AtScaleOptions::smoke());
+    let report = smoke_report();
     for platform in [PlatformKind::BaselineCpu, PlatformKind::DscsDsa] {
         for scaling in ["fixed", "reactive", "predictive"] {
             let prewarm = report
-                .cell("azure", platform, "fcfs", "hybrid-prewarm", scaling)
+                .cell(
+                    "azure",
+                    platform,
+                    "fcfs",
+                    "hybrid-prewarm",
+                    scaling,
+                    "round-robin",
+                )
                 .expect("prewarm cell swept");
             let baseline = report
-                .cell("azure", platform, "fcfs", "hybrid-histogram", scaling)
+                .cell(
+                    "azure",
+                    platform,
+                    "fcfs",
+                    "hybrid-histogram",
+                    scaling,
+                    "round-robin",
+                )
                 .expect("no-prewarm cell swept");
             assert!(
                 prewarm.prewarm_hit_rate > 0.0,
@@ -139,7 +142,7 @@ fn prewarming_hits_without_extra_cold_starts_on_azure() {
 /// bounds.
 #[test]
 fn elastic_azure_cells_report_scaling_lag() {
-    let report = at_scale_sweep(AtScaleOptions::smoke());
+    let report = smoke_report();
     for scaling in ["reactive", "predictive"] {
         let cell = report
             .cell(
@@ -148,11 +151,48 @@ fn elastic_azure_cells_report_scaling_lag() {
                 "fcfs",
                 "hybrid-prewarm",
                 scaling,
+                "round-robin",
             )
             .expect("elastic cell swept");
         assert!(cell.scale_ups > 0, "{scaling}: must scale up");
         assert!(cell.scaling_lag_s > 0.0, "{scaling}: lag metric populated");
         assert!(cell.peak_instances > 8 && cell.peak_instances <= 200);
+    }
+}
+
+/// Acceptance criterion of the data-locality refactor, pinned at the
+/// integration level: on the Azure workload the locality-aware balancer
+/// achieves a strictly higher locality hit rate, moves fewer bytes across
+/// racks, and lands a lower mean latency than round-robin — deterministically,
+/// since the whole report is golden-pinned.
+#[test]
+fn locality_aware_balancing_beats_round_robin_on_azure_cells() {
+    let report = smoke_report();
+    for platform in [PlatformKind::BaselineCpu, PlatformKind::DscsDsa] {
+        let cell = |balancer: &str| {
+            report
+                .cell("azure", platform, "fcfs", "fixed-window", "fixed", balancer)
+                .expect("cell swept")
+        };
+        let rr = cell("round-robin");
+        let local = cell("locality");
+        assert!(
+            local.locality_hit_rate > rr.locality_hit_rate,
+            "{platform:?}: locality hit rate {} must beat round-robin {}",
+            local.locality_hit_rate,
+            rr.locality_hit_rate
+        );
+        assert!(
+            local.cross_rack_bytes < rr.cross_rack_bytes,
+            "{platform:?}: locality must move fewer bytes"
+        );
+        assert!(
+            local.mean_latency_ms < rr.mean_latency_ms,
+            "{platform:?}: locality mean {} ms must beat round-robin {} ms",
+            local.mean_latency_ms,
+            rr.mean_latency_ms
+        );
+        assert!(local.fetch_latency_s <= rr.fetch_latency_s);
     }
 }
 

@@ -104,9 +104,45 @@ fn same_seed_produces_bit_identical_autoscaled_runs() {
     }
 }
 
-/// The full sweep — which now includes the reactive and predictive scaling
-/// axes and the prewarm keepalive — renders byte-identical JSON across two
-/// runs with the same seed.
+/// Satellite regression test: sharded runs under the data-locality-aware
+/// balancer — replica-rack dispatch, spill decisions and cross-rack fetch
+/// charges included — are bit-identical across repeated runs.
+#[test]
+fn same_seed_produces_bit_identical_locality_aware_runs() {
+    use dscs_serverless::cluster::data::DataLayer;
+    use dscs_serverless::cluster::policy::LoadBalancer;
+    use dscs_serverless::cluster::sim::{ClusterConfig, ClusterSim};
+
+    let trace = one_minute_trace(11);
+    let racks = 3;
+    let data = DataLayer::for_trace(&trace, racks, 61);
+    let sim = ClusterSim::new(PlatformKind::DscsDsa, ClusterConfig::default());
+    for balancer in [
+        LoadBalancer::locality_default(),
+        LoadBalancer::LocalityAware { spill_threshold: 0 },
+        LoadBalancer::LocalityAware {
+            spill_threshold: usize::MAX,
+        },
+    ] {
+        let (a, racks_a) = sim.run_sharded_with_data(&trace, 33, racks, balancer, Some(&data));
+        let (b, racks_b) = sim.run_sharded_with_data(&trace, 33, racks, balancer, Some(&data));
+        assert_eq!(a, b, "{balancer:?} aggregate report");
+        assert_eq!(racks_a, racks_b, "{balancer:?} per-rack summaries");
+        assert_eq!(
+            a.fetch_latency_s.to_bits(),
+            b.fetch_latency_s.to_bits(),
+            "{balancer:?} fetch charges accumulate in a fixed order"
+        );
+        // A freshly rebuilt data layer must not perturb the run either.
+        let rebuilt = DataLayer::for_trace(&trace, racks, 61);
+        let (c, _) = sim.run_sharded_with_data(&trace, 33, racks, balancer, Some(&rebuilt));
+        assert_eq!(a, c, "{balancer:?} placement is a pure function of seed");
+    }
+}
+
+/// The full sweep — which now includes the scaling axes, the prewarm
+/// keepalive and the balancer axis with its locality fields — renders
+/// byte-identical JSON across two runs with the same seed.
 #[test]
 fn at_scale_report_json_is_byte_identical_across_runs() {
     use dscs_serverless::cluster::at_scale::{at_scale_sweep, AtScaleOptions};
@@ -116,6 +152,8 @@ fn at_scale_report_json_is_byte_identical_across_runs() {
     assert_eq!(a, b);
     assert!(a.contains("\"scaling\":\"reactive\""));
     assert!(a.contains("\"scaling\":\"predictive\""));
+    assert!(a.contains("\"balancer\":\"locality\""));
+    assert!(a.contains("\"locality_hit_rate\""));
 }
 
 #[test]

@@ -211,6 +211,56 @@ fn polyfit_recovers_cubics() {
     });
 }
 
+/// Rack-aware placement invariants: for random rack layouts and object
+/// streams, every replica rack is in `[0, racks)`, replicas span at most
+/// `rack_spread` racks, replicas stay distinct, and acceleratable objects
+/// always keep a DSCS replica.
+#[test]
+fn rack_aware_placement_invariants() {
+    check(0xB1, |case, rng| {
+        let racks = int_in(rng, 1, 6) as u32;
+        let conventional = int_in(rng, 1, 4) as u32;
+        let dscs = int_in(rng, 1, 3) as u32;
+        let replication = int_in(rng, 1, 5) as usize;
+        let rack_spread = int_in(rng, 1, u64::from(racks) + 1) as u32;
+        let mut store =
+            ObjectStore::with_rack_layout(racks, conventional, dscs, replication, rack_spread);
+        let mut place_rng = DeterministicRng::seeded(int_in(rng, 0, 1000));
+        for i in 0..int_in(rng, 1, 24) {
+            let key = format!("obj-{i}");
+            let acceleratable = rng.bernoulli(0.5);
+            let meta = store
+                .put(
+                    &key,
+                    Bytes::new(int_in(rng, 1, 8_000_000)),
+                    acceleratable,
+                    &mut place_rng,
+                )
+                .expect("rack layout always has DSCS nodes");
+            let holding = store.racks_holding(&key).expect("placed");
+            assert!(!holding.is_empty(), "case {case}: placed somewhere");
+            assert!(
+                holding.iter().all(|&r| r < racks),
+                "case {case}: rack out of range: {holding:?}"
+            );
+            assert!(
+                holding.len() <= rack_spread as usize,
+                "case {case}: replicas span {holding:?} > spread {rack_spread}"
+            );
+            let mut unique = meta.replicas.clone();
+            unique.sort_unstable();
+            unique.dedup();
+            assert_eq!(unique.len(), meta.replicas.len(), "case {case}: distinct");
+            if acceleratable {
+                assert!(
+                    store.dscs_replica(&key).expect("exists").is_some(),
+                    "case {case}: acceleratable objects keep a DSCS replica"
+                );
+            }
+        }
+    });
+}
+
 /// Object-store placement always respects the replication factor and puts
 /// acceleratable objects on a DSCS drive.
 #[test]
@@ -515,6 +565,93 @@ fn autoscaler_respects_its_instance_bounds() {
             report.completed + report.rejected,
             trace.len() as u64,
             "case {case}: every request accounted for"
+        );
+    });
+}
+
+/// Locality-aware balancing invariants, for random traces, rack counts and
+/// spill thresholds: every request is accounted for on some in-range rack
+/// (the per-rack summaries are the racks the balancer selected), and a
+/// request whose object has a replica on an un-saturated rack is never
+/// charged a cross-rack fetch — with an unreachable spill threshold no rack
+/// ever saturates, so the whole run must complete with zero remote fetches
+/// and a locality hit rate of one.
+#[test]
+fn locality_aware_balancing_never_fetches_when_replica_racks_are_unsaturated() {
+    use dscs_serverless::cluster::data::DataLayer;
+    use dscs_serverless::cluster::policy::LoadBalancer;
+    use dscs_serverless::cluster::sim::{ClusterConfig, ClusterSim};
+    use dscs_serverless::cluster::trace::RateProfile;
+    use dscs_serverless::platforms::PlatformKind;
+
+    let base = ClusterSim::new(PlatformKind::DscsDsa, ClusterConfig::default());
+    check(0xB2, |case, rng| {
+        let racks = 1 + int_in(rng, 0, 4) as u32;
+        let profile = RateProfile {
+            segments: vec![(
+                SimDuration::from_secs(int_in(rng, 1, 6)),
+                rng.uniform(10.0, 300.0),
+            )],
+        };
+        let trace = profile.generate(&mut DeterministicRng::seeded(int_in(rng, 0, 1000)));
+        if trace.is_empty() {
+            return;
+        }
+        let data = DataLayer::for_trace(&trace, racks, int_in(rng, 0, 1000));
+        // An unreachable spill threshold: replica racks never count as
+        // saturated, so locality dispatch must always stay local.
+        let sim = base.reconfigured(ClusterConfig {
+            queue_depth: usize::MAX,
+            ..ClusterConfig::default()
+        });
+        let (report, summaries) = sim.run_sharded_with_data(
+            &trace,
+            int_in(rng, 0, 1000),
+            racks,
+            LoadBalancer::LocalityAware {
+                spill_threshold: usize::MAX,
+            },
+            Some(&data),
+        );
+        assert_eq!(summaries.len(), racks as usize, "case {case}");
+        assert_eq!(
+            report.completed,
+            trace.len() as u64,
+            "case {case}: unbounded queues complete everything"
+        );
+        assert_eq!(
+            report.remote_fetches, 0,
+            "case {case}: un-saturated replica racks must never be bypassed"
+        );
+        assert_eq!(report.cross_rack_bytes, 0, "case {case}");
+        assert_eq!(report.fetch_latency_s, 0.0, "case {case}");
+        assert_eq!(
+            report.locality_hit_rate(),
+            1.0,
+            "case {case}: every start is local"
+        );
+        // And with a random (possibly tiny) spill threshold the run still
+        // accounts for every request on in-range racks.
+        let spill = int_in(rng, 0, 64) as usize;
+        let (spilled, spilled_racks) = sim.run_sharded_with_data(
+            &trace,
+            int_in(rng, 0, 1000),
+            racks,
+            LoadBalancer::LocalityAware {
+                spill_threshold: spill,
+            },
+            Some(&data),
+        );
+        assert_eq!(spilled_racks.len(), racks as usize, "case {case}");
+        assert_eq!(
+            spilled.completed + spilled.rejected,
+            trace.len() as u64,
+            "case {case}: every request lands on a real rack"
+        );
+        assert_eq!(
+            spilled.locality_hits + spilled.remote_fetches,
+            spilled.completed,
+            "case {case}: every started request is classified local or remote"
         );
     });
 }
