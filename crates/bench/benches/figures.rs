@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use dscs_cluster::sim::simulate_platform;
+use dscs_cluster::experiment::Experiment;
 use dscs_cluster::trace::RateProfile;
 use dscs_core::benchmarks::Benchmark;
 use dscs_core::endtoend::{EvalOptions, SystemModel};
@@ -132,12 +132,23 @@ fn bench_fig13(c: &mut Criterion) {
     let profile = RateProfile {
         segments: vec![(SimDuration::from_secs(60), 1500.0)],
     };
-    let trace = profile.generate(&mut DeterministicRng::seeded(5));
+    let trace = std::sync::Arc::new(profile.generate(&mut DeterministicRng::seeded(5)));
+    let replay = |platform| {
+        // One iteration covers the whole run: model evaluation, event loop,
+        // report aggregation — the cost `simulate_platform` used to bundle.
+        Experiment::builder(platform)
+            .trace(trace.clone())
+            .seed(7)
+            .build()
+            .expect("valid experiment")
+            .run()
+            .report
+    };
     group.bench_function("baseline_one_minute", |b| {
-        b.iter(|| black_box(simulate_platform(PlatformKind::BaselineCpu, &trace, 7)))
+        b.iter(|| black_box(replay(PlatformKind::BaselineCpu)))
     });
     group.bench_function("dscs_one_minute", |b| {
-        b.iter(|| black_box(simulate_platform(PlatformKind::DscsDsa, &trace, 7)))
+        b.iter(|| black_box(replay(PlatformKind::DscsDsa)))
     });
     group.finish();
 }

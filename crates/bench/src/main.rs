@@ -19,9 +19,11 @@
 //! Sweeps scheduler x keepalive x scaling x balancer x platform over the
 //! bursty Figure-13 trace and an Azure-style synthetic workload, sharded
 //! over multiple racks against a rack-aware object-store placement (cells
-//! report locality hit rates and cross-rack bytes), and writes a
-//! machine-readable JSON report (default: BENCH_cluster.json). --balancer
-//! restricts the sweep to one balancer; the default sweeps all three.
+//! report locality hit rates, cross-rack bytes and the joules those moves
+//! cost), and writes a machine-readable JSON report (default:
+//! BENCH_cluster.json). The grid is a declarative `SweepSpec` the options
+//! expand into. --balancer restricts the sweep to one balancer; the default
+//! sweeps all three.
 //!
 //! reproduce perf-gate BASELINE.json CURRENT.json [--threshold PCT]
 //!
@@ -35,9 +37,9 @@
 use std::env;
 
 use dscs_cluster::at_scale::{at_scale_sweep, AtScaleOptions, SweepScale};
+use dscs_cluster::experiment::Experiment;
 use dscs_cluster::perf_gate::compare_reports;
 use dscs_cluster::policy::LoadBalancer;
-use dscs_cluster::sim::simulate_platform;
 use dscs_cluster::trace::RateProfile;
 use dscs_core::benchmarks::Benchmark;
 use dscs_core::endtoend::{EvalOptions, SystemModel};
@@ -53,9 +55,9 @@ use dscs_platforms::PlatformKind;
 use dscs_simcore::rng::DeterministicRng;
 use dscs_simcore::stats::geometric_mean;
 
-/// One experiment entry: the names that select it, and its runner (the bool
-/// carries the `--full` flag).
-type Experiment = (&'static [&'static str], fn(bool));
+/// One CLI experiment entry: the names that select it, and its runner (the
+/// bool carries the `--full` flag).
+type ExperimentEntry = (&'static [&'static str], fn(bool));
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -80,7 +82,7 @@ fn main() {
     // One entry per experiment: accepted names (fig7/fig8 share a runner) and
     // the handler. Name validation derives from this table, so adding an
     // experiment here is the only change needed.
-    let experiments: [Experiment; 14] = [
+    let experiments: [ExperimentEntry; 14] = [
         (&["table1"], |_| table1()),
         (&["table2"], |_| table2()),
         (&["fig3"], |_| fig3()),
@@ -355,10 +357,16 @@ fn fig13(full: bool) {
         // One-quarter-length trace with the same rate steps for quick runs.
         RateProfile::paper_bursty().compressed(4.0)
     };
-    let trace = profile.generate(&mut DeterministicRng::seeded(99));
+    let trace = std::sync::Arc::new(profile.generate(&mut DeterministicRng::seeded(99)));
     println!("trace: {} requests over {}", trace.len(), profile.horizon());
     for platform in [PlatformKind::BaselineCpu, PlatformKind::DscsDsa] {
-        let report = simulate_platform(platform, &trace, 7);
+        let report = Experiment::builder(platform)
+            .trace(trace.clone())
+            .seed(7)
+            .build()
+            .expect("the Figure-13 replay is a valid experiment")
+            .run()
+            .report;
         println!("\n{}:", platform.name());
         println!(
             "  completed {} rejected {}",
@@ -506,7 +514,7 @@ fn at_scale(args: &[String]) {
         );
     }
     println!(
-        "\n{:<8} {:<18} {:<6} {:<16} {:<10} {:<12} {:>9} {:>8} {:>10} {:>9} {:>10} {:>7} {:>10} {:>10}",
+        "\n{:<8} {:<18} {:<6} {:<16} {:<10} {:<12} {:>9} {:>8} {:>10} {:>9} {:>10} {:>9} {:>7} {:>10} {:>10}",
         "workload",
         "platform",
         "sched",
@@ -518,13 +526,14 @@ fn at_scale(args: &[String]) {
         "prewarm %",
         "local %",
         "xrack MiB",
+        "fetch J",
         "peak",
         "mean ms",
         "p99 ms"
     );
     for c in &report.cells {
         println!(
-            "{:<8} {:<18} {:<6} {:<16} {:<10} {:<12} {:>9} {:>8} {:>10.2} {:>9.2} {:>10.1} {:>7} {:>10.1} {:>10.1}",
+            "{:<8} {:<18} {:<6} {:<16} {:<10} {:<12} {:>9} {:>8} {:>10.2} {:>9.2} {:>10.1} {:>9.1} {:>7} {:>10.1} {:>10.1}",
             c.workload,
             c.platform.name(),
             c.scheduler.name(),
@@ -536,6 +545,7 @@ fn at_scale(args: &[String]) {
             c.prewarm_hit_rate * 100.0,
             c.locality_hit_rate * 100.0,
             c.cross_rack_bytes as f64 / (1024.0 * 1024.0),
+            c.fetch_energy_j,
             c.peak_instances,
             c.mean_latency_ms,
             c.p99_latency_ms

@@ -1,19 +1,25 @@
 //! The at-scale policy sweep: scheduler × keepalive × scaling × balancer ×
-//! platform × workload.
+//! platform × workload, declared as a [`SweepSpec`].
 //!
 //! Where Figure 13 fixes one policy point (FCFS, fixed keepalive, fixed
-//! 200-instance racks, local data), this experiment sweeps the whole policy
-//! grid — including the autoscaling axis, the hybrid histogram's prewarm
-//! window and the front-end balancer axis — over multiple workloads and
-//! multi-rack configurations, and emits a machine-readable JSON report
-//! (schema `dscs-at-scale-v3`). Every cell runs against a [`DataLayer`]
-//! built for its workload's trace, so dispatch is data-aware: reports carry
-//! each cell's locality hit rate, cross-rack bytes moved and the fetch
-//! latency charged. CI runs the quick version of the sweep every build,
-//! uploads the report as an artifact (`BENCH_cluster.json`), and diffs it
-//! against the previous run's artifact (see [`crate::perf_gate`]), giving
-//! the repo a tracked, gated performance trajectory. Fixed-seed runs are
-//! byte-for-byte reproducible.
+//! 200-instance racks, local data), this experiment sweeps a whole policy
+//! grid over multiple workloads and multi-rack configurations, and emits a
+//! machine-readable JSON report (schema `dscs-at-scale-v4`). The grid is
+//! *declarative*: a [`SweepSpec`] lists the values to sweep per axis, and
+//! [`at_scale_sweep`] iterates the cartesian product generically, building
+//! one [`crate::experiment::Experiment`] per cell — adding an axis means
+//! adding its policy enum and one list here, not rewriting the sweep. Every
+//! cell runs against a [`DataLayer`] built for its workload's trace, so
+//! dispatch is data-aware: reports carry each cell's locality hit rate,
+//! cross-rack bytes moved, the fetch latency charged, and (since v4) the
+//! joules those moves cost — the energy axis balancers are compared on.
+//! CI runs the quick version of the sweep every build, uploads the report as
+//! an artifact (`BENCH_cluster.json`), and diffs it against the previous
+//! run's artifact (see [`crate::perf_gate`]), giving the repo a tracked,
+//! gated performance trajectory. Fixed-seed runs are byte-for-byte
+//! reproducible.
+
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -23,6 +29,7 @@ use dscs_simcore::rng::DeterministicRng;
 use dscs_simcore::time::SimDuration;
 
 use crate::data::DataLayer;
+use crate::experiment::{ConfigError, Experiment};
 use crate::policy::{KeepalivePolicy, LoadBalancer, ScalingPolicy, SchedulerPolicy};
 use crate::sim::{ClusterConfig, ClusterSim};
 use crate::trace::{RateProfile, TraceRequest};
@@ -50,7 +57,8 @@ impl SweepScale {
     }
 }
 
-/// Options for one at-scale sweep.
+/// Options for one at-scale sweep: the CLI-facing shorthand that expands
+/// into a full-grid [`SweepSpec`] (restricting at most the balancer axis).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AtScaleOptions {
     /// Experiment size.
@@ -91,6 +99,176 @@ impl AtScaleOptions {
         AtScaleOptions {
             scale: SweepScale::Smoke,
             ..AtScaleOptions::quick()
+        }
+    }
+}
+
+/// A declarative sweep grid: the values to sweep, one list per axis, plus
+/// the scale, seed and rack count every cell shares. [`SweepSpec::run`]
+/// iterates the cartesian product in a fixed order (workload, platform,
+/// scheduler, keepalive, scaling, balancer), so reports are deterministic.
+///
+/// Adding a policy axis to the sweep is one enum (the policy itself) and one
+/// list here — the iteration, cell identity and JSON rendering follow from
+/// the spec instead of being hard-coded per axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Experiment size (governs the workload traces generated).
+    pub scale: SweepScale,
+    /// Master seed; trace generation, placement and service jitter derive
+    /// from it.
+    pub seed: u64,
+    /// Number of racks the front end shards over.
+    pub racks: u32,
+    /// Platforms to compare.
+    pub platforms: Vec<PlatformKind>,
+    /// Scheduler policies to sweep.
+    pub schedulers: Vec<SchedulerPolicy>,
+    /// Keepalive policies to sweep.
+    pub keepalives: Vec<KeepalivePolicy>,
+    /// Instance-pool scaling policies to sweep.
+    pub scalings: Vec<ScalingPolicy>,
+    /// Front-end load balancers to sweep.
+    pub balancers: Vec<LoadBalancer>,
+}
+
+impl SweepSpec {
+    /// The whole default grid at `scale`: both Figure-13 platforms, every
+    /// scheduler, every keepalive default, every scaling default, every
+    /// balancer, two racks, seed 42.
+    pub fn default_grid(scale: SweepScale) -> Self {
+        SweepSpec {
+            scale,
+            seed: 42,
+            racks: 2,
+            platforms: SWEEP_PLATFORMS.to_vec(),
+            schedulers: SchedulerPolicy::ALL.to_vec(),
+            keepalives: KeepalivePolicy::all_default().to_vec(),
+            scalings: ScalingPolicy::all_default().to_vec(),
+            balancers: LoadBalancer::ALL.to_vec(),
+        }
+    }
+
+    /// Checks the spec: a sweep needs at least one rack and at least one
+    /// value on every axis.
+    pub fn check(&self) -> Result<(), ConfigError> {
+        if self.racks == 0 {
+            return Err(ConfigError::ZeroRacks);
+        }
+        let axes: [(&'static str, bool); 5] = [
+            ("platforms", self.platforms.is_empty()),
+            ("schedulers", self.schedulers.is_empty()),
+            ("keepalives", self.keepalives.is_empty()),
+            ("scalings", self.scalings.is_empty()),
+            ("balancers", self.balancers.is_empty()),
+        ];
+        for (axis, empty) in axes {
+            if empty {
+                return Err(ConfigError::EmptySweepAxis { axis });
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the sweep: one [`Experiment`] per cell of the cartesian product,
+    /// against a per-workload [`DataLayer`] so every cell pays real
+    /// data-movement costs.
+    pub fn run(&self) -> Result<AtScaleReport, ConfigError> {
+        self.check()?;
+        let workloads = sweep_workloads(self.scale, self.seed);
+        let mut cells = Vec::new();
+        // The end-to-end model evaluation behind ClusterSim::new depends only
+        // on the platform; policy cells reuse it via Experiment::run_on.
+        let base_sims: Vec<ClusterSim> = self
+            .platforms
+            .iter()
+            .map(|&p| ClusterSim::new(p, ClusterConfig::default()))
+            .collect();
+        for &(name, ref trace, _) in &workloads {
+            // Placement depends only on the trace and rack count; all policy
+            // cells of one workload dispatch against the same layout.
+            let data = Arc::new(DataLayer::for_trace(trace, self.racks, self.seed ^ 0xDA7A));
+            for (&platform, base) in self.platforms.iter().zip(&base_sims) {
+                for &scheduler in &self.schedulers {
+                    for &keepalive in &self.keepalives {
+                        for &scaling in &self.scalings {
+                            for &balancer in &self.balancers {
+                                let outcome = Experiment::builder(platform)
+                                    .trace(trace.clone())
+                                    .racks(self.racks)
+                                    .balancer(balancer)
+                                    .scheduler(scheduler)
+                                    .keepalive(keepalive)
+                                    .scaling(scaling)
+                                    .data_layer(data.clone())
+                                    .seed(self.seed ^ 0x5EED)
+                                    .build()?
+                                    .run_on(base);
+                                let report = &outcome.report;
+                                cells.push(SweepCell {
+                                    workload: name,
+                                    platform,
+                                    scheduler,
+                                    keepalive,
+                                    scaling,
+                                    balancer,
+                                    requests: trace.len() as u64,
+                                    completed: report.completed,
+                                    rejected: report.rejected,
+                                    cold_starts: report.cold_starts,
+                                    prewarm_hits: report.prewarm_hits,
+                                    prewarm_hit_rate: report.prewarm_hit_rate(),
+                                    wasted_warm_s: report.wasted_warm_seconds,
+                                    scale_ups: report.scale_ups,
+                                    scale_downs: report.scale_downs,
+                                    scaling_lag_s: report.scaling_lag_s,
+                                    peak_instances: report.peak_instances,
+                                    locality_hit_rate: report.locality_hit_rate(),
+                                    cross_rack_bytes: report.cross_rack_bytes,
+                                    fetch_latency_s: report.fetch_latency_s,
+                                    fetch_energy_j: report.fetch_energy_j,
+                                    mean_latency_ms: report.mean_latency_ms(),
+                                    p99_latency_ms: report.p99_latency_ms(),
+                                    peak_queue: report.peak_queue(),
+                                    makespan_s: report.makespan.as_secs_f64(),
+                                    rack_completed: outcome
+                                        .racks
+                                        .iter()
+                                        .map(|r| r.completed)
+                                        .collect(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(AtScaleReport {
+            spec: self.clone(),
+            workloads: workloads
+                .iter()
+                .map(|&(name, ref trace, horizon_s)| WorkloadSummary {
+                    name,
+                    requests: trace.len() as u64,
+                    horizon_s,
+                })
+                .collect(),
+            cells,
+        })
+    }
+}
+
+impl From<AtScaleOptions> for SweepSpec {
+    fn from(options: AtScaleOptions) -> Self {
+        SweepSpec {
+            scale: options.scale,
+            seed: options.seed,
+            racks: options.racks,
+            balancers: match options.balancer {
+                Some(balancer) => vec![balancer],
+                None => LoadBalancer::ALL.to_vec(),
+            },
+            ..SweepSpec::default_grid(options.scale)
         }
     }
 }
@@ -140,6 +318,9 @@ pub struct SweepCell {
     pub cross_rack_bytes: u64,
     /// Total cross-rack fetch latency charged onto invocations (seconds).
     pub fetch_latency_s: f64,
+    /// Joules spent moving those bytes across racks (fabric + remote-drive
+    /// PCIe), the energy cost of non-local dispatch.
+    pub fetch_energy_j: f64,
     /// Mean wall-clock latency (ms).
     pub mean_latency_ms: f64,
     /// p99 wall-clock latency (ms).
@@ -166,8 +347,8 @@ pub struct WorkloadSummary {
 /// The full sweep result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AtScaleReport {
-    /// The options the sweep ran under.
-    pub options: AtScaleOptions,
+    /// The declarative grid the sweep ran.
+    pub spec: SweepSpec,
     /// The workloads replayed.
     pub workloads: Vec<WorkloadSummary>,
     /// Every sweep cell, in deterministic order (workload, platform,
@@ -209,14 +390,26 @@ impl AtScaleReport {
     /// Renders the report as compact, byte-for-byte reproducible JSON.
     pub fn to_json(&self) -> String {
         let mut root = JsonValue::object();
-        root.push("schema", "dscs-at-scale-v3");
-        root.push("scale", self.options.scale.name());
-        root.push("seed", self.options.seed);
-        root.push("racks", self.options.racks);
-        root.push(
-            "balancer",
-            self.options.balancer.map_or("all", |b| b.name()),
-        );
+        root.push("schema", "dscs-at-scale-v4");
+        root.push("scale", self.spec.scale.name());
+        root.push("seed", self.spec.seed);
+        root.push("racks", self.spec.racks);
+        // The balancer axis label: one name, the historical "all" for the
+        // full axis, or the joined names of a genuine subset.
+        let balancer_label = match self.spec.balancers.as_slice() {
+            [only] => only.name().to_string(),
+            list if list.len() == LoadBalancer::ALL.len()
+                && LoadBalancer::ALL.iter().all(|b| list.contains(b)) =>
+            {
+                "all".to_string()
+            }
+            list => list
+                .iter()
+                .map(LoadBalancer::name)
+                .collect::<Vec<_>>()
+                .join("+"),
+        };
+        root.push("balancer", balancer_label);
         root.push(
             "workloads",
             JsonValue::Array(
@@ -259,6 +452,7 @@ impl AtScaleReport {
                         obj.push("locality_hit_rate", c.locality_hit_rate);
                         obj.push("cross_rack_bytes", c.cross_rack_bytes);
                         obj.push("fetch_latency_s", c.fetch_latency_s);
+                        obj.push("fetch_energy_j", c.fetch_energy_j);
                         obj.push("mean_latency_ms", c.mean_latency_ms);
                         obj.push("p99_latency_ms", c.p99_latency_ms);
                         obj.push("peak_queue", c.peak_queue);
@@ -276,8 +470,12 @@ impl AtScaleReport {
 /// The platforms the sweep compares (the Figure 13 pair).
 pub const SWEEP_PLATFORMS: [PlatformKind; 2] = [PlatformKind::BaselineCpu, PlatformKind::DscsDsa];
 
-/// Builds the sweep's workload traces at `scale` from `seed`.
-fn sweep_workloads(scale: SweepScale, seed: u64) -> Vec<(&'static str, Vec<TraceRequest>, f64)> {
+/// Builds the sweep's workload traces at `scale` from `seed`. Traces are
+/// shared (`Arc`) across every cell of their workload.
+fn sweep_workloads(
+    scale: SweepScale,
+    seed: u64,
+) -> Vec<(&'static str, Arc<Vec<TraceRequest>>, f64)> {
     let mut master = DeterministicRng::seeded(seed);
     let bursty = match scale {
         SweepScale::Smoke => RateProfile::paper_bursty().compressed(100.0),
@@ -300,105 +498,36 @@ fn sweep_workloads(scale: SweepScale, seed: u64) -> Vec<(&'static str, Vec<Trace
     let mut bursty_rng = master.fork(1);
     out.push((
         Workload::name(&bursty),
-        Workload::generate(&bursty, &mut bursty_rng).expect("built-in profile is valid"),
+        Arc::new(Workload::generate(&bursty, &mut bursty_rng).expect("built-in profile is valid")),
         Workload::horizon(&bursty).as_secs_f64(),
     ));
     let mut azure_rng = master.fork(2);
     out.push((
         azure.name(),
-        azure
-            .generate(&mut azure_rng)
-            .expect("built-in workload is valid"),
+        Arc::new(
+            azure
+                .generate(&mut azure_rng)
+                .expect("built-in workload is valid"),
+        ),
         azure.horizon().as_secs_f64(),
     ));
     out
 }
 
-/// Runs the policy sweep: every scheduler × keepalive × scaling × balancer ×
-/// platform combination over every workload, sharded over `options.racks`
-/// racks, against a per-workload [`DataLayer`] so every cell pays real
-/// data-movement costs.
+/// Runs the policy sweep the options describe: every scheduler × keepalive ×
+/// scaling × balancer × platform combination over every workload, sharded
+/// over `options.racks` racks, against a per-workload [`DataLayer`] so every
+/// cell pays real data-movement costs. Shorthand for
+/// `SweepSpec::from(options).run()`.
+///
+/// # Panics
+/// Panics (naming the violation) on invalid options — in practice only
+/// `racks == 0`, since the expanded spec's axes are never empty. Call
+/// [`SweepSpec::run`] directly to handle the error instead.
 pub fn at_scale_sweep(options: AtScaleOptions) -> AtScaleReport {
-    let workloads = sweep_workloads(options.scale, options.seed);
-    let balancers: Vec<LoadBalancer> = match options.balancer {
-        Some(balancer) => vec![balancer],
-        None => LoadBalancer::ALL.to_vec(),
-    };
-    let mut cells = Vec::new();
-    // The end-to-end model evaluation behind ClusterSim::new depends only on
-    // the platform; policy cells reuse it via `reconfigured`.
-    let base_sims: Vec<ClusterSim> = SWEEP_PLATFORMS
-        .iter()
-        .map(|&p| ClusterSim::new(p, ClusterConfig::default()))
-        .collect();
-    for &(name, ref trace, _) in &workloads {
-        // Placement depends only on the trace and rack count; all policy
-        // cells of one workload dispatch against the same layout.
-        let data = DataLayer::for_trace(trace, options.racks, options.seed ^ 0xDA7A);
-        for (platform, base) in SWEEP_PLATFORMS.into_iter().zip(&base_sims) {
-            for scheduler in SchedulerPolicy::ALL {
-                for keepalive in KeepalivePolicy::all_default() {
-                    for scaling in ScalingPolicy::all_default() {
-                        for &balancer in &balancers {
-                            let config = ClusterConfig {
-                                scheduler,
-                                keepalive,
-                                scaling,
-                                ..ClusterConfig::default()
-                            };
-                            let sim = base.reconfigured(config);
-                            let (report, racks) = sim.run_sharded_with_data(
-                                trace,
-                                options.seed ^ 0x5EED,
-                                options.racks,
-                                balancer,
-                                Some(&data),
-                            );
-                            cells.push(SweepCell {
-                                workload: name,
-                                platform,
-                                scheduler,
-                                keepalive,
-                                scaling,
-                                balancer,
-                                requests: trace.len() as u64,
-                                completed: report.completed,
-                                rejected: report.rejected,
-                                cold_starts: report.cold_starts,
-                                prewarm_hits: report.prewarm_hits,
-                                prewarm_hit_rate: report.prewarm_hit_rate(),
-                                wasted_warm_s: report.wasted_warm_seconds,
-                                scale_ups: report.scale_ups,
-                                scale_downs: report.scale_downs,
-                                scaling_lag_s: report.scaling_lag_s,
-                                peak_instances: report.peak_instances,
-                                locality_hit_rate: report.locality_hit_rate(),
-                                cross_rack_bytes: report.cross_rack_bytes,
-                                fetch_latency_s: report.fetch_latency_s,
-                                mean_latency_ms: report.mean_latency_ms(),
-                                p99_latency_ms: report.p99_latency_ms(),
-                                peak_queue: report.peak_queue(),
-                                makespan_s: report.makespan.as_secs_f64(),
-                                rack_completed: racks.iter().map(|r| r.completed).collect(),
-                            });
-                        }
-                    }
-                }
-            }
-        }
-    }
-    AtScaleReport {
-        options,
-        workloads: workloads
-            .iter()
-            .map(|&(name, ref trace, horizon_s)| WorkloadSummary {
-                name,
-                requests: trace.len() as u64,
-                horizon_s,
-            })
-            .collect(),
-        cells,
-    }
+    SweepSpec::from(options)
+        .run()
+        .unwrap_or_else(|err| panic!("invalid at-scale options: {err}"))
 }
 
 #[cfg(test)]
@@ -428,6 +557,10 @@ mod tests {
             assert!(cell.peak_instances <= 200);
             assert!((0.0..=1.0).contains(&cell.locality_hit_rate));
             assert!(cell.fetch_latency_s >= 0.0);
+            assert!(cell.fetch_energy_j >= 0.0);
+            if cell.cross_rack_bytes > 0 {
+                assert!(cell.fetch_energy_j > 0.0, "moved bytes must cost joules");
+            }
             if matches!(cell.scaling, ScalingPolicy::Fixed) {
                 assert_eq!(cell.scale_ups, 0, "fixed racks never scale");
                 assert_eq!(cell.scaling_lag_s, 0.0);
@@ -441,7 +574,7 @@ mod tests {
         let b = at_scale_sweep(AtScaleOptions::smoke()).to_json();
         assert_eq!(a, b, "fixed seed must reproduce byte-for-byte");
         assert!(a.starts_with('{') && a.ends_with('}'));
-        assert!(a.contains("\"schema\":\"dscs-at-scale-v3\""));
+        assert!(a.contains("\"schema\":\"dscs-at-scale-v4\""));
         assert!(a.contains("\"workload\":\"azure\""));
         assert!(a.contains("\"keepalive\":\"hybrid-histogram\""));
         assert!(a.contains("\"keepalive\":\"hybrid-prewarm\""));
@@ -450,10 +583,11 @@ mod tests {
         assert!(a.contains("\"balancer\":\"locality\""));
         assert!(a.contains("\"locality_hit_rate\""));
         assert!(a.contains("\"cross_rack_bytes\""));
+        assert!(a.contains("\"fetch_energy_j\""));
         let parsed = JsonValue::parse(&a).expect("report JSON parses");
         assert_eq!(
             parsed.get("schema").and_then(JsonValue::as_str),
-            Some("dscs-at-scale-v3")
+            Some("dscs-at-scale-v4")
         );
     }
 
@@ -478,5 +612,85 @@ mod tests {
                 .sum();
             assert!(dscs < base, "{workload}: dscs {dscs} vs baseline {base}");
         }
+    }
+
+    #[test]
+    fn sweep_spec_expands_options_and_validates_axes() {
+        let spec = SweepSpec::from(AtScaleOptions::quick());
+        assert_eq!(spec.balancers.len(), LoadBalancer::ALL.len());
+        assert_eq!(spec.check(), Ok(()));
+        let restricted = SweepSpec::from(AtScaleOptions {
+            balancer: Some(LoadBalancer::LeastLoaded),
+            ..AtScaleOptions::quick()
+        });
+        assert_eq!(restricted.balancers, vec![LoadBalancer::LeastLoaded]);
+
+        let empty_axis = SweepSpec {
+            schedulers: Vec::new(),
+            ..SweepSpec::default_grid(SweepScale::Smoke)
+        };
+        assert_eq!(
+            empty_axis.check(),
+            Err(ConfigError::EmptySweepAxis { axis: "schedulers" })
+        );
+        assert!(empty_axis.run().is_err());
+        let zero_racks = SweepSpec {
+            racks: 0,
+            ..SweepSpec::default_grid(SweepScale::Smoke)
+        };
+        assert_eq!(zero_racks.check(), Err(ConfigError::ZeroRacks));
+    }
+
+    /// The report's balancer label reflects the swept list: one name, "all"
+    /// only for the full axis, and the joined names for a genuine subset.
+    #[test]
+    fn balancer_label_distinguishes_subsets_from_the_full_axis() {
+        let spec = SweepSpec {
+            platforms: vec![PlatformKind::DscsDsa],
+            schedulers: vec![SchedulerPolicy::Fcfs],
+            keepalives: vec![KeepalivePolicy::paper_default()],
+            scalings: vec![ScalingPolicy::Fixed],
+            ..SweepSpec::default_grid(SweepScale::Smoke)
+        };
+        let label = |balancers: Vec<LoadBalancer>| {
+            SweepSpec {
+                balancers,
+                ..spec.clone()
+            }
+            .run()
+            .expect("valid spec")
+            .to_json()
+        };
+        assert!(label(vec![LoadBalancer::RoundRobin]).contains("\"balancer\":\"round-robin\""));
+        assert!(label(LoadBalancer::ALL.to_vec()).contains("\"balancer\":\"all\""));
+        assert!(
+            label(vec![LoadBalancer::RoundRobin, LoadBalancer::LeastLoaded])
+                .contains("\"balancer\":\"round-robin+least-loaded\"")
+        );
+    }
+
+    /// A restricted spec sweeps exactly its listed values: the declarative
+    /// grid is what runs, not a hard-coded axis set.
+    #[test]
+    fn restricted_sweep_spec_runs_only_its_lists() {
+        let spec = SweepSpec {
+            platforms: vec![PlatformKind::DscsDsa],
+            schedulers: vec![SchedulerPolicy::Fcfs],
+            keepalives: vec![KeepalivePolicy::paper_default()],
+            scalings: vec![ScalingPolicy::Fixed, ScalingPolicy::reactive_default()],
+            balancers: vec![LoadBalancer::locality_default()],
+            ..SweepSpec::default_grid(SweepScale::Smoke)
+        };
+        let report = spec.run().expect("valid spec");
+        // 2 workloads x 1 platform x 1 scheduler x 1 keepalive x 2 scalings
+        // x 1 balancer.
+        assert_eq!(report.cells.len(), 4);
+        assert!(report
+            .cells
+            .iter()
+            .all(|c| c.platform == PlatformKind::DscsDsa
+                && c.balancer.name() == "locality"
+                && c.scheduler.name() == "fcfs"));
+        assert_eq!(report.spec, spec);
     }
 }

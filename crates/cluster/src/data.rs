@@ -37,6 +37,15 @@ const REPLICATION: usize = 3;
 /// acceleration only pays off where the bytes already are.
 const RACK_SPREAD: u32 = 1;
 
+/// What one cross-rack fetch of a given size costs: the wall-clock latency
+/// charged onto the invocation and the joules the fabric and remote drive
+/// spend moving the bytes.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FetchCost {
+    pub(crate) latency: SimDuration,
+    pub(crate) energy_j: f64,
+}
+
 /// The placement of every object one trace touches, plus the fetch-cost
 /// model charged when a request runs on a rack without a replica.
 #[derive(Debug, Clone)]
@@ -46,9 +55,18 @@ pub struct DataLayer {
     /// (function, object) -> sorted racks holding a replica.
     placement: HashMap<(u32, u32), Vec<u32>>,
     fetch: RemoteFetchModel,
-    /// Memoized per-size fetch latencies (object sizes come from a small
+    /// Memoized per-size fetch costs (object sizes come from a small
     /// deterministic set, so the hot path never re-prices a fetch).
-    fetch_costs: HashMap<Bytes, SimDuration>,
+    fetch_costs: HashMap<Bytes, FetchCost>,
+}
+
+impl FetchCost {
+    fn of(fetch: &RemoteFetchModel, size: Bytes) -> FetchCost {
+        FetchCost {
+            latency: fetch.fetch_latency(size),
+            energy_j: fetch.fetch_energy_joules(size),
+        }
+    }
 }
 
 impl DataLayer {
@@ -70,7 +88,7 @@ impl DataLayer {
         let mut rng = DeterministicRng::seeded(seed);
         let fetch = RemoteFetchModel::datacenter_default();
         let mut placement: HashMap<(u32, u32), Vec<u32>> = HashMap::new();
-        let mut fetch_costs: HashMap<Bytes, SimDuration> = HashMap::new();
+        let mut fetch_costs: HashMap<Bytes, FetchCost> = HashMap::new();
         for request in trace {
             let ident = (request.function, request.object);
             if placement.contains_key(&ident) {
@@ -87,7 +105,7 @@ impl DataLayer {
             placement.insert(ident, racks_holding);
             fetch_costs
                 .entry(request.object_bytes)
-                .or_insert_with(|| fetch.fetch_latency(request.object_bytes));
+                .or_insert_with(|| FetchCost::of(&fetch, request.object_bytes));
         }
         DataLayer {
             store,
@@ -126,13 +144,26 @@ impl DataLayer {
         self.replica_racks(function, object).contains(&rack)
     }
 
-    /// The deterministic latency a rack without a replica pays to fetch
-    /// `size` bytes from a remote rack.
-    pub fn fetch_latency(&self, size: Bytes) -> SimDuration {
+    /// The memoized (or, for sizes the trace never read, freshly priced)
+    /// cost of fetching `size` bytes from a remote rack. The simulator's hot
+    /// path uses this directly so one lookup yields both charges.
+    pub(crate) fn fetch_cost(&self, size: Bytes) -> FetchCost {
         self.fetch_costs
             .get(&size)
             .copied()
-            .unwrap_or_else(|| self.fetch.fetch_latency(size))
+            .unwrap_or_else(|| FetchCost::of(&self.fetch, size))
+    }
+
+    /// The deterministic latency a rack without a replica pays to fetch
+    /// `size` bytes from a remote rack.
+    pub fn fetch_latency(&self, size: Bytes) -> SimDuration {
+        self.fetch_cost(size).latency
+    }
+
+    /// The joules the fabric and the remote drive's PCIe hop spend moving
+    /// `size` bytes across racks (the energy side of [`DataLayer::fetch_latency`]).
+    pub fn fetch_energy_joules(&self, size: Bytes) -> f64 {
+        self.fetch_cost(size).energy_j
     }
 }
 
@@ -192,5 +223,22 @@ mod tests {
         let large = data.fetch_latency(Bytes::from_mib(8));
         assert!(small > SimDuration::ZERO);
         assert!(large > small);
+    }
+
+    #[test]
+    fn fetch_energy_is_positive_and_monotone_in_size() {
+        let trace = short_trace(5);
+        let data = DataLayer::for_trace(&trace, 2, 17);
+        let small = data.fetch_energy_joules(Bytes::from_kib(256));
+        let large = data.fetch_energy_joules(Bytes::from_mib(8));
+        assert!(small > 0.0);
+        assert!(large > small);
+        // Memoized and uncached sizes price identically.
+        for request in &trace {
+            assert_eq!(
+                data.fetch_energy_joules(request.object_bytes),
+                DataLayer::for_trace(&trace, 2, 17).fetch_energy_joules(request.object_bytes)
+            );
+        }
     }
 }

@@ -1,0 +1,732 @@
+//! The typed entry point to cluster runs: [`Experiment`], built by
+//! [`ExperimentBuilder`], executed into an [`Outcome`].
+//!
+//! Four PRs of organic growth left the cluster with a positional-argument API
+//! trio (`run` / `run_sharded` / `run_sharded_with_data`), panic-based
+//! validation and tuple returns. This module replaces that surface with two
+//! types:
+//!
+//! * [`Experiment`] — a validated, self-describing run specification: the
+//!   platform under test, the request trace (or the [`Workload`] that
+//!   generates it), the rack count, the front-end balancer, the full
+//!   scheduler/keepalive/scaling configuration, an optional data-placement
+//!   layer and the seed. An `Experiment` can only be obtained through
+//!   [`ExperimentBuilder::build`], which returns `Result<Experiment,
+//!   ConfigError>` — every formerly-panicking precondition is a typed,
+//!   testable [`ConfigError`] variant instead.
+//! * [`Outcome`] — the named-field result of one run: the aggregate
+//!   [`ClusterReport`], the per-rack [`RackSummary`] list and the run's
+//!   identifying metadata, replacing the old `(ClusterReport,
+//!   Vec<RackSummary>)` tuple.
+//!
+//! The deprecated `ClusterSim` methods remain as thin shims that route
+//! through the same consolidated validator and panic with their historical
+//! messages, so legacy callers (and golden fixtures) behave bit-identically.
+//!
+//! # Example
+//!
+//! ```
+//! use dscs_cluster::experiment::Experiment;
+//! use dscs_cluster::policy::LoadBalancer;
+//! use dscs_cluster::trace::RateProfile;
+//! use dscs_platforms::PlatformKind;
+//! use dscs_simcore::rng::DeterministicRng;
+//! use dscs_simcore::time::SimDuration;
+//!
+//! let profile = RateProfile { segments: vec![(SimDuration::from_secs(5), 60.0)] };
+//! let outcome = Experiment::builder(PlatformKind::DscsDsa)
+//!     .trace(profile.generate(&mut DeterministicRng::seeded(1)))
+//!     .racks(2)
+//!     .balancer(LoadBalancer::LeastLoaded)
+//!     .seed(7)
+//!     .build()
+//!     .expect("valid experiment")
+//!     .run();
+//! assert_eq!(
+//!     outcome.report.completed + outcome.report.rejected,
+//!     outcome.racks.iter().map(|r| r.completed + r.rejected).sum::<u64>()
+//! );
+//! ```
+
+use std::fmt;
+use std::sync::Arc;
+
+use dscs_platforms::PlatformKind;
+use dscs_simcore::rng::DeterministicRng;
+use dscs_simcore::time::SimDuration;
+
+use crate::data::DataLayer;
+use crate::policy::{KeepalivePolicy, LoadBalancer, ScalingPolicy, SchedulerPolicy};
+use crate::sim::{ClusterConfig, ClusterReport, ClusterSim, RackSummary};
+use crate::trace::TraceRequest;
+use crate::workload::{Workload, WorkloadError};
+
+/// A violated precondition of a cluster run, reported instead of the panic
+/// the pre-builder API raised.
+///
+/// Every variant corresponds to one `assert!` the deprecated
+/// `run_sharded_with_data` / `ScalingPolicy::validate` path used to fire; the
+/// deprecated shims still panic, but they do so by formatting these variants
+/// through their historical messages, so there is exactly one validator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The experiment has no trace (none supplied, or the supplied trace is
+    /// empty): there is nothing to simulate.
+    EmptyTrace,
+    /// The experiment shards over zero racks.
+    ZeroRacks,
+    /// The attached data layer was built for a different rack count than the
+    /// experiment shards over.
+    DataLayerRackMismatch {
+        /// Racks the data layer was built for.
+        layer_racks: u32,
+        /// Racks the experiment shards over.
+        racks: u32,
+    },
+    /// An elastic scaling policy with `min_instances == 0`: the rack could
+    /// never start work.
+    ZeroMinInstances,
+    /// `min_instances` exceeds `max_instances`.
+    MinAboveMax {
+        /// The configured minimum.
+        min: u32,
+        /// The configured maximum.
+        max: u32,
+    },
+    /// A scaling policy with a zero decision interval (the simulation would
+    /// tick forever without advancing).
+    ZeroScalingInterval {
+        /// The policy's report name (`"reactive"` or `"predictive"`).
+        policy: &'static str,
+    },
+    /// A reactive scaling policy with a zero step.
+    ZeroReactiveStep,
+    /// Reactive thresholds that overlap: a queue depth satisfying both would
+    /// make scale-down unreachable.
+    OverlappingReactiveThresholds {
+        /// Queue depth at or above which the rack scales up.
+        scale_up_queue: usize,
+        /// Queue depth at or below which the rack scales down.
+        scale_down_queue: usize,
+    },
+    /// A non-finite or sub-unit predictive headroom.
+    InvalidPredictiveHeadroom {
+        /// The offending multiplier.
+        headroom: f64,
+    },
+    /// A sweep axis with no values to sweep.
+    EmptySweepAxis {
+        /// The axis name (`"platforms"`, `"schedulers"`, ...).
+        axis: &'static str,
+    },
+    /// The workload handed to [`ExperimentBuilder::workload`] failed its own
+    /// validation.
+    Workload(WorkloadError),
+}
+
+impl ConfigError {
+    /// The message the pre-builder API's `assert!` raised for this violation.
+    /// The deprecated shims panic with exactly these strings so legacy
+    /// `#[should_panic]` expectations keep matching.
+    pub(crate) fn legacy_message(&self) -> String {
+        match self {
+            ConfigError::EmptyTrace => "trace must not be empty".into(),
+            ConfigError::ZeroRacks => "need at least one rack".into(),
+            ConfigError::DataLayerRackMismatch { .. } => {
+                "data layer must cover exactly the sharded racks".into()
+            }
+            ConfigError::ZeroMinInstances => "elastic racks need at least one instance".into(),
+            ConfigError::MinAboveMax { .. } => "min_instances must not exceed max_instances".into(),
+            ConfigError::ZeroScalingInterval { policy } => {
+                format!("{policy} interval must be non-zero")
+            }
+            ConfigError::ZeroReactiveStep => "reactive step must be at least one instance".into(),
+            ConfigError::OverlappingReactiveThresholds { .. } => {
+                "reactive thresholds must not overlap: a queue depth \
+                 satisfying both would make scale-down unreachable"
+                    .into()
+            }
+            ConfigError::InvalidPredictiveHeadroom { .. } => {
+                "predictive headroom must be finite and >= 1".into()
+            }
+            ConfigError::EmptySweepAxis { axis } => {
+                format!("sweep axis {axis} must not be empty")
+            }
+            ConfigError::Workload(err) => err.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::EmptyTrace => write!(f, "experiment trace must not be empty"),
+            ConfigError::ZeroRacks => write!(f, "experiment needs at least one rack"),
+            ConfigError::DataLayerRackMismatch { layer_racks, racks } => write!(
+                f,
+                "data layer covers {layer_racks} rack(s) but the experiment shards over {racks}"
+            ),
+            ConfigError::ZeroMinInstances => {
+                write!(f, "elastic racks need min_instances of at least one")
+            }
+            ConfigError::MinAboveMax { min, max } => {
+                write!(f, "min_instances {min} must not exceed max_instances {max}")
+            }
+            ConfigError::ZeroScalingInterval { policy } => {
+                write!(f, "{policy} scaling interval must be non-zero")
+            }
+            ConfigError::ZeroReactiveStep => {
+                write!(f, "reactive scaling step must be at least one instance")
+            }
+            ConfigError::OverlappingReactiveThresholds {
+                scale_up_queue,
+                scale_down_queue,
+            } => write!(
+                f,
+                "reactive thresholds overlap: scale-down at {scale_down_queue} must stay below \
+                 scale-up at {scale_up_queue}"
+            ),
+            ConfigError::InvalidPredictiveHeadroom { headroom } => {
+                write!(f, "predictive headroom {headroom} must be finite and >= 1")
+            }
+            ConfigError::EmptySweepAxis { axis } => {
+                write!(f, "sweep axis {axis} has no values to sweep")
+            }
+            ConfigError::Workload(err) => write!(f, "workload validation failed: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::Workload(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<WorkloadError> for ConfigError {
+    fn from(err: WorkloadError) -> Self {
+        ConfigError::Workload(err)
+    }
+}
+
+/// The consolidated run validator: every precondition the deprecated
+/// `run_sharded_with_data` asserted, as typed errors, in the historical
+/// check order. Used by [`ExperimentBuilder::build`] and by the deprecated
+/// shims (which turn the error back into the legacy panic).
+pub(crate) fn validate_run(
+    trace: &[TraceRequest],
+    racks: u32,
+    config: &ClusterConfig,
+    data: Option<&DataLayer>,
+) -> Result<(), ConfigError> {
+    if trace.is_empty() {
+        return Err(ConfigError::EmptyTrace);
+    }
+    if racks == 0 {
+        return Err(ConfigError::ZeroRacks);
+    }
+    if let Some(data) = data {
+        if data.rack_count() != racks {
+            return Err(ConfigError::DataLayerRackMismatch {
+                layer_racks: data.rack_count(),
+                racks,
+            });
+        }
+    }
+    config.check()
+}
+
+/// A validated, self-describing cluster run: platform, trace, racks,
+/// balancer, policies, optional data layer, seed. Obtained through
+/// [`Experiment::builder`]; the constructor is private so every `Experiment`
+/// in existence has passed the consolidated validator.
+///
+/// The trace and data layer are held behind [`Arc`]s, so cloning an
+/// experiment (or building many variants over one trace, as the sweep does)
+/// never copies the request list.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    platform: PlatformKind,
+    trace: Arc<Vec<TraceRequest>>,
+    racks: u32,
+    balancer: LoadBalancer,
+    config: ClusterConfig,
+    data: Option<Arc<DataLayer>>,
+    seed: u64,
+}
+
+impl Experiment {
+    /// Starts a builder for a run on `platform`, with a single rack, the
+    /// round-robin balancer, [`ClusterConfig::default`] policies, no data
+    /// layer and seed 0.
+    pub fn builder(platform: PlatformKind) -> ExperimentBuilder {
+        ExperimentBuilder {
+            platform,
+            trace: None,
+            racks: 1,
+            balancer: LoadBalancer::RoundRobin,
+            config: ClusterConfig::default(),
+            data: None,
+            place_data_seed: None,
+            seed: 0,
+            pending: None,
+        }
+    }
+
+    /// The platform under test.
+    pub fn platform(&self) -> PlatformKind {
+        self.platform
+    }
+
+    /// The request trace the run replays.
+    pub fn trace(&self) -> &[TraceRequest] {
+        &self.trace
+    }
+
+    /// Number of racks the front end shards over.
+    pub fn racks(&self) -> u32 {
+        self.racks
+    }
+
+    /// The front-end load balancer.
+    pub fn balancer(&self) -> LoadBalancer {
+        self.balancer
+    }
+
+    /// The full per-rack cluster configuration.
+    pub fn config(&self) -> ClusterConfig {
+        self.config
+    }
+
+    /// The data-placement layer dispatch runs against, if any.
+    pub fn data(&self) -> Option<&DataLayer> {
+        self.data.as_deref()
+    }
+
+    /// The master seed (service jitter and per-rack RNG streams derive from
+    /// it).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Runs the experiment, evaluating the end-to-end model for the platform
+    /// first. For many runs on one platform (policy sweeps), precompute a
+    /// [`ClusterSim`] once and use [`Experiment::run_on`] instead.
+    pub fn run(&self) -> Outcome {
+        let sim = ClusterSim::new(self.platform, self.config);
+        self.outcome(&sim)
+    }
+
+    /// Runs the experiment on a prebuilt simulator for the same platform,
+    /// reusing its precomputed service times and cold-start costs. The
+    /// simulator is reconfigured to this experiment's [`ClusterConfig`].
+    ///
+    /// # Panics
+    /// Panics if `base` models a different platform — that is a programming
+    /// error in the caller, not a configuration the builder could reject.
+    pub fn run_on(&self, base: &ClusterSim) -> Outcome {
+        assert_eq!(
+            base.platform(),
+            self.platform,
+            "experiment platform must match the prebuilt simulator"
+        );
+        let sim = base.reconfigured(self.config);
+        self.outcome(&sim)
+    }
+
+    fn outcome(&self, sim: &ClusterSim) -> Outcome {
+        let (report, racks) = sim.run_validated(
+            &self.trace,
+            self.seed,
+            self.racks,
+            self.balancer,
+            self.data.as_deref(),
+        );
+        Outcome {
+            report,
+            racks,
+            balancer: self.balancer,
+            seed: self.seed,
+        }
+    }
+}
+
+/// Fluent builder for [`Experiment`]; see [`Experiment::builder`] for the
+/// defaults. Every formerly-panicking precondition surfaces from
+/// [`ExperimentBuilder::build`] as a [`ConfigError`].
+#[derive(Debug, Clone)]
+pub struct ExperimentBuilder {
+    platform: PlatformKind,
+    trace: Option<Arc<Vec<TraceRequest>>>,
+    racks: u32,
+    balancer: LoadBalancer,
+    config: ClusterConfig,
+    data: Option<Arc<DataLayer>>,
+    place_data_seed: Option<u64>,
+    seed: u64,
+    pending: Option<ConfigError>,
+}
+
+impl ExperimentBuilder {
+    /// The request trace to replay. Accepts a `Vec<TraceRequest>` or an
+    /// `Arc<Vec<TraceRequest>>` (shared, e.g. across sweep cells). Replaces
+    /// any earlier trace — including one a failed
+    /// [`ExperimentBuilder::workload`] call left pending.
+    pub fn trace(mut self, trace: impl Into<Arc<Vec<TraceRequest>>>) -> Self {
+        self.trace = Some(trace.into());
+        self.pending = None;
+        self
+    }
+
+    /// Generates the trace from `workload` (validating its parameters) with
+    /// `rng`. A [`WorkloadError`] is carried until [`ExperimentBuilder::build`]
+    /// and surfaces there as [`ConfigError::Workload`] — unless a later
+    /// [`ExperimentBuilder::trace`] / `workload` call supplies a valid trace,
+    /// which replaces the failed one.
+    pub fn workload<W: Workload + ?Sized>(
+        mut self,
+        workload: &W,
+        rng: &mut DeterministicRng,
+    ) -> Self {
+        match workload.generate(rng) {
+            Ok(trace) => {
+                self.trace = Some(Arc::new(trace));
+                self.pending = None;
+            }
+            Err(err) => self.pending = Some(err.into()),
+        }
+        self
+    }
+
+    /// Number of racks the front end shards over.
+    pub fn racks(mut self, racks: u32) -> Self {
+        self.racks = racks;
+        self
+    }
+
+    /// The front-end load balancer.
+    pub fn balancer(mut self, balancer: LoadBalancer) -> Self {
+        self.balancer = balancer;
+        self
+    }
+
+    /// Replaces the whole per-rack [`ClusterConfig`] at once (the per-field
+    /// setters below adjust the current one).
+    pub fn config(mut self, config: ClusterConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Queue discipline used when an instance frees up.
+    pub fn scheduler(mut self, scheduler: SchedulerPolicy) -> Self {
+        self.config.scheduler = scheduler;
+        self
+    }
+
+    /// Container keepalive policy deciding when invocations run cold.
+    pub fn keepalive(mut self, keepalive: KeepalivePolicy) -> Self {
+        self.config.keepalive = keepalive;
+        self
+    }
+
+    /// How each rack's instance pool grows and shrinks.
+    pub fn scaling(mut self, scaling: ScalingPolicy) -> Self {
+        self.config.scaling = scaling;
+        self
+    }
+
+    /// The elastic instance bounds `[min, max]` (a fixed-cap rack always runs
+    /// `max`).
+    pub fn instances(mut self, min: u32, max: u32) -> Self {
+        self.config.min_instances = min;
+        self.config.max_instances = max;
+        self
+    }
+
+    /// Scheduler queue depth per rack (requests beyond it are rejected).
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.config.queue_depth = depth;
+        self
+    }
+
+    /// Modelled delay between a scale-up decision and the new instances
+    /// coming online.
+    pub fn provisioning_delay(mut self, delay: SimDuration) -> Self {
+        self.config.provisioning_delay = delay;
+        self
+    }
+
+    /// Attaches a prebuilt data-placement layer; dispatch becomes data-aware
+    /// and non-local starts pay the modelled cross-rack fetch. Accepts a
+    /// `DataLayer` or an `Arc<DataLayer>` (shared across sweep cells).
+    pub fn data_layer(mut self, data: impl Into<Arc<DataLayer>>) -> Self {
+        self.data = Some(data.into());
+        self.place_data_seed = None;
+        self
+    }
+
+    /// Builds a data layer for the experiment's trace and rack count at
+    /// [`ExperimentBuilder::build`] time, placing objects from a placement
+    /// RNG derived from `seed`. Overridden by [`ExperimentBuilder::data_layer`].
+    pub fn place_data(mut self, seed: u64) -> Self {
+        self.place_data_seed = Some(seed);
+        self.data = None;
+        self
+    }
+
+    /// Master seed for the run (trace replay jitter, per-rack RNG streams).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates the whole specification and returns the run-ready
+    /// [`Experiment`], or the first [`ConfigError`] found (in the historical
+    /// check order: trace, racks, data layer, scaling parameters, elastic
+    /// bounds).
+    pub fn build(self) -> Result<Experiment, ConfigError> {
+        if let Some(err) = self.pending {
+            return Err(err);
+        }
+        let trace = self.trace.unwrap_or_default();
+        let data = match (self.data, self.place_data_seed) {
+            (Some(data), _) => Some(data),
+            (None, Some(seed)) if !trace.is_empty() && self.racks > 0 => {
+                Some(Arc::new(DataLayer::for_trace(&trace, self.racks, seed)))
+            }
+            // An empty trace or zero racks fails validation below before the
+            // placement layer could be built.
+            (None, _) => None,
+        };
+        validate_run(&trace, self.racks, &self.config, data.as_deref())?;
+        Ok(Experiment {
+            platform: self.platform,
+            trace,
+            racks: self.racks,
+            balancer: self.balancer,
+            config: self.config,
+            data,
+            seed: self.seed,
+        })
+    }
+}
+
+/// The named-field result of one [`Experiment::run`]: what the old
+/// `(ClusterReport, Vec<RackSummary>)` tuple carried, plus the run's
+/// identifying metadata so downstream consumers (sweep cells, CLI tables)
+/// can label results without re-threading the spec by hand.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct Outcome {
+    /// The aggregate cluster report (all racks).
+    pub report: ClusterReport,
+    /// Per-rack summaries, indexed by rack.
+    pub racks: Vec<RackSummary>,
+    /// The balancer the run dispatched under.
+    pub balancer: LoadBalancer,
+    /// The seed the run replayed with.
+    pub seed: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::RateProfile;
+
+    fn short_trace(seed: u64) -> Vec<TraceRequest> {
+        let profile = RateProfile {
+            segments: vec![(SimDuration::from_secs(5), 80.0)],
+        };
+        profile.generate(&mut DeterministicRng::seeded(seed))
+    }
+
+    #[test]
+    fn builder_runs_and_accounts_for_every_request() {
+        let trace = short_trace(1);
+        let requests = trace.len() as u64;
+        let outcome = Experiment::builder(PlatformKind::DscsDsa)
+            .trace(trace)
+            .racks(2)
+            .balancer(LoadBalancer::LeastLoaded)
+            .seed(3)
+            .build()
+            .expect("valid experiment")
+            .run();
+        assert_eq!(outcome.report.completed + outcome.report.rejected, requests);
+        assert_eq!(outcome.racks.len(), 2);
+        assert_eq!(outcome.balancer, LoadBalancer::LeastLoaded);
+        assert_eq!(outcome.seed, 3);
+    }
+
+    #[test]
+    fn empty_trace_is_a_typed_error() {
+        let err = Experiment::builder(PlatformKind::DscsDsa)
+            .build()
+            .expect_err("no trace");
+        assert_eq!(err, ConfigError::EmptyTrace);
+        let err = Experiment::builder(PlatformKind::DscsDsa)
+            .trace(Vec::new())
+            .build()
+            .expect_err("empty trace");
+        assert_eq!(err, ConfigError::EmptyTrace);
+    }
+
+    #[test]
+    fn zero_racks_is_a_typed_error() {
+        let err = Experiment::builder(PlatformKind::DscsDsa)
+            .trace(short_trace(2))
+            .racks(0)
+            .build()
+            .expect_err("zero racks");
+        assert_eq!(err, ConfigError::ZeroRacks);
+    }
+
+    #[test]
+    fn data_layer_rack_mismatch_is_a_typed_error() {
+        let trace = short_trace(3);
+        let data = DataLayer::for_trace(&trace, 3, 7);
+        let err = Experiment::builder(PlatformKind::DscsDsa)
+            .trace(trace)
+            .racks(2)
+            .data_layer(data)
+            .build()
+            .expect_err("mismatched layer");
+        assert_eq!(
+            err,
+            ConfigError::DataLayerRackMismatch {
+                layer_racks: 3,
+                racks: 2
+            }
+        );
+    }
+
+    #[test]
+    fn place_data_builds_a_matching_layer() {
+        let experiment = Experiment::builder(PlatformKind::DscsDsa)
+            .trace(short_trace(4))
+            .racks(3)
+            .place_data(11)
+            .build()
+            .expect("valid experiment");
+        let data = experiment.data().expect("layer placed");
+        assert_eq!(data.rack_count(), 3);
+        assert!(data.object_count() > 0);
+    }
+
+    #[test]
+    fn workload_errors_surface_at_build_time() {
+        use crate::workload::AzureWorkload;
+        let bad = AzureWorkload {
+            base_rps: -5.0,
+            ..AzureWorkload::default()
+        };
+        let err = Experiment::builder(PlatformKind::DscsDsa)
+            .workload(&bad, &mut DeterministicRng::seeded(1))
+            .build()
+            .expect_err("invalid workload");
+        assert!(matches!(err, ConfigError::Workload(_)));
+        assert!(err.to_string().contains("workload validation failed"));
+    }
+
+    #[test]
+    fn a_later_valid_trace_replaces_a_failed_workload() {
+        use crate::workload::AzureWorkload;
+        let bad = AzureWorkload {
+            base_rps: -5.0,
+            ..AzureWorkload::default()
+        };
+        // A failed workload() must not poison the builder once a valid trace
+        // (or a valid workload) is supplied afterwards.
+        let outcome = Experiment::builder(PlatformKind::DscsDsa)
+            .workload(&bad, &mut DeterministicRng::seeded(1))
+            .trace(short_trace(8))
+            .build()
+            .expect("the later trace supersedes the failed workload")
+            .run();
+        assert!(outcome.report.completed > 0);
+        let good = AzureWorkload {
+            functions: 4,
+            base_rps: 40.0,
+            horizon: SimDuration::from_secs(5),
+            step: SimDuration::from_secs(1),
+            ..AzureWorkload::default()
+        };
+        assert!(Experiment::builder(PlatformKind::DscsDsa)
+            .workload(&bad, &mut DeterministicRng::seeded(1))
+            .workload(&good, &mut DeterministicRng::seeded(2))
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn elastic_bound_violations_are_typed_errors() {
+        let zero_min = Experiment::builder(PlatformKind::DscsDsa)
+            .trace(short_trace(5))
+            .scaling(ScalingPolicy::reactive_default())
+            .instances(0, 100)
+            .build()
+            .expect_err("zero min");
+        assert_eq!(zero_min, ConfigError::ZeroMinInstances);
+        let inverted = Experiment::builder(PlatformKind::DscsDsa)
+            .trace(short_trace(5))
+            .scaling(ScalingPolicy::predictive_default())
+            .instances(64, 8)
+            .build()
+            .expect_err("min above max");
+        assert_eq!(inverted, ConfigError::MinAboveMax { min: 64, max: 8 });
+    }
+
+    #[test]
+    fn run_on_reuses_a_prebuilt_simulator() {
+        let trace = short_trace(6);
+        let base = ClusterSim::new(PlatformKind::DscsDsa, ClusterConfig::default());
+        let experiment = Experiment::builder(PlatformKind::DscsDsa)
+            .trace(trace)
+            .seed(9)
+            .build()
+            .expect("valid");
+        let a = experiment.run_on(&base);
+        let b = experiment.run();
+        assert_eq!(a, b, "prebuilt and fresh simulators agree bit-for-bit");
+    }
+
+    #[test]
+    #[should_panic(expected = "must match the prebuilt simulator")]
+    fn run_on_rejects_a_mismatched_platform() {
+        let base = ClusterSim::new(PlatformKind::BaselineCpu, ClusterConfig::default());
+        let experiment = Experiment::builder(PlatformKind::DscsDsa)
+            .trace(short_trace(7))
+            .build()
+            .expect("valid");
+        let _ = experiment.run_on(&base);
+    }
+
+    #[test]
+    fn config_error_display_is_informative() {
+        let errors: Vec<ConfigError> = vec![
+            ConfigError::EmptyTrace,
+            ConfigError::ZeroRacks,
+            ConfigError::DataLayerRackMismatch {
+                layer_racks: 4,
+                racks: 2,
+            },
+            ConfigError::ZeroMinInstances,
+            ConfigError::MinAboveMax { min: 9, max: 3 },
+            ConfigError::ZeroScalingInterval { policy: "reactive" },
+            ConfigError::ZeroReactiveStep,
+            ConfigError::OverlappingReactiveThresholds {
+                scale_up_queue: 4,
+                scale_down_queue: 8,
+            },
+            ConfigError::InvalidPredictiveHeadroom { headroom: 0.5 },
+            ConfigError::EmptySweepAxis { axis: "platforms" },
+        ];
+        for err in errors {
+            assert!(!err.to_string().is_empty());
+            assert!(!err.legacy_message().is_empty());
+        }
+    }
+}

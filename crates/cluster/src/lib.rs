@@ -5,6 +5,13 @@
 //! pluggable workloads, scheduler policies, keepalive policies and a
 //! multi-rack front-end load balancer.
 //!
+//! The one entry point to cluster runs is [`experiment::ExperimentBuilder`]:
+//! a fluent, validating builder that produces an [`experiment::Experiment`]
+//! (or a typed [`experiment::ConfigError`]) and runs it into an
+//! [`experiment::Outcome`]. Sweeps over whole policy grids are declared with
+//! [`at_scale::SweepSpec`]. The older positional `ClusterSim::run*` methods
+//! remain as deprecated shims that delegate to the same validated core.
+//!
 //! * [`trace`] — the bursty Figure-13a request trace ([`RateProfile`]).
 //! * [`workload`] — the [`Workload`] trait and the Azure-functions-style
 //!   synthetic generator ([`AzureWorkload`]: Zipf popularity skew, diurnal
@@ -16,21 +23,26 @@
 //!   (round-robin, least-loaded, data-locality-aware with spill).
 //! * [`data`] — the data-placement layer: a rack-aware
 //!   `dscs-storage` object store pre-populated with every object a trace
-//!   reads, plus the cross-rack fetch costs charged to non-local dispatch.
+//!   reads, plus the cross-rack fetch costs (latency *and* joules) charged
+//!   to non-local dispatch.
+//! * [`experiment`] — [`Experiment`], [`ExperimentBuilder`], [`Outcome`] and
+//!   [`ConfigError`]: the typed run specification every entry point builds
+//!   on.
 //! * [`sim`] — the discrete-event cluster simulation: cold starts priced by
 //!   `dscs-faas`'s container-lifecycle model, elastic per-rack instance pools
 //!   with modelled provisioning delay, multi-rack sharding, and the reported
 //!   series (queued functions over time, wall-clock latency over time).
-//! * [`at_scale`] — the policy sweep behind `reproduce at-scale` and the CI
-//!   perf artifact (`BENCH_cluster.json`).
+//! * [`at_scale`] — the declarative policy sweep ([`SweepSpec`]) behind
+//!   `reproduce at-scale` and the CI perf artifact (`BENCH_cluster.json`).
 //! * [`perf_gate`] — the CI perf-regression gate: diffs two at-scale reports
 //!   and fails on latency regressions beyond a threshold.
 //!
 //! # Example
 //!
 //! ```
+//! use dscs_cluster::experiment::Experiment;
+//! use dscs_cluster::policy::{KeepalivePolicy, LoadBalancer};
 //! use dscs_cluster::trace::RateProfile;
-//! use dscs_cluster::sim::simulate_platform;
 //! use dscs_platforms::PlatformKind;
 //! use dscs_simcore::rng::DeterministicRng;
 //! use dscs_simcore::time::SimDuration;
@@ -38,8 +50,18 @@
 //! // A short, light trace keeps the doc test fast.
 //! let profile = RateProfile { segments: vec![(SimDuration::from_secs(10), 40.0)] };
 //! let trace = profile.generate(&mut DeterministicRng::seeded(1));
-//! let report = simulate_platform(PlatformKind::DscsDsa, &trace, 2);
-//! assert_eq!(report.completed as usize, trace.len());
+//! let outcome = Experiment::builder(PlatformKind::DscsDsa)
+//!     .trace(trace.clone())
+//!     .racks(2)
+//!     .balancer(LoadBalancer::LeastLoaded)
+//!     .keepalive(KeepalivePolicy::prewarm_default())
+//!     .place_data(9)           // build a rack-aware object placement
+//!     .seed(2)
+//!     .build()
+//!     .expect("a well-formed experiment")
+//!     .run();
+//! assert_eq!(outcome.report.completed as usize, trace.len());
+//! assert_eq!(outcome.racks.len(), 2);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -47,19 +69,23 @@
 
 pub mod at_scale;
 pub mod data;
+pub mod experiment;
 pub mod perf_gate;
 pub mod policy;
 pub mod sim;
 pub mod trace;
 pub mod workload;
 
-pub use at_scale::{at_scale_sweep, AtScaleOptions, AtScaleReport, SweepCell, SweepScale};
+pub use at_scale::{
+    at_scale_sweep, AtScaleOptions, AtScaleReport, SweepCell, SweepScale, SweepSpec,
+};
 pub use data::DataLayer;
+pub use experiment::{ConfigError, Experiment, ExperimentBuilder, Outcome};
 pub use perf_gate::{compare_reports, GateOutcome};
 pub use policy::{
     KeepalivePolicy, KeepaliveState, KeepaliveStats, LoadBalancer, ScalingPolicy, SchedQueue,
     SchedulerPolicy,
 };
-pub use sim::{simulate_platform, ClusterConfig, ClusterReport, ClusterSim, RackSummary};
+pub use sim::{ClusterConfig, ClusterReport, ClusterSim, RackSummary};
 pub use trace::{RateProfile, TraceRequest};
 pub use workload::{AzureWorkload, ObjectCatalog, ObjectPopulation, Workload, WorkloadError};

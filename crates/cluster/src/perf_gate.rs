@@ -11,9 +11,9 @@
 //! them, which can only happen for untagged or hand-trimmed reports, since
 //! tagged reports always carry every axis their schema defines), and cells
 //! present on only one side are reported as skipped rather than failing.
-//! Across schema versions (e.g. a v2 baseline against a v3 current report,
-//! where the physics itself changed), the gate passes vacuously with an
-//! explanatory note instead of comparing incomparable numbers or erroring
+//! Across schema versions (e.g. a v3 baseline against a v4 current report,
+//! which added the `fetch_energy_j` cells), the gate passes vacuously with
+//! an explanatory note instead of comparing incomparable numbers or erroring
 //! on missing fields — so the first CI run after a schema bump stays green
 //! and the next run re-arms the gate.
 

@@ -28,6 +28,8 @@ use serde::{Deserialize, Serialize};
 use dscs_core::benchmarks::Benchmark;
 use dscs_simcore::time::{SimDuration, SimTime};
 
+use crate::experiment::ConfigError;
+
 /// Which queued request is started next when capacity frees up.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SchedulerPolicy {
@@ -276,36 +278,61 @@ impl ScalingPolicy {
         }
     }
 
-    /// Checks the policy parameters.
-    ///
-    /// # Panics
-    /// Panics on a zero decision interval (the simulation would tick forever
-    /// without advancing), a zero reactive step, or a non-finite / sub-unit
-    /// predictive headroom.
-    pub fn validate(&self) {
+    /// Checks the policy parameters, returning the first violation found: a
+    /// zero decision interval (the simulation would tick forever without
+    /// advancing), a zero reactive step, overlapping reactive thresholds, or
+    /// a non-finite / sub-unit predictive headroom.
+    pub fn check(&self) -> Result<(), ConfigError> {
         match self {
-            ScalingPolicy::Fixed => {}
+            ScalingPolicy::Fixed => Ok(()),
             ScalingPolicy::Reactive {
                 scale_up_queue,
                 scale_down_queue,
                 step,
                 interval,
             } => {
-                assert!(!interval.is_zero(), "reactive interval must be non-zero");
-                assert!(*step > 0, "reactive step must be at least one instance");
-                assert!(
-                    scale_down_queue < scale_up_queue,
-                    "reactive thresholds must not overlap: a queue depth \
-                     satisfying both would make scale-down unreachable"
-                );
+                if interval.is_zero() {
+                    return Err(ConfigError::ZeroScalingInterval { policy: "reactive" });
+                }
+                if *step == 0 {
+                    return Err(ConfigError::ZeroReactiveStep);
+                }
+                if scale_down_queue >= scale_up_queue {
+                    return Err(ConfigError::OverlappingReactiveThresholds {
+                        scale_up_queue: *scale_up_queue,
+                        scale_down_queue: *scale_down_queue,
+                    });
+                }
+                Ok(())
             }
             ScalingPolicy::Predictive { interval, headroom } => {
-                assert!(!interval.is_zero(), "predictive interval must be non-zero");
-                assert!(
-                    headroom.is_finite() && *headroom >= 1.0,
-                    "predictive headroom must be finite and >= 1"
-                );
+                if interval.is_zero() {
+                    return Err(ConfigError::ZeroScalingInterval {
+                        policy: "predictive",
+                    });
+                }
+                if !(headroom.is_finite() && *headroom >= 1.0) {
+                    return Err(ConfigError::InvalidPredictiveHeadroom {
+                        headroom: *headroom,
+                    });
+                }
+                Ok(())
             }
+        }
+    }
+
+    /// Checks the policy parameters, panicking on the first violation.
+    ///
+    /// # Panics
+    /// Panics with the historical assertion messages on any violation
+    /// [`ScalingPolicy::check`] reports.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use ScalingPolicy::check, which returns a typed ConfigError"
+    )]
+    pub fn validate(&self) {
+        if let Err(err) = self.check() {
+            panic!("{}", err.legacy_message());
         }
     }
 }
@@ -952,41 +979,66 @@ mod tests {
         assert_eq!(ScalingPolicy::predictive_default().name(), "predictive");
         assert_eq!(ScalingPolicy::Fixed.interval(), None);
         for policy in ScalingPolicy::all_default() {
-            policy.validate();
+            assert_eq!(policy.check(), Ok(()));
         }
         assert!(ScalingPolicy::reactive_default().interval().is_some());
     }
 
     #[test]
-    #[should_panic(expected = "interval")]
     fn zero_interval_reactive_scaling_is_rejected() {
-        ScalingPolicy::Reactive {
+        let err = ScalingPolicy::Reactive {
             scale_up_queue: 1,
             scale_down_queue: 0,
             step: 1,
             interval: SimDuration::ZERO,
         }
-        .validate();
+        .check()
+        .expect_err("zero interval");
+        assert_eq!(err, ConfigError::ZeroScalingInterval { policy: "reactive" });
     }
 
     #[test]
-    #[should_panic(expected = "thresholds must not overlap")]
     fn overlapping_reactive_thresholds_are_rejected() {
-        ScalingPolicy::Reactive {
+        let err = ScalingPolicy::Reactive {
             scale_up_queue: 4,
             scale_down_queue: 8,
             step: 1,
             interval: SimDuration::from_secs(5),
         }
-        .validate();
+        .check()
+        .expect_err("overlap");
+        assert_eq!(
+            err,
+            ConfigError::OverlappingReactiveThresholds {
+                scale_up_queue: 4,
+                scale_down_queue: 8
+            }
+        );
     }
 
     #[test]
-    #[should_panic(expected = "headroom")]
     fn sub_unit_predictive_headroom_is_rejected() {
-        ScalingPolicy::Predictive {
+        let err = ScalingPolicy::Predictive {
             interval: SimDuration::from_secs(5),
             headroom: 0.5,
+        }
+        .check()
+        .expect_err("sub-unit headroom");
+        assert_eq!(
+            err,
+            ConfigError::InvalidPredictiveHeadroom { headroom: 0.5 }
+        );
+    }
+
+    /// The deprecated panicking validator still raises the historical
+    /// message, since legacy callers assert on it.
+    #[test]
+    #[should_panic(expected = "predictive headroom must be finite and >= 1")]
+    #[allow(deprecated)]
+    fn deprecated_validate_panics_with_the_legacy_message() {
+        ScalingPolicy::Predictive {
+            interval: SimDuration::from_secs(5),
+            headroom: f64::NAN,
         }
         .validate();
     }

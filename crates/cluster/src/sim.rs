@@ -5,11 +5,12 @@
 //! paper's fixed 200-instance cap, or elastic reactive/predictive autoscaling
 //! between `min_instances` and `max_instances` with a modelled provisioning
 //! delay on every scale-up. Arrivals beyond a bounded scheduler queue are
-//! rejected; a front-end load balancer shards arrivals across racks. With a
-//! [`DataLayer`] attached ([`ClusterSim::run_sharded_with_data`]), dispatch
-//! is data-aware: the locality balancer routes requests toward the racks
-//! holding their object's replicas, and any request started without a local
-//! replica is charged the modelled cross-rack fetch.
+//! rejected; a front-end load balancer shards arrivals across racks. Runs
+//! are specified through [`crate::experiment::ExperimentBuilder`]; with a
+//! [`DataLayer`] attached, dispatch is data-aware: the locality balancer
+//! routes requests toward the racks holding their object's replicas, and any
+//! request started without a local replica is charged the modelled
+//! cross-rack fetch (latency and joules).
 //! Per-request service times come from the end-to-end model for the platform
 //! under test, and cold starts — priced by
 //! [`dscs_faas::coldstart::ColdStartModel`] and governed by the configured
@@ -40,6 +41,7 @@ use dscs_simcore::stats::Summary;
 use dscs_simcore::time::{SimDuration, SimTime};
 
 use crate::data::DataLayer;
+use crate::experiment::{validate_run, ConfigError, Experiment};
 use crate::policy::{
     KeepalivePolicy, KeepaliveState, LoadBalancer, ScalingPolicy, SchedQueue, SchedulerPolicy,
 };
@@ -88,6 +90,30 @@ impl Default for ClusterConfig {
     }
 }
 
+impl ClusterConfig {
+    /// Checks the configuration, returning the first violation found: an
+    /// invalid scaling policy ([`ScalingPolicy::check`]), or — for elastic
+    /// policies — `min_instances` of zero (the rack could never start work)
+    /// or above `max_instances`. This is the one validator behind both
+    /// [`crate::experiment::ExperimentBuilder::build`] and the deprecated
+    /// panicking shims.
+    pub fn check(&self) -> Result<(), ConfigError> {
+        self.scaling.check()?;
+        if !matches!(self.scaling, ScalingPolicy::Fixed) {
+            if self.min_instances == 0 {
+                return Err(ConfigError::ZeroMinInstances);
+            }
+            if self.min_instances > self.max_instances {
+                return Err(ConfigError::MinAboveMax {
+                    min: self.min_instances,
+                    max: self.max_instances,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Result of one cluster simulation (aggregated over all racks).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterReport {
@@ -133,6 +159,11 @@ pub struct ClusterReport {
     pub cross_rack_bytes: u64,
     /// Total fetch latency charged onto invocations, in seconds.
     pub fetch_latency_s: f64,
+    /// Energy attributable to the bytes those fetches moved across racks
+    /// (fabric NICs/switches plus the drive-side PCIe hop), in joules —
+    /// [`dscs_storage::object_store::RemoteFetchModel::fetch_energy_joules`]
+    /// summed over every remote fetch. Zero without a data layer.
+    pub fetch_energy_j: f64,
     /// Summary of all wall-clock latencies (seconds).
     pub latency_summary: Option<Summary>,
     /// Total simulated time to drain the trace (wall-clock makespan).
@@ -207,6 +238,8 @@ pub struct RackSummary {
     pub remote_fetches: u64,
     /// Bytes this rack pulled across the fabric for those fetches.
     pub cross_rack_bytes: u64,
+    /// Joules this rack's remote fetches spent moving those bytes.
+    pub fetch_energy_j: f64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -259,6 +292,7 @@ struct RackState {
     remote_fetches: u64,
     cross_rack_bytes: u64,
     fetch_latency: SimDuration,
+    fetch_energy_j: f64,
 }
 
 impl RackState {
@@ -375,13 +409,22 @@ impl ClusterSim {
     }
 
     /// Runs the trace over a single rack and reports the Figure 13 series.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build an Experiment via dscs_cluster::experiment::ExperimentBuilder and call run()"
+    )]
     pub fn run(&self, trace: &[TraceRequest], seed: u64) -> ClusterReport {
+        #[allow(deprecated)]
         self.run_sharded(trace, seed, 1, LoadBalancer::RoundRobin).0
     }
 
     /// Runs the trace sharded over `racks` racks behind `balancer`, with no
     /// data placement tracked: every rack is assumed to read its inputs
     /// locally, the paper's original Figure-13 setup.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build an Experiment via dscs_cluster::experiment::ExperimentBuilder and call run()"
+    )]
     pub fn run_sharded(
         &self,
         trace: &[TraceRequest],
@@ -389,32 +432,28 @@ impl ClusterSim {
         racks: u32,
         balancer: LoadBalancer,
     ) -> (ClusterReport, Vec<RackSummary>) {
+        #[allow(deprecated)]
         self.run_sharded_with_data(trace, seed, racks, balancer, None)
     }
 
     /// Runs the trace sharded over `racks` racks behind `balancer`, returning
     /// the aggregate report plus per-rack summaries.
     ///
-    /// With a [`DataLayer`] attached, dispatch knows where each request's
-    /// object lives: the locality-aware balancer prefers replica racks, and
-    /// *any* request that starts on a rack without a replica — under any
-    /// balancer — is charged the modelled cross-rack fetch latency, with the
-    /// moved bytes and fetch time reported. Without one, behaviour (and the
-    /// event/RNG sequence) is identical to the pre-data-layer simulator.
-    ///
-    /// Under [`ScalingPolicy::Fixed`] every rack runs `max_instances` for the
-    /// whole trace and the event/RNG sequence is identical to the
-    /// pre-autoscaling simulator, so fixed-cap results are bit-for-bit
-    /// stable. Elastic racks start at `min_instances` and are re-evaluated on
-    /// their policy's interval; scale-ups come online `provisioning_delay`
-    /// later.
+    /// Deprecated shim: [`crate::experiment::ExperimentBuilder`] is the
+    /// typed entry point; it reports these preconditions as
+    /// [`ConfigError`]s instead of panicking.
     ///
     /// # Panics
-    /// Panics if the trace is empty, `racks` is zero, the data layer (when
-    /// present) was built for a different rack count, the scaling policy
-    /// fails [`ScalingPolicy::validate`], or an elastic configuration has
+    /// Panics — with the historical assertion messages — if the trace is
+    /// empty, `racks` is zero, the data layer (when present) was built for a
+    /// different rack count, the scaling policy fails
+    /// [`ScalingPolicy::check`], or an elastic configuration has
     /// `min_instances` of zero (the rack could never start work) or above
     /// `max_instances`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build an Experiment via dscs_cluster::experiment::ExperimentBuilder and call run()"
+    )]
     pub fn run_sharded_with_data(
         &self,
         trace: &[TraceRequest],
@@ -423,27 +462,39 @@ impl ClusterSim {
         balancer: LoadBalancer,
         data: Option<&DataLayer>,
     ) -> (ClusterReport, Vec<RackSummary>) {
-        assert!(!trace.is_empty(), "trace must not be empty");
-        assert!(racks > 0, "need at least one rack");
-        if let Some(data) = data {
-            assert_eq!(
-                data.rack_count(),
-                racks,
-                "data layer must cover exactly the sharded racks"
-            );
+        if let Err(err) = validate_run(trace, racks, &self.config, data) {
+            panic!("{}", err.legacy_message());
         }
-        self.config.scaling.validate();
+        self.run_validated(trace, seed, racks, balancer, data)
+    }
+
+    /// The discrete-event core behind every run. Callers must have validated
+    /// the inputs (see [`validate_run`]); [`Experiment`] instances have by
+    /// construction.
+    ///
+    /// With a [`DataLayer`] attached, dispatch knows where each request's
+    /// object lives: the locality-aware balancer prefers replica racks, and
+    /// *any* request that starts on a rack without a replica — under any
+    /// balancer — is charged the modelled cross-rack fetch latency, with the
+    /// moved bytes, fetch time and fetch energy reported. Without one,
+    /// behaviour (and the event/RNG sequence) is identical to the
+    /// pre-data-layer simulator.
+    ///
+    /// Under [`ScalingPolicy::Fixed`] every rack runs `max_instances` for the
+    /// whole trace and the event/RNG sequence is identical to the
+    /// pre-autoscaling simulator, so fixed-cap results are bit-for-bit
+    /// stable. Elastic racks start at `min_instances` and are re-evaluated on
+    /// their policy's interval; scale-ups come online `provisioning_delay`
+    /// later.
+    pub(crate) fn run_validated(
+        &self,
+        trace: &[TraceRequest],
+        seed: u64,
+        racks: u32,
+        balancer: LoadBalancer,
+        data: Option<&DataLayer>,
+    ) -> (ClusterReport, Vec<RackSummary>) {
         let elastic = !matches!(self.config.scaling, ScalingPolicy::Fixed);
-        if elastic {
-            assert!(
-                self.config.min_instances > 0,
-                "elastic racks need at least one instance"
-            );
-            assert!(
-                self.config.min_instances <= self.config.max_instances,
-                "min_instances must not exceed max_instances"
-            );
-        }
         let predictive = matches!(self.config.scaling, ScalingPolicy::Predictive { .. });
         let initial_capacity = if elastic {
             self.config.min_instances
@@ -479,6 +530,7 @@ impl ClusterSim {
                 remote_fetches: 0,
                 cross_rack_bytes: 0,
                 fetch_latency: SimDuration::ZERO,
+                fetch_energy_j: 0.0,
             })
             .collect();
 
@@ -624,11 +676,12 @@ impl ClusterSim {
                     } else {
                         // The object lives elsewhere: the invocation carries
                         // the cross-rack fetch before it can execute.
-                        let fetch = data.fetch_latency(request.object_bytes);
-                        service += fetch;
+                        let fetch = data.fetch_cost(request.object_bytes);
+                        service += fetch.latency;
                         rack.remote_fetches += 1;
                         rack.cross_rack_bytes += request.object_bytes.as_u64();
-                        rack.fetch_latency += fetch;
+                        rack.fetch_latency += fetch.latency;
+                        rack.fetch_energy_j += fetch.energy_j;
                     }
                 }
                 rack.keepalive
@@ -668,6 +721,7 @@ impl ClusterSim {
                 locality_hits: rack.locality_hits,
                 remote_fetches: rack.remote_fetches,
                 cross_rack_bytes: rack.cross_rack_bytes,
+                fetch_energy_j: rack.fetch_energy_j,
             })
             .collect();
         let report = ClusterReport {
@@ -705,6 +759,7 @@ impl ClusterSim {
                 .iter()
                 .map(|r| r.fetch_latency.as_secs_f64())
                 .sum(),
+            fetch_energy_j: summaries.iter().map(|r| r.fetch_energy_j).sum(),
             latency_summary: if latencies.is_empty() {
                 None
             } else {
@@ -802,12 +857,22 @@ impl ClusterSim {
 
 /// Convenience runner: simulates one platform over a trace with default
 /// cluster configuration (single rack, FCFS, fixed 10-minute keepalive).
+#[deprecated(
+    since = "0.2.0",
+    note = "build an Experiment via dscs_cluster::experiment::ExperimentBuilder and call run()"
+)]
 pub fn simulate_platform(
     platform: PlatformKind,
     trace: &[TraceRequest],
     seed: u64,
 ) -> ClusterReport {
-    ClusterSim::new(platform, ClusterConfig::default()).run(trace, seed)
+    Experiment::builder(platform)
+        .trace(trace.to_vec())
+        .seed(seed)
+        .build()
+        .unwrap_or_else(|err| panic!("{}", err.legacy_message()))
+        .run()
+        .report
 }
 
 #[cfg(test)]
@@ -823,10 +888,21 @@ mod tests {
         profile.generate(&mut DeterministicRng::seeded(seed))
     }
 
+    /// One default-configuration single-rack run through the builder API.
+    fn run_platform(platform: PlatformKind, trace: &[TraceRequest], seed: u64) -> ClusterReport {
+        Experiment::builder(platform)
+            .trace(trace.to_vec())
+            .seed(seed)
+            .build()
+            .expect("valid experiment")
+            .run()
+            .report
+    }
+
     #[test]
     fn all_requests_complete_under_light_load() {
         let trace = short_trace(50.0, 20, 1);
-        let report = simulate_platform(PlatformKind::DscsDsa, &trace, 2);
+        let report = run_platform(PlatformKind::DscsDsa, &trace, 2);
         assert_eq!(report.completed + report.rejected, trace.len() as u64);
         assert_eq!(report.rejected, 0);
         assert!(report.mean_latency_ms() > 0.0);
@@ -837,8 +913,8 @@ mod tests {
         // At a load the DSCS cluster absorbs, the baseline CPU cluster builds a
         // queue and its wall-clock latency climbs (Figure 13c vs 13d).
         let trace = short_trace(1500.0, 60, 3);
-        let dscs = simulate_platform(PlatformKind::DscsDsa, &trace, 4);
-        let baseline = simulate_platform(PlatformKind::BaselineCpu, &trace, 4);
+        let dscs = run_platform(PlatformKind::DscsDsa, &trace, 4);
+        let baseline = run_platform(PlatformKind::BaselineCpu, &trace, 4);
         assert!(baseline.peak_queue() > dscs.peak_queue());
         assert!(baseline.mean_latency_ms() > dscs.mean_latency_ms());
     }
@@ -846,7 +922,7 @@ mod tests {
     #[test]
     fn baseline_latency_grows_over_time_under_sustained_overload() {
         let trace = short_trace(2500.0, 120, 5);
-        let report = simulate_platform(PlatformKind::BaselineCpu, &trace, 6);
+        let report = run_platform(PlatformKind::BaselineCpu, &trace, 6);
         let series = &report.latency_ms;
         assert!(series.len() >= 2);
         assert!(
@@ -857,16 +933,18 @@ mod tests {
 
     #[test]
     fn queue_overflow_rejects_requests() {
-        let config = ClusterConfig {
-            max_instances: 2,
-            queue_depth: 10,
-            ..ClusterConfig::default()
-        };
         let trace = short_trace(500.0, 20, 7);
-        let sim = ClusterSim::new(PlatformKind::BaselineCpu, config);
-        let report = sim.run(&trace, 8);
-        assert!(report.rejected > 0);
-        assert_eq!(report.completed + report.rejected, trace.len() as u64);
+        let requests = trace.len() as u64;
+        let outcome = Experiment::builder(PlatformKind::BaselineCpu)
+            .trace(trace)
+            .instances(8, 2)
+            .queue_depth(10)
+            .seed(8)
+            .build()
+            .expect("fixed racks ignore min_instances")
+            .run();
+        assert!(outcome.report.rejected > 0);
+        assert_eq!(outcome.report.completed + outcome.report.rejected, requests);
     }
 
     #[test]
@@ -880,7 +958,7 @@ mod tests {
     #[test]
     fn makespan_extends_past_the_trace_when_overloaded() {
         let trace = short_trace(2500.0, 60, 9);
-        let report = simulate_platform(PlatformKind::BaselineCpu, &trace, 10);
+        let report = run_platform(PlatformKind::BaselineCpu, &trace, 10);
         assert!(report.makespan > SimDuration::from_secs(60));
     }
 
@@ -889,21 +967,23 @@ mod tests {
         // With the 10-minute fixed window and a 20-second trace, each of the
         // eight benchmark functions runs cold exactly once.
         let trace = short_trace(50.0, 20, 11);
-        let report = simulate_platform(PlatformKind::DscsDsa, &trace, 12);
+        let report = run_platform(PlatformKind::DscsDsa, &trace, 12);
         assert_eq!(report.cold_starts, 8, "one cold start per function");
     }
 
     #[test]
     fn no_keepalive_pays_many_more_cold_starts() {
-        let config = ClusterConfig {
-            keepalive: KeepalivePolicy::NoKeepalive,
-            ..ClusterConfig::default()
-        };
         // Sparse arrivals so invocations rarely overlap.
         let trace = short_trace(5.0, 30, 13);
-        let sim = ClusterSim::new(PlatformKind::DscsDsa, config);
-        let report = sim.run(&trace, 14);
-        let warm = simulate_platform(PlatformKind::DscsDsa, &trace, 14);
+        let report = Experiment::builder(PlatformKind::DscsDsa)
+            .trace(trace.clone())
+            .keepalive(KeepalivePolicy::NoKeepalive)
+            .seed(14)
+            .build()
+            .expect("valid experiment")
+            .run()
+            .report;
+        let warm = run_platform(PlatformKind::DscsDsa, &trace, 14);
         assert!(
             report.cold_starts > warm.cold_starts * 3,
             "no-keepalive {} vs fixed {}",
@@ -938,13 +1018,23 @@ mod tests {
 
     #[test]
     fn sharding_splits_work_and_preserves_totals() {
-        let trace = short_trace(800.0, 30, 15);
+        let trace = std::sync::Arc::new(short_trace(800.0, 30, 15));
         let sim = ClusterSim::new(PlatformKind::DscsDsa, ClusterConfig::default());
         for balancer in LoadBalancer::ALL {
-            let (report, racks) = sim.run_sharded(&trace, 16, 4, balancer);
-            assert_eq!(racks.len(), 4);
-            assert_eq!(report.completed + report.rejected, trace.len() as u64);
-            let per_rack: Vec<u64> = racks.iter().map(|r| r.completed).collect();
+            let outcome = Experiment::builder(PlatformKind::DscsDsa)
+                .trace(trace.clone())
+                .racks(4)
+                .balancer(balancer)
+                .seed(16)
+                .build()
+                .expect("valid experiment")
+                .run_on(&sim);
+            assert_eq!(outcome.racks.len(), 4);
+            assert_eq!(
+                outcome.report.completed + outcome.report.rejected,
+                trace.len() as u64
+            );
+            let per_rack: Vec<u64> = outcome.racks.iter().map(|r| r.completed).collect();
             assert!(
                 per_rack.iter().all(|&c| c > 0),
                 "{balancer:?}: every rack serves work: {per_rack:?}"
@@ -955,28 +1045,42 @@ mod tests {
     #[test]
     fn more_racks_absorb_more_load() {
         // A load that overwhelms one baseline rack is absorbed by four.
-        let trace = short_trace(2500.0, 60, 17);
+        let trace = std::sync::Arc::new(short_trace(2500.0, 60, 17));
         let sim = ClusterSim::new(PlatformKind::BaselineCpu, ClusterConfig::default());
-        let (one, _) = sim.run_sharded(&trace, 18, 1, LoadBalancer::RoundRobin);
-        let (four, _) = sim.run_sharded(&trace, 18, 4, LoadBalancer::RoundRobin);
+        let sharded = |racks| {
+            Experiment::builder(PlatformKind::BaselineCpu)
+                .trace(trace.clone())
+                .racks(racks)
+                .seed(18)
+                .build()
+                .expect("valid experiment")
+                .run_on(&sim)
+                .report
+        };
+        let one = sharded(1);
+        let four = sharded(4);
         assert!(four.mean_latency_ms() < one.mean_latency_ms() / 2.0);
         assert!(four.peak_queue() < one.peak_queue());
     }
 
     #[test]
     fn reactive_scaling_grows_under_load_and_stays_bounded() {
-        let config = ClusterConfig {
-            scaling: ScalingPolicy::reactive_default(),
-            ..ClusterConfig::default()
-        };
         let trace = short_trace(1500.0, 60, 21);
-        let sim = ClusterSim::new(PlatformKind::BaselineCpu, config);
-        let (report, racks) = sim.run_sharded(&trace, 22, 2, LoadBalancer::RoundRobin);
+        let outcome = Experiment::builder(PlatformKind::BaselineCpu)
+            .trace(trace)
+            .scaling(ScalingPolicy::reactive_default())
+            .racks(2)
+            .seed(22)
+            .build()
+            .expect("valid experiment")
+            .run();
+        let config = ClusterConfig::default();
+        let report = &outcome.report;
         assert!(report.scale_ups > 0, "overload must trigger scale-ups");
         assert!(report.scaling_lag_s > 0.0, "scale-ups pay provisioning lag");
         assert!(report.peak_instances > config.min_instances);
         assert!(report.peak_instances <= config.max_instances);
-        for rack in &racks {
+        for rack in &outcome.racks {
             assert!(rack.low_instances >= config.min_instances);
             assert!(rack.peak_instances <= config.max_instances);
         }
@@ -992,30 +1096,39 @@ mod tests {
             ],
         };
         let trace = profile.generate(&mut DeterministicRng::seeded(23));
-        let config = ClusterConfig {
-            scaling: ScalingPolicy::reactive_default(),
-            ..ClusterConfig::default()
-        };
-        let sim = ClusterSim::new(PlatformKind::BaselineCpu, config);
-        let (report, racks) = sim.run_sharded(&trace, 24, 1, LoadBalancer::RoundRobin);
-        assert!(report.scale_ups > 0);
-        assert!(report.scale_downs > 0, "quiet tail must release instances");
-        assert!(racks[0].low_instances < racks[0].peak_instances);
+        let outcome = Experiment::builder(PlatformKind::BaselineCpu)
+            .trace(trace)
+            .scaling(ScalingPolicy::reactive_default())
+            .seed(24)
+            .build()
+            .expect("valid experiment")
+            .run();
+        assert!(outcome.report.scale_ups > 0);
+        assert!(
+            outcome.report.scale_downs > 0,
+            "quiet tail must release instances"
+        );
+        assert!(outcome.racks[0].low_instances < outcome.racks[0].peak_instances);
     }
 
     #[test]
     fn predictive_scaling_tracks_offered_load() {
-        let config = ClusterConfig {
-            scaling: ScalingPolicy::predictive_default(),
-            ..ClusterConfig::default()
-        };
         let trace = short_trace(1200.0, 60, 25);
-        let sim = ClusterSim::new(PlatformKind::BaselineCpu, config);
-        let (report, _) = sim.run_sharded(&trace, 26, 2, LoadBalancer::RoundRobin);
+        let requests = trace.len() as u64;
+        let report = Experiment::builder(PlatformKind::BaselineCpu)
+            .trace(trace)
+            .scaling(ScalingPolicy::predictive_default())
+            .racks(2)
+            .seed(26)
+            .build()
+            .expect("valid experiment")
+            .run()
+            .report;
+        let config = ClusterConfig::default();
         assert!(report.scale_ups > 0, "sustained load must provision");
         assert!(report.peak_instances > config.min_instances);
         assert!(report.peak_instances <= config.max_instances);
-        assert_eq!(report.completed + report.rejected, trace.len() as u64);
+        assert_eq!(report.completed + report.rejected, requests);
     }
 
     #[test]
@@ -1024,33 +1137,42 @@ mod tests {
         // same decisions as no autoscaler at all: every series, summary and
         // rack outcome must be identical, which also proves the scale-tick
         // machinery perturbs neither the RNG stream nor the event ordering.
-        let trace = short_trace(700.0, 45, 27);
-        let fixed = ClusterSim::new(PlatformKind::DscsDsa, ClusterConfig::default());
-        let pinned = fixed.reconfigured(ClusterConfig {
-            scaling: ScalingPolicy::reactive_default(),
-            min_instances: 200,
-            ..ClusterConfig::default()
-        });
-        let (a, racks_a) = fixed.run_sharded(&trace, 28, 2, LoadBalancer::LeastLoaded);
-        let (b, racks_b) = pinned.run_sharded(&trace, 28, 2, LoadBalancer::LeastLoaded);
-        assert_eq!(a, b);
-        assert_eq!(racks_a, racks_b);
+        let trace = std::sync::Arc::new(short_trace(700.0, 45, 27));
+        let base = ClusterSim::new(PlatformKind::DscsDsa, ClusterConfig::default());
+        let experiment = |scaling, min| {
+            Experiment::builder(PlatformKind::DscsDsa)
+                .trace(trace.clone())
+                .scaling(scaling)
+                .instances(min, 200)
+                .racks(2)
+                .balancer(LoadBalancer::LeastLoaded)
+                .seed(28)
+                .build()
+                .expect("valid experiment")
+                .run_on(&base)
+        };
+        let fixed = experiment(ScalingPolicy::Fixed, 8);
+        let pinned = experiment(ScalingPolicy::reactive_default(), 200);
+        assert_eq!(fixed.report, pinned.report);
+        assert_eq!(fixed.racks, pinned.racks);
     }
 
     #[test]
     fn prewarming_reports_hits_and_saves_warm_seconds() {
-        let trace = short_trace(80.0, 60, 29);
+        let trace = std::sync::Arc::new(short_trace(80.0, 60, 29));
         let base = ClusterSim::new(PlatformKind::DscsDsa, ClusterConfig::default());
-        let hybrid = base.reconfigured(ClusterConfig {
-            keepalive: KeepalivePolicy::hybrid_default(),
-            ..ClusterConfig::default()
-        });
-        let prewarm = base.reconfigured(ClusterConfig {
-            keepalive: KeepalivePolicy::prewarm_default(),
-            ..ClusterConfig::default()
-        });
-        let plain = hybrid.run(&trace, 30);
-        let warmed = prewarm.run(&trace, 30);
+        let run = |keepalive| {
+            Experiment::builder(PlatformKind::DscsDsa)
+                .trace(trace.clone())
+                .keepalive(keepalive)
+                .seed(30)
+                .build()
+                .expect("valid experiment")
+                .run_on(&base)
+                .report
+        };
+        let plain = run(KeepalivePolicy::hybrid_default());
+        let warmed = run(KeepalivePolicy::prewarm_default());
         assert_eq!(plain.prewarm_hits, 0, "no head percentile, no hits");
         assert!(warmed.prewarm_hits > 0, "prewarmed instances get found");
         assert!(warmed.prewarm_hit_rate() > 0.0);
@@ -1070,14 +1192,17 @@ mod tests {
     fn warm_second_accounting_orders_keepalive_policies() {
         // Memory cost: no-keepalive holds nothing, the 10-minute fixed
         // window holds the most, the hybrid histogram sits in between.
-        let trace = short_trace(40.0, 30, 31);
+        let trace = std::sync::Arc::new(short_trace(40.0, 30, 31));
         let base = ClusterSim::new(PlatformKind::DscsDsa, ClusterConfig::default());
         let run = |keepalive| {
-            base.reconfigured(ClusterConfig {
-                keepalive,
-                ..ClusterConfig::default()
-            })
-            .run(&trace, 32)
+            Experiment::builder(PlatformKind::DscsDsa)
+                .trace(trace.clone())
+                .keepalive(keepalive)
+                .seed(32)
+                .build()
+                .expect("valid experiment")
+                .run_on(&base)
+                .report
         };
         let none = run(KeepalivePolicy::NoKeepalive);
         let fixed = run(KeepalivePolicy::paper_default());
@@ -1087,8 +1212,11 @@ mod tests {
         assert!(fixed.wasted_warm_seconds <= fixed.warm_seconds);
     }
 
+    /// The deprecated shim keeps the historical panic (the builder reports
+    /// the same violation as [`ConfigError::ZeroMinInstances`]).
     #[test]
     #[should_panic(expected = "at least one instance")]
+    #[allow(deprecated)]
     fn zero_min_instance_elastic_rack_is_rejected() {
         let config = ClusterConfig {
             scaling: ScalingPolicy::reactive_default(),
@@ -1125,18 +1253,17 @@ mod tests {
             .collect();
         let racks = 2;
         let data = DataLayer::for_trace(&trace, racks, 5);
-        let config = ClusterConfig {
-            queue_depth: 10,
-            ..ClusterConfig::default()
-        };
-        let sim = ClusterSim::new(PlatformKind::DscsDsa, config);
-        let (report, summaries) = sim.run_sharded_with_data(
-            &trace,
-            6,
-            racks,
-            LoadBalancer::locality_default(),
-            Some(&data),
-        );
+        let outcome = Experiment::builder(PlatformKind::DscsDsa)
+            .trace(trace)
+            .racks(racks)
+            .queue_depth(10)
+            .balancer(LoadBalancer::locality_default())
+            .data_layer(data)
+            .seed(6)
+            .build()
+            .expect("valid experiment")
+            .run();
+        let (report, summaries) = (&outcome.report, &outcome.racks);
         assert_eq!(
             report.rejected, 0,
             "two racks hold 420 instance+queue slots for 400 requests; \
@@ -1150,16 +1277,31 @@ mod tests {
             report.remote_fetches > 0,
             "spilled requests pay the cross-rack fetch"
         );
+        assert!(
+            report.fetch_energy_j > 0.0,
+            "cross-rack fetches carry an energy charge"
+        );
     }
 
     #[test]
     fn least_loaded_beats_round_robin_under_skewed_service_times() {
         // SJF-free comparison: with heterogeneous service times, least-loaded
         // should never do much worse than round-robin on mean latency.
-        let trace = short_trace(1800.0, 45, 19);
+        let trace = std::sync::Arc::new(short_trace(1800.0, 45, 19));
         let sim = ClusterSim::new(PlatformKind::BaselineCpu, ClusterConfig::default());
-        let (rr, _) = sim.run_sharded(&trace, 20, 3, LoadBalancer::RoundRobin);
-        let (ll, _) = sim.run_sharded(&trace, 20, 3, LoadBalancer::LeastLoaded);
+        let run = |balancer| {
+            Experiment::builder(PlatformKind::BaselineCpu)
+                .trace(trace.clone())
+                .racks(3)
+                .balancer(balancer)
+                .seed(20)
+                .build()
+                .expect("valid experiment")
+                .run_on(&sim)
+                .report
+        };
+        let rr = run(LoadBalancer::RoundRobin);
+        let ll = run(LoadBalancer::LeastLoaded);
         assert!(ll.mean_latency_ms() <= rr.mean_latency_ms() * 1.05);
     }
 }

@@ -3,16 +3,23 @@
 //! nodes and of DSCS-Serverless drives, under different scheduler, keepalive
 //! and autoscaling policies, sharded over multiple racks.
 //!
-//! Shortened traces keep the example fast; `reproduce at-scale` runs the full
-//! policy sweep and writes a machine-readable JSON report.
+//! Every run is declared through `ExperimentBuilder` — the typed entry point
+//! to cluster runs. Shortened traces keep the example fast; `reproduce
+//! at-scale` runs the full declarative `SweepSpec` policy grid and writes a
+//! machine-readable JSON report.
 //!
 //! Run with: `cargo run --release --example at_scale_cluster`
 
+// Examples document the supported API surface: using a deprecated cluster
+// entry point here is a build error, not a warning.
+#![deny(deprecated)]
+
+use std::sync::Arc;
+
 use dscs_serverless::cluster::data::DataLayer;
-use dscs_serverless::cluster::policy::{
-    KeepalivePolicy, LoadBalancer, ScalingPolicy, SchedulerPolicy,
-};
-use dscs_serverless::cluster::sim::{simulate_platform, ClusterConfig, ClusterSim};
+use dscs_serverless::cluster::experiment::Experiment;
+use dscs_serverless::cluster::policy::{KeepalivePolicy, LoadBalancer, ScalingPolicy};
+use dscs_serverless::cluster::sim::{ClusterConfig, ClusterSim};
 use dscs_serverless::cluster::trace::RateProfile;
 use dscs_serverless::cluster::workload::{AzureWorkload, Workload};
 use dscs_serverless::platforms::PlatformKind;
@@ -31,7 +38,7 @@ fn main() {
             (SimDuration::from_secs(60), 900.0),
         ],
     };
-    let trace = profile.generate(&mut DeterministicRng::seeded(7));
+    let trace = Arc::new(profile.generate(&mut DeterministicRng::seeded(7)));
     println!(
         "bursty trace: {} requests over {}",
         trace.len(),
@@ -39,7 +46,13 @@ fn main() {
     );
 
     for platform in [PlatformKind::BaselineCpu, PlatformKind::DscsDsa] {
-        let report = simulate_platform(platform, &trace, 11);
+        let report = Experiment::builder(platform)
+            .trace(trace.clone())
+            .seed(11)
+            .build()
+            .expect("the Figure-13 replay is a valid experiment")
+            .run()
+            .report;
         println!("\n{}:", platform.name());
         println!(
             "  completed {} / rejected {} / cold starts {}",
@@ -67,10 +80,14 @@ fn main() {
     // Part 2 — the workload subsystem: an Azure-style trace (Zipf function
     // popularity, diurnal rate, bursts) sharded over four racks behind a
     // least-loaded balancer, with keepalive policies compared head to head.
+    // `ClusterSim::new` evaluates the end-to-end model once per platform;
+    // `run_on` reuses it across the policy variants.
     let azure = AzureWorkload::quick();
-    let azure_trace = azure
-        .generate(&mut DeterministicRng::seeded(13))
-        .expect("built-in workload is valid");
+    let azure_trace = Arc::new(
+        azure
+            .generate(&mut DeterministicRng::seeded(13))
+            .expect("built-in workload is valid"),
+    );
     println!(
         "\nazure trace: {} requests over {} across {} functions",
         azure_trace.len(),
@@ -78,31 +95,38 @@ fn main() {
         azure.functions
     );
 
+    let dscs = ClusterSim::new(PlatformKind::DscsDsa, ClusterConfig::default());
     for keepalive in KeepalivePolicy::all_default() {
-        let config = ClusterConfig {
-            scheduler: SchedulerPolicy::Fcfs,
-            keepalive,
-            ..ClusterConfig::default()
-        };
-        let sim = ClusterSim::new(PlatformKind::DscsDsa, config);
-        let (report, racks) = sim.run_sharded(&azure_trace, 17, 4, LoadBalancer::LeastLoaded);
+        let outcome = Experiment::builder(PlatformKind::DscsDsa)
+            .trace(azure_trace.clone())
+            .racks(4)
+            .balancer(LoadBalancer::LeastLoaded)
+            .keepalive(keepalive)
+            .seed(17)
+            .build()
+            .expect("valid experiment")
+            .run_on(&dscs);
         println!("\nDSCS x 4 racks, {}:", keepalive.name());
         println!(
             "  cold starts {} / mean {:.1} ms / p99 {:.1} ms",
-            report.cold_starts,
-            report.mean_latency_ms(),
-            report.p99_latency_ms()
+            outcome.report.cold_starts,
+            outcome.report.mean_latency_ms(),
+            outcome.report.p99_latency_ms()
         );
         println!(
             "  prewarm hits {} ({:.1}%) / warm-seconds held {:.0} (wasted {:.0})",
-            report.prewarm_hits,
-            report.prewarm_hit_rate() * 100.0,
-            report.warm_seconds,
-            report.wasted_warm_seconds
+            outcome.report.prewarm_hits,
+            outcome.report.prewarm_hit_rate() * 100.0,
+            outcome.report.warm_seconds,
+            outcome.report.wasted_warm_seconds
         );
         println!(
             "  per-rack completed: {:?}",
-            racks.iter().map(|r| r.completed).collect::<Vec<_>>()
+            outcome
+                .racks
+                .iter()
+                .map(|r| r.completed)
+                .collect::<Vec<_>>()
         );
     }
 
@@ -112,19 +136,27 @@ fn main() {
     // on bursts but releasing the pool when traffic fades.
     println!("\nautoscaling on the azure trace (DSCS x 4 racks, prewarm keepalive):");
     for scaling in ScalingPolicy::all_default() {
-        let config = ClusterConfig {
-            scheduler: SchedulerPolicy::Fcfs,
-            keepalive: KeepalivePolicy::prewarm_default(),
-            scaling,
-            ..ClusterConfig::default()
-        };
-        let sim = ClusterSim::new(PlatformKind::DscsDsa, config);
-        let (report, racks) = sim.run_sharded(&azure_trace, 17, 4, LoadBalancer::LeastLoaded);
+        let outcome = Experiment::builder(PlatformKind::DscsDsa)
+            .trace(azure_trace.clone())
+            .racks(4)
+            .balancer(LoadBalancer::LeastLoaded)
+            .keepalive(KeepalivePolicy::prewarm_default())
+            .scaling(scaling)
+            .seed(17)
+            .build()
+            .expect("valid experiment")
+            .run_on(&dscs);
+        let report = &outcome.report;
         println!("\n  {}:", scaling.name());
         println!(
             "    instances/rack: peak {} low {} / scale-ups {} downs {} / lag {:.1} s",
             report.peak_instances,
-            racks.iter().map(|r| r.low_instances).min().unwrap_or(0),
+            outcome
+                .racks
+                .iter()
+                .map(|r| r.low_instances)
+                .min()
+                .unwrap_or(0),
             report.scale_ups,
             report.scale_downs,
             report.scaling_lag_s
@@ -141,10 +173,11 @@ fn main() {
     // Part 4 — data locality: the same Azure trace with the object store
     // coupled into dispatch. Each request reads a stored object whose
     // replicas live in one rack; a rack without a replica pays the modelled
-    // cross-rack fetch. The locality-aware balancer follows the data and
-    // spills to least-loaded only under queue pressure.
+    // cross-rack fetch in both seconds and joules. The locality-aware
+    // balancer follows the data and spills to least-loaded only under queue
+    // pressure.
     println!("\ndata locality on the azure trace (DSCS x 4 racks, fixed keepalive):");
-    let data = DataLayer::for_trace(&azure_trace, 4, 23);
+    let data = Arc::new(DataLayer::for_trace(&azure_trace, 4, 23));
     println!(
         "  {} distinct objects placed over {} racks ({} storage nodes)",
         data.object_count(),
@@ -152,14 +185,23 @@ fn main() {
         data.store().node_count()
     );
     for balancer in LoadBalancer::ALL {
-        let sim = ClusterSim::new(PlatformKind::DscsDsa, ClusterConfig::default());
-        let (report, _) = sim.run_sharded_with_data(&azure_trace, 17, 4, balancer, Some(&data));
+        let report = Experiment::builder(PlatformKind::DscsDsa)
+            .trace(azure_trace.clone())
+            .racks(4)
+            .balancer(balancer)
+            .data_layer(data.clone())
+            .seed(17)
+            .build()
+            .expect("valid experiment")
+            .run_on(&dscs)
+            .report;
         println!(
-            "  {:<12} locality {:>5.1}% / {:>7.1} MiB cross-rack / fetch {:>6.1} s total / mean {:.1} ms",
+            "  {:<12} locality {:>5.1}% / {:>7.1} MiB cross-rack / fetch {:>6.1} s, {:>7.1} J / mean {:.1} ms",
             balancer.name(),
             report.locality_hit_rate() * 100.0,
             report.cross_rack_bytes as f64 / (1024.0 * 1024.0),
             report.fetch_latency_s,
+            report.fetch_energy_j,
             report.mean_latency_ms()
         );
     }

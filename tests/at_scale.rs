@@ -2,20 +2,21 @@
 //! multi-rack sharding, autoscaling and prewarming, data-locality-aware
 //! dispatch, and the machine-readable report CI uploads.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use dscs_serverless::cluster::at_scale::{at_scale_sweep, AtScaleOptions, AtScaleReport};
+use dscs_serverless::cluster::experiment::Experiment;
 use dscs_serverless::cluster::policy::{
     KeepalivePolicy, LoadBalancer, ScalingPolicy, SchedulerPolicy,
 };
-use dscs_serverless::cluster::sim::{ClusterConfig, ClusterSim};
 use dscs_serverless::cluster::workload::{AzureWorkload, Workload, WorkloadError};
 use dscs_serverless::platforms::PlatformKind;
 use dscs_serverless::simcore::rng::DeterministicRng;
 
-/// The smoke-sweep report captured at PR 4, when the data-locality layer and
-/// the balancer axis landed (schema v3). Today's sweep must reproduce it
-/// byte-for-byte; regenerate deliberately with
+/// The smoke-sweep report pinned when the experiment-builder API landed
+/// (schema v4: the PR 4 locality cells plus the `fetch_energy_j` field —
+/// every shared metric is byte-identical to the PR 4 capture). Today's sweep
+/// must reproduce it byte-for-byte; regenerate deliberately with
 /// `UPDATE_GOLDEN=1 cargo test --test at_scale`.
 const PR4_GOLDEN_SMOKE: &str = include_str!("golden/at_scale_smoke_pr4.json");
 
@@ -58,10 +59,11 @@ fn sweep_covers_both_platforms_all_policies_and_both_workloads() {
     }
 }
 
-/// Golden regression test: the whole schema-v3 smoke report is pinned
-/// byte-for-byte against the fixture captured when the data-locality layer
-/// landed. Any drift in trace generation, placement, dispatch, charging or
-/// JSON rendering shows up here immediately.
+/// Golden regression test: the whole schema-v4 smoke report is pinned
+/// byte-for-byte against the regenerated fixture. Any drift in trace
+/// generation, placement, dispatch, charging or JSON rendering — including
+/// through the new `Experiment` path every cell now runs on — shows up here
+/// immediately.
 #[test]
 fn smoke_sweep_matches_the_pr4_golden_report() {
     let json = smoke_report().to_json();
@@ -193,6 +195,12 @@ fn locality_aware_balancing_beats_round_robin_on_azure_cells() {
             rr.mean_latency_ms
         );
         assert!(local.fetch_latency_s <= rr.fetch_latency_s);
+        assert!(
+            local.fetch_energy_j <= rr.fetch_energy_j,
+            "{platform:?}: locality {} J must not exceed round-robin {} J",
+            local.fetch_energy_j,
+            rr.fetch_energy_j
+        );
     }
 }
 
@@ -204,16 +212,27 @@ fn multi_rack_run_is_deterministic_across_balancers() {
         horizon: dscs_serverless::simcore::time::SimDuration::from_secs(30),
         ..AzureWorkload::default()
     };
-    let trace = azure
-        .generate(&mut DeterministicRng::seeded(5))
-        .expect("valid");
-    let sim = ClusterSim::new(PlatformKind::DscsDsa, ClusterConfig::default());
+    let trace = Arc::new(
+        azure
+            .generate(&mut DeterministicRng::seeded(5))
+            .expect("valid"),
+    );
     for balancer in LoadBalancer::ALL {
-        let (a, racks_a) = sim.run_sharded(&trace, 9, 3, balancer);
-        let (b, racks_b) = sim.run_sharded(&trace, 9, 3, balancer);
-        assert_eq!(a, b, "{balancer:?} aggregate");
-        assert_eq!(racks_a, racks_b, "{balancer:?} racks");
-        assert_eq!(a.completed + a.rejected, trace.len() as u64);
+        let run = || {
+            Experiment::builder(PlatformKind::DscsDsa)
+                .trace(trace.clone())
+                .racks(3)
+                .balancer(balancer)
+                .seed(9)
+                .build()
+                .expect("valid experiment")
+                .run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.report, b.report, "{balancer:?} aggregate");
+        assert_eq!(a.racks, b.racks, "{balancer:?} racks");
+        assert_eq!(a.report.completed + a.report.rejected, trace.len() as u64);
     }
 }
 
@@ -227,15 +246,20 @@ fn keepalive_policies_order_cold_start_counts() {
         horizon: dscs_serverless::simcore::time::SimDuration::from_secs(60),
         ..AzureWorkload::default()
     };
-    let trace = azure
-        .generate(&mut DeterministicRng::seeded(6))
-        .expect("valid");
+    let trace = Arc::new(
+        azure
+            .generate(&mut DeterministicRng::seeded(6))
+            .expect("valid"),
+    );
     let run = |keepalive| {
-        let config = ClusterConfig {
-            keepalive,
-            ..ClusterConfig::default()
-        };
-        ClusterSim::new(PlatformKind::DscsDsa, config).run(&trace, 3)
+        Experiment::builder(PlatformKind::DscsDsa)
+            .trace(trace.clone())
+            .keepalive(keepalive)
+            .seed(3)
+            .build()
+            .expect("valid experiment")
+            .run()
+            .report
     };
     let none = run(KeepalivePolicy::NoKeepalive);
     let fixed = run(KeepalivePolicy::paper_default());

@@ -1,0 +1,271 @@
+//! Satellite suite for the experiment-builder API redesign: every input
+//! that used to panic inside `run_sharded_with_data` /
+//! `ScalingPolicy::validate` now yields the matching typed [`ConfigError`]
+//! from `ExperimentBuilder::build`, and the deprecated shims still panic
+//! with their historical messages (so legacy callers see no behaviour
+//! change).
+
+use dscs_serverless::cluster::data::DataLayer;
+use dscs_serverless::cluster::experiment::{ConfigError, Experiment};
+use dscs_serverless::cluster::policy::{LoadBalancer, ScalingPolicy};
+use dscs_serverless::cluster::sim::{ClusterConfig, ClusterSim};
+use dscs_serverless::cluster::trace::{RateProfile, TraceRequest};
+use dscs_serverless::platforms::PlatformKind;
+use dscs_serverless::simcore::rng::DeterministicRng;
+use dscs_serverless::simcore::time::SimDuration;
+
+fn short_trace(seed: u64) -> Vec<TraceRequest> {
+    let profile = RateProfile {
+        segments: vec![(SimDuration::from_secs(4), 60.0)],
+    };
+    profile.generate(&mut DeterministicRng::seeded(seed))
+}
+
+/// Every formerly-panicking input class maps to its own `ConfigError`
+/// variant, and the builder reports the *first* violation in the historical
+/// check order.
+#[test]
+fn every_formerly_panicking_input_yields_the_matching_typed_error() {
+    // 1. Empty trace (and the no-trace-at-all case).
+    assert_eq!(
+        Experiment::builder(PlatformKind::DscsDsa)
+            .trace(Vec::new())
+            .build()
+            .expect_err("empty trace"),
+        ConfigError::EmptyTrace
+    );
+    assert_eq!(
+        Experiment::builder(PlatformKind::DscsDsa)
+            .build()
+            .expect_err("missing trace"),
+        ConfigError::EmptyTrace
+    );
+
+    // 2. Zero racks.
+    assert_eq!(
+        Experiment::builder(PlatformKind::DscsDsa)
+            .trace(short_trace(1))
+            .racks(0)
+            .build()
+            .expect_err("zero racks"),
+        ConfigError::ZeroRacks
+    );
+
+    // 3. Data layer built for a different rack count.
+    let trace = short_trace(2);
+    let data = DataLayer::for_trace(&trace, 4, 9);
+    assert_eq!(
+        Experiment::builder(PlatformKind::DscsDsa)
+            .trace(trace)
+            .racks(2)
+            .data_layer(data)
+            .build()
+            .expect_err("mismatched data layer"),
+        ConfigError::DataLayerRackMismatch {
+            layer_racks: 4,
+            racks: 2
+        }
+    );
+
+    // 4. Elastic pool with zero min_instances.
+    assert_eq!(
+        Experiment::builder(PlatformKind::DscsDsa)
+            .trace(short_trace(3))
+            .scaling(ScalingPolicy::reactive_default())
+            .instances(0, 200)
+            .build()
+            .expect_err("zero min"),
+        ConfigError::ZeroMinInstances
+    );
+
+    // 5. min_instances above max_instances.
+    assert_eq!(
+        Experiment::builder(PlatformKind::DscsDsa)
+            .trace(short_trace(4))
+            .scaling(ScalingPolicy::predictive_default())
+            .instances(128, 16)
+            .build()
+            .expect_err("min above max"),
+        ConfigError::MinAboveMax { min: 128, max: 16 }
+    );
+}
+
+/// The scaling-parameter violations the old `ScalingPolicy::validate`
+/// asserted also surface as typed errors, both from `check()` and through
+/// the builder.
+#[test]
+fn scaling_parameter_violations_are_typed_errors() {
+    let zero_reactive = ScalingPolicy::Reactive {
+        scale_up_queue: 8,
+        scale_down_queue: 2,
+        step: 4,
+        interval: SimDuration::ZERO,
+    };
+    assert_eq!(
+        zero_reactive.check().expect_err("zero interval"),
+        ConfigError::ZeroScalingInterval { policy: "reactive" }
+    );
+    let zero_predictive = ScalingPolicy::Predictive {
+        interval: SimDuration::ZERO,
+        headroom: 1.5,
+    };
+    assert_eq!(
+        zero_predictive.check().expect_err("zero interval"),
+        ConfigError::ZeroScalingInterval {
+            policy: "predictive"
+        }
+    );
+    let zero_step = ScalingPolicy::Reactive {
+        scale_up_queue: 8,
+        scale_down_queue: 2,
+        step: 0,
+        interval: SimDuration::from_secs(5),
+    };
+    assert_eq!(
+        zero_step.check().expect_err("zero step"),
+        ConfigError::ZeroReactiveStep
+    );
+    let overlapping = ScalingPolicy::Reactive {
+        scale_up_queue: 4,
+        scale_down_queue: 4,
+        step: 4,
+        interval: SimDuration::from_secs(5),
+    };
+    assert_eq!(
+        overlapping.check().expect_err("overlap"),
+        ConfigError::OverlappingReactiveThresholds {
+            scale_up_queue: 4,
+            scale_down_queue: 4
+        }
+    );
+    for headroom in [0.99, f64::NAN, f64::INFINITY] {
+        let policy = ScalingPolicy::Predictive {
+            interval: SimDuration::from_secs(5),
+            headroom,
+        };
+        assert!(matches!(
+            policy.check().expect_err("bad headroom"),
+            ConfigError::InvalidPredictiveHeadroom { .. }
+        ));
+        // The same violation through the builder (scaling checked before the
+        // elastic bounds).
+        let err = Experiment::builder(PlatformKind::DscsDsa)
+            .trace(short_trace(5))
+            .scaling(policy)
+            .build()
+            .expect_err("builder relays the scaling error");
+        assert!(matches!(err, ConfigError::InvalidPredictiveHeadroom { .. }));
+    }
+}
+
+/// `ConfigError` is a real `std::error::Error`: displayable, and the
+/// workload variant exposes its source.
+#[test]
+fn config_errors_display_and_expose_sources() {
+    use dscs_serverless::cluster::workload::AzureWorkload;
+    use std::error::Error;
+
+    let bad = AzureWorkload {
+        base_rps: f64::NAN,
+        ..AzureWorkload::default()
+    };
+    let err = Experiment::builder(PlatformKind::DscsDsa)
+        .workload(&bad, &mut DeterministicRng::seeded(1))
+        .build()
+        .expect_err("invalid workload");
+    assert!(matches!(err, ConfigError::Workload(_)));
+    assert!(err.source().is_some(), "workload errors carry their source");
+    assert!(!err.to_string().is_empty());
+    assert!(
+        ConfigError::ZeroRacks.source().is_none(),
+        "leaf errors have no source"
+    );
+}
+
+// --- Deprecated-shim behaviour: the old messages, verbatim. -----------------
+
+#[test]
+#[should_panic(expected = "trace must not be empty")]
+#[allow(deprecated)]
+fn deprecated_run_sharded_still_panics_on_an_empty_trace() {
+    let sim = ClusterSim::new(PlatformKind::DscsDsa, ClusterConfig::default());
+    let _ = sim.run_sharded(&[], 1, 1, LoadBalancer::RoundRobin);
+}
+
+#[test]
+#[should_panic(expected = "need at least one rack")]
+#[allow(deprecated)]
+fn deprecated_run_sharded_still_panics_on_zero_racks() {
+    let sim = ClusterSim::new(PlatformKind::DscsDsa, ClusterConfig::default());
+    let _ = sim.run_sharded(&short_trace(6), 1, 0, LoadBalancer::RoundRobin);
+}
+
+#[test]
+#[should_panic(expected = "data layer must cover exactly the sharded racks")]
+#[allow(deprecated)]
+fn deprecated_run_sharded_with_data_still_panics_on_a_rack_mismatch() {
+    let trace = short_trace(7);
+    let data = DataLayer::for_trace(&trace, 3, 1);
+    let sim = ClusterSim::new(PlatformKind::DscsDsa, ClusterConfig::default());
+    let _ = sim.run_sharded_with_data(&trace, 1, 2, LoadBalancer::RoundRobin, Some(&data));
+}
+
+#[test]
+#[should_panic(expected = "elastic racks need at least one instance")]
+#[allow(deprecated)]
+fn deprecated_run_sharded_still_panics_on_a_zero_min_elastic_pool() {
+    let config = ClusterConfig {
+        scaling: ScalingPolicy::reactive_default(),
+        min_instances: 0,
+        ..ClusterConfig::default()
+    };
+    let sim = ClusterSim::new(PlatformKind::DscsDsa, config);
+    let _ = sim.run_sharded(&short_trace(8), 1, 1, LoadBalancer::RoundRobin);
+}
+
+#[test]
+#[should_panic(expected = "min_instances must not exceed max_instances")]
+#[allow(deprecated)]
+fn deprecated_run_sharded_still_panics_when_min_exceeds_max() {
+    let config = ClusterConfig {
+        scaling: ScalingPolicy::predictive_default(),
+        min_instances: 300,
+        max_instances: 200,
+        ..ClusterConfig::default()
+    };
+    let sim = ClusterSim::new(PlatformKind::DscsDsa, config);
+    let _ = sim.run_sharded(&short_trace(9), 1, 1, LoadBalancer::RoundRobin);
+}
+
+#[test]
+#[should_panic(expected = "reactive interval must be non-zero")]
+#[allow(deprecated)]
+fn deprecated_scaling_validate_still_panics_with_the_old_message() {
+    ScalingPolicy::Reactive {
+        scale_up_queue: 8,
+        scale_down_queue: 2,
+        step: 4,
+        interval: SimDuration::ZERO,
+    }
+    .validate();
+}
+
+/// A valid configuration behaves identically through the deprecated shim and
+/// the builder — the shim really is a thin delegation.
+#[test]
+#[allow(deprecated)]
+fn deprecated_shim_and_builder_agree_on_valid_runs() {
+    let trace = short_trace(10);
+    let sim = ClusterSim::new(PlatformKind::DscsDsa, ClusterConfig::default());
+    let (report, racks) = sim.run_sharded(&trace, 5, 2, LoadBalancer::LeastLoaded);
+    let outcome = Experiment::builder(PlatformKind::DscsDsa)
+        .trace(trace)
+        .racks(2)
+        .balancer(LoadBalancer::LeastLoaded)
+        .seed(5)
+        .build()
+        .expect("valid experiment")
+        .run();
+    assert_eq!(report, outcome.report, "bit-identical aggregate reports");
+    assert_eq!(racks, outcome.racks, "bit-identical per-rack summaries");
+}

@@ -1,8 +1,12 @@
 //! Determinism regression tests: the at-scale simulation is a pure function
 //! of its seed. Two runs with the same [`DeterministicRng`] seed must produce
-//! bit-identical latency series; different seeds must not.
+//! bit-identical latency series; different seeds must not. All runs go
+//! through the typed `Experiment` builder — the one entry point to cluster
+//! runs.
 
-use dscs_serverless::cluster::sim::simulate_platform;
+use std::sync::Arc;
+
+use dscs_serverless::cluster::experiment::Experiment;
 use dscs_serverless::cluster::trace::RateProfile;
 use dscs_serverless::platforms::PlatformKind;
 use dscs_serverless::simcore::rng::DeterministicRng;
@@ -20,10 +24,19 @@ fn one_minute_trace(seed: u64) -> Vec<dscs_serverless::cluster::trace::TraceRequ
 
 #[test]
 fn same_seed_produces_bit_identical_latency_series() {
-    let trace = one_minute_trace(11);
+    let trace = Arc::new(one_minute_trace(11));
     for platform in [PlatformKind::BaselineCpu, PlatformKind::DscsDsa] {
-        let a = simulate_platform(platform, &trace, 77);
-        let b = simulate_platform(platform, &trace, 77);
+        let run = || {
+            Experiment::builder(platform)
+                .trace(trace.clone())
+                .seed(77)
+                .build()
+                .expect("valid experiment")
+                .run()
+                .report
+        };
+        let a = run();
+        let b = run();
         // Exact f64 equality on every bucketed series — any nondeterminism
         // (iteration order, uncached RNG draws) shows up here immediately.
         assert_eq!(a.latency_ms, b.latency_ms, "{platform:?} latency series");
@@ -42,9 +55,18 @@ fn same_seed_produces_bit_identical_latency_series() {
 
 #[test]
 fn different_seeds_produce_different_latency_series() {
-    let trace = one_minute_trace(11);
-    let a = simulate_platform(PlatformKind::DscsDsa, &trace, 77);
-    let b = simulate_platform(PlatformKind::DscsDsa, &trace, 78);
+    let trace = Arc::new(one_minute_trace(11));
+    let run = |seed| {
+        Experiment::builder(PlatformKind::DscsDsa)
+            .trace(trace.clone())
+            .seed(seed)
+            .build()
+            .expect("valid experiment")
+            .run()
+            .report
+    };
+    let a = run(77);
+    let b = run(78);
     assert_ne!(
         a.latency_ms, b.latency_ms,
         "independent seeds must perturb the service-time jitter"
@@ -56,49 +78,68 @@ fn same_seed_produces_bit_identical_multi_rack_runs() {
     use dscs_serverless::cluster::policy::{LoadBalancer, SchedulerPolicy};
     use dscs_serverless::cluster::sim::{ClusterConfig, ClusterSim};
 
-    let trace = one_minute_trace(11);
-    let config = ClusterConfig {
-        scheduler: SchedulerPolicy::ShortestJobFirst,
-        ..ClusterConfig::default()
-    };
-    let sim = ClusterSim::new(PlatformKind::DscsDsa, config);
+    let trace = Arc::new(one_minute_trace(11));
+    let sim = ClusterSim::new(PlatformKind::DscsDsa, ClusterConfig::default());
     for balancer in LoadBalancer::ALL {
-        let (a, racks_a) = sim.run_sharded(&trace, 33, 4, balancer);
-        let (b, racks_b) = sim.run_sharded(&trace, 33, 4, balancer);
-        assert_eq!(a.latency_ms, b.latency_ms, "{balancer:?} latency series");
-        assert_eq!(a.cold_starts, b.cold_starts, "{balancer:?} cold starts");
-        assert_eq!(racks_a, racks_b, "{balancer:?} per-rack summaries");
+        let run = || {
+            Experiment::builder(PlatformKind::DscsDsa)
+                .trace(trace.clone())
+                .scheduler(SchedulerPolicy::ShortestJobFirst)
+                .racks(4)
+                .balancer(balancer)
+                .seed(33)
+                .build()
+                .expect("valid experiment")
+                .run_on(&sim)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(
+            a.report.latency_ms, b.report.latency_ms,
+            "{balancer:?} latency series"
+        );
+        assert_eq!(
+            a.report.cold_starts, b.report.cold_starts,
+            "{balancer:?} cold starts"
+        );
+        assert_eq!(a.racks, b.racks, "{balancer:?} per-rack summaries");
+        assert_eq!(a.report.completed + a.report.rejected, trace.len() as u64);
     }
 }
 
 #[test]
 fn same_seed_produces_bit_identical_autoscaled_runs() {
     use dscs_serverless::cluster::policy::{KeepalivePolicy, LoadBalancer, ScalingPolicy};
-    use dscs_serverless::cluster::sim::{ClusterConfig, ClusterSim};
 
-    let trace = one_minute_trace(11);
+    let trace = Arc::new(one_minute_trace(11));
     for scaling in [
         ScalingPolicy::reactive_default(),
         ScalingPolicy::predictive_default(),
     ] {
-        let config = ClusterConfig {
-            scaling,
-            keepalive: KeepalivePolicy::prewarm_default(),
-            ..ClusterConfig::default()
+        let run = || {
+            Experiment::builder(PlatformKind::DscsDsa)
+                .trace(trace.clone())
+                .scaling(scaling)
+                .keepalive(KeepalivePolicy::prewarm_default())
+                .racks(3)
+                .balancer(LoadBalancer::LeastLoaded)
+                .seed(55)
+                .build()
+                .expect("valid experiment")
+                .run()
         };
-        let sim = ClusterSim::new(PlatformKind::DscsDsa, config);
-        let (a, racks_a) = sim.run_sharded(&trace, 55, 3, LoadBalancer::LeastLoaded);
-        let (b, racks_b) = sim.run_sharded(&trace, 55, 3, LoadBalancer::LeastLoaded);
-        assert_eq!(a, b, "{scaling:?} aggregate report");
-        assert_eq!(racks_a, racks_b, "{scaling:?} per-rack summaries");
+        let a = run();
+        let b = run();
+        assert_eq!(a.report, b.report, "{scaling:?} aggregate report");
+        assert_eq!(a.racks, b.racks, "{scaling:?} per-rack summaries");
         assert_eq!(
-            a.scaling_lag_s.to_bits(),
-            b.scaling_lag_s.to_bits(),
+            a.report.scaling_lag_s.to_bits(),
+            b.report.scaling_lag_s.to_bits(),
             "{scaling:?} lag"
         );
         assert_eq!(
-            a.warm_seconds.to_bits(),
-            b.warm_seconds.to_bits(),
+            a.report.warm_seconds.to_bits(),
+            b.report.warm_seconds.to_bits(),
             "{scaling:?} warm-seconds accumulate in a fixed order"
         );
     }
@@ -106,16 +147,17 @@ fn same_seed_produces_bit_identical_autoscaled_runs() {
 
 /// Satellite regression test: sharded runs under the data-locality-aware
 /// balancer — replica-rack dispatch, spill decisions and cross-rack fetch
-/// charges included — are bit-identical across repeated runs.
+/// charges (latency and joules) included — are bit-identical across repeated
+/// runs.
 #[test]
 fn same_seed_produces_bit_identical_locality_aware_runs() {
     use dscs_serverless::cluster::data::DataLayer;
     use dscs_serverless::cluster::policy::LoadBalancer;
     use dscs_serverless::cluster::sim::{ClusterConfig, ClusterSim};
 
-    let trace = one_minute_trace(11);
+    let trace = Arc::new(one_minute_trace(11));
     let racks = 3;
-    let data = DataLayer::for_trace(&trace, racks, 61);
+    let data = Arc::new(DataLayer::for_trace(&trace, racks, 61));
     let sim = ClusterSim::new(PlatformKind::DscsDsa, ClusterConfig::default());
     for balancer in [
         LoadBalancer::locality_default(),
@@ -124,25 +166,44 @@ fn same_seed_produces_bit_identical_locality_aware_runs() {
             spill_threshold: usize::MAX,
         },
     ] {
-        let (a, racks_a) = sim.run_sharded_with_data(&trace, 33, racks, balancer, Some(&data));
-        let (b, racks_b) = sim.run_sharded_with_data(&trace, 33, racks, balancer, Some(&data));
-        assert_eq!(a, b, "{balancer:?} aggregate report");
-        assert_eq!(racks_a, racks_b, "{balancer:?} per-rack summaries");
+        let run = |data: Arc<DataLayer>| {
+            Experiment::builder(PlatformKind::DscsDsa)
+                .trace(trace.clone())
+                .racks(racks)
+                .balancer(balancer)
+                .data_layer(data)
+                .seed(33)
+                .build()
+                .expect("valid experiment")
+                .run_on(&sim)
+        };
+        let a = run(data.clone());
+        let b = run(data.clone());
+        assert_eq!(a.report, b.report, "{balancer:?} aggregate report");
+        assert_eq!(a.racks, b.racks, "{balancer:?} per-rack summaries");
         assert_eq!(
-            a.fetch_latency_s.to_bits(),
-            b.fetch_latency_s.to_bits(),
+            a.report.fetch_latency_s.to_bits(),
+            b.report.fetch_latency_s.to_bits(),
             "{balancer:?} fetch charges accumulate in a fixed order"
         );
+        assert_eq!(
+            a.report.fetch_energy_j.to_bits(),
+            b.report.fetch_energy_j.to_bits(),
+            "{balancer:?} fetch energy accumulates in a fixed order"
+        );
         // A freshly rebuilt data layer must not perturb the run either.
-        let rebuilt = DataLayer::for_trace(&trace, racks, 61);
-        let (c, _) = sim.run_sharded_with_data(&trace, 33, racks, balancer, Some(&rebuilt));
-        assert_eq!(a, c, "{balancer:?} placement is a pure function of seed");
+        let rebuilt = Arc::new(DataLayer::for_trace(&trace, racks, 61));
+        let c = run(rebuilt);
+        assert_eq!(
+            a.report, c.report,
+            "{balancer:?} placement is a pure function of seed"
+        );
     }
 }
 
 /// The full sweep — which now includes the scaling axes, the prewarm
-/// keepalive and the balancer axis with its locality fields — renders
-/// byte-identical JSON across two runs with the same seed.
+/// keepalive, the balancer axis with its locality fields and the v4 fetch
+/// energy — renders byte-identical JSON across two runs with the same seed.
 #[test]
 fn at_scale_report_json_is_byte_identical_across_runs() {
     use dscs_serverless::cluster::at_scale::{at_scale_sweep, AtScaleOptions};
@@ -154,6 +215,7 @@ fn at_scale_report_json_is_byte_identical_across_runs() {
     assert!(a.contains("\"scaling\":\"predictive\""));
     assert!(a.contains("\"balancer\":\"locality\""));
     assert!(a.contains("\"locality_hit_rate\""));
+    assert!(a.contains("\"fetch_energy_j\""));
 }
 
 #[test]

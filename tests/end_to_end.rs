@@ -2,7 +2,7 @@
 //! paper, and the cross-crate flows (deployment config → registry → data
 //! placement → scheduling → end-to-end evaluation → at-scale simulation).
 
-use dscs_serverless::cluster::sim::simulate_platform;
+use dscs_serverless::cluster::experiment::Experiment;
 use dscs_serverless::cluster::trace::RateProfile;
 use dscs_serverless::compiler::compile_model;
 use dscs_serverless::core::benchmarks::Benchmark;
@@ -208,9 +208,18 @@ fn at_scale_simulation_preserves_the_figure_13_shape() {
             (SimDuration::from_secs(30), 1200.0),
         ],
     };
-    let trace = profile.generate(&mut DeterministicRng::seeded(21));
-    let baseline = simulate_platform(PlatformKind::BaselineCpu, &trace, 22);
-    let dscs = simulate_platform(PlatformKind::DscsDsa, &trace, 22);
+    let trace = std::sync::Arc::new(profile.generate(&mut DeterministicRng::seeded(21)));
+    let run = |platform| {
+        Experiment::builder(platform)
+            .trace(trace.clone())
+            .seed(22)
+            .build()
+            .expect("valid experiment")
+            .run()
+            .report
+    };
+    let baseline = run(PlatformKind::BaselineCpu);
+    let dscs = run(PlatformKind::DscsDsa);
     assert!(
         baseline.peak_queue() > dscs.peak_queue(),
         "baseline queues more"

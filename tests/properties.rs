@@ -491,7 +491,8 @@ fn prewarm_window_never_exceeds_the_eviction_window() {
 /// `min_instances`, for random elastic policies over random workloads.
 #[test]
 fn autoscaler_respects_its_instance_bounds() {
-    use dscs_serverless::cluster::policy::{LoadBalancer, ScalingPolicy};
+    use dscs_serverless::cluster::experiment::Experiment;
+    use dscs_serverless::cluster::policy::ScalingPolicy;
     use dscs_serverless::cluster::sim::{ClusterConfig, ClusterSim};
     use dscs_serverless::cluster::trace::RateProfile;
     use dscs_serverless::platforms::PlatformKind;
@@ -517,12 +518,6 @@ fn autoscaler_respects_its_instance_bounds() {
                 headroom: rng.uniform(1.0, 2.0),
             }
         };
-        let config = ClusterConfig {
-            min_instances,
-            max_instances,
-            scaling,
-            ..ClusterConfig::default()
-        };
         let profile = RateProfile {
             segments: vec![
                 (
@@ -539,20 +534,23 @@ fn autoscaler_respects_its_instance_bounds() {
         if trace.is_empty() {
             return;
         }
-        let sim = base.reconfigured(config);
         let racks = 1 + int_in(rng, 0, 2) as u32;
-        let (report, summaries) = sim.run_sharded(
-            &trace,
-            int_in(rng, 0, 1000),
-            racks,
-            LoadBalancer::RoundRobin,
-        );
+        let outcome = Experiment::builder(PlatformKind::DscsDsa)
+            .trace(trace.clone())
+            .instances(min_instances, max_instances)
+            .scaling(scaling)
+            .racks(racks)
+            .seed(int_in(rng, 0, 1000))
+            .build()
+            .unwrap_or_else(|err| panic!("case {case}: bounded random config rejected: {err}"))
+            .run_on(&base);
+        let (report, summaries) = (&outcome.report, &outcome.racks);
         assert!(
             report.peak_instances <= max_instances,
             "case {case}: peak {} exceeds max {max_instances}",
             report.peak_instances
         );
-        for rack in &summaries {
+        for rack in summaries {
             assert!(
                 rack.low_instances >= min_instances,
                 "case {case}: rack {} dropped to {} below min {min_instances}",
@@ -578,7 +576,10 @@ fn autoscaler_respects_its_instance_bounds() {
 /// and a locality hit rate of one.
 #[test]
 fn locality_aware_balancing_never_fetches_when_replica_racks_are_unsaturated() {
+    use std::sync::Arc;
+
     use dscs_serverless::cluster::data::DataLayer;
+    use dscs_serverless::cluster::experiment::Experiment;
     use dscs_serverless::cluster::policy::LoadBalancer;
     use dscs_serverless::cluster::sim::{ClusterConfig, ClusterSim};
     use dscs_serverless::cluster::trace::RateProfile;
@@ -593,26 +594,27 @@ fn locality_aware_balancing_never_fetches_when_replica_racks_are_unsaturated() {
                 rng.uniform(10.0, 300.0),
             )],
         };
-        let trace = profile.generate(&mut DeterministicRng::seeded(int_in(rng, 0, 1000)));
+        let trace = Arc::new(profile.generate(&mut DeterministicRng::seeded(int_in(rng, 0, 1000))));
         if trace.is_empty() {
             return;
         }
-        let data = DataLayer::for_trace(&trace, racks, int_in(rng, 0, 1000));
+        let data = Arc::new(DataLayer::for_trace(&trace, racks, int_in(rng, 0, 1000)));
+        let run = |spill_threshold, seed| {
+            Experiment::builder(PlatformKind::DscsDsa)
+                .trace(trace.clone())
+                .racks(racks)
+                .queue_depth(usize::MAX)
+                .balancer(LoadBalancer::LocalityAware { spill_threshold })
+                .data_layer(data.clone())
+                .seed(seed)
+                .build()
+                .unwrap_or_else(|err| panic!("case {case}: valid config rejected: {err}"))
+                .run_on(&base)
+        };
         // An unreachable spill threshold: replica racks never count as
         // saturated, so locality dispatch must always stay local.
-        let sim = base.reconfigured(ClusterConfig {
-            queue_depth: usize::MAX,
-            ..ClusterConfig::default()
-        });
-        let (report, summaries) = sim.run_sharded_with_data(
-            &trace,
-            int_in(rng, 0, 1000),
-            racks,
-            LoadBalancer::LocalityAware {
-                spill_threshold: usize::MAX,
-            },
-            Some(&data),
-        );
+        let outcome = run(usize::MAX, int_in(rng, 0, 1000));
+        let (report, summaries) = (&outcome.report, &outcome.racks);
         assert_eq!(summaries.len(), racks as usize, "case {case}");
         assert_eq!(
             report.completed,
@@ -626,6 +628,10 @@ fn locality_aware_balancing_never_fetches_when_replica_racks_are_unsaturated() {
         assert_eq!(report.cross_rack_bytes, 0, "case {case}");
         assert_eq!(report.fetch_latency_s, 0.0, "case {case}");
         assert_eq!(
+            report.fetch_energy_j, 0.0,
+            "case {case}: no moved bytes, no joules"
+        );
+        assert_eq!(
             report.locality_hit_rate(),
             1.0,
             "case {case}: every start is local"
@@ -633,25 +639,22 @@ fn locality_aware_balancing_never_fetches_when_replica_racks_are_unsaturated() {
         // And with a random (possibly tiny) spill threshold the run still
         // accounts for every request on in-range racks.
         let spill = int_in(rng, 0, 64) as usize;
-        let (spilled, spilled_racks) = sim.run_sharded_with_data(
-            &trace,
-            int_in(rng, 0, 1000),
-            racks,
-            LoadBalancer::LocalityAware {
-                spill_threshold: spill,
-            },
-            Some(&data),
-        );
-        assert_eq!(spilled_racks.len(), racks as usize, "case {case}");
+        let spilled = run(spill, int_in(rng, 0, 1000));
+        assert_eq!(spilled.racks.len(), racks as usize, "case {case}");
         assert_eq!(
-            spilled.completed + spilled.rejected,
+            spilled.report.completed + spilled.report.rejected,
             trace.len() as u64,
             "case {case}: every request lands on a real rack"
         );
         assert_eq!(
-            spilled.locality_hits + spilled.remote_fetches,
-            spilled.completed,
+            spilled.report.locality_hits + spilled.report.remote_fetches,
+            spilled.report.completed,
             "case {case}: every started request is classified local or remote"
+        );
+        assert_eq!(
+            spilled.report.fetch_energy_j > 0.0,
+            spilled.report.cross_rack_bytes > 0,
+            "case {case}: joules flow exactly when bytes move"
         );
     });
 }
@@ -661,7 +664,10 @@ fn locality_aware_balancing_never_fetches_when_replica_racks_are_unsaturated() {
 /// perturb the RNG stream, the event ordering, or any reported series.
 #[test]
 fn fixed_scaling_is_bit_identical_to_a_pinned_pool() {
-    use dscs_serverless::cluster::policy::{LoadBalancer, ScalingPolicy};
+    use std::sync::Arc;
+
+    use dscs_serverless::cluster::experiment::Experiment;
+    use dscs_serverless::cluster::policy::ScalingPolicy;
     use dscs_serverless::cluster::sim::{ClusterConfig, ClusterSim};
     use dscs_serverless::cluster::trace::RateProfile;
     use dscs_serverless::platforms::PlatformKind;
@@ -674,27 +680,36 @@ fn fixed_scaling_is_bit_identical_to_a_pinned_pool() {
                 rng.uniform(20.0, 600.0),
             )],
         };
-        let trace = profile.generate(&mut DeterministicRng::seeded(int_in(rng, 0, 1000)));
+        let trace = Arc::new(profile.generate(&mut DeterministicRng::seeded(int_in(rng, 0, 1000))));
         if trace.is_empty() {
             return;
         }
         let scale_up_queue = int_in(rng, 1, 100) as usize;
-        let pinned = fixed_sim.reconfigured(ClusterConfig {
-            scaling: ScalingPolicy::Reactive {
-                scale_up_queue,
-                scale_down_queue: int_in(rng, 0, scale_up_queue as u64) as usize,
-                step: int_in(rng, 1, 50) as u32,
-                interval: SimDuration::from_millis(int_in(rng, 100, 2000)),
-            },
-            min_instances: 200,
-            max_instances: 200,
-            ..ClusterConfig::default()
-        });
+        let pinned_scaling = ScalingPolicy::Reactive {
+            scale_up_queue,
+            scale_down_queue: int_in(rng, 0, scale_up_queue as u64) as usize,
+            step: int_in(rng, 1, 50) as u32,
+            interval: SimDuration::from_millis(int_in(rng, 100, 2000)),
+        };
         let seed = int_in(rng, 0, 1000);
         let racks = 1 + int_in(rng, 0, 2) as u32;
-        let (a, racks_a) = fixed_sim.run_sharded(&trace, seed, racks, LoadBalancer::RoundRobin);
-        let (b, racks_b) = pinned.run_sharded(&trace, seed, racks, LoadBalancer::RoundRobin);
-        assert_eq!(a, b, "case {case}: reports must be bit-identical");
-        assert_eq!(racks_a, racks_b, "case {case}");
+        let run = |scaling, min| {
+            Experiment::builder(PlatformKind::DscsDsa)
+                .trace(trace.clone())
+                .scaling(scaling)
+                .instances(min, 200)
+                .racks(racks)
+                .seed(seed)
+                .build()
+                .unwrap_or_else(|err| panic!("case {case}: valid config rejected: {err}"))
+                .run_on(&fixed_sim)
+        };
+        let a = run(ScalingPolicy::Fixed, 8);
+        let b = run(pinned_scaling, 200);
+        assert_eq!(
+            a.report, b.report,
+            "case {case}: reports must be bit-identical"
+        );
+        assert_eq!(a.racks, b.racks, "case {case}");
     });
 }
