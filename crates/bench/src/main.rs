@@ -12,7 +12,7 @@
 //! --full:     run the full-size sweeps (complete 650+-point DSE, full
 //!             20-minute at-scale trace) instead of the quick versions.
 //!
-//! reproduce at-scale [--quick] [--seed N] [--racks N]
+//! reproduce at-scale [--quick] [--smoke] [--seed N] [--racks N] [--jobs N]
 //!                    [--balancer round-robin|least-loaded|locality]
 //!                    [--out PATH]
 //!
@@ -21,22 +21,27 @@
 //! over multiple racks against a rack-aware object-store placement (cells
 //! report locality hit rates, cross-rack bytes and the joules those moves
 //! cost), and writes a machine-readable JSON report (default:
-//! BENCH_cluster.json). The grid is a declarative `SweepSpec` the options
-//! expand into. --balancer restricts the sweep to one balancer; the default
-//! sweeps all three.
+//! BENCH_cluster.json) that also carries the measured simulator throughput
+//! (`events_per_sec`, per cell and in aggregate). The grid is a declarative
+//! `SweepSpec` the options expand into. --balancer restricts the sweep to
+//! one balancer; the default sweeps all three. --jobs fans the independent
+//! cells across N worker threads (0 or omitted: one per available core;
+//! 1: sequential) — the modelled report bytes are identical either way.
 //!
 //! reproduce perf-gate BASELINE.json CURRENT.json [--threshold PCT]
 //!
 //! Diffs two at-scale reports cell by cell and exits non-zero on mean/p99
-//! latency regressions beyond the threshold (default 10%). A missing
-//! baseline file passes vacuously, so the first CI run after enabling the
-//! gate succeeds; so does a baseline with a different schema version (the
-//! numbers are not comparable across a schema bump).
+//! latency regressions beyond the threshold (default 10%); measured
+//! `events_per_sec` drops beyond the threshold are printed as warnings
+//! without failing (wall-clock throughput is noisy on shared runners). A
+//! missing baseline file passes vacuously, so the first CI run after
+//! enabling the gate succeeds; so does a baseline with a different schema
+//! version (the numbers are not comparable across a schema bump).
 //! ```
 
 use std::env;
 
-use dscs_cluster::at_scale::{at_scale_sweep, AtScaleOptions, SweepScale};
+use dscs_cluster::at_scale::{at_scale_sweep, AtScaleOptions, SweepScale, SweepSpec};
 use dscs_cluster::experiment::Experiment;
 use dscs_cluster::perf_gate::compare_reports;
 use dscs_cluster::policy::LoadBalancer;
@@ -428,12 +433,15 @@ fn fig17() {
     sensitivity(&exp::fig17_cold_start_sensitivity(), "cold=1");
 }
 
-/// `reproduce at-scale [--quick] [--seed N] [--racks N] [--balancer NAME]
-/// [--out PATH]`: the scheduler x keepalive x platform x workload policy
-/// sweep, written as a machine-readable JSON report.
+/// `reproduce at-scale [--quick] [--smoke] [--seed N] [--racks N] [--jobs N]
+/// [--balancer NAME] [--out PATH]`: the scheduler x keepalive x platform x
+/// workload policy sweep, fanned across worker threads and written as a
+/// machine-readable JSON report with measured engine throughput.
 fn at_scale(args: &[String]) {
     let mut options = if args.iter().any(|a| a == "--quick") {
         AtScaleOptions::quick()
+    } else if args.iter().any(|a| a == "--smoke") {
+        AtScaleOptions::smoke()
     } else {
         AtScaleOptions::full()
     };
@@ -449,10 +457,16 @@ fn at_scale(args: &[String]) {
                 .clone()
         };
         match arg.as_str() {
-            "--quick" => {}
+            "--quick" | "--smoke" => {}
             // The full-size sweep is the default; accept the flag the other
             // experiments use for it.
             "--full" => options.scale = SweepScale::Full,
+            "--jobs" => {
+                options.jobs = value_of("--jobs").parse().unwrap_or_else(|_| {
+                    eprintln!("--jobs must be a non-negative integer (0 = all cores)");
+                    std::process::exit(2);
+                });
+            }
             "--seed" => {
                 options.seed = value_of("--seed").parse().unwrap_or_else(|_| {
                     eprintln!("--seed must be an integer");
@@ -488,20 +502,23 @@ fn at_scale(args: &[String]) {
             other => {
                 eprintln!("unknown at-scale option '{other}'");
                 eprintln!(
-                    "usage: reproduce at-scale [--quick] [--seed N] [--racks N] \
-                     [--balancer round-robin|least-loaded|locality] [--out PATH]"
+                    "usage: reproduce at-scale [--quick] [--smoke] [--seed N] [--racks N] \
+                     [--jobs N] [--balancer round-robin|least-loaded|locality] [--out PATH]"
                 );
                 std::process::exit(2);
             }
         }
     }
 
+    let jobs = SweepSpec::from(options).effective_jobs();
     header(&format!(
-        "At-scale policy sweep ({}, {} racks, {} balancer, seed {})",
+        "At-scale policy sweep ({}, {} racks, {} balancer, seed {}, {} worker{})",
         options.scale.name(),
         options.racks,
         options.balancer.map_or("all", |b| b.name()),
-        options.seed
+        options.seed,
+        jobs,
+        if jobs == 1 { "" } else { "s" }
     ));
     if options.scale == SweepScale::Full {
         println!("running the full 20-minute traces; pass --quick for a fast run");
@@ -551,9 +568,20 @@ fn at_scale(args: &[String]) {
             c.p99_latency_ms
         );
     }
-    let json = report.to_json();
+    println!(
+        "\nengine: {} events in {:.2} s wall ({:.0} events/s across {} worker{})",
+        report.total_events(),
+        report.wall_s.get(),
+        report.events_per_sec(),
+        jobs,
+        if jobs == 1 { "" } else { "s" }
+    );
+    // Ship the throughput-annotated variant: the perf gate reads the
+    // measured events_per_sec; byte-for-byte comparisons strip those keys or
+    // use to_json().
+    let json = report.to_json_with_throughput();
     match std::fs::write(&out_path, &json) {
-        Ok(()) => println!("\nwrote {} cells to {out_path}", report.cells.len()),
+        Ok(()) => println!("wrote {} cells to {out_path}", report.cells.len()),
         Err(err) => {
             eprintln!("failed to write {out_path}: {err}");
             std::process::exit(1);
@@ -625,6 +653,15 @@ fn perf_gate(args: &[String]) {
         "compared {} cells ({} skipped: only on one side or schema change)",
         outcome.compared, outcome.skipped
     );
+    if !outcome.throughput_warnings.is_empty() {
+        println!(
+            "WARN: {} engine-throughput drop(s) beyond {threshold}% (warn-only, not gating):",
+            outcome.throughput_warnings.len()
+        );
+        for warning in &outcome.throughput_warnings {
+            println!("  {warning}");
+        }
+    }
     if outcome.passed() {
         println!("OK: no latency regression beyond {threshold}%");
         return;

@@ -4,7 +4,7 @@
 //! Where Figure 13 fixes one policy point (FCFS, fixed keepalive, fixed
 //! 200-instance racks, local data), this experiment sweeps a whole policy
 //! grid over multiple workloads and multi-rack configurations, and emits a
-//! machine-readable JSON report (schema `dscs-at-scale-v4`). The grid is
+//! machine-readable JSON report (schema `dscs-at-scale-v5`). The grid is
 //! *declarative*: a [`SweepSpec`] lists the values to sweep per axis, and
 //! [`at_scale_sweep`] iterates the cartesian product generically, building
 //! one [`crate::experiment::Experiment`] per cell — adding an axis means
@@ -13,19 +13,31 @@
 //! dispatch is data-aware: reports carry each cell's locality hit rate,
 //! cross-rack bytes moved, the fetch latency charged, and (since v4) the
 //! joules those moves cost — the energy axis balancers are compared on.
+//!
+//! Cells are independent, so [`SweepSpec::run`] fans them out across a
+//! vendored `std::thread` pool ([`SweepSpec::jobs`]; `0` means one worker
+//! per available core, `1` keeps the historical sequential path). Workers
+//! pull cells from a shared index and write results into per-cell slots, so
+//! the report always assembles in grid order: the rendered JSON is
+//! byte-identical whatever the worker count. Since v5, every cell also
+//! carries the engine-work counter (`events`) and — in the
+//! [`AtScaleReport::to_json_with_throughput`] variant only — the measured
+//! `events_per_sec` simulator throughput the perf gate tracks.
 //! CI runs the quick version of the sweep every build, uploads the report as
 //! an artifact (`BENCH_cluster.json`), and diffs it against the previous
 //! run's artifact (see [`crate::perf_gate`]), giving the repo a tracked,
 //! gated performance trajectory. Fixed-seed runs are byte-for-byte
 //! reproducible.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use serde::{Deserialize, Serialize};
 
 use dscs_platforms::PlatformKind;
 use dscs_simcore::json::JsonValue;
 use dscs_simcore::rng::DeterministicRng;
+use dscs_simcore::stats::Measured;
 use dscs_simcore::time::SimDuration;
 
 use crate::data::DataLayer;
@@ -70,17 +82,21 @@ pub struct AtScaleOptions {
     /// Restricts the sweep to one front-end load balancer; `None` sweeps the
     /// whole balancer axis ([`LoadBalancer::ALL`]).
     pub balancer: Option<LoadBalancer>,
+    /// Worker threads for the sweep: `0` means one per available core, `1`
+    /// is the sequential path. The report is byte-identical either way.
+    pub jobs: usize,
 }
 
 impl AtScaleOptions {
     /// The CI quick configuration: two racks, the full balancer axis, seed
-    /// 42.
+    /// 42, one sweep worker per available core.
     pub fn quick() -> Self {
         AtScaleOptions {
             scale: SweepScale::Quick,
             seed: 42,
             racks: 2,
             balancer: None,
+            jobs: 0,
         }
     }
 
@@ -130,6 +146,11 @@ pub struct SweepSpec {
     pub scalings: Vec<ScalingPolicy>,
     /// Front-end load balancers to sweep.
     pub balancers: Vec<LoadBalancer>,
+    /// Worker threads cells fan out over: `0` means one per available core
+    /// ([`std::thread::available_parallelism`]), `1` runs the historical
+    /// sequential path. Results are collected in grid order, so the rendered
+    /// report is byte-identical for every worker count.
+    pub jobs: usize,
 }
 
 impl SweepSpec {
@@ -146,6 +167,19 @@ impl SweepSpec {
             keepalives: KeepalivePolicy::all_default().to_vec(),
             scalings: ScalingPolicy::all_default().to_vec(),
             balancers: LoadBalancer::ALL.to_vec(),
+            jobs: 0,
+        }
+    }
+
+    /// The worker count [`SweepSpec::run`] will actually use: `jobs`, with
+    /// `0` resolved to the number of available cores.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.jobs
         }
     }
 
@@ -173,10 +207,15 @@ impl SweepSpec {
     /// Runs the sweep: one [`Experiment`] per cell of the cartesian product,
     /// against a per-workload [`DataLayer`] so every cell pays real
     /// data-movement costs.
+    ///
+    /// With [`SweepSpec::jobs`] other than `1`, independent cells fan out
+    /// across a pool of `std::thread` workers; results land in per-cell
+    /// slots and are assembled in grid order, so the report (and its JSON)
+    /// is byte-identical to the sequential run.
     pub fn run(&self) -> Result<AtScaleReport, ConfigError> {
         self.check()?;
+        let wall_clock = std::time::Instant::now();
         let workloads = sweep_workloads(self.scale, self.seed);
-        let mut cells = Vec::new();
         // The end-to-end model evaluation behind ClusterSim::new depends only
         // on the platform; policy cells reuse it via Experiment::run_on.
         let base_sims: Vec<ClusterSim> = self
@@ -184,58 +223,30 @@ impl SweepSpec {
             .iter()
             .map(|&p| ClusterSim::new(p, ClusterConfig::default()))
             .collect();
-        for &(name, ref trace, _) in &workloads {
-            // Placement depends only on the trace and rack count; all policy
-            // cells of one workload dispatch against the same layout.
-            let data = Arc::new(DataLayer::for_trace(trace, self.racks, self.seed ^ 0xDA7A));
-            for (&platform, base) in self.platforms.iter().zip(&base_sims) {
+        // Placement depends only on the trace and rack count; all policy
+        // cells of one workload dispatch against the same layout.
+        let data_layers: Vec<Arc<DataLayer>> = workloads
+            .iter()
+            .map(|(_, trace, _)| {
+                Arc::new(DataLayer::for_trace(trace, self.racks, self.seed ^ 0xDA7A))
+            })
+            .collect();
+        // Enumerate the cartesian product up front, in grid order. Cell
+        // identity lives here; workers only index into it.
+        let mut points = Vec::new();
+        for workload in 0..workloads.len() {
+            for platform in 0..self.platforms.len() {
                 for &scheduler in &self.schedulers {
                     for &keepalive in &self.keepalives {
                         for &scaling in &self.scalings {
                             for &balancer in &self.balancers {
-                                let outcome = Experiment::builder(platform)
-                                    .trace(trace.clone())
-                                    .racks(self.racks)
-                                    .balancer(balancer)
-                                    .scheduler(scheduler)
-                                    .keepalive(keepalive)
-                                    .scaling(scaling)
-                                    .data_layer(data.clone())
-                                    .seed(self.seed ^ 0x5EED)
-                                    .build()?
-                                    .run_on(base);
-                                let report = &outcome.report;
-                                cells.push(SweepCell {
-                                    workload: name,
+                                points.push(CellPoint {
+                                    workload,
                                     platform,
                                     scheduler,
                                     keepalive,
                                     scaling,
                                     balancer,
-                                    requests: trace.len() as u64,
-                                    completed: report.completed,
-                                    rejected: report.rejected,
-                                    cold_starts: report.cold_starts,
-                                    prewarm_hits: report.prewarm_hits,
-                                    prewarm_hit_rate: report.prewarm_hit_rate(),
-                                    wasted_warm_s: report.wasted_warm_seconds,
-                                    scale_ups: report.scale_ups,
-                                    scale_downs: report.scale_downs,
-                                    scaling_lag_s: report.scaling_lag_s,
-                                    peak_instances: report.peak_instances,
-                                    locality_hit_rate: report.locality_hit_rate(),
-                                    cross_rack_bytes: report.cross_rack_bytes,
-                                    fetch_latency_s: report.fetch_latency_s,
-                                    fetch_energy_j: report.fetch_energy_j,
-                                    mean_latency_ms: report.mean_latency_ms(),
-                                    p99_latency_ms: report.p99_latency_ms(),
-                                    peak_queue: report.peak_queue(),
-                                    makespan_s: report.makespan.as_secs_f64(),
-                                    rack_completed: outcome
-                                        .racks
-                                        .iter()
-                                        .map(|r| r.completed)
-                                        .collect(),
                                 });
                             }
                         }
@@ -243,6 +254,83 @@ impl SweepSpec {
                 }
             }
         }
+        let run_cell = |point: &CellPoint| -> Result<SweepCell, ConfigError> {
+            let (name, trace, _) = &workloads[point.workload];
+            let outcome = Experiment::builder(self.platforms[point.platform])
+                .trace(trace.clone())
+                .racks(self.racks)
+                .balancer(point.balancer)
+                .scheduler(point.scheduler)
+                .keepalive(point.keepalive)
+                .scaling(point.scaling)
+                .data_layer(data_layers[point.workload].clone())
+                .seed(self.seed ^ 0x5EED)
+                .build()?
+                .run_on(&base_sims[point.platform]);
+            let report = &outcome.report;
+            Ok(SweepCell {
+                workload: name,
+                platform: self.platforms[point.platform],
+                scheduler: point.scheduler,
+                keepalive: point.keepalive,
+                scaling: point.scaling,
+                balancer: point.balancer,
+                requests: trace.len() as u64,
+                completed: report.completed,
+                rejected: report.rejected,
+                cold_starts: report.cold_starts,
+                prewarm_hits: report.prewarm_hits,
+                prewarm_hit_rate: report.prewarm_hit_rate(),
+                wasted_warm_s: report.wasted_warm_seconds,
+                scale_ups: report.scale_ups,
+                scale_downs: report.scale_downs,
+                scaling_lag_s: report.scaling_lag_s,
+                peak_instances: report.peak_instances,
+                locality_hit_rate: report.locality_hit_rate(),
+                cross_rack_bytes: report.cross_rack_bytes,
+                fetch_latency_s: report.fetch_latency_s,
+                fetch_energy_j: report.fetch_energy_j,
+                mean_latency_ms: report.mean_latency_ms(),
+                p99_latency_ms: report.p99_latency_ms(),
+                peak_queue: report.peak_queue(),
+                makespan_s: report.makespan.as_secs_f64(),
+                events: report.events,
+                wall_s: report.wall_s,
+                rack_completed: outcome.racks.iter().map(|r| r.completed).collect(),
+            })
+        };
+        let jobs = self.effective_jobs().min(points.len()).max(1);
+        let cells = if jobs == 1 {
+            // Sequential fallback: the historical path, stopping at the
+            // first invalid cell.
+            points.iter().map(run_cell).collect::<Result<Vec<_>, _>>()?
+        } else {
+            // Worker pool: threads pull the next unclaimed cell index and
+            // drop the result into that cell's slot, so assembly below reads
+            // the grid back in order no matter which worker ran what.
+            let next = AtomicUsize::new(0);
+            let slots: Vec<OnceLock<Result<SweepCell, ConfigError>>> =
+                (0..points.len()).map(|_| OnceLock::new()).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..jobs {
+                    scope.spawn(|| loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(point) = points.get(index) else {
+                            break;
+                        };
+                        let filled = slots[index].set(run_cell(point));
+                        debug_assert!(filled.is_ok(), "cell {index} claimed twice");
+                    });
+                }
+            });
+            let mut cells = Vec::with_capacity(points.len());
+            for slot in slots {
+                // Propagate the first error in grid order — matching what
+                // the sequential path would have reported.
+                cells.push(slot.into_inner().expect("worker filled every slot")?);
+            }
+            cells
+        };
         Ok(AtScaleReport {
             spec: self.clone(),
             workloads: workloads
@@ -254,8 +342,21 @@ impl SweepSpec {
                 })
                 .collect(),
             cells,
+            wall_s: Measured(wall_clock.elapsed().as_secs_f64()),
         })
     }
+}
+
+/// Grid coordinates of one sweep cell: indices into the spec's workload and
+/// platform lists plus the policy point. Enumerated in grid order before any
+/// worker starts.
+struct CellPoint {
+    workload: usize,
+    platform: usize,
+    scheduler: SchedulerPolicy,
+    keepalive: KeepalivePolicy,
+    scaling: ScalingPolicy,
+    balancer: LoadBalancer,
 }
 
 impl From<AtScaleOptions> for SweepSpec {
@@ -268,6 +369,7 @@ impl From<AtScaleOptions> for SweepSpec {
                 Some(balancer) => vec![balancer],
                 None => LoadBalancer::ALL.to_vec(),
             },
+            jobs: options.jobs,
             ..SweepSpec::default_grid(options.scale)
         }
     }
@@ -329,8 +431,27 @@ pub struct SweepCell {
     pub peak_queue: f64,
     /// Simulated makespan in seconds.
     pub makespan_s: f64,
+    /// Discrete events the simulator processed for this cell — the
+    /// deterministic engine-work measure behind `events_per_sec`.
+    pub events: u64,
+    /// Host wall-clock seconds this cell's simulation took. A measurement:
+    /// excluded from cell equality and from the deterministic JSON (see
+    /// [`AtScaleReport::to_json_with_throughput`]).
+    pub wall_s: Measured,
     /// Requests completed per rack.
     pub rack_completed: Vec<u64>,
+}
+
+impl SweepCell {
+    /// Simulator throughput for this cell: events per host wall-clock
+    /// second. A measurement; zero if the cell took no measurable time.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_s.get() > 0.0 {
+            self.events as f64 / self.wall_s.get()
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Description of one workload used by the sweep.
@@ -352,8 +473,13 @@ pub struct AtScaleReport {
     /// The workloads replayed.
     pub workloads: Vec<WorkloadSummary>,
     /// Every sweep cell, in deterministic order (workload, platform,
-    /// scheduler, keepalive, scaling, balancer).
+    /// scheduler, keepalive, scaling, balancer) — regardless of how many
+    /// workers ran the sweep.
     pub cells: Vec<SweepCell>,
+    /// Host wall-clock seconds the whole sweep took (trace generation,
+    /// placement and all cells). A measurement: excluded from report
+    /// equality and the deterministic JSON.
+    pub wall_s: Measured,
 }
 
 impl AtScaleReport {
@@ -387,10 +513,44 @@ impl AtScaleReport {
         })
     }
 
-    /// Renders the report as compact, byte-for-byte reproducible JSON.
+    /// Total discrete events the simulator processed across every cell — the
+    /// deterministic engine-work measure for the whole sweep.
+    pub fn total_events(&self) -> u64 {
+        self.cells.iter().map(|c| c.events).sum()
+    }
+
+    /// Aggregate simulator throughput: total events over the sweep's wall
+    /// clock. With a parallel run this measures the *engine's* delivered
+    /// throughput, parallel speedup included. A measurement; zero if the
+    /// sweep took no measurable time.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_s.get() > 0.0 {
+            self.total_events() as f64 / self.wall_s.get()
+        } else {
+            0.0
+        }
+    }
+
+    /// Renders the report as compact, byte-for-byte reproducible JSON:
+    /// modelled results and deterministic work counters only, identical for
+    /// every worker count and across repeated runs.
     pub fn to_json(&self) -> String {
+        self.render_json(false)
+    }
+
+    /// Renders [`AtScaleReport::to_json`] plus the measured throughput
+    /// fields: per-cell and aggregate `wall_s` / `events_per_sec`. These are
+    /// host measurements and differ run to run — this is the variant
+    /// `BENCH_cluster.json` ships so the perf gate can track engine speed;
+    /// byte-comparisons must strip the measured keys or use
+    /// [`AtScaleReport::to_json`].
+    pub fn to_json_with_throughput(&self) -> String {
+        self.render_json(true)
+    }
+
+    fn render_json(&self, with_throughput: bool) -> String {
         let mut root = JsonValue::object();
-        root.push("schema", "dscs-at-scale-v4");
+        root.push("schema", "dscs-at-scale-v5");
         root.push("scale", self.spec.scale.name());
         root.push("seed", self.spec.seed);
         root.push("racks", self.spec.racks);
@@ -410,6 +570,11 @@ impl AtScaleReport {
                 .join("+"),
         };
         root.push("balancer", balancer_label);
+        root.push("total_events", self.total_events());
+        if with_throughput {
+            root.push("wall_s", self.wall_s.get());
+            root.push("events_per_sec", self.events_per_sec());
+        }
         root.push(
             "workloads",
             JsonValue::Array(
@@ -457,6 +622,11 @@ impl AtScaleReport {
                         obj.push("p99_latency_ms", c.p99_latency_ms);
                         obj.push("peak_queue", c.peak_queue);
                         obj.push("makespan_s", c.makespan_s);
+                        obj.push("events", c.events);
+                        if with_throughput {
+                            obj.push("wall_s", c.wall_s.get());
+                            obj.push("events_per_sec", c.events_per_sec());
+                        }
                         obj.push("rack_completed", c.rack_completed.clone());
                         obj
                     })
@@ -574,7 +744,13 @@ mod tests {
         let b = at_scale_sweep(AtScaleOptions::smoke()).to_json();
         assert_eq!(a, b, "fixed seed must reproduce byte-for-byte");
         assert!(a.starts_with('{') && a.ends_with('}'));
-        assert!(a.contains("\"schema\":\"dscs-at-scale-v4\""));
+        assert!(a.contains("\"schema\":\"dscs-at-scale-v5\""));
+        assert!(a.contains("\"total_events\""));
+        assert!(a.contains("\"events\""));
+        assert!(
+            !a.contains("\"events_per_sec\"") && !a.contains("\"wall_s\""),
+            "measured throughput must stay out of the deterministic JSON"
+        );
         assert!(a.contains("\"workload\":\"azure\""));
         assert!(a.contains("\"keepalive\":\"hybrid-histogram\""));
         assert!(a.contains("\"keepalive\":\"hybrid-prewarm\""));
@@ -587,8 +763,54 @@ mod tests {
         let parsed = JsonValue::parse(&a).expect("report JSON parses");
         assert_eq!(
             parsed.get("schema").and_then(JsonValue::as_str),
-            Some("dscs-at-scale-v4")
+            Some("dscs-at-scale-v5")
         );
+    }
+
+    /// The throughput JSON variant is the deterministic report plus the
+    /// measured keys, per cell and in aggregate.
+    #[test]
+    fn throughput_json_adds_measured_fields_on_top_of_the_deterministic_report() {
+        let report = smoke_report();
+        let json = report.to_json_with_throughput();
+        let parsed = JsonValue::parse(&json).expect("throughput JSON parses");
+        assert!(parsed.get("wall_s").is_some());
+        assert!(parsed.get("events_per_sec").is_some());
+        assert_eq!(
+            parsed.get("total_events").and_then(JsonValue::as_f64),
+            Some(report.total_events() as f64)
+        );
+        assert!(report.total_events() > 0);
+        assert!(report.events_per_sec() > 0.0);
+        for cell in &report.cells {
+            assert!(cell.events > 0);
+        }
+        // Stripping nothing but the measured keys recovers the deterministic
+        // report's information; cheap proxy: the deterministic JSON carries
+        // no measured keys and both parse to the same cell count.
+        let deterministic = report.to_json();
+        assert!(!deterministic.contains("\"events_per_sec\""));
+        assert!(json.len() > deterministic.len());
+    }
+
+    /// In-crate spot check of the tentpole guarantee (the full matrix lives
+    /// in `tests/parallel_equivalence.rs`): a pooled run renders exactly the
+    /// bytes the sequential run does.
+    #[test]
+    fn parallel_sweep_matches_sequential_bytes() {
+        let spec = SweepSpec {
+            platforms: vec![PlatformKind::DscsDsa],
+            schedulers: vec![SchedulerPolicy::Fcfs],
+            keepalives: vec![KeepalivePolicy::paper_default()],
+            jobs: 1,
+            ..SweepSpec::default_grid(SweepScale::Smoke)
+        };
+        let sequential = spec.run().expect("valid spec").to_json();
+        let parallel = SweepSpec { jobs: 3, ..spec }
+            .run()
+            .expect("valid spec")
+            .to_json();
+        assert_eq!(sequential, parallel);
     }
 
     // The locality-beats-round-robin acceptance comparison lives at the

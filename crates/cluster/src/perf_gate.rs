@@ -11,11 +11,19 @@
 //! them, which can only happen for untagged or hand-trimmed reports, since
 //! tagged reports always carry every axis their schema defines), and cells
 //! present on only one side are reported as skipped rather than failing.
-//! Across schema versions (e.g. a v3 baseline against a v4 current report,
-//! which added the `fetch_energy_j` cells), the gate passes vacuously with
+//! Across schema versions (e.g. a v4 baseline against a v5 current report,
+//! which added the engine-throughput fields), the gate passes vacuously with
 //! an explanatory note instead of comparing incomparable numbers or erroring
 //! on missing fields — so the first CI run after a schema bump stays green
 //! and the next run re-arms the gate.
+//!
+//! Besides the modelled latencies, the gate watches the *engine's* measured
+//! `events_per_sec` (per cell and in aggregate, present since schema v5 in
+//! the throughput JSON variant). Drops beyond the threshold are reported as
+//! **warnings only** — wall-clock throughput on shared CI runners is noisy,
+//! so a drop flags "look at engine speed" without failing the build; reports
+//! without the measured fields (including the first baseline-less build)
+//! simply produce no warnings.
 
 use std::fmt;
 
@@ -53,6 +61,31 @@ impl fmt::Display for Regression {
     }
 }
 
+/// One measured engine-throughput drop beyond the threshold. Warn-only:
+/// wall-clock throughput on shared runners is noisy, so these never fail
+/// the gate — they flag that engine speed deserves a look.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputWarning {
+    /// Cell identity, or `"(aggregate)"` for the report-level throughput.
+    pub cell: String,
+    /// Baseline events per second (previous run).
+    pub baseline: f64,
+    /// Current events per second.
+    pub current: f64,
+    /// Relative drop in percent (positive = slower engine).
+    pub drop_pct: f64,
+}
+
+impl fmt::Display for ThroughputWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: events_per_sec {:.0} -> {:.0} (-{:.1}%)",
+            self.cell, self.baseline, self.current, self.drop_pct
+        )
+    }
+}
+
 /// Outcome of one gate comparison.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GateOutcome {
@@ -62,6 +95,9 @@ pub struct GateOutcome {
     pub skipped: usize,
     /// Metric regressions beyond the threshold, worst first.
     pub regressions: Vec<Regression>,
+    /// Measured `events_per_sec` drops beyond the threshold, worst first.
+    /// Warnings, not failures: they never affect [`GateOutcome::passed`].
+    pub throughput_warnings: Vec<ThroughputWarning>,
     /// Set when the reports carry different schema versions: the comparison
     /// was skipped entirely and the gate passed vacuously, for this reason.
     pub schema_note: Option<String>,
@@ -173,6 +209,7 @@ pub fn compare_reports(
             compared: 0,
             skipped: baseline_cells.len() + current_cells.len(),
             regressions: Vec::new(),
+            throughput_warnings: Vec::new(),
             schema_note: Some(format!(
                 "baseline schema {baseline_schema} != current schema {current_schema}; \
                  reports are not comparable, passing vacuously"
@@ -188,7 +225,28 @@ pub fn compare_reports(
     let mut compared = 0;
     let mut skipped = 0;
     let mut regressions = Vec::new();
+    let mut throughput_warnings = Vec::new();
     let mut matched_keys = 0;
+    // Measured engine throughput: warn (never fail) when a drop exceeds the
+    // threshold. Sides lacking the measured key — deterministic reports, or
+    // pre-v5 baselines — produce no warning.
+    let mut check_throughput = |label: String, base: &JsonValue, cur: &JsonValue| {
+        let (Some(before), Some(after)) = (
+            base.get("events_per_sec").and_then(JsonValue::as_f64),
+            cur.get("events_per_sec").and_then(JsonValue::as_f64),
+        ) else {
+            return;
+        };
+        if before > 0.0 && after < before * (1.0 - threshold_pct / 100.0) {
+            throughput_warnings.push(ThroughputWarning {
+                cell: label,
+                baseline: before,
+                current: after,
+                drop_pct: (1.0 - after / before) * 100.0,
+            });
+        }
+    };
+    check_throughput("(aggregate)".to_string(), &baseline, &current);
     for cell in &current_cells {
         let Some(key) = cell_key(cell) else {
             skipped += 1;
@@ -200,6 +258,7 @@ pub fn compare_reports(
         };
         matched_keys += 1;
         compared += 1;
+        check_throughput(key.clone(), base, cell);
         for metric in GATED_METRICS {
             let (Some(before), Some(after)) = (
                 base.get(metric).and_then(JsonValue::as_f64),
@@ -228,10 +287,17 @@ pub fn compare_reports(
             .expect("finite percentages")
             .then_with(|| a.cell.cmp(&b.cell))
     });
+    throughput_warnings.sort_by(|a, b| {
+        b.drop_pct
+            .partial_cmp(&a.drop_pct)
+            .expect("finite percentages")
+            .then_with(|| a.cell.cmp(&b.cell))
+    });
     Ok(GateOutcome {
         compared,
         skipped,
         regressions,
+        throughput_warnings,
         schema_note: None,
     })
 }
@@ -371,6 +437,50 @@ mod tests {
         assert_eq!(outcome.compared, 2);
         assert_eq!(outcome.regressions.len(), 2, "locality mean and p99");
         assert!(outcome.regressions[0].cell.ends_with("locality"));
+    }
+
+    /// Engine-throughput drops warn without failing: a >10% `events_per_sec`
+    /// regression (per cell and aggregate) is reported, worst first, but the
+    /// gate still passes; reports without the measured fields warn nothing.
+    #[test]
+    fn throughput_drops_warn_but_never_fail() {
+        let make = |aggregate_eps: f64, cell_eps: f64| {
+            let mut c = JsonValue::object();
+            c.push("workload", "azure");
+            c.push("platform", "DSCS-DSA");
+            c.push("scheduler", "fcfs");
+            c.push("keepalive", "fixed-window");
+            c.push("scaling", "fixed");
+            c.push("balancer", "round-robin");
+            c.push("mean_latency_ms", 10.0);
+            c.push("p99_latency_ms", 20.0);
+            c.push("events_per_sec", cell_eps);
+            let mut root = JsonValue::object();
+            root.push("schema", "dscs-at-scale-v5");
+            root.push("events_per_sec", aggregate_eps);
+            root.push("cells", JsonValue::Array(vec![c]));
+            root.render()
+        };
+        // Aggregate halves (-50%), the cell drops 20%: both warned, worst
+        // first, and the gate still passes.
+        let outcome = compare_reports(&make(1e6, 1e5), &make(5e5, 8e4), 10.0).expect("valid");
+        assert!(outcome.passed(), "throughput drops must not fail the gate");
+        assert_eq!(outcome.regressions, Vec::new());
+        assert_eq!(outcome.throughput_warnings.len(), 2);
+        assert_eq!(outcome.throughput_warnings[0].cell, "(aggregate)");
+        assert!((outcome.throughput_warnings[0].drop_pct - 50.0).abs() < 1e-9);
+        assert!(outcome.throughput_warnings[1].cell.contains("azure"));
+        assert!(outcome.throughput_warnings[0]
+            .to_string()
+            .contains("events_per_sec"));
+        // Within threshold, or faster: no warnings.
+        let fine = compare_reports(&make(1e6, 1e5), &make(9.5e5, 2e5), 10.0).expect("valid");
+        assert_eq!(fine.throughput_warnings, Vec::new());
+        // Baselines without the measured fields (deterministic reports)
+        // produce no warnings either.
+        let bare = report(&[("fixed-window", 10.0, 20.0)]);
+        let warned = compare_reports(&bare, &bare, 10.0).expect("valid");
+        assert_eq!(warned.throughput_warnings, Vec::new());
     }
 
     #[test]

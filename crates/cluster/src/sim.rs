@@ -37,7 +37,7 @@ use dscs_simcore::events::Simulator;
 use dscs_simcore::quantity::Bytes;
 use dscs_simcore::rng::DeterministicRng;
 use dscs_simcore::series::TimeSeries;
-use dscs_simcore::stats::Summary;
+use dscs_simcore::stats::{Measured, QuantileSketch};
 use dscs_simcore::time::{SimDuration, SimTime};
 
 use crate::data::DataLayer;
@@ -164,10 +164,21 @@ pub struct ClusterReport {
     /// [`dscs_storage::object_store::RemoteFetchModel::fetch_energy_joules`]
     /// summed over every remote fetch. Zero without a data layer.
     pub fetch_energy_j: f64,
-    /// Summary of all wall-clock latencies (seconds).
-    pub latency_summary: Option<Summary>,
+    /// Streaming sketch of all wall-clock latencies (seconds), merged from
+    /// the per-rack sketches in rack order. Constant ~16 KiB regardless of
+    /// trace length; quantiles carry the sketch's 1% relative-error bound
+    /// ([`dscs_simcore::stats::SKETCH_RELATIVE_ACCURACY`]), count/mean/min/
+    /// max are exact.
+    pub latency_summary: Option<QuantileSketch>,
     /// Total simulated time to drain the trace (wall-clock makespan).
     pub makespan: SimDuration,
+    /// Discrete events the simulator processed — a deterministic measure of
+    /// engine work for this run (arrivals, completions, scale ticks and
+    /// commits).
+    pub events: u64,
+    /// Host wall-clock seconds the simulation took. A measurement, not a
+    /// modelled result: excluded from report equality (see [`Measured`]).
+    pub wall_s: Measured,
 }
 
 impl ClusterReport {
@@ -181,6 +192,17 @@ impl ClusterReport {
     /// The p99 wall-clock latency over the whole run, in milliseconds.
     pub fn p99_latency_ms(&self) -> f64 {
         self.latency_summary.as_ref().map_or(0.0, |s| s.p99() * 1e3)
+    }
+
+    /// Simulator throughput: events processed per host wall-clock second.
+    /// A measurement (varies run to run); zero if the run took no measurable
+    /// time.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_s.get() > 0.0 {
+            self.events as f64 / self.wall_s.get()
+        } else {
+            0.0
+        }
     }
 
     /// Peak queue depth observed (per-bucket mean maximum).
@@ -240,6 +262,15 @@ pub struct RackSummary {
     pub cross_rack_bytes: u64,
     /// Joules this rack's remote fetches spent moving those bytes.
     pub fetch_energy_j: f64,
+    /// Mean wall-clock latency of requests completed on this rack, in
+    /// milliseconds (zero if the rack completed nothing). Exact.
+    pub mean_latency_ms: f64,
+    /// p99 wall-clock latency of requests completed on this rack, in
+    /// milliseconds (zero if the rack completed nothing), from the rack's
+    /// own latency sketch. Cluster-level tails come from *merging* the rack
+    /// sketches — never from averaging these per-rack p99s, which
+    /// understates the tail whenever racks are skewed.
+    pub p99_latency_ms: f64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -293,6 +324,8 @@ struct RackState {
     cross_rack_bytes: u64,
     fetch_latency: SimDuration,
     fetch_energy_j: f64,
+    /// Streaming sketch of this rack's wall-clock latencies (seconds).
+    latency: QuantileSketch,
 }
 
 impl RackState {
@@ -531,8 +564,10 @@ impl ClusterSim {
                 cross_rack_bytes: 0,
                 fetch_latency: SimDuration::ZERO,
                 fetch_energy_j: 0.0,
+                latency: QuantileSketch::new(),
             })
             .collect();
+        let wall_clock = std::time::Instant::now();
 
         let mut sim: Simulator<Event> = Simulator::new();
         for (idx, request) in trace.iter().enumerate() {
@@ -549,7 +584,6 @@ impl ClusterSim {
         let mut total_queued: usize = 0;
         let mut arrivals_pending: usize = trace.len();
         let mut last_activity = SimTime::ZERO;
-        let mut latencies: Vec<f64> = Vec::with_capacity(trace.len());
 
         sim.run(|sim, now, event| {
             // Events that can free or add capacity (or enqueue work) run the
@@ -688,7 +722,7 @@ impl ClusterSim {
                     .record_invocation(request.function, now, now + service);
                 let wait = now.saturating_since(request.arrival);
                 let wall = wait + service;
-                latencies.push(wall.as_secs_f64());
+                rack.latency.record(wall.as_secs_f64());
                 latency_series.record(request.arrival, wall.as_millis_f64());
                 rack.completed += 1;
                 rack.busy += 1;
@@ -722,8 +756,28 @@ impl ClusterSim {
                 remote_fetches: rack.remote_fetches,
                 cross_rack_bytes: rack.cross_rack_bytes,
                 fetch_energy_j: rack.fetch_energy_j,
+                mean_latency_ms: if rack.latency.is_empty() {
+                    0.0
+                } else {
+                    rack.latency.mean() * 1e3
+                },
+                p99_latency_ms: if rack.latency.is_empty() {
+                    0.0
+                } else {
+                    rack.latency.p99() * 1e3
+                },
             })
             .collect();
+        // Cluster-level latency: merge the per-rack sketches in rack order.
+        // Merging is the correct aggregation — averaging per-rack p99s would
+        // understate the cluster tail whenever one rack runs hotter than the
+        // rest (the merged p99 tracks the slow rack, the average dilutes it).
+        let merged_latency = rack_states
+            .iter()
+            .fold(QuantileSketch::new(), |mut acc, r| {
+                acc.merge(&r.latency);
+                acc
+            });
         let report = ClusterReport {
             platform: self.platform,
             offered_rps: offered.rates_per_sec(),
@@ -760,12 +814,14 @@ impl ClusterSim {
                 .map(|r| r.fetch_latency.as_secs_f64())
                 .sum(),
             fetch_energy_j: summaries.iter().map(|r| r.fetch_energy_j).sum(),
-            latency_summary: if latencies.is_empty() {
+            latency_summary: if merged_latency.is_empty() {
                 None
             } else {
-                Some(Summary::from_samples(&latencies))
+                Some(merged_latency)
             },
             makespan,
+            events: sim.processed(),
+            wall_s: Measured(wall_clock.elapsed().as_secs_f64()),
         };
         (report, summaries)
     }
@@ -906,6 +962,79 @@ mod tests {
         assert_eq!(report.completed + report.rejected, trace.len() as u64);
         assert_eq!(report.rejected, 0);
         assert!(report.mean_latency_ms() > 0.0);
+    }
+
+    /// Regression for the latent aggregation bug class: cluster tails must
+    /// come from *merging* per-rack sketches, never from averaging per-rack
+    /// p99s. With one fast rack (100 × 1 ms) and one slow rack (100 × 100 ms)
+    /// the true cluster p99 tracks the slow rack (~100 ms) while the average
+    /// of the two rack p99s dilutes it to ~50 ms — off by 2x.
+    #[test]
+    fn cluster_p99_comes_from_merged_rack_sketches_not_averaged_p99s() {
+        let fast = QuantileSketch::from_samples(&vec![0.001; 100]);
+        let slow = QuantileSketch::from_samples(&vec![0.1; 100]);
+        let averaged_p99_ms = (fast.p99() + slow.p99()) / 2.0 * 1e3;
+        let mut merged = fast.clone();
+        merged.merge(&slow);
+        let merged_p99_ms = merged.p99() * 1e3;
+        assert!(
+            merged_p99_ms > 95.0,
+            "merged p99 {merged_p99_ms} ms must track the slow rack"
+        );
+        assert!(
+            averaged_p99_ms < 55.0,
+            "averaged p99 {averaged_p99_ms} ms is the wrong answer this test pins out"
+        );
+        assert!(
+            merged_p99_ms > averaged_p99_ms * 1.8,
+            "the two aggregations must diverge: merged {merged_p99_ms} vs averaged {averaged_p99_ms}"
+        );
+    }
+
+    /// The sharded report's latency summary is the merge of the per-rack
+    /// sketches: its count equals total completions, the completed-weighted
+    /// rack means reproduce the cluster mean exactly, the cluster p99 never
+    /// exceeds the worst rack p99 (beyond sketch tolerance), and the
+    /// engine-throughput measurements are populated.
+    #[test]
+    fn sharded_report_merges_rack_sketches_and_measures_throughput() {
+        let trace = short_trace(800.0, 30, 7);
+        let outcome = Experiment::builder(PlatformKind::DscsDsa)
+            .trace(trace.clone())
+            .racks(4)
+            .balancer(LoadBalancer::RoundRobin)
+            .seed(9)
+            .build()
+            .expect("valid experiment")
+            .run();
+        let report = &outcome.report;
+        let sketch = report.latency_summary.as_ref().expect("ran");
+        assert_eq!(sketch.count(), report.completed);
+        let weighted_mean_ms = outcome
+            .racks
+            .iter()
+            .map(|r| r.mean_latency_ms * r.completed as f64)
+            .sum::<f64>()
+            / report.completed as f64;
+        assert!(
+            (weighted_mean_ms - report.mean_latency_ms()).abs() < 1e-9,
+            "weighted rack means {weighted_mean_ms} vs cluster mean {}",
+            report.mean_latency_ms()
+        );
+        let worst_rack_p99 = outcome
+            .racks
+            .iter()
+            .map(|r| r.p99_latency_ms)
+            .fold(0.0, f64::max);
+        assert!(worst_rack_p99 > 0.0);
+        assert!(
+            report.p99_latency_ms() <= worst_rack_p99 * 1.03,
+            "cluster p99 {} must not exceed the worst rack p99 {worst_rack_p99}",
+            report.p99_latency_ms()
+        );
+        // Every completed request contributes an arrival and a completion.
+        assert!(report.events >= 2 * report.completed);
+        assert!(report.events_per_sec() > 0.0);
     }
 
     #[test]
@@ -1153,7 +1282,13 @@ mod tests {
         };
         let fixed = experiment(ScalingPolicy::Fixed, 8);
         let pinned = experiment(ScalingPolicy::reactive_default(), 200);
-        assert_eq!(fixed.report, pinned.report);
+        // The pinned pool still runs its scale ticks — extra engine events
+        // that never change a decision — so the engine-work counter is the
+        // one field allowed to differ.
+        let mut pinned_report = pinned.report.clone();
+        assert!(pinned_report.events > fixed.report.events);
+        pinned_report.events = fixed.report.events;
+        assert_eq!(fixed.report, pinned_report);
         assert_eq!(fixed.racks, pinned.racks);
     }
 

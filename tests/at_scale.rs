@@ -13,11 +13,11 @@ use dscs_serverless::cluster::workload::{AzureWorkload, Workload, WorkloadError}
 use dscs_serverless::platforms::PlatformKind;
 use dscs_serverless::simcore::rng::DeterministicRng;
 
-/// The smoke-sweep report pinned when the experiment-builder API landed
-/// (schema v4: the PR 4 locality cells plus the `fetch_energy_j` field —
-/// every shared metric is byte-identical to the PR 4 capture). Today's sweep
-/// must reproduce it byte-for-byte; regenerate deliberately with
-/// `UPDATE_GOLDEN=1 cargo test --test at_scale`.
+/// The pinned smoke-sweep report (file name kept from the PR 4 capture that
+/// first pinned it; now schema v5: latency quantiles come from the merged
+/// streaming sketch and every cell carries the deterministic `events`
+/// counter). Today's sweep must reproduce it byte-for-byte; regenerate
+/// deliberately with `UPDATE_GOLDEN=1 cargo test --test at_scale`.
 const PR4_GOLDEN_SMOKE: &str = include_str!("golden/at_scale_smoke_pr4.json");
 
 /// One shared smoke sweep (432 cells) for the tests that only read it.
@@ -59,7 +59,7 @@ fn sweep_covers_both_platforms_all_policies_and_both_workloads() {
     }
 }
 
-/// Golden regression test: the whole schema-v4 smoke report is pinned
+/// Golden regression test: the whole schema-v5 smoke report is pinned
 /// byte-for-byte against the regenerated fixture. Any drift in trace
 /// generation, placement, dispatch, charging or JSON rendering — including
 /// through the new `Experiment` path every cell now runs on — shows up here
@@ -83,7 +83,7 @@ fn smoke_sweep_matches_the_pr4_golden_report() {
             .unwrap_or_else(|| json.len().min(PR4_GOLDEN_SMOKE.len()));
         let start = diverges_at.saturating_sub(120);
         panic!(
-            "smoke report drifted from the PR 4 golden fixture at byte {diverges_at}:\n\
+            "smoke report drifted from the golden fixture at byte {diverges_at}:\n\
              current:  ...{}\n\
              golden:   ...{}\n\
              (regenerate deliberately with UPDATE_GOLDEN=1 cargo test --test at_scale)",
@@ -91,6 +91,46 @@ fn smoke_sweep_matches_the_pr4_golden_report() {
             &PR4_GOLDEN_SMOKE[start..(diverges_at + 120).min(PR4_GOLDEN_SMOKE.len())],
         );
     }
+}
+
+/// Removes one `,"wall_s":...,"events_per_sec":...` run starting at `from`,
+/// returning the index just past the removed span.
+fn strip_measured_run(json: &mut String, from: usize) -> usize {
+    let eps_key = "\"events_per_sec\":";
+    let eps = json[from..].find(eps_key).expect("keys always paired") + from;
+    let value_start = eps + eps_key.len();
+    let value_len = json[value_start..]
+        .find([',', '}'])
+        .expect("JSON continues after the value");
+    json.replace_range(from..value_start + value_len, "");
+    from
+}
+
+/// The throughput rendering is the deterministic golden report plus *only*
+/// the measured keys: stripping every `wall_s`/`events_per_sec` pair from
+/// `to_json_with_throughput()` must recover the golden bytes exactly, and
+/// the measured keys must appear once per cell plus once at the root.
+#[test]
+fn throughput_report_strips_back_to_the_golden_bytes() {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        return; // the fixture is being rewritten; nothing to compare against
+    }
+    let report = smoke_report();
+    let mut json = report.to_json_with_throughput();
+    let mut runs = 0;
+    while let Some(at) = json.find(",\"wall_s\":") {
+        strip_measured_run(&mut json, at);
+        runs += 1;
+    }
+    assert_eq!(
+        runs,
+        report.cells.len() + 1,
+        "one measured pair per cell plus the aggregate"
+    );
+    assert_eq!(
+        json, PR4_GOLDEN_SMOKE,
+        "throughput report must add nothing beyond the measured keys"
+    );
 }
 
 /// Golden integration test for prewarming: on the bursty Azure workload the

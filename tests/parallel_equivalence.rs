@@ -1,0 +1,156 @@
+//! Parallel-equivalence suite for the sweep engine: a `jobs = N` run must be
+//! indistinguishable from the sequential `jobs = 1` run — byte-identical
+//! JSON and equal cells — across seeds, scales and axis subsets, and
+//! repeated parallel runs must be bit-stable. These tests pin the tentpole
+//! guarantee that parallelism is a pure wall-clock optimisation: workers
+//! only change *who* runs a cell, never *what* the cell computes or where
+//! its result lands.
+//!
+//! Note the tests deliberately assert bytes, not speedup: wall-clock gains
+//! depend on the host's core count (CI runners may expose a single core),
+//! while the determinism contract must hold everywhere.
+
+use dscs_serverless::cluster::at_scale::{AtScaleOptions, SweepScale, SweepSpec};
+use dscs_serverless::cluster::policy::{
+    KeepalivePolicy, LoadBalancer, ScalingPolicy, SchedulerPolicy,
+};
+use dscs_serverless::platforms::PlatformKind;
+
+/// A small smoke-scale grid (2 workloads x 1 platform x 1 scheduler x
+/// 2 keepalives x 2 scalings x 2 balancers = 16 cells) so each test run
+/// stays cheap while still spanning several axes.
+fn small_grid(seed: u64, jobs: usize) -> SweepSpec {
+    SweepSpec {
+        seed,
+        jobs,
+        platforms: vec![PlatformKind::DscsDsa],
+        schedulers: vec![SchedulerPolicy::Fcfs],
+        keepalives: vec![
+            KeepalivePolicy::paper_default(),
+            KeepalivePolicy::prewarm_default(),
+        ],
+        scalings: vec![ScalingPolicy::Fixed, ScalingPolicy::reactive_default()],
+        balancers: vec![LoadBalancer::RoundRobin, LoadBalancer::locality_default()],
+        ..SweepSpec::default_grid(SweepScale::Smoke)
+    }
+}
+
+#[test]
+fn parallel_sweeps_render_sequential_bytes_across_seeds() {
+    for seed in [42, 7, 0xDEAD] {
+        let sequential = small_grid(seed, 1).run().expect("valid spec");
+        let parallel = small_grid(seed, 4).run().expect("valid spec");
+        assert_eq!(
+            sequential.to_json(),
+            parallel.to_json(),
+            "seed {seed}: jobs=4 must render the sequential bytes"
+        );
+        // Beyond the rendering: the structured cells are equal too (the
+        // measured wall_s fields compare equal by design).
+        assert_eq!(sequential.cells, parallel.cells, "seed {seed}");
+        assert_eq!(sequential.workloads, parallel.workloads, "seed {seed}");
+    }
+}
+
+#[test]
+fn parallel_sweeps_match_sequential_on_the_full_smoke_grid() {
+    // The whole default smoke grid (432 cells), as CI's equivalence diff
+    // runs it: auto worker count vs the sequential path.
+    let sequential = SweepSpec::from(AtScaleOptions {
+        jobs: 1,
+        ..AtScaleOptions::smoke()
+    })
+    .run()
+    .expect("valid options");
+    let parallel = SweepSpec::from(AtScaleOptions {
+        jobs: 0, // auto: one worker per available core
+        ..AtScaleOptions::smoke()
+    })
+    .run()
+    .expect("valid options");
+    assert_eq!(sequential.to_json(), parallel.to_json());
+    assert_eq!(sequential.cells.len(), 432);
+}
+
+#[test]
+fn parallel_sweeps_match_sequential_across_axis_subsets() {
+    let base = small_grid(42, 1);
+    let subsets = [
+        SweepSpec {
+            balancers: vec![LoadBalancer::LeastLoaded],
+            ..base.clone()
+        },
+        SweepSpec {
+            platforms: vec![PlatformKind::BaselineCpu, PlatformKind::DscsDsa],
+            scalings: vec![ScalingPolicy::predictive_default()],
+            ..base.clone()
+        },
+        SweepSpec {
+            schedulers: SchedulerPolicy::ALL.to_vec(),
+            keepalives: vec![KeepalivePolicy::NoKeepalive],
+            ..base.clone()
+        },
+    ];
+    for (index, spec) in subsets.into_iter().enumerate() {
+        let sequential = spec.run().expect("valid spec");
+        let parallel = SweepSpec { jobs: 3, ..spec }.run().expect("valid spec");
+        assert_eq!(
+            sequential.to_json(),
+            parallel.to_json(),
+            "axis subset {index}"
+        );
+    }
+}
+
+#[test]
+fn parallel_sweeps_match_sequential_at_quick_scale() {
+    // One (platform, policy) point per workload keeps the longer quick-scale
+    // traces affordable while proving the guarantee isn't smoke-specific.
+    let spec = SweepSpec {
+        platforms: vec![PlatformKind::DscsDsa],
+        schedulers: vec![SchedulerPolicy::Fcfs],
+        keepalives: vec![KeepalivePolicy::paper_default()],
+        scalings: vec![ScalingPolicy::Fixed],
+        balancers: vec![LoadBalancer::locality_default()],
+        jobs: 1,
+        ..SweepSpec::default_grid(SweepScale::Quick)
+    };
+    let sequential = spec.run().expect("valid spec");
+    let parallel = SweepSpec {
+        jobs: 2,
+        ..spec.clone()
+    }
+    .run()
+    .expect("valid spec");
+    assert_eq!(sequential.to_json(), parallel.to_json());
+    assert_eq!(sequential.cells.len(), 2);
+}
+
+#[test]
+fn repeated_parallel_runs_are_bit_stable() {
+    let run = || small_grid(11, 3).run().expect("valid spec");
+    let a = run();
+    let b = run();
+    assert_eq!(a.to_json(), b.to_json(), "parallel runs must be bit-stable");
+    assert_eq!(a.cells, b.cells);
+    // The deterministic work counter is bit-stable too — only wall_s (a
+    // measurement, excluded from equality and from to_json) may differ.
+    assert_eq!(a.total_events(), b.total_events());
+}
+
+#[test]
+fn more_workers_than_cells_is_harmless() {
+    let spec = SweepSpec {
+        platforms: vec![PlatformKind::DscsDsa],
+        schedulers: vec![SchedulerPolicy::Fcfs],
+        keepalives: vec![KeepalivePolicy::paper_default()],
+        scalings: vec![ScalingPolicy::Fixed],
+        balancers: vec![LoadBalancer::RoundRobin],
+        jobs: 64, // grid has 2 cells
+        ..SweepSpec::default_grid(SweepScale::Smoke)
+    };
+    let report = spec.run().expect("valid spec");
+    assert_eq!(report.cells.len(), 2);
+    let sequential = SweepSpec { jobs: 1, ..spec }.run().expect("valid spec");
+    assert_eq!(report.to_json(), sequential.to_json());
+}
