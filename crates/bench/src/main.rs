@@ -14,6 +14,7 @@
 //!
 //! reproduce at-scale [--quick] [--smoke] [--seed N] [--racks N] [--jobs N]
 //!                    [--balancer round-robin|least-loaded|locality]
+//!                    [--workload azure|bursty|trace:<path>[@<day>]]...
 //!                    [--out PATH]
 //!
 //! Sweeps scheduler x keepalive x scaling x balancer x platform over the
@@ -24,9 +25,26 @@
 //! BENCH_cluster.json) that also carries the measured simulator throughput
 //! (`events_per_sec`, per cell and in aggregate). The grid is a declarative
 //! `SweepSpec` the options expand into. --balancer restricts the sweep to
-//! one balancer; the default sweeps all three. --jobs fans the independent
-//! cells across N worker threads (0 or omitted: one per available core;
-//! 1: sequential) — the modelled report bytes are identical either way.
+//! one balancer; the default sweeps all three. --workload (repeatable)
+//! replaces the default workload axis with declarative specs — mixing a
+//! synthetic generator and an ingested Azure-schema trace file puts both on
+//! one axis and adds a cross-validation section to the report. --jobs fans
+//! the independent cells across N worker threads (0 or omitted: one per
+//! available core; 1: sequential) — the modelled report bytes are identical
+//! either way.
+//!
+//! reproduce generate-trace [--sample | --scale smoke|quick|full] [--seed N]
+//!                          [--out PATH]
+//! reproduce generate-trace --from CSV [--day N] [--out PATH]
+//!
+//! Emits an Azure-Functions-2019-schema invocations-per-function CSV. The
+//! first form buckets a synthetic `AzureWorkload` trace (the checked-in
+//! ~200-function `data/azure_trace_sample.csv` is `--sample --seed 42`;
+//! `--scale` buckets the sweep's azure workload instead, from exactly the
+//! RNG stream the sweep generates with, so the file round-trips the
+//! synthetic run). The second form ingests an existing trace file and
+//! re-emits it — CI uses both forms to pin generate → parse → re-emit
+//! byte-equality.
 //!
 //! reproduce perf-gate BASELINE.json CURRENT.json [--threshold PCT]
 //!
@@ -41,11 +59,13 @@
 
 use std::env;
 
-use dscs_cluster::at_scale::{at_scale_sweep, AtScaleOptions, SweepScale, SweepSpec};
+use dscs_cluster::at_scale::{AtScaleOptions, SweepScale, SweepSpec};
 use dscs_cluster::experiment::Experiment;
+use dscs_cluster::ingest::{sample_workload, TraceFileWorkload};
 use dscs_cluster::perf_gate::compare_reports;
 use dscs_cluster::policy::LoadBalancer;
 use dscs_cluster::trace::RateProfile;
+use dscs_cluster::workload::{azure_generation_rng, WorkloadSpec};
 use dscs_core::benchmarks::Benchmark;
 use dscs_core::endtoend::{EvalOptions, SystemModel};
 use dscs_core::experiments as exp;
@@ -74,6 +94,11 @@ fn main() {
     if let Some(at) = args.iter().position(|a| a == "perf-gate") {
         let rest: Vec<String> = args[..at].iter().chain(&args[at + 1..]).cloned().collect();
         perf_gate(&rest);
+        return;
+    }
+    if let Some(at) = args.iter().position(|a| a == "generate-trace") {
+        let rest: Vec<String> = args[..at].iter().chain(&args[at + 1..]).cloned().collect();
+        generate_trace(&rest);
         return;
     }
     let full = args.iter().any(|a| a == "--full");
@@ -107,7 +132,7 @@ fn main() {
     let known =
         |name: &str| name == "all" || experiments.iter().any(|(names, _)| names.contains(&name));
     if !known(&which) {
-        let mut names: Vec<&str> = vec!["all", "at-scale", "perf-gate"];
+        let mut names: Vec<&str> = vec!["all", "at-scale", "perf-gate", "generate-trace"];
         names.extend(experiments.iter().flat_map(|(n, _)| n.iter().copied()));
         eprintln!(
             "unknown experiment '{which}'; expected one of: {}",
@@ -446,6 +471,7 @@ fn at_scale(args: &[String]) {
         AtScaleOptions::full()
     };
     let mut out_path = String::from("BENCH_cluster.json");
+    let mut workload_args: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         let mut value_of = |name: &str| {
@@ -484,6 +510,7 @@ fn at_scale(args: &[String]) {
                 }
             }
             "--out" => out_path = value_of("--out"),
+            "--workload" => workload_args.push(value_of("--workload")),
             "--balancer" => {
                 let name = value_of("--balancer");
                 options.balancer = Some(
@@ -503,14 +530,27 @@ fn at_scale(args: &[String]) {
                 eprintln!("unknown at-scale option '{other}'");
                 eprintln!(
                     "usage: reproduce at-scale [--quick] [--smoke] [--seed N] [--racks N] \
-                     [--jobs N] [--balancer round-robin|least-loaded|locality] [--out PATH]"
+                     [--jobs N] [--balancer round-robin|least-loaded|locality] \
+                     [--workload azure|bursty|trace:<path>[@<day>]]... [--out PATH]"
                 );
                 std::process::exit(2);
             }
         }
     }
 
-    let jobs = SweepSpec::from(options).effective_jobs();
+    let mut spec = SweepSpec::from(options);
+    if !workload_args.is_empty() {
+        spec.workloads = workload_args
+            .iter()
+            .map(|text| {
+                WorkloadSpec::parse(text, options.scale, options.seed).unwrap_or_else(|err| {
+                    eprintln!("--workload {text}: {err}");
+                    std::process::exit(2);
+                })
+            })
+            .collect();
+    }
+    let jobs = spec.effective_jobs();
     header(&format!(
         "At-scale policy sweep ({}, {} racks, {} balancer, seed {}, {} worker{})",
         options.scale.name(),
@@ -523,11 +563,14 @@ fn at_scale(args: &[String]) {
     if options.scale == SweepScale::Full {
         println!("running the full 20-minute traces; pass --quick for a fast run");
     }
-    let report = at_scale_sweep(options);
+    let report = spec.run().unwrap_or_else(|err| {
+        eprintln!("at-scale sweep rejected: {err}");
+        std::process::exit(1);
+    });
     for w in &report.workloads {
         println!(
-            "workload {:<8} {:>9} requests over {:>7.1} s",
-            w.name, w.requests, w.horizon_s
+            "workload {:<8} {:>9} requests over {:>7.1} s  [{}]",
+            w.name, w.requests, w.horizon_s, w.source
         );
     }
     println!(
@@ -568,6 +611,23 @@ fn at_scale(args: &[String]) {
             c.p99_latency_ms
         );
     }
+    let validation = report.cross_validation();
+    if !validation.is_empty() {
+        println!("\ncross-validation (synthetic vs trace-file, matched cells):");
+        for v in &validation {
+            println!(
+                "  {} vs {}: rate {:+.1}%  mean {:+.1}%  p99 {:+.1}%  locality {:+.3}  ({} cell{})",
+                v.synthetic,
+                v.trace,
+                v.rate_delta_pct,
+                v.mean_delta_pct,
+                v.p99_delta_pct,
+                v.locality_delta,
+                v.cells,
+                if v.cells == 1 { "" } else { "s" }
+            );
+        }
+    }
     println!(
         "\nengine: {} events in {:.2} s wall ({:.0} events/s across {} worker{})",
         report.total_events(),
@@ -582,6 +642,127 @@ fn at_scale(args: &[String]) {
     let json = report.to_json_with_throughput();
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("wrote {} cells to {out_path}", report.cells.len()),
+        Err(err) => {
+            eprintln!("failed to write {out_path}: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `reproduce generate-trace [--sample | --scale smoke|quick|full] [--seed N]
+/// [--out PATH]` or `reproduce generate-trace --from CSV [--day N] [--out
+/// PATH]`: emit an Azure-Functions-2019-schema invocation CSV. The first form
+/// buckets a synthetic `AzureWorkload` trace (`--sample` is the checked-in
+/// sample's ~200-function configuration, and the default); the second ingests
+/// an existing trace file and re-emits it, which CI uses to pin the
+/// generate → parse → re-emit byte round trip.
+fn generate_trace(args: &[String]) {
+    let usage = "usage: reproduce generate-trace [--sample | --scale smoke|quick|full] \
+                 [--seed N] [--out PATH] | --from CSV [--day N] [--out PATH]";
+    let mut sample = false;
+    let mut scale: Option<SweepScale> = None;
+    let mut seed = 42u64;
+    let mut out_path = String::from("azure_trace.csv");
+    let mut from: Option<String> = None;
+    let mut day = 1u32;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |name: &str| {
+            iter.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{name} needs a value");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match arg.as_str() {
+            "--sample" => sample = true,
+            "--scale" => {
+                let name = value_of("--scale");
+                scale = Some(match name.as_str() {
+                    "smoke" => SweepScale::Smoke,
+                    "quick" => SweepScale::Quick,
+                    "full" => SweepScale::Full,
+                    _ => {
+                        eprintln!("--scale must be smoke, quick or full");
+                        std::process::exit(2);
+                    }
+                });
+            }
+            "--seed" => {
+                seed = value_of("--seed").parse().unwrap_or_else(|_| {
+                    eprintln!("--seed must be an integer");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => out_path = value_of("--out"),
+            "--from" => from = Some(value_of("--from")),
+            "--day" => {
+                day = value_of("--day").parse().unwrap_or_else(|_| {
+                    eprintln!("--day must be a positive integer");
+                    std::process::exit(2);
+                });
+                if day == 0 {
+                    eprintln!("--day must be a positive integer");
+                    std::process::exit(2);
+                }
+            }
+            other => {
+                eprintln!("unknown generate-trace option '{other}'");
+                eprintln!("{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if sample && scale.is_some() {
+        eprintln!("--sample and --scale are mutually exclusive");
+        eprintln!("{usage}");
+        std::process::exit(2);
+    }
+
+    header("Generate Azure-schema invocation trace");
+    let trace_file = if let Some(path) = &from {
+        match TraceFileWorkload::from_csv_path(path, day) {
+            Ok(parsed) => {
+                println!(
+                    "ingested {path}: {} functions x {} minute columns, {} invocations",
+                    parsed.functions.len(),
+                    parsed.minutes,
+                    parsed.invocations()
+                );
+                parsed
+            }
+            Err(err) => {
+                eprintln!("failed to ingest {path}: {err}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        let workload = match scale {
+            Some(scale) => WorkloadSpec::azure_at(scale),
+            None => sample_workload(),
+        };
+        // Bucket from exactly the RNG stream the at-scale sweep generates the
+        // azure workload with, so the emitted file round-trips the run.
+        let mut rng = azure_generation_rng(seed);
+        match TraceFileWorkload::from_workload(&workload, &mut rng, out_path.clone()) {
+            Ok(bucketed) => {
+                println!(
+                    "generated {} functions x {} minute columns, {} invocations (seed {seed})",
+                    bucketed.functions.len(),
+                    bucketed.minutes,
+                    bucketed.invocations()
+                );
+                bucketed
+            }
+            Err(err) => {
+                eprintln!("the workload rejected generation: {err}");
+                std::process::exit(1);
+            }
+        }
+    };
+    match std::fs::write(&out_path, trace_file.to_csv()) {
+        Ok(()) => println!("wrote {out_path}"),
         Err(err) => {
             eprintln!("failed to write {out_path}: {err}");
             std::process::exit(1);

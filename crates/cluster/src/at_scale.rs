@@ -4,11 +4,16 @@
 //! Where Figure 13 fixes one policy point (FCFS, fixed keepalive, fixed
 //! 200-instance racks, local data), this experiment sweeps a whole policy
 //! grid over multiple workloads and multi-rack configurations, and emits a
-//! machine-readable JSON report (schema `dscs-at-scale-v5`). The grid is
+//! machine-readable JSON report (schema `dscs-at-scale-v6`). The grid is
 //! *declarative*: a [`SweepSpec`] lists the values to sweep per axis, and
 //! [`at_scale_sweep`] iterates the cartesian product generically, building
 //! one [`crate::experiment::Experiment`] per cell — adding an axis means
-//! adding its policy enum and one list here, not rewriting the sweep. Every
+//! adding its policy enum and one list here, not rewriting the sweep. Since
+//! v6 the workload axis is declarative too: a list of [`WorkloadSpec`]s, so
+//! ingested Azure trace files and the synthetic generators ride the same
+//! axis, every cell carries its workload's source label, and the report
+//! closes with a `cross_validation` section comparing each synthetic
+//! workload against each trace file cell for cell. Every
 //! cell runs against a [`DataLayer`] built for its workload's trace, so
 //! dispatch is data-aware: reports carry each cell's locality hit rate,
 //! cross-rack bytes moved, the fetch latency charged, and (since v4) the
@@ -36,16 +41,13 @@ use serde::{Deserialize, Serialize};
 
 use dscs_platforms::PlatformKind;
 use dscs_simcore::json::JsonValue;
-use dscs_simcore::rng::DeterministicRng;
 use dscs_simcore::stats::Measured;
-use dscs_simcore::time::SimDuration;
 
 use crate::data::DataLayer;
 use crate::experiment::{ConfigError, Experiment};
 use crate::policy::{KeepalivePolicy, LoadBalancer, ScalingPolicy, SchedulerPolicy};
 use crate::sim::{ClusterConfig, ClusterSim};
-use crate::trace::{RateProfile, TraceRequest};
-use crate::workload::{AzureWorkload, Workload};
+use crate::workload::{RealizedWorkload, WorkloadSpec};
 
 /// How much of the full-size experiment to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -131,11 +133,17 @@ impl AtScaleOptions {
 pub struct SweepSpec {
     /// Experiment size (governs the workload traces generated).
     pub scale: SweepScale,
-    /// Master seed; trace generation, placement and service jitter derive
-    /// from it.
+    /// Master seed; placement and service jitter derive from it. Workload
+    /// trace generation derives from the per-spec seeds on the
+    /// [`SweepSpec::workloads`] axis (which [`SweepSpec::default_workloads`]
+    /// and [`From<AtScaleOptions>`] keep in sync with this one).
     pub seed: u64,
     /// Number of racks the front end shards over.
     pub racks: u32,
+    /// Workloads to replay, as declarative [`WorkloadSpec`]s — synthetic
+    /// generators and ingested trace files ride the same axis, so a sweep
+    /// can cross-validate them cell for cell.
+    pub workloads: Vec<WorkloadSpec>,
     /// Platforms to compare.
     pub platforms: Vec<PlatformKind>,
     /// Scheduler policies to sweep.
@@ -162,6 +170,7 @@ impl SweepSpec {
             scale,
             seed: 42,
             racks: 2,
+            workloads: Self::default_workloads(scale, 42),
             platforms: SWEEP_PLATFORMS.to_vec(),
             schedulers: SchedulerPolicy::ALL.to_vec(),
             keepalives: KeepalivePolicy::all_default().to_vec(),
@@ -169,6 +178,15 @@ impl SweepSpec {
             balancers: LoadBalancer::ALL.to_vec(),
             jobs: 0,
         }
+    }
+
+    /// The historical workload pair — the paper's bursty profile and the
+    /// synthetic azure generator — at `scale`, both generating from `seed`.
+    pub fn default_workloads(scale: SweepScale, seed: u64) -> Vec<WorkloadSpec> {
+        vec![
+            WorkloadSpec::Bursty { scale, seed },
+            WorkloadSpec::Azure { scale, seed },
+        ]
     }
 
     /// The worker count [`SweepSpec::run`] will actually use: `jobs`, with
@@ -189,7 +207,8 @@ impl SweepSpec {
         if self.racks == 0 {
             return Err(ConfigError::ZeroRacks);
         }
-        let axes: [(&'static str, bool); 5] = [
+        let axes: [(&'static str, bool); 6] = [
+            ("workloads", self.workloads.is_empty()),
             ("platforms", self.platforms.is_empty()),
             ("schedulers", self.schedulers.is_empty()),
             ("keepalives", self.keepalives.is_empty()),
@@ -215,7 +234,14 @@ impl SweepSpec {
     pub fn run(&self) -> Result<AtScaleReport, ConfigError> {
         self.check()?;
         let wall_clock = std::time::Instant::now();
-        let workloads = sweep_workloads(self.scale, self.seed);
+        // Realize the declarative workload axis: each spec generates (or
+        // ingests) its trace from its own seed, so the axis can mix
+        // synthetic generators and trace files freely.
+        let workloads: Vec<RealizedWorkload> = self
+            .workloads
+            .iter()
+            .map(WorkloadSpec::realize)
+            .collect::<Result<_, _>>()?;
         // The end-to-end model evaluation behind ClusterSim::new depends only
         // on the platform; policy cells reuse it via Experiment::run_on.
         let base_sims: Vec<ClusterSim> = self
@@ -227,8 +253,12 @@ impl SweepSpec {
         // cells of one workload dispatch against the same layout.
         let data_layers: Vec<Arc<DataLayer>> = workloads
             .iter()
-            .map(|(_, trace, _)| {
-                Arc::new(DataLayer::for_trace(trace, self.racks, self.seed ^ 0xDA7A))
+            .map(|w| {
+                Arc::new(DataLayer::for_trace(
+                    &w.trace,
+                    self.racks,
+                    self.seed ^ 0xDA7A,
+                ))
             })
             .collect();
         // Enumerate the cartesian product up front, in grid order. Cell
@@ -255,9 +285,9 @@ impl SweepSpec {
             }
         }
         let run_cell = |point: &CellPoint| -> Result<SweepCell, ConfigError> {
-            let (name, trace, _) = &workloads[point.workload];
+            let workload = &workloads[point.workload];
             let outcome = Experiment::builder(self.platforms[point.platform])
-                .trace(trace.clone())
+                .trace(workload.trace.clone())
                 .racks(self.racks)
                 .balancer(point.balancer)
                 .scheduler(point.scheduler)
@@ -269,13 +299,14 @@ impl SweepSpec {
                 .run_on(&base_sims[point.platform]);
             let report = &outcome.report;
             Ok(SweepCell {
-                workload: name,
+                workload: workload.name.clone(),
+                workload_source: workload.source.clone(),
                 platform: self.platforms[point.platform],
                 scheduler: point.scheduler,
                 keepalive: point.keepalive,
                 scaling: point.scaling,
                 balancer: point.balancer,
-                requests: trace.len() as u64,
+                requests: workload.trace.len() as u64,
                 completed: report.completed,
                 rejected: report.rejected,
                 cold_starts: report.cold_starts,
@@ -335,10 +366,11 @@ impl SweepSpec {
             spec: self.clone(),
             workloads: workloads
                 .iter()
-                .map(|&(name, ref trace, horizon_s)| WorkloadSummary {
-                    name,
-                    requests: trace.len() as u64,
-                    horizon_s,
+                .map(|w| WorkloadSummary {
+                    name: w.name.clone(),
+                    source: w.source.clone(),
+                    requests: w.trace.len() as u64,
+                    horizon_s: w.horizon_s,
                 })
                 .collect(),
             cells,
@@ -365,6 +397,7 @@ impl From<AtScaleOptions> for SweepSpec {
             scale: options.scale,
             seed: options.seed,
             racks: options.racks,
+            workloads: SweepSpec::default_workloads(options.scale, options.seed),
             balancers: match options.balancer {
                 Some(balancer) => vec![balancer],
                 None => LoadBalancer::ALL.to_vec(),
@@ -379,8 +412,12 @@ impl From<AtScaleOptions> for SweepSpec {
 /// scaling, balancer) point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepCell {
-    /// Workload name (`"bursty"`, `"azure"`).
-    pub workload: &'static str,
+    /// Workload name (`"bursty"`, `"azure"`, `"trace"`).
+    pub workload: String,
+    /// Where the workload's trace came from (`"synthetic"`,
+    /// `"trace-file:<file>"`). Part of cell identity: the perf gate keys on
+    /// it, so a trace-file cell is never diffed against a synthetic one.
+    pub workload_source: String,
     /// Platform under test.
     pub platform: PlatformKind,
     /// Scheduler policy.
@@ -458,11 +495,38 @@ impl SweepCell {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadSummary {
     /// Workload name.
-    pub name: &'static str,
+    pub name: String,
+    /// Where the trace came from (`"synthetic"`, `"trace-file:<file>"`).
+    pub source: String,
     /// Number of requests in the generated trace.
     pub requests: u64,
     /// Trace horizon in seconds.
     pub horizon_s: f64,
+}
+
+/// One synthetic-vs-trace comparison: how far a trace-file workload's
+/// measured behaviour sits from a synthetic generator's, aggregated over
+/// every policy cell the two share. This is the cross-validation signal the
+/// ingestion subsystem exists for — a simulator earns trust by reproducing
+/// measured traces, not just parametric ones.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossValidation {
+    /// The synthetic workload's name.
+    pub synthetic: String,
+    /// The trace workload's source label (`"trace-file:<file>"`).
+    pub trace: String,
+    /// Matched policy cells the aggregates cover.
+    pub cells: u64,
+    /// Offered-rate delta, percent of the synthetic rate
+    /// (requests-per-second, from the workload summaries).
+    pub rate_delta_pct: f64,
+    /// Mean-latency delta, percent of the synthetic mean (cell averages).
+    pub mean_delta_pct: f64,
+    /// p99-latency delta, percent of the synthetic p99 (cell averages).
+    pub p99_delta_pct: f64,
+    /// Locality-hit-rate delta, absolute (cell averages; both sides place
+    /// data with the same seed).
+    pub locality_delta: f64,
 }
 
 /// The full sweep result.
@@ -519,6 +583,84 @@ impl AtScaleReport {
         self.cells.iter().map(|c| c.events).sum()
     }
 
+    /// Cross-validates every synthetic workload against every trace-file
+    /// workload the sweep replayed: rate, mean/p99 latency and locality
+    /// deltas aggregated over the policy cells the pair shares. Empty when
+    /// the sweep ran only synthetic (or only trace) workloads.
+    pub fn cross_validation(&self) -> Vec<CrossValidation> {
+        let mut out = Vec::new();
+        let average = |cells: &[&SweepCell], f: fn(&SweepCell) -> f64| -> f64 {
+            cells.iter().map(|c| f(c)).sum::<f64>() / cells.len() as f64
+        };
+        for synthetic in &self.workloads {
+            if synthetic.source != "synthetic" {
+                continue;
+            }
+            for trace in &self.workloads {
+                if !trace.source.starts_with("trace-file:") {
+                    continue;
+                }
+                let pairs: Vec<(&SweepCell, &SweepCell)> = self
+                    .cells
+                    .iter()
+                    .filter(|c| {
+                        c.workload == synthetic.name && c.workload_source == synthetic.source
+                    })
+                    .filter_map(|s| {
+                        self.cells
+                            .iter()
+                            .find(|t| {
+                                t.workload == trace.name
+                                    && t.workload_source == trace.source
+                                    && t.platform == s.platform
+                                    && t.scheduler == s.scheduler
+                                    && t.keepalive == s.keepalive
+                                    && t.scaling == s.scaling
+                                    && t.balancer == s.balancer
+                            })
+                            .map(|t| (s, t))
+                    })
+                    .collect();
+                if pairs.is_empty() {
+                    continue;
+                }
+                let (syn_cells, trace_cells): (Vec<&SweepCell>, Vec<&SweepCell>) =
+                    pairs.into_iter().unzip();
+                let pct = |synthetic: f64, trace: f64| {
+                    if synthetic != 0.0 {
+                        (trace - synthetic) / synthetic * 100.0
+                    } else {
+                        0.0
+                    }
+                };
+                let rate = |w: &WorkloadSummary| {
+                    if w.horizon_s > 0.0 {
+                        w.requests as f64 / w.horizon_s
+                    } else {
+                        0.0
+                    }
+                };
+                out.push(CrossValidation {
+                    synthetic: synthetic.name.clone(),
+                    trace: trace.source.clone(),
+                    cells: syn_cells.len() as u64,
+                    rate_delta_pct: pct(rate(synthetic), rate(trace)),
+                    mean_delta_pct: pct(
+                        average(&syn_cells, |c| c.mean_latency_ms),
+                        average(&trace_cells, |c| c.mean_latency_ms),
+                    ),
+                    p99_delta_pct: pct(
+                        average(&syn_cells, |c| c.p99_latency_ms),
+                        average(&trace_cells, |c| c.p99_latency_ms),
+                    ),
+                    locality_delta: average(&trace_cells, |c| c.locality_hit_rate)
+                        - average(&syn_cells, |c| c.locality_hit_rate),
+                });
+            }
+        }
+        out
+    }
+
     /// Aggregate simulator throughput: total events over the sweep's wall
     /// clock. With a parallel run this measures the *engine's* delivered
     /// throughput, parallel speedup included. A measurement; zero if the
@@ -550,7 +692,7 @@ impl AtScaleReport {
 
     fn render_json(&self, with_throughput: bool) -> String {
         let mut root = JsonValue::object();
-        root.push("schema", "dscs-at-scale-v5");
+        root.push("schema", "dscs-at-scale-v6");
         root.push("scale", self.spec.scale.name());
         root.push("seed", self.spec.seed);
         root.push("racks", self.spec.racks);
@@ -582,9 +724,29 @@ impl AtScaleReport {
                     .iter()
                     .map(|w| {
                         let mut obj = JsonValue::object();
-                        obj.push("name", w.name);
+                        obj.push("name", w.name.as_str());
+                        obj.push("source", w.source.as_str());
                         obj.push("requests", w.requests);
                         obj.push("horizon_s", w.horizon_s);
+                        obj
+                    })
+                    .collect(),
+            ),
+        );
+        root.push(
+            "cross_validation",
+            JsonValue::Array(
+                self.cross_validation()
+                    .iter()
+                    .map(|v| {
+                        let mut obj = JsonValue::object();
+                        obj.push("synthetic", v.synthetic.as_str());
+                        obj.push("trace", v.trace.as_str());
+                        obj.push("cells", v.cells);
+                        obj.push("rate_delta_pct", v.rate_delta_pct);
+                        obj.push("mean_delta_pct", v.mean_delta_pct);
+                        obj.push("p99_delta_pct", v.p99_delta_pct);
+                        obj.push("locality_delta", v.locality_delta);
                         obj
                     })
                     .collect(),
@@ -597,7 +759,8 @@ impl AtScaleReport {
                     .iter()
                     .map(|c| {
                         let mut obj = JsonValue::object();
-                        obj.push("workload", c.workload);
+                        obj.push("workload", c.workload.as_str());
+                        obj.push("workload_source", c.workload_source.as_str());
                         obj.push("platform", c.platform.name());
                         obj.push("scheduler", c.scheduler.name());
                         obj.push("keepalive", c.keepalive.name());
@@ -639,50 +802,6 @@ impl AtScaleReport {
 
 /// The platforms the sweep compares (the Figure 13 pair).
 pub const SWEEP_PLATFORMS: [PlatformKind; 2] = [PlatformKind::BaselineCpu, PlatformKind::DscsDsa];
-
-/// Builds the sweep's workload traces at `scale` from `seed`. Traces are
-/// shared (`Arc`) across every cell of their workload.
-fn sweep_workloads(
-    scale: SweepScale,
-    seed: u64,
-) -> Vec<(&'static str, Arc<Vec<TraceRequest>>, f64)> {
-    let mut master = DeterministicRng::seeded(seed);
-    let bursty = match scale {
-        SweepScale::Smoke => RateProfile::paper_bursty().compressed(100.0),
-        SweepScale::Quick => RateProfile::paper_bursty().compressed(16.0),
-        SweepScale::Full => RateProfile::paper_bursty(),
-    };
-    let azure = match scale {
-        SweepScale::Smoke => AzureWorkload {
-            functions: 16,
-            base_rps: 200.0,
-            horizon: SimDuration::from_secs(20),
-            diurnal_period: SimDuration::from_secs(10),
-            step: SimDuration::from_secs(2),
-            ..AzureWorkload::default()
-        },
-        SweepScale::Quick => AzureWorkload::quick(),
-        SweepScale::Full => AzureWorkload::default(),
-    };
-    let mut out = Vec::new();
-    let mut bursty_rng = master.fork(1);
-    out.push((
-        Workload::name(&bursty),
-        Arc::new(Workload::generate(&bursty, &mut bursty_rng).expect("built-in profile is valid")),
-        Workload::horizon(&bursty).as_secs_f64(),
-    ));
-    let mut azure_rng = master.fork(2);
-    out.push((
-        azure.name(),
-        Arc::new(
-            azure
-                .generate(&mut azure_rng)
-                .expect("built-in workload is valid"),
-        ),
-        azure.horizon().as_secs_f64(),
-    ));
-    out
-}
 
 /// Runs the policy sweep the options describe: every scheduler × keepalive ×
 /// scaling × balancer × platform combination over every workload, sharded
@@ -744,7 +863,7 @@ mod tests {
         let b = at_scale_sweep(AtScaleOptions::smoke()).to_json();
         assert_eq!(a, b, "fixed seed must reproduce byte-for-byte");
         assert!(a.starts_with('{') && a.ends_with('}'));
-        assert!(a.contains("\"schema\":\"dscs-at-scale-v5\""));
+        assert!(a.contains("\"schema\":\"dscs-at-scale-v6\""));
         assert!(a.contains("\"total_events\""));
         assert!(a.contains("\"events\""));
         assert!(
@@ -752,6 +871,11 @@ mod tests {
             "measured throughput must stay out of the deterministic JSON"
         );
         assert!(a.contains("\"workload\":\"azure\""));
+        assert!(a.contains("\"workload_source\":\"synthetic\""));
+        assert!(
+            a.contains("\"cross_validation\":[]"),
+            "an all-synthetic sweep carries an empty cross-validation section"
+        );
         assert!(a.contains("\"keepalive\":\"hybrid-histogram\""));
         assert!(a.contains("\"keepalive\":\"hybrid-prewarm\""));
         assert!(a.contains("\"scaling\":\"reactive\""));
@@ -763,7 +887,7 @@ mod tests {
         let parsed = JsonValue::parse(&a).expect("report JSON parses");
         assert_eq!(
             parsed.get("schema").and_then(JsonValue::as_str),
-            Some("dscs-at-scale-v5")
+            Some("dscs-at-scale-v6")
         );
     }
 
@@ -861,6 +985,59 @@ mod tests {
             ..SweepSpec::default_grid(SweepScale::Smoke)
         };
         assert_eq!(zero_racks.check(), Err(ConfigError::ZeroRacks));
+    }
+
+    #[test]
+    fn workloads_are_a_declarative_axis_with_cross_validation() {
+        let empty = SweepSpec {
+            workloads: Vec::new(),
+            ..SweepSpec::default_grid(SweepScale::Smoke)
+        };
+        assert_eq!(
+            empty.check(),
+            Err(ConfigError::EmptySweepAxis { axis: "workloads" })
+        );
+
+        // A two-cell grid over a synthetic workload and the same trace
+        // relabeled as a trace file: cross-validation pairs them, and since
+        // the traces are identical the deltas collapse to zero.
+        let azure = WorkloadSpec::Azure {
+            scale: SweepScale::Smoke,
+            seed: 42,
+        };
+        let realized = azure.realize().expect("valid spec");
+        let relabeled = WorkloadSpec::Inline {
+            name: "trace".into(),
+            source: "trace-file:self.csv".into(),
+            horizon_s: realized.horizon_s,
+            trace: realized.trace.clone(),
+        };
+        let spec = SweepSpec {
+            workloads: vec![azure, relabeled],
+            platforms: vec![PlatformKind::DscsDsa],
+            schedulers: vec![SchedulerPolicy::Fcfs],
+            keepalives: vec![KeepalivePolicy::paper_default()],
+            scalings: vec![ScalingPolicy::Fixed],
+            balancers: vec![LoadBalancer::locality_default()],
+            ..SweepSpec::default_grid(SweepScale::Smoke)
+        };
+        let report = spec.run().expect("valid spec");
+        assert_eq!(report.cells.len(), 2);
+        assert_eq!(report.workloads[1].source, "trace-file:self.csv");
+        let validation = report.cross_validation();
+        assert_eq!(validation.len(), 1);
+        let v = &validation[0];
+        assert_eq!(
+            (v.synthetic.as_str(), v.trace.as_str(), v.cells),
+            ("azure", "trace-file:self.csv", 1)
+        );
+        assert_eq!(v.rate_delta_pct, 0.0);
+        assert_eq!(v.mean_delta_pct, 0.0);
+        assert_eq!(v.p99_delta_pct, 0.0);
+        assert_eq!(v.locality_delta, 0.0);
+        let json = report.to_json();
+        assert!(json.contains("\"workload_source\":\"trace-file:self.csv\""));
+        assert!(json.contains("\"cross_validation\":[{\"synthetic\":\"azure\""));
     }
 
     /// The report's balancer label reflects the swept list: one name, "all"

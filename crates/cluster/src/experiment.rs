@@ -59,7 +59,7 @@ use crate::data::DataLayer;
 use crate::policy::{KeepalivePolicy, LoadBalancer, ScalingPolicy, SchedulerPolicy};
 use crate::sim::{ClusterConfig, ClusterReport, ClusterSim, RackSummary};
 use crate::trace::TraceRequest;
-use crate::workload::{Workload, WorkloadError};
+use crate::workload::{Workload, WorkloadError, WorkloadSpec, WorkloadSpecError};
 
 /// A violated precondition of a cluster run, reported instead of the panic
 /// the pre-builder API raised.
@@ -122,6 +122,11 @@ pub enum ConfigError {
     /// The workload handed to [`ExperimentBuilder::workload`] failed its own
     /// validation.
     Workload(WorkloadError),
+    /// The declarative spec handed to [`ExperimentBuilder::workload_spec`]
+    /// (or listed on a sweep's workload axis) failed to realize — an unknown
+    /// kind, an unreadable or malformed trace file, or an invalid underlying
+    /// workload.
+    WorkloadSpec(WorkloadSpecError),
 }
 
 impl ConfigError {
@@ -153,6 +158,7 @@ impl ConfigError {
                 format!("sweep axis {axis} must not be empty")
             }
             ConfigError::Workload(err) => err.to_string(),
+            ConfigError::WorkloadSpec(err) => err.to_string(),
         }
     }
 }
@@ -193,6 +199,7 @@ impl fmt::Display for ConfigError {
                 write!(f, "sweep axis {axis} has no values to sweep")
             }
             ConfigError::Workload(err) => write!(f, "workload validation failed: {err}"),
+            ConfigError::WorkloadSpec(err) => write!(f, "workload spec rejected: {err}"),
         }
     }
 }
@@ -201,6 +208,7 @@ impl std::error::Error for ConfigError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ConfigError::Workload(err) => Some(err),
+            ConfigError::WorkloadSpec(err) => Some(err),
             _ => None,
         }
     }
@@ -209,6 +217,12 @@ impl std::error::Error for ConfigError {
 impl From<WorkloadError> for ConfigError {
     fn from(err: WorkloadError) -> Self {
         ConfigError::Workload(err)
+    }
+}
+
+impl From<WorkloadSpecError> for ConfigError {
+    fn from(err: WorkloadSpecError) -> Self {
+        ConfigError::WorkloadSpec(err)
     }
 }
 
@@ -384,8 +398,19 @@ impl ExperimentBuilder {
     /// Generates the trace from `workload` (validating its parameters) with
     /// `rng`. A [`WorkloadError`] is carried until [`ExperimentBuilder::build`]
     /// and surfaces there as [`ConfigError::Workload`] — unless a later
-    /// [`ExperimentBuilder::trace`] / `workload` call supplies a valid trace,
+    /// [`ExperimentBuilder::trace`] / workload call supplies a valid trace,
     /// which replaces the failed one.
+    ///
+    /// Deprecated: workload selection is declarative now. Express the same
+    /// run as a [`WorkloadSpec`] — `WorkloadSpec::Azure { scale, seed }`
+    /// instead of hand-generating an [`AzureWorkload`](crate::workload::AzureWorkload)
+    /// trace, `WorkloadSpec::Inline { .. }` for a bespoke generator — and
+    /// hand it to [`ExperimentBuilder::workload_spec`], which routes through
+    /// the same pending-error validator.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use workload_spec(WorkloadSpec) — workload selection is declarative now"
+    )]
     pub fn workload<W: Workload + ?Sized>(
         mut self,
         workload: &W,
@@ -394,6 +419,23 @@ impl ExperimentBuilder {
         match workload.generate(rng) {
             Ok(trace) => {
                 self.trace = Some(Arc::new(trace));
+                self.pending = None;
+            }
+            Err(err) => self.pending = Some(err.into()),
+        }
+        self
+    }
+
+    /// Realizes a declarative [`WorkloadSpec`] into the experiment's trace.
+    /// A [`WorkloadSpecError`] is carried until [`ExperimentBuilder::build`]
+    /// and surfaces there as [`ConfigError::WorkloadSpec`] — unless a later
+    /// [`ExperimentBuilder::trace`] / `workload_spec` call supplies a valid
+    /// trace, which replaces the failed one (the same carry discipline the
+    /// deprecated [`ExperimentBuilder::workload`] shim uses).
+    pub fn workload_spec(mut self, spec: &WorkloadSpec) -> Self {
+        match spec.realize() {
+            Ok(realized) => {
+                self.trace = Some(realized.trace);
                 self.pending = None;
             }
             Err(err) => self.pending = Some(err.into()),
@@ -617,6 +659,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn workload_errors_surface_at_build_time() {
         use crate::workload::AzureWorkload;
         let bad = AzureWorkload {
@@ -632,6 +675,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn a_later_valid_trace_replaces_a_failed_workload() {
         use crate::workload::AzureWorkload;
         let bad = AzureWorkload {
@@ -657,6 +701,47 @@ mod tests {
         assert!(Experiment::builder(PlatformKind::DscsDsa)
             .workload(&bad, &mut DeterministicRng::seeded(1))
             .workload(&good, &mut DeterministicRng::seeded(2))
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn workload_spec_realizes_into_the_experiment_trace() {
+        use crate::at_scale::SweepScale;
+        let spec = WorkloadSpec::Azure {
+            scale: SweepScale::Smoke,
+            seed: 7,
+        };
+        let experiment = Experiment::builder(PlatformKind::DscsDsa)
+            .workload_spec(&spec)
+            .racks(2)
+            .build()
+            .expect("valid spec");
+        let realized = spec.realize().expect("valid spec");
+        assert_eq!(experiment.trace(), realized.trace.as_slice());
+        assert!(!experiment.trace().is_empty());
+    }
+
+    #[test]
+    fn workload_spec_errors_surface_at_build_time_and_can_be_superseded() {
+        let missing = WorkloadSpec::TraceFile {
+            path: "/nonexistent/trace.csv".into(),
+            day: 1,
+        };
+        let err = Experiment::builder(PlatformKind::DscsDsa)
+            .workload_spec(&missing)
+            .build()
+            .expect_err("unreadable trace file");
+        assert!(matches!(
+            err,
+            ConfigError::WorkloadSpec(WorkloadSpecError::Ingest(_))
+        ));
+        assert!(err.to_string().contains("workload spec rejected"));
+        // The same carry discipline as the deprecated shim: a later valid
+        // trace supersedes the failed spec.
+        assert!(Experiment::builder(PlatformKind::DscsDsa)
+            .workload_spec(&missing)
+            .trace(short_trace(9))
             .build()
             .is_ok());
     }
@@ -723,6 +808,9 @@ mod tests {
             },
             ConfigError::InvalidPredictiveHeadroom { headroom: 0.5 },
             ConfigError::EmptySweepAxis { axis: "platforms" },
+            ConfigError::WorkloadSpec(WorkloadSpecError::UnknownKind {
+                kind: "tide".into(),
+            }),
         ];
         for err in errors {
             assert!(!err.to_string().is_empty());

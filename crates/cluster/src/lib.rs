@@ -13,9 +13,15 @@
 //! remain as deprecated shims that delegate to the same validated core.
 //!
 //! * [`trace`] — the bursty Figure-13a request trace ([`RateProfile`]).
-//! * [`workload`] — the [`Workload`] trait and the Azure-functions-style
+//! * [`workload`] — the [`Workload`] trait, the Azure-functions-style
 //!   synthetic generator ([`AzureWorkload`]: Zipf popularity skew, diurnal
-//!   cycles, burst episodes).
+//!   cycles, burst episodes), and the declarative [`WorkloadSpec`] selection
+//!   surface (`Azure`/`Bursty`/`TraceFile`/`Inline`) every entry point —
+//!   builder, sweep, CLI — realizes workloads through.
+//! * [`ingest`] — trace-file ingestion: a streaming parser for the Azure
+//!   Functions 2019 invocations-per-function CSV schema behind
+//!   [`TraceFileWorkload`], plus the bucketing emitter the `generate-trace`
+//!   CLI uses to close the generate → parse → simulate round trip.
 //! * [`policy`] — scheduler policies (FCFS, shortest-job-first, per-benchmark
 //!   fair), keepalive policies (none, fixed window, hybrid histogram with an
 //!   optional prewarm head percentile), instance-pool scaling policies
@@ -70,6 +76,7 @@
 pub mod at_scale;
 pub mod data;
 pub mod experiment;
+pub mod ingest;
 pub mod perf_gate;
 pub mod policy;
 pub mod sim;
@@ -77,10 +84,12 @@ pub mod trace;
 pub mod workload;
 
 pub use at_scale::{
-    at_scale_sweep, AtScaleOptions, AtScaleReport, SweepCell, SweepScale, SweepSpec,
+    at_scale_sweep, AtScaleOptions, AtScaleReport, CrossValidation, SweepCell, SweepScale,
+    SweepSpec,
 };
 pub use data::DataLayer;
 pub use experiment::{ConfigError, Experiment, ExperimentBuilder, Outcome};
+pub use ingest::{IngestError, TraceFileWorkload};
 pub use perf_gate::{compare_reports, GateOutcome};
 pub use policy::{
     KeepalivePolicy, KeepaliveState, KeepaliveStats, LoadBalancer, ScalingPolicy, SchedQueue,
@@ -88,4 +97,7 @@ pub use policy::{
 };
 pub use sim::{ClusterConfig, ClusterReport, ClusterSim, RackSummary};
 pub use trace::{RateProfile, TraceRequest};
-pub use workload::{AzureWorkload, ObjectCatalog, ObjectPopulation, Workload, WorkloadError};
+pub use workload::{
+    AzureWorkload, ObjectCatalog, ObjectPopulation, RealizedWorkload, Workload, WorkloadError,
+    WorkloadSpec, WorkloadSpecError,
+};

@@ -144,7 +144,11 @@ impl std::error::Error for GateError {}
 
 /// The full policy identity of one sweep cell. Pre-v2 reports have no
 /// `scaling` key (those cells ran the fixed cap); pre-v3 reports have no
-/// per-cell `balancer` key (those sweeps ran round-robin).
+/// per-cell `balancer` key (those sweeps ran round-robin); pre-v6 reports
+/// have no `workload_source` key (every cell replayed a synthetic
+/// generator). Workload source is part of the identity so a trace-file cell
+/// is never diffed against a synthetic cell that happens to share its
+/// workload name.
 fn cell_key(cell: &JsonValue) -> Option<String> {
     let field = |key: &str, default: Option<&str>| {
         cell.get(key)
@@ -155,6 +159,7 @@ fn cell_key(cell: &JsonValue) -> Option<String> {
     Some(
         [
             field("workload", None)?,
+            field("workload_source", Some("synthetic"))?,
             field("platform", None)?,
             field("scheduler", None)?,
             field("keepalive", None)?,
@@ -442,6 +447,56 @@ mod tests {
     /// Engine-throughput drops warn without failing: a >10% `events_per_sec`
     /// regression (per cell and aggregate) is reported, worst first, but the
     /// gate still passes; reports without the measured fields warn nothing.
+    /// Satellite regression test: the workload's source is part of cell
+    /// identity, so a trace-file replay of "azure" traffic is never diffed
+    /// against the synthetic "azure" cell (within one schema version; a
+    /// cross-version comparison already passes vacuously).
+    #[test]
+    fn cells_differing_only_by_workload_source_are_distinct() {
+        let cell = |source: Option<&str>, mean: f64| {
+            let mut c = JsonValue::object();
+            c.push("workload", "azure");
+            if let Some(source) = source {
+                c.push("workload_source", source);
+            }
+            c.push("platform", "DSCS-DSA");
+            c.push("scheduler", "fcfs");
+            c.push("keepalive", "fixed-window");
+            c.push("scaling", "fixed");
+            c.push("balancer", "round-robin");
+            c.push("mean_latency_ms", mean);
+            c.push("p99_latency_ms", mean * 2.0);
+            c
+        };
+        let make = |cells: Vec<JsonValue>| {
+            let mut root = JsonValue::object();
+            root.push("schema", "dscs-at-scale-v6");
+            root.push("cells", JsonValue::Array(cells));
+            root.render()
+        };
+        let base = make(vec![
+            cell(Some("synthetic"), 10.0),
+            cell(Some("trace-file:day1.csv"), 5.0),
+        ]);
+        // The trace-file cell regresses, the synthetic cell improves: the
+        // gate must not cross-match them on the shared workload name.
+        let cur = make(vec![
+            cell(Some("synthetic"), 9.0),
+            cell(Some("trace-file:day1.csv"), 8.0),
+        ]);
+        let outcome = compare_reports(&base, &cur, 10.0).expect("valid");
+        assert_eq!(outcome.compared, 2);
+        assert_eq!(outcome.regressions.len(), 2, "trace-file mean and p99");
+        assert!(outcome.regressions[0].cell.contains("trace-file:day1.csv"));
+        // A cell lacking the key defaults to "synthetic", so same-version
+        // reports that omit it still match their synthetic twins.
+        let untagged = make(vec![cell(None, 10.0)]);
+        let tagged = make(vec![cell(Some("synthetic"), 10.0)]);
+        let matched = compare_reports(&untagged, &tagged, 10.0).expect("valid");
+        assert_eq!(matched.compared, 1);
+        assert_eq!(matched.skipped, 0);
+    }
+
     #[test]
     fn throughput_drops_warn_but_never_fail() {
         let make = |aggregate_eps: f64, cell_eps: f64| {

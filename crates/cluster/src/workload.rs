@@ -8,7 +8,7 @@
 //! and aggregate rates that follow diurnal cycles punctuated by bursts. This
 //! module provides a common [`Workload`] trait over trace generators, and
 //! [`AzureWorkload`], a synthetic generator reproducing those three properties,
-//! alongside the original [`RateProfile`](crate::trace::RateProfile) trace.
+//! alongside the original [`RateProfile`] trace.
 
 //!
 //! Every request additionally names the *object* it reads — serverless
@@ -22,6 +22,7 @@
 //! earlier trace versions.
 
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -31,7 +32,9 @@ use dscs_simcore::quantity::Bytes;
 use dscs_simcore::rng::DeterministicRng;
 use dscs_simcore::time::{SimDuration, SimTime};
 
-use crate::trace::TraceRequest;
+use crate::at_scale::SweepScale;
+use crate::ingest::{IngestError, TraceFileWorkload};
+use crate::trace::{RateProfile, TraceRequest};
 
 /// Errors produced by workload validation and generation.
 #[derive(Debug, Clone, PartialEq)]
@@ -404,6 +407,265 @@ impl Workload for AzureWorkload {
             offset += step;
         }
         Ok(requests)
+    }
+}
+
+/// The RNG stream a [`WorkloadSpec::Bursty`] trace is generated from: fork 1
+/// of a master seeded with the spec's seed (matching the sweep's historical
+/// stream assignment; fork 2 is the azure stream).
+pub fn bursty_generation_rng(seed: u64) -> DeterministicRng {
+    DeterministicRng::seeded(seed).fork(1)
+}
+
+/// The RNG stream a [`WorkloadSpec::Azure`] trace is generated from: fork 2
+/// of a master seeded with the spec's seed. The `generate-trace` CLI buckets
+/// exactly this stream into CSV, so a trace file generated at seed `s`
+/// carries the same invocations the sweep's `azure` workload offers at
+/// seed `s`.
+pub fn azure_generation_rng(seed: u64) -> DeterministicRng {
+    DeterministicRng::seeded(seed).fork(2)
+}
+
+/// Salt seeding the within-minute jitter stream trace-file expansion draws
+/// from (forked by day, so every day of a file jitters independently).
+const TRACE_JITTER_SALT: u64 = 0x7F11_E000_5EED_0001;
+
+/// Errors produced while validating or realizing a [`WorkloadSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpecError {
+    /// A CLI spec string named a workload kind that does not exist.
+    UnknownKind {
+        /// The unrecognised spec string.
+        kind: String,
+    },
+    /// A `trace:<path>@<day>` spec carried a day that is not a positive
+    /// integer.
+    InvalidDay {
+        /// The offending day text.
+        value: String,
+    },
+    /// Reading or parsing a trace file failed.
+    Ingest(IngestError),
+    /// The underlying workload rejected its parameters or failed to expand.
+    Workload(WorkloadError),
+    /// An inline spec carried an empty trace.
+    EmptyInline,
+}
+
+impl fmt::Display for WorkloadSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadSpecError::UnknownKind { kind } => write!(
+                f,
+                "unknown workload spec '{kind}' (expected azure, bursty or trace:<path>[@<day>])"
+            ),
+            WorkloadSpecError::InvalidDay { value } => {
+                write!(f, "'{value}' is not a valid trace day (expected 1..=14)")
+            }
+            WorkloadSpecError::Ingest(err) => write!(f, "{err}"),
+            WorkloadSpecError::Workload(err) => write!(f, "{err}"),
+            WorkloadSpecError::EmptyInline => write!(f, "inline workload carries no requests"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadSpecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorkloadSpecError::Ingest(err) => Some(err),
+            WorkloadSpecError::Workload(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<IngestError> for WorkloadSpecError {
+    fn from(err: IngestError) -> Self {
+        WorkloadSpecError::Ingest(err)
+    }
+}
+
+impl From<WorkloadError> for WorkloadSpecError {
+    fn from(err: WorkloadError) -> Self {
+        WorkloadSpecError::Workload(err)
+    }
+}
+
+/// A workload, realized: the generated trace plus the labels reports carry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RealizedWorkload {
+    /// Workload name (`"bursty"`, `"azure"`, `"trace"`, ...).
+    pub name: String,
+    /// Where the trace came from: `"synthetic"` for the generators,
+    /// `"trace-file:<file>"` for ingested files. Sweep-cell identity (and
+    /// the perf gate's cell key) includes this, so a trace-file cell is
+    /// never diffed against a synthetic one.
+    pub source: String,
+    /// The request trace, shared across every cell that replays it.
+    pub trace: Arc<Vec<TraceRequest>>,
+    /// Trace horizon in seconds.
+    pub horizon_s: f64,
+}
+
+/// A declarative workload selection: *what* to replay, not a pre-generated
+/// trace. Specs are data — they name their own scale and seed — so a
+/// [`crate::at_scale::SweepSpec`] can put workload source on an axis, the
+/// CLI can parse one from `--workload azure|bursty|trace:<path>[@<day>]`,
+/// and [`crate::experiment::ExperimentBuilder::workload_spec`] can realize
+/// one directly into an experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// The paper's bursty [`RateProfile`] at a sweep scale.
+    Bursty {
+        /// Experiment size (governs trace compression).
+        scale: SweepScale,
+        /// Master seed the generation stream forks from.
+        seed: u64,
+    },
+    /// The synthetic [`AzureWorkload`] at a sweep scale.
+    Azure {
+        /// Experiment size (governs the workload configuration).
+        scale: SweepScale,
+        /// Master seed the generation stream forks from.
+        seed: u64,
+    },
+    /// An Azure-schema invocation trace file, ingested via
+    /// [`TraceFileWorkload`].
+    TraceFile {
+        /// Path to the CSV file.
+        path: String,
+        /// 1-based day window within the file (a dataset day spans 1440
+        /// minute columns).
+        day: u32,
+    },
+    /// A pre-generated trace supplied in memory, with caller-chosen labels.
+    Inline {
+        /// Workload name for reports.
+        name: String,
+        /// Source label for reports and cell identity (see
+        /// [`RealizedWorkload::source`]).
+        source: String,
+        /// Trace horizon in seconds.
+        horizon_s: f64,
+        /// The request trace.
+        trace: Arc<Vec<TraceRequest>>,
+    },
+}
+
+impl WorkloadSpec {
+    /// The bursty profile a given sweep scale replays.
+    pub fn bursty_at(scale: SweepScale) -> RateProfile {
+        match scale {
+            SweepScale::Smoke => RateProfile::paper_bursty().compressed(100.0),
+            SweepScale::Quick => RateProfile::paper_bursty().compressed(16.0),
+            SweepScale::Full => RateProfile::paper_bursty(),
+        }
+    }
+
+    /// The synthetic azure configuration a given sweep scale replays.
+    pub fn azure_at(scale: SweepScale) -> AzureWorkload {
+        match scale {
+            SweepScale::Smoke => AzureWorkload {
+                functions: 16,
+                base_rps: 200.0,
+                horizon: SimDuration::from_secs(20),
+                diurnal_period: SimDuration::from_secs(10),
+                step: SimDuration::from_secs(2),
+                ..AzureWorkload::default()
+            },
+            SweepScale::Quick => AzureWorkload::quick(),
+            SweepScale::Full => AzureWorkload::default(),
+        }
+    }
+
+    /// Parses a CLI workload spec: `azure`, `bursty`, or
+    /// `trace:<path>[@<day>]`. Synthetic kinds adopt the given sweep scale
+    /// and seed; `day` defaults to 1.
+    pub fn parse(text: &str, scale: SweepScale, seed: u64) -> Result<Self, WorkloadSpecError> {
+        match text {
+            "azure" => Ok(WorkloadSpec::Azure { scale, seed }),
+            "bursty" => Ok(WorkloadSpec::Bursty { scale, seed }),
+            _ => {
+                let Some(rest) = text.strip_prefix("trace:") else {
+                    return Err(WorkloadSpecError::UnknownKind { kind: text.into() });
+                };
+                let (path, day) = match rest.rsplit_once('@') {
+                    Some((path, day_text)) => {
+                        let day = day_text.parse::<u32>().ok().filter(|&d| d > 0).ok_or(
+                            WorkloadSpecError::InvalidDay {
+                                value: day_text.into(),
+                            },
+                        )?;
+                        (path, day)
+                    }
+                    None => (rest, 1),
+                };
+                if path.is_empty() {
+                    return Err(WorkloadSpecError::UnknownKind { kind: text.into() });
+                }
+                Ok(WorkloadSpec::TraceFile {
+                    path: path.into(),
+                    day,
+                })
+            }
+        }
+    }
+
+    /// Realizes the spec into a trace plus report labels. Generation is a
+    /// pure function of the spec: synthetic kinds draw their dedicated
+    /// streams ([`bursty_generation_rng`], [`azure_generation_rng`]) from
+    /// their own seed; trace files expand with a day-forked jitter stream,
+    /// so the same file and day always reproduce the same arrivals.
+    pub fn realize(&self) -> Result<RealizedWorkload, WorkloadSpecError> {
+        match self {
+            WorkloadSpec::Bursty { scale, seed } => {
+                let profile = Self::bursty_at(*scale);
+                let trace = Workload::generate(&profile, &mut bursty_generation_rng(*seed))?;
+                Ok(RealizedWorkload {
+                    name: Workload::name(&profile).into(),
+                    source: "synthetic".into(),
+                    horizon_s: Workload::horizon(&profile).as_secs_f64(),
+                    trace: Arc::new(trace),
+                })
+            }
+            WorkloadSpec::Azure { scale, seed } => {
+                let workload = Self::azure_at(*scale);
+                let trace = workload.generate(&mut azure_generation_rng(*seed))?;
+                Ok(RealizedWorkload {
+                    name: workload.name().into(),
+                    source: "synthetic".into(),
+                    horizon_s: workload.horizon().as_secs_f64(),
+                    trace: Arc::new(trace),
+                })
+            }
+            WorkloadSpec::TraceFile { path, day } => {
+                let workload = TraceFileWorkload::from_csv_path(path, *day)?;
+                let mut jitter = DeterministicRng::seeded(TRACE_JITTER_SALT).fork(u64::from(*day));
+                let trace = workload.generate(&mut jitter)?;
+                Ok(RealizedWorkload {
+                    name: workload.name().into(),
+                    source: format!("trace-file:{}", workload.source),
+                    horizon_s: workload.horizon().as_secs_f64(),
+                    trace: Arc::new(trace),
+                })
+            }
+            WorkloadSpec::Inline {
+                name,
+                source,
+                horizon_s,
+                trace,
+            } => {
+                if trace.is_empty() {
+                    return Err(WorkloadSpecError::EmptyInline);
+                }
+                Ok(RealizedWorkload {
+                    name: name.clone(),
+                    source: source.clone(),
+                    horizon_s: *horizon_s,
+                    trace: trace.clone(),
+                })
+            }
+        }
     }
 }
 

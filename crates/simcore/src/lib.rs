@@ -23,6 +23,8 @@
 //! * [`series`] — time-bucketed series for "metric over wall-clock time" figures.
 //! * [`json`] — a minimal deterministic JSON emitter for machine-readable
 //!   reports (the vendored `serde` stub has no `serde_json`).
+//! * [`csv`] — a minimal CSV record tokenizer/renderer for ingesting the
+//!   Azure Functions invocation-trace files (and emitting compatible ones).
 //!
 //! # Example
 //!
@@ -40,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod csv;
 pub mod dist;
 pub mod events;
 pub mod fit;

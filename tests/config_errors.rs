@@ -3,7 +3,12 @@
 //! `ScalingPolicy::validate` now yields the matching typed [`ConfigError`]
 //! from `ExperimentBuilder::build`, and the deprecated shims still panic
 //! with their historical messages (so legacy callers see no behaviour
-//! change).
+//! change). The workload-spec redesign extends the matrix: rejected
+//! [`WorkloadSpec`]s fold into `ConfigError::WorkloadSpec` with their typed
+//! source preserved, and the deprecated `workload(&W, rng)` shim stays
+//! bit-identical to `workload_spec`.
+//!
+//! [`WorkloadSpec`]: dscs_serverless::cluster::workload::WorkloadSpec
 
 use dscs_serverless::cluster::data::DataLayer;
 use dscs_serverless::cluster::experiment::{ConfigError, Experiment};
@@ -159,8 +164,10 @@ fn scaling_parameter_violations_are_typed_errors() {
 }
 
 /// `ConfigError` is a real `std::error::Error`: displayable, and the
-/// workload variant exposes its source.
+/// workload variant exposes its source. (The `workload` shim is deprecated
+/// in favour of `workload_spec`, but its error path stays covered.)
 #[test]
+#[allow(deprecated)]
 fn config_errors_display_and_expose_sources() {
     use dscs_serverless::cluster::workload::AzureWorkload;
     use std::error::Error;
@@ -180,6 +187,92 @@ fn config_errors_display_and_expose_sources() {
         ConfigError::ZeroRacks.source().is_none(),
         "leaf errors have no source"
     );
+}
+
+/// Every way a declarative `WorkloadSpec` can be rejected maps to its own
+/// typed `WorkloadSpecError`, and the build-time ones fold into
+/// `ConfigError::WorkloadSpec` with the source chain intact.
+#[test]
+fn rejected_workload_specs_fold_into_config_errors() {
+    use dscs_serverless::cluster::at_scale::SweepScale;
+    use dscs_serverless::cluster::ingest::IngestError;
+    use dscs_serverless::cluster::workload::{WorkloadSpec, WorkloadSpecError};
+    use std::error::Error;
+    use std::sync::Arc;
+
+    // Parse-time rejections: unknown kind, malformed day.
+    assert_eq!(
+        WorkloadSpec::parse("tide", SweepScale::Smoke, 1).expect_err("unknown kind"),
+        WorkloadSpecError::UnknownKind {
+            kind: "tide".into()
+        }
+    );
+    assert_eq!(
+        WorkloadSpec::parse("trace:f.csv@zero", SweepScale::Smoke, 1).expect_err("bad day"),
+        WorkloadSpecError::InvalidDay {
+            value: "zero".into()
+        }
+    );
+
+    // Build-time rejection: a missing trace file surfaces as a typed ingest
+    // error wrapped in `ConfigError::WorkloadSpec`, source chain intact.
+    let missing = WorkloadSpec::TraceFile {
+        path: "/nonexistent/trace.csv".into(),
+        day: 1,
+    };
+    let err = Experiment::builder(PlatformKind::DscsDsa)
+        .workload_spec(&missing)
+        .build()
+        .expect_err("missing trace file");
+    assert!(matches!(
+        err,
+        ConfigError::WorkloadSpec(WorkloadSpecError::Ingest(IngestError::Io { .. }))
+    ));
+    assert!(err.source().is_some(), "spec errors chain their source");
+    assert!(err.to_string().contains("workload spec rejected"));
+
+    // An inline spec with no requests is its own variant.
+    let empty = WorkloadSpec::Inline {
+        name: "empty".into(),
+        source: "synthetic".into(),
+        horizon_s: 1.0,
+        trace: Arc::new(Vec::new()),
+    };
+    assert_eq!(
+        Experiment::builder(PlatformKind::DscsDsa)
+            .workload_spec(&empty)
+            .build()
+            .expect_err("empty inline trace"),
+        ConfigError::WorkloadSpec(WorkloadSpecError::EmptyInline)
+    );
+}
+
+/// Pinned shim equivalence (the PR-5 pattern): the deprecated
+/// `workload(&W, rng)` entry point fed the sweep's azure generation stream
+/// builds a bit-identical experiment to the declarative
+/// `workload_spec(WorkloadSpec::Azure { .. })`.
+#[test]
+#[allow(deprecated)]
+fn deprecated_workload_shim_and_workload_spec_agree() {
+    use dscs_serverless::cluster::at_scale::SweepScale;
+    use dscs_serverless::cluster::workload::{azure_generation_rng, WorkloadSpec};
+
+    let seed = 29;
+    let via_shim = Experiment::builder(PlatformKind::DscsDsa)
+        .workload(
+            &WorkloadSpec::azure_at(SweepScale::Smoke),
+            &mut azure_generation_rng(seed),
+        )
+        .build()
+        .expect("the smoke azure workload is valid");
+    let via_spec = Experiment::builder(PlatformKind::DscsDsa)
+        .workload_spec(&WorkloadSpec::Azure {
+            scale: SweepScale::Smoke,
+            seed,
+        })
+        .build()
+        .expect("the declarative spec realizes");
+    assert_eq!(via_shim.trace(), via_spec.trace(), "bit-identical traces");
 }
 
 // --- Deprecated-shim behaviour: the old messages, verbatim. -----------------
