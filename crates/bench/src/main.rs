@@ -15,7 +15,7 @@
 //! reproduce at-scale [--quick] [--smoke] [--seed N] [--racks N] [--jobs N]
 //!                    [--balancer round-robin|least-loaded|locality]
 //!                    [--workload azure|bursty|trace:<path>[@<day>]]...
-//!                    [--out PATH]
+//!                    [--regret | --no-regret] [--out PATH]
 //!
 //! Sweeps scheduler x keepalive x scaling x balancer x platform over the
 //! bursty Figure-13 trace and an Azure-style synthetic workload, sharded
@@ -31,7 +31,9 @@
 //! one axis and adds a cross-validation section to the report. --jobs fans
 //! the independent cells across N worker threads (0 or omitted: one per
 //! available core; 1: sequential) — the modelled report bytes are identical
-//! either way.
+//! either way. The table's `regret %` column shows each cell's cold-start
+//! regret against the offline-optimal bound (on by default; --no-regret
+//! hides it — the JSON always carries the v7 regret fields either way).
 //!
 //! reproduce generate-trace [--sample | --scale smoke|quick|full] [--seed N]
 //!                          [--out PATH]
@@ -50,8 +52,10 @@
 //!
 //! Diffs two at-scale reports cell by cell and exits non-zero on mean/p99
 //! latency regressions beyond the threshold (default 10%); measured
-//! `events_per_sec` drops beyond the threshold are printed as warnings
-//! without failing (wall-clock throughput is noisy on shared runners). A
+//! `events_per_sec` drops and cold-start-regret increases beyond the
+//! threshold are printed as warnings without failing (wall-clock throughput
+//! is noisy on shared runners, and regret drift flags the cold-start path
+//! for a look rather than blocking). A
 //! missing baseline file passes vacuously, so the first CI run after
 //! enabling the gate succeeds; so does a baseline with a different schema
 //! version (the numbers are not comparable across a schema bump).
@@ -472,6 +476,7 @@ fn at_scale(args: &[String]) {
     };
     let mut out_path = String::from("BENCH_cluster.json");
     let mut workload_args: Vec<String> = Vec::new();
+    let mut show_regret = true;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         let mut value_of = |name: &str| {
@@ -511,6 +516,8 @@ fn at_scale(args: &[String]) {
             }
             "--out" => out_path = value_of("--out"),
             "--workload" => workload_args.push(value_of("--workload")),
+            "--regret" => show_regret = true,
+            "--no-regret" => show_regret = false,
             "--balancer" => {
                 let name = value_of("--balancer");
                 options.balancer = Some(
@@ -531,7 +538,8 @@ fn at_scale(args: &[String]) {
                 eprintln!(
                     "usage: reproduce at-scale [--quick] [--smoke] [--seed N] [--racks N] \
                      [--jobs N] [--balancer round-robin|least-loaded|locality] \
-                     [--workload azure|bursty|trace:<path>[@<day>]]... [--out PATH]"
+                     [--workload azure|bursty|trace:<path>[@<day>]]... \
+                     [--regret | --no-regret] [--out PATH]"
                 );
                 std::process::exit(2);
             }
@@ -573,27 +581,20 @@ fn at_scale(args: &[String]) {
             w.name, w.requests, w.horizon_s, w.source
         );
     }
+    print!(
+        "\n{:<8} {:<18} {:<6} {:<16} {:<10} {:<12} {:>9} {:>8}",
+        "workload", "platform", "sched", "keepalive", "scaling", "balancer", "completed", "cold",
+    );
+    if show_regret {
+        print!(" {:>9}", "regret %");
+    }
     println!(
-        "\n{:<8} {:<18} {:<6} {:<16} {:<10} {:<12} {:>9} {:>8} {:>10} {:>9} {:>10} {:>9} {:>7} {:>10} {:>10}",
-        "workload",
-        "platform",
-        "sched",
-        "keepalive",
-        "scaling",
-        "balancer",
-        "completed",
-        "cold",
-        "prewarm %",
-        "local %",
-        "xrack MiB",
-        "fetch J",
-        "peak",
-        "mean ms",
-        "p99 ms"
+        " {:>10} {:>9} {:>10} {:>9} {:>7} {:>10} {:>10}",
+        "prewarm %", "local %", "xrack MiB", "fetch J", "peak", "mean ms", "p99 ms"
     );
     for c in &report.cells {
-        println!(
-            "{:<8} {:<18} {:<6} {:<16} {:<10} {:<12} {:>9} {:>8} {:>10.2} {:>9.2} {:>10.1} {:>9.1} {:>7} {:>10.1} {:>10.1}",
+        print!(
+            "{:<8} {:<18} {:<6} {:<16} {:<10} {:<12} {:>9} {:>8}",
             c.workload,
             c.platform.name(),
             c.scheduler.name(),
@@ -602,6 +603,12 @@ fn at_scale(args: &[String]) {
             c.balancer.name(),
             c.completed,
             c.cold_starts,
+        );
+        if show_regret {
+            print!(" {:>9.1}", c.regret_pct * 100.0);
+        }
+        println!(
+            " {:>10.2} {:>9.2} {:>10.1} {:>9.1} {:>7} {:>10.1} {:>10.1}",
             c.prewarm_hit_rate * 100.0,
             c.locality_hit_rate * 100.0,
             c.cross_rack_bytes as f64 / (1024.0 * 1024.0),
@@ -616,13 +623,15 @@ fn at_scale(args: &[String]) {
         println!("\ncross-validation (synthetic vs trace-file, matched cells):");
         for v in &validation {
             println!(
-                "  {} vs {}: rate {:+.1}%  mean {:+.1}%  p99 {:+.1}%  locality {:+.3}  ({} cell{})",
+                "  {} vs {}: rate {:+.1}%  mean {:+.1}%  p99 {:+.1}%  locality {:+.3}  \
+                 regret {:+.3}  ({} cell{})",
                 v.synthetic,
                 v.trace,
                 v.rate_delta_pct,
                 v.mean_delta_pct,
                 v.p99_delta_pct,
                 v.locality_delta,
+                v.regret_delta,
                 v.cells,
                 if v.cells == 1 { "" } else { "s" }
             );
@@ -840,6 +849,16 @@ fn perf_gate(args: &[String]) {
             outcome.throughput_warnings.len()
         );
         for warning in &outcome.throughput_warnings {
+            println!("  {warning}");
+        }
+    }
+    if !outcome.regret_warnings.is_empty() {
+        println!(
+            "WARN: {} cold-start-regret increase(s) beyond {threshold} point(s) \
+             (warn-only, not gating):",
+            outcome.regret_warnings.len()
+        );
+        for warning in &outcome.regret_warnings {
             println!("  {warning}");
         }
     }

@@ -4,7 +4,7 @@
 //! Where Figure 13 fixes one policy point (FCFS, fixed keepalive, fixed
 //! 200-instance racks, local data), this experiment sweeps a whole policy
 //! grid over multiple workloads and multi-rack configurations, and emits a
-//! machine-readable JSON report (schema `dscs-at-scale-v6`). The grid is
+//! machine-readable JSON report (schema `dscs-at-scale-v7`). The grid is
 //! *declarative*: a [`SweepSpec`] lists the values to sweep per axis, and
 //! [`at_scale_sweep`] iterates the cartesian product generically, building
 //! one [`crate::experiment::Experiment`] per cell — adding an axis means
@@ -27,7 +27,12 @@
 //! byte-identical whatever the worker count. Since v5, every cell also
 //! carries the engine-work counter (`events`) and — in the
 //! [`AtScaleReport::to_json_with_throughput`] variant only — the measured
-//! `events_per_sec` simulator throughput the perf gate tracks.
+//! `events_per_sec` simulator throughput the perf gate tracks. Since v7,
+//! every cell also carries its aggregate cold-start seconds, the
+//! offline-optimal lower bound on them ([`crate::optimal`], computed once
+//! per workload × platform pair and shared by every policy cell) and the
+//! derived `regret_pct` — how far the cell's policy combination sits above
+//! what an omniscient policy could have paid on the same trace.
 //! CI runs the quick version of the sweep every build, uploads the report as
 //! an artifact (`BENCH_cluster.json`), and diffs it against the previous
 //! run's artifact (see [`crate::perf_gate`]), giving the repo a tracked,
@@ -261,6 +266,19 @@ impl SweepSpec {
                 ))
             })
             .collect();
+        // The offline-optimal cold-start bound depends only on the trace and
+        // the platform's cold-start pricing — never on the policy point — so
+        // compute it once per (workload, platform) pair and share it across
+        // every cell, mirroring how base_sims memoizes model evaluation.
+        let optimal_bounds: Vec<Vec<f64>> = workloads
+            .iter()
+            .map(|w| {
+                base_sims
+                    .iter()
+                    .map(|sim| crate::optimal::optimal_coldstart_seconds(&w.trace, sim))
+                    .collect()
+            })
+            .collect();
         // Enumerate the cartesian product up front, in grid order. Cell
         // identity lives here; workers only index into it.
         let mut points = Vec::new();
@@ -286,6 +304,7 @@ impl SweepSpec {
         }
         let run_cell = |point: &CellPoint| -> Result<SweepCell, ConfigError> {
             let workload = &workloads[point.workload];
+            let bound = optimal_bounds[point.workload][point.platform];
             let outcome = Experiment::builder(self.platforms[point.platform])
                 .trace(workload.trace.clone())
                 .racks(self.racks)
@@ -295,6 +314,7 @@ impl SweepSpec {
                 .scaling(point.scaling)
                 .data_layer(data_layers[point.workload].clone())
                 .seed(self.seed ^ 0x5EED)
+                .optimal_coldstart(bound)
                 .build()?
                 .run_on(&base_sims[point.platform]);
             let report = &outcome.report;
@@ -310,6 +330,9 @@ impl SweepSpec {
                 completed: report.completed,
                 rejected: report.rejected,
                 cold_starts: report.cold_starts,
+                coldstart_s: report.coldstart_s,
+                optimal_coldstart_s: bound,
+                regret_pct: crate::optimal::regret_pct(report.coldstart_s, bound),
                 prewarm_hits: report.prewarm_hits,
                 prewarm_hit_rate: report.prewarm_hit_rate(),
                 wasted_warm_s: report.wasted_warm_seconds,
@@ -436,6 +459,15 @@ pub struct SweepCell {
     pub rejected: u64,
     /// Requests that paid a cold start.
     pub cold_starts: u64,
+    /// Aggregate cold-start seconds this cell's requests paid.
+    pub coldstart_s: f64,
+    /// Offline-optimal lower bound on `coldstart_s` for this cell's trace
+    /// and platform (see [`crate::optimal`]). Identical for every policy
+    /// cell of one (workload, platform) pair.
+    pub optimal_coldstart_s: f64,
+    /// Policy regret: how far `coldstart_s` sits above the offline bound,
+    /// as a fraction of the bound (`0.0` when the bound is zero).
+    pub regret_pct: f64,
     /// Invocations that found a proactively prewarmed instance.
     pub prewarm_hits: u64,
     /// Fraction of completed requests that found a prewarmed instance.
@@ -527,6 +559,10 @@ pub struct CrossValidation {
     /// Locality-hit-rate delta, absolute (cell averages; both sides place
     /// data with the same seed).
     pub locality_delta: f64,
+    /// Policy-regret delta, absolute difference of the averaged per-cell
+    /// `regret_pct` values (trace minus synthetic). Regret is already a
+    /// ratio, so the delta is reported absolutely rather than re-normalized.
+    pub regret_delta: f64,
 }
 
 /// The full sweep result.
@@ -655,6 +691,8 @@ impl AtScaleReport {
                     ),
                     locality_delta: average(&trace_cells, |c| c.locality_hit_rate)
                         - average(&syn_cells, |c| c.locality_hit_rate),
+                    regret_delta: average(&trace_cells, |c| c.regret_pct)
+                        - average(&syn_cells, |c| c.regret_pct),
                 });
             }
         }
@@ -692,7 +730,7 @@ impl AtScaleReport {
 
     fn render_json(&self, with_throughput: bool) -> String {
         let mut root = JsonValue::object();
-        root.push("schema", "dscs-at-scale-v6");
+        root.push("schema", "dscs-at-scale-v7");
         root.push("scale", self.spec.scale.name());
         root.push("seed", self.spec.seed);
         root.push("racks", self.spec.racks);
@@ -747,6 +785,7 @@ impl AtScaleReport {
                         obj.push("mean_delta_pct", v.mean_delta_pct);
                         obj.push("p99_delta_pct", v.p99_delta_pct);
                         obj.push("locality_delta", v.locality_delta);
+                        obj.push("regret_delta", v.regret_delta);
                         obj
                     })
                     .collect(),
@@ -770,6 +809,9 @@ impl AtScaleReport {
                         obj.push("completed", c.completed);
                         obj.push("rejected", c.rejected);
                         obj.push("cold_starts", c.cold_starts);
+                        obj.push("coldstart_s", c.coldstart_s);
+                        obj.push("optimal_coldstart_s", c.optimal_coldstart_s);
+                        obj.push("regret_pct", c.regret_pct);
                         obj.push("prewarm_hits", c.prewarm_hits);
                         obj.push("prewarm_hit_rate", c.prewarm_hit_rate);
                         obj.push("wasted_warm_s", c.wasted_warm_s);
@@ -847,6 +889,17 @@ mod tests {
             assert!((0.0..=1.0).contains(&cell.locality_hit_rate));
             assert!(cell.fetch_latency_s >= 0.0);
             assert!(cell.fetch_energy_j >= 0.0);
+            assert!(cell.coldstart_s >= 0.0 && cell.coldstart_s.is_finite());
+            assert!(cell.optimal_coldstart_s > 0.0 && cell.optimal_coldstart_s.is_finite());
+            // Exact in real arithmetic; one part in 1e9 absorbs
+            // summation-order ulp noise between the two accumulations.
+            assert!(
+                cell.coldstart_s >= cell.optimal_coldstart_s * (1.0 - 1e-9),
+                "the offline bound must floor every policy: {} vs {}",
+                cell.coldstart_s,
+                cell.optimal_coldstart_s
+            );
+            assert!(cell.regret_pct >= 0.0 && cell.regret_pct.is_finite());
             if cell.cross_rack_bytes > 0 {
                 assert!(cell.fetch_energy_j > 0.0, "moved bytes must cost joules");
             }
@@ -863,7 +916,10 @@ mod tests {
         let b = at_scale_sweep(AtScaleOptions::smoke()).to_json();
         assert_eq!(a, b, "fixed seed must reproduce byte-for-byte");
         assert!(a.starts_with('{') && a.ends_with('}'));
-        assert!(a.contains("\"schema\":\"dscs-at-scale-v6\""));
+        assert!(a.contains("\"schema\":\"dscs-at-scale-v7\""));
+        assert!(a.contains("\"coldstart_s\""));
+        assert!(a.contains("\"optimal_coldstart_s\""));
+        assert!(a.contains("\"regret_pct\""));
         assert!(a.contains("\"total_events\""));
         assert!(a.contains("\"events\""));
         assert!(
@@ -887,7 +943,7 @@ mod tests {
         let parsed = JsonValue::parse(&a).expect("report JSON parses");
         assert_eq!(
             parsed.get("schema").and_then(JsonValue::as_str),
-            Some("dscs-at-scale-v6")
+            Some("dscs-at-scale-v7")
         );
     }
 
@@ -1035,6 +1091,7 @@ mod tests {
         assert_eq!(v.mean_delta_pct, 0.0);
         assert_eq!(v.p99_delta_pct, 0.0);
         assert_eq!(v.locality_delta, 0.0);
+        assert_eq!(v.regret_delta, 0.0);
         let json = report.to_json();
         assert!(json.contains("\"workload_source\":\"trace-file:self.csv\""));
         assert!(json.contains("\"cross_validation\":[{\"synthetic\":\"azure\""));

@@ -114,6 +114,16 @@ pub enum ConfigError {
         /// The offending multiplier.
         headroom: f64,
     },
+    /// A hybrid-histogram keepalive whose prewarm head percentile is not
+    /// strictly below the tail percentile the eviction window uses: the
+    /// container would be proactively re-warmed at or after its own
+    /// eviction, so the prewarm could never land.
+    PrewarmHeadAboveTail {
+        /// The configured prewarm head percentile.
+        head: f64,
+        /// The tail percentile the eviction window is sized from.
+        tail: f64,
+    },
     /// A sweep axis with no values to sweep.
     EmptySweepAxis {
         /// The axis name (`"platforms"`, `"schedulers"`, ...).
@@ -153,6 +163,12 @@ impl ConfigError {
             }
             ConfigError::InvalidPredictiveHeadroom { .. } => {
                 "predictive headroom must be finite and >= 1".into()
+            }
+            // No legacy assert existed for this one (the old path accepted
+            // the window and silently re-warmed after eviction); the shims
+            // panic with the typed message.
+            ConfigError::PrewarmHeadAboveTail { head, tail } => {
+                format!("prewarm head percentile {head} must stay below the tail percentile {tail}")
             }
             ConfigError::EmptySweepAxis { axis } => {
                 format!("sweep axis {axis} must not be empty")
@@ -195,6 +211,10 @@ impl fmt::Display for ConfigError {
             ConfigError::InvalidPredictiveHeadroom { headroom } => {
                 write!(f, "predictive headroom {headroom} must be finite and >= 1")
             }
+            ConfigError::PrewarmHeadAboveTail { head, tail } => write!(
+                f,
+                "prewarm head percentile {head} must stay below the tail percentile {tail}"
+            ),
             ConfigError::EmptySweepAxis { axis } => {
                 write!(f, "sweep axis {axis} has no values to sweep")
             }
@@ -270,6 +290,7 @@ pub struct Experiment {
     config: ClusterConfig,
     data: Option<Arc<DataLayer>>,
     seed: u64,
+    optimal_bound: Option<f64>,
 }
 
 impl Experiment {
@@ -286,6 +307,7 @@ impl Experiment {
             data: None,
             place_data_seed: None,
             seed: 0,
+            optimal_bound: None,
             pending: None,
         }
     }
@@ -359,11 +381,19 @@ impl Experiment {
             self.balancer,
             self.data.as_deref(),
         );
+        // The bound is a pure function of (trace, platform): a sweep attaches
+        // one precomputed value to every cell sharing the Arc'd trace (the
+        // fetch_energy_joules memoization pattern); standalone runs compute
+        // it here, a single O(trace) pass.
+        let optimal_coldstart_s = self
+            .optimal_bound
+            .unwrap_or_else(|| crate::optimal::optimal_coldstart_seconds(&self.trace, sim));
         Outcome {
             report,
             racks,
             balancer: self.balancer,
             seed: self.seed,
+            optimal_coldstart_s: Some(optimal_coldstart_s),
         }
     }
 }
@@ -381,6 +411,7 @@ pub struct ExperimentBuilder {
     data: Option<Arc<DataLayer>>,
     place_data_seed: Option<u64>,
     seed: u64,
+    optimal_bound: Option<f64>,
     pending: Option<ConfigError>,
 }
 
@@ -525,6 +556,16 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Attaches a precomputed offline-optimal cold-start bound
+    /// ([`crate::optimal::optimal_coldstart_seconds`]) so the run's
+    /// [`Outcome`] reuses it instead of recomputing — the bound depends only
+    /// on the trace and platform, so a sweep computes it once per
+    /// (workload, platform) pair and hands it to every policy cell.
+    pub fn optimal_coldstart(mut self, bound_s: f64) -> Self {
+        self.optimal_bound = Some(bound_s);
+        self
+    }
+
     /// Validates the whole specification and returns the run-ready
     /// [`Experiment`], or the first [`ConfigError`] found (in the historical
     /// check order: trace, racks, data layer, scaling parameters, elastic
@@ -552,6 +593,7 @@ impl ExperimentBuilder {
             config: self.config,
             data,
             seed: self.seed,
+            optimal_bound: self.optimal_bound,
         })
     }
 }
@@ -571,6 +613,12 @@ pub struct Outcome {
     pub balancer: LoadBalancer,
     /// The seed the run replayed with.
     pub seed: u64,
+    /// The offline-optimal lower bound on aggregate cold-start seconds for
+    /// this run's trace and platform ([`crate::optimal`]); the policy's
+    /// regret is `report.coldstart_s - bound`. Always populated by the run
+    /// paths (precomputed via [`ExperimentBuilder::optimal_coldstart`] or
+    /// computed on the fly).
+    pub optimal_coldstart_s: Option<f64>,
 }
 
 #[cfg(test)]
@@ -765,6 +813,61 @@ mod tests {
     }
 
     #[test]
+    fn a_prewarm_head_at_or_above_the_tail_is_a_typed_error() {
+        use crate::policy::{KeepalivePolicy, HYBRID_TAIL};
+        let bad = KeepalivePolicy::HybridHistogram {
+            range: SimDuration::from_secs(600),
+            bin: SimDuration::from_secs(10),
+            head: HYBRID_TAIL,
+        };
+        let err = Experiment::builder(PlatformKind::DscsDsa)
+            .trace(short_trace(5))
+            .keepalive(bad)
+            .build()
+            .expect_err("head == tail must be rejected");
+        assert_eq!(
+            err,
+            ConfigError::PrewarmHeadAboveTail {
+                head: HYBRID_TAIL,
+                tail: HYBRID_TAIL,
+            }
+        );
+        // The default prewarm head stays valid.
+        assert!(Experiment::builder(PlatformKind::DscsDsa)
+            .trace(short_trace(5))
+            .keepalive(KeepalivePolicy::prewarm_default())
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn outcomes_carry_the_optimal_coldstart_bound() {
+        let trace = short_trace(12);
+        let base = ClusterSim::new(PlatformKind::DscsDsa, ClusterConfig::default());
+        let computed = crate::optimal::optimal_coldstart_seconds(&trace, &base);
+        let outcome = Experiment::builder(PlatformKind::DscsDsa)
+            .trace(trace.clone())
+            .seed(4)
+            .build()
+            .expect("valid")
+            .run_on(&base);
+        assert_eq!(outcome.optimal_coldstart_s, Some(computed));
+        assert!(
+            computed > 0.0 && computed <= outcome.report.coldstart_s,
+            "bound {computed} must floor the measured {}",
+            outcome.report.coldstart_s
+        );
+        // A precomputed bound is passed through untouched.
+        let attached = Experiment::builder(PlatformKind::DscsDsa)
+            .trace(trace)
+            .optimal_coldstart(computed)
+            .build()
+            .expect("valid")
+            .run_on(&base);
+        assert_eq!(attached.optimal_coldstart_s, Some(computed));
+    }
+
+    #[test]
     fn run_on_reuses_a_prebuilt_simulator() {
         let trace = short_trace(6);
         let base = ClusterSim::new(PlatformKind::DscsDsa, ClusterConfig::default());
@@ -807,6 +910,10 @@ mod tests {
                 scale_down_queue: 8,
             },
             ConfigError::InvalidPredictiveHeadroom { headroom: 0.5 },
+            ConfigError::PrewarmHeadAboveTail {
+                head: 0.99,
+                tail: 0.99,
+            },
             ConfigError::EmptySweepAxis { axis: "platforms" },
             ConfigError::WorkloadSpec(WorkloadSpecError::UnknownKind {
                 kind: "tide".into(),

@@ -34,6 +34,9 @@
 //! * [`experiment`] — [`Experiment`], [`ExperimentBuilder`], [`Outcome`] and
 //!   [`ConfigError`]: the typed run specification every entry point builds
 //!   on.
+//! * [`optimal`] — the offline-optimal lower bound on aggregate cold-start
+//!   cost for a fixed trace (the per-gap segment bound), behind the sweep's
+//!   per-cell `regret_pct` column.
 //! * [`sim`] — the discrete-event cluster simulation: cold starts priced by
 //!   `dscs-faas`'s container-lifecycle model, elastic per-rack instance pools
 //!   with modelled provisioning delay, multi-rack sharding, and the reported
@@ -77,6 +80,7 @@ pub mod at_scale;
 pub mod data;
 pub mod experiment;
 pub mod ingest;
+pub mod optimal;
 pub mod perf_gate;
 pub mod policy;
 pub mod sim;
@@ -89,11 +93,12 @@ pub use at_scale::{
 };
 pub use data::DataLayer;
 pub use experiment::{ConfigError, Experiment, ExperimentBuilder, Outcome};
-pub use ingest::{IngestError, TraceFileWorkload};
+pub use ingest::{DaySummary, IngestError, TraceFileWorkload};
+pub use optimal::{optimal_coldstart_seconds, optimal_coldstart_seconds_with, regret_pct};
 pub use perf_gate::{compare_reports, GateOutcome};
 pub use policy::{
     KeepalivePolicy, KeepaliveState, KeepaliveStats, LoadBalancer, ScalingPolicy, SchedQueue,
-    SchedulerPolicy,
+    SchedulerPolicy, HYBRID_TAIL,
 };
 pub use sim::{ClusterConfig, ClusterReport, ClusterSim, RackSummary};
 pub use trace::{RateProfile, TraceRequest};

@@ -24,6 +24,13 @@
 //! so a drop flags "look at engine speed" without failing the build; reports
 //! without the measured fields (including the first baseline-less build)
 //! simply produce no warnings.
+//!
+//! Since schema v7 the gate also watches per-cell policy regret
+//! (`regret_pct`, the distance above the offline-optimal cold-start bound of
+//! [`crate::optimal`]): increases beyond the threshold, in percentage
+//! points, are again warnings only. Pre-v7 baselines carry no regret fields
+//! and pass vacuously — either through the schema-bump path or, for
+//! hand-trimmed same-schema reports, because missing fields warn nothing.
 
 use std::fmt;
 
@@ -35,6 +42,10 @@ const GATED_METRICS: [&str; 2] = ["mean_latency_ms", "p99_latency_ms"];
 /// Latencies below this floor (in ms) are noise, not signal; the gate skips
 /// them rather than flagging a large relative change on a tiny base.
 const METRIC_FLOOR_MS: f64 = 0.01;
+
+/// Policy-regret increases below this many percentage points are noise; the
+/// gate warns only on jumps past it.
+const REGRET_FLOOR_POINTS: f64 = 0.01;
 
 /// One metric regression beyond the threshold.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,6 +97,35 @@ impl fmt::Display for ThroughputWarning {
     }
 }
 
+/// One policy-regret increase beyond the threshold (schema v7 reports carry
+/// a per-cell `regret_pct` against the offline-optimal cold-start bound).
+/// Warn-only, like throughput: a regret jump says "look at the cold-start
+/// path" without failing the build, and pre-v7 baselines — which carry no
+/// regret fields — simply produce no warnings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegretWarning {
+    /// Cell identity.
+    pub cell: String,
+    /// Baseline regret (fraction above the offline bound, previous run).
+    pub baseline: f64,
+    /// Current regret.
+    pub current: f64,
+    /// Increase in percentage points. Regret is already relative to the
+    /// bound, so the gate diffs it absolutely — a zero-regret baseline
+    /// (policy matched the bound) would make any relative change infinite.
+    pub increase_points: f64,
+}
+
+impl fmt::Display for RegretWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: regret_pct {:.3} -> {:.3} (+{:.2} points)",
+            self.cell, self.baseline, self.current, self.increase_points
+        )
+    }
+}
+
 /// Outcome of one gate comparison.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GateOutcome {
@@ -98,6 +138,10 @@ pub struct GateOutcome {
     /// Measured `events_per_sec` drops beyond the threshold, worst first.
     /// Warnings, not failures: they never affect [`GateOutcome::passed`].
     pub throughput_warnings: Vec<ThroughputWarning>,
+    /// Policy-regret increases beyond the threshold (in percentage points),
+    /// worst first. Warnings, not failures; empty for reports without the
+    /// v7 regret fields.
+    pub regret_warnings: Vec<RegretWarning>,
     /// Set when the reports carry different schema versions: the comparison
     /// was skipped entirely and the gate passed vacuously, for this reason.
     pub schema_note: Option<String>,
@@ -215,6 +259,7 @@ pub fn compare_reports(
             skipped: baseline_cells.len() + current_cells.len(),
             regressions: Vec::new(),
             throughput_warnings: Vec::new(),
+            regret_warnings: Vec::new(),
             schema_note: Some(format!(
                 "baseline schema {baseline_schema} != current schema {current_schema}; \
                  reports are not comparable, passing vacuously"
@@ -231,10 +276,14 @@ pub fn compare_reports(
     let mut skipped = 0;
     let mut regressions = Vec::new();
     let mut throughput_warnings = Vec::new();
+    let mut regret_warnings = Vec::new();
     let mut matched_keys = 0;
     // Measured engine throughput: warn (never fail) when a drop exceeds the
     // threshold. Sides lacking the measured key — deterministic reports, or
-    // pre-v5 baselines — produce no warning.
+    // pre-v5 baselines — produce no warning. Non-finite or zero baselines
+    // (a sweep too fast to time, or a hand-damaged artifact) also warn
+    // nothing: dividing by them would poison the worst-first sort below
+    // with inf/NaN percentages.
     let mut check_throughput = |label: String, base: &JsonValue, cur: &JsonValue| {
         let (Some(before), Some(after)) = (
             base.get("events_per_sec").and_then(JsonValue::as_f64),
@@ -242,6 +291,9 @@ pub fn compare_reports(
         ) else {
             return;
         };
+        if !before.is_finite() || !after.is_finite() {
+            return;
+        }
         if before > 0.0 && after < before * (1.0 - threshold_pct / 100.0) {
             throughput_warnings.push(ThroughputWarning {
                 cell: label,
@@ -264,6 +316,27 @@ pub fn compare_reports(
         matched_keys += 1;
         compared += 1;
         check_throughput(key.clone(), base, cell);
+        // Policy regret (v7): warn when a cell drifted away from the offline
+        // bound by more than `threshold_pct` percentage points. Absolute
+        // comparison — see [`RegretWarning::increase_points`]; cells lacking
+        // the field (pre-v7 hand-trimmed reports) warn nothing.
+        if let (Some(before), Some(after)) = (
+            base.get("regret_pct").and_then(JsonValue::as_f64),
+            cell.get("regret_pct").and_then(JsonValue::as_f64),
+        ) {
+            let increase = (after - before) * 100.0;
+            if before.is_finite()
+                && after.is_finite()
+                && increase > threshold_pct.max(REGRET_FLOOR_POINTS)
+            {
+                regret_warnings.push(RegretWarning {
+                    cell: key.clone(),
+                    baseline: before,
+                    current: after,
+                    increase_points: increase,
+                });
+            }
+        }
         for metric in GATED_METRICS {
             let (Some(before), Some(after)) = (
                 base.get(metric).and_then(JsonValue::as_f64),
@@ -298,11 +371,18 @@ pub fn compare_reports(
             .expect("finite percentages")
             .then_with(|| a.cell.cmp(&b.cell))
     });
+    regret_warnings.sort_by(|a, b| {
+        b.increase_points
+            .partial_cmp(&a.increase_points)
+            .expect("finite points")
+            .then_with(|| a.cell.cmp(&b.cell))
+    });
     Ok(GateOutcome {
         compared,
         skipped,
         regressions,
         throughput_warnings,
+        regret_warnings,
         schema_note: None,
     })
 }
@@ -536,6 +616,94 @@ mod tests {
         let bare = report(&[("fixed-window", 10.0, 20.0)]);
         let warned = compare_reports(&bare, &bare, 10.0).expect("valid");
         assert_eq!(warned.throughput_warnings, Vec::new());
+    }
+
+    /// Satellite regression test: a baseline cell carrying
+    /// `events_per_sec: 0.0` (a sweep too fast for the wall clock to
+    /// resolve) must produce no warning at all — not an inf/NaN drop
+    /// percentage that poisons the worst-first sort.
+    #[test]
+    fn zero_throughput_baselines_warn_nothing() {
+        let make = |eps: f64| {
+            let mut c = JsonValue::object();
+            c.push("workload", "azure");
+            c.push("platform", "DSCS-DSA");
+            c.push("scheduler", "fcfs");
+            c.push("keepalive", "fixed-window");
+            c.push("scaling", "fixed");
+            c.push("balancer", "round-robin");
+            c.push("mean_latency_ms", 10.0);
+            c.push("p99_latency_ms", 20.0);
+            c.push("events_per_sec", eps);
+            let mut root = JsonValue::object();
+            root.push("schema", "dscs-at-scale-v5");
+            root.push("events_per_sec", eps);
+            root.push("cells", JsonValue::Array(vec![c]));
+            root.render()
+        };
+        let outcome = compare_reports(&make(0.0), &make(1e5), 10.0).expect("valid");
+        assert!(outcome.passed());
+        assert_eq!(outcome.throughput_warnings, Vec::new());
+        // And a genuine drop onto a zero current value still warns cleanly:
+        // the percentage is computed off the (positive) baseline.
+        let dropped = compare_reports(&make(1e5), &make(0.0), 10.0).expect("valid");
+        assert_eq!(dropped.throughput_warnings.len(), 2);
+        assert!(dropped
+            .throughput_warnings
+            .iter()
+            .all(|w| w.drop_pct.is_finite()));
+    }
+
+    /// Regret increases warn (worst first) without failing; decreases and
+    /// sub-threshold drifts warn nothing, and reports lacking the v7 regret
+    /// fields pass vacuously.
+    #[test]
+    fn regret_increases_warn_but_never_fail() {
+        let make = |regrets: &[(&str, f64)]| {
+            let mut root = JsonValue::object();
+            root.push("schema", "dscs-at-scale-v7");
+            root.push(
+                "cells",
+                JsonValue::Array(
+                    regrets
+                        .iter()
+                        .map(|&(keepalive, regret)| {
+                            let mut c = JsonValue::object();
+                            c.push("workload", "azure");
+                            c.push("platform", "DSCS-DSA");
+                            c.push("scheduler", "fcfs");
+                            c.push("keepalive", keepalive);
+                            c.push("scaling", "fixed");
+                            c.push("balancer", "round-robin");
+                            c.push("mean_latency_ms", 10.0);
+                            c.push("p99_latency_ms", 20.0);
+                            c.push("regret_pct", regret);
+                            c
+                        })
+                        .collect(),
+                ),
+            );
+            root.render()
+        };
+        // no-keepalive jumps 0.50 -> 1.00 (+50 points), fixed-window drifts
+        // +0.05 points: only the jump warns, and the gate still passes.
+        let base = make(&[("no-keepalive", 0.50), ("fixed-window", 0.10)]);
+        let cur = make(&[("no-keepalive", 1.00), ("fixed-window", 0.1005)]);
+        let outcome = compare_reports(&base, &cur, 10.0).expect("valid");
+        assert!(outcome.passed(), "regret is warn-only");
+        assert_eq!(outcome.regret_warnings.len(), 1);
+        let warning = &outcome.regret_warnings[0];
+        assert!(warning.cell.contains("no-keepalive"));
+        assert!((warning.increase_points - 50.0).abs() < 1e-9);
+        assert!(warning.to_string().contains("regret_pct"));
+        // Improvements warn nothing.
+        let improved = compare_reports(&cur, &base, 10.0).expect("valid");
+        assert_eq!(improved.regret_warnings, Vec::new());
+        // A same-schema report without regret fields warns nothing (the
+        // cross-schema pre-v7 case already passes vacuously with a note).
+        let bare = report(&[("fixed-window", 10.0, 20.0)]);
+        let vacuous = compare_reports(&bare, &bare, 10.0).expect("valid");
+        assert_eq!(vacuous.regret_warnings, Vec::new());
     }
 
     #[test]

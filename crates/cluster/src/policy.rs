@@ -138,6 +138,25 @@ impl KeepalivePolicy {
             KeepalivePolicy::HybridHistogram { .. } => "hybrid-histogram",
         }
     }
+
+    /// Checks the policy parameters, returning the first violation found.
+    /// Today the one typed check is the hybrid histogram's prewarm head:
+    /// it must stay *strictly below* the tail percentile the eviction window
+    /// is sized from ([`HYBRID_TAIL`]) — a head at or above the tail would
+    /// schedule the proactive re-warm at or after the container's own
+    /// eviction, so the prewarm could never land. `head ∈ [0, 1)` alone
+    /// (the historical assertion) admits that misconfiguration.
+    pub fn check(&self) -> Result<(), ConfigError> {
+        match self {
+            KeepalivePolicy::HybridHistogram { head, .. } if *head >= HYBRID_TAIL => {
+                Err(ConfigError::PrewarmHeadAboveTail {
+                    head: *head,
+                    tail: HYBRID_TAIL,
+                })
+            }
+            _ => Ok(()),
+        }
+    }
 }
 
 /// Default queue depth above which the locality-aware balancer abandons a
@@ -501,8 +520,9 @@ pub struct KeepaliveStats {
 /// learned tail over the conservative full range.
 const HYBRID_MIN_SAMPLES: u64 = 10;
 /// Fraction of observations the learned window must cover (the study's 99th
-/// percentile).
-const HYBRID_TAIL: f64 = 0.99;
+/// percentile). Public because it is also the exclusive upper bound on the
+/// hybrid histogram's prewarm head percentile ([`KeepalivePolicy::check`]).
+pub const HYBRID_TAIL: f64 = 0.99;
 /// Safety margin multiplier on the learned tail window.
 const HYBRID_MARGIN: f64 = 1.10;
 /// Out-of-bounds rate above which the pattern is declared too spread to learn.
@@ -1041,6 +1061,31 @@ mod tests {
             headroom: f64::NAN,
         }
         .validate();
+    }
+
+    #[test]
+    fn keepalive_check_rejects_a_head_at_or_above_the_tail() {
+        let policy = |head| KeepalivePolicy::HybridHistogram {
+            range: SimDuration::from_secs(600),
+            bin: SimDuration::from_secs(10),
+            head,
+        };
+        assert_eq!(policy(0.0).check(), Ok(()));
+        assert_eq!(policy(0.05).check(), Ok(()));
+        assert_eq!(policy(HYBRID_TAIL - 1e-9).check(), Ok(()));
+        for head in [HYBRID_TAIL, 0.995] {
+            assert_eq!(
+                policy(head).check(),
+                Err(ConfigError::PrewarmHeadAboveTail {
+                    head,
+                    tail: HYBRID_TAIL,
+                }),
+                "head {head} must be rejected"
+            );
+        }
+        // The non-hybrid policies have nothing to misconfigure.
+        assert_eq!(KeepalivePolicy::NoKeepalive.check(), Ok(()));
+        assert_eq!(KeepalivePolicy::paper_default().check(), Ok(()));
     }
 
     #[test]

@@ -99,6 +99,7 @@ impl ClusterConfig {
     /// panicking shims.
     pub fn check(&self) -> Result<(), ConfigError> {
         self.scaling.check()?;
+        self.keepalive.check()?;
         if !matches!(self.scaling, ScalingPolicy::Fixed) {
             if self.min_instances == 0 {
                 return Err(ConfigError::ZeroMinInstances);
@@ -131,6 +132,11 @@ pub struct ClusterReport {
     pub rejected: u64,
     /// Number of requests that paid a cold start.
     pub cold_starts: u64,
+    /// Total cold-start seconds charged onto invocations (the sum of every
+    /// cold-start penalty, before this PR folded into latency only). This is
+    /// the quantity the offline-optimal bound in [`crate::optimal`] lower
+    /// bounds, so `coldstart_s - bound` is the policy's regret.
+    pub coldstart_s: f64,
     /// Invocations that found a proactively prewarmed instance (hybrid
     /// keepalive with a non-zero head percentile).
     pub prewarm_hits: u64,
@@ -242,6 +248,8 @@ pub struct RackSummary {
     pub rejected: u64,
     /// Cold starts paid on this rack.
     pub cold_starts: u64,
+    /// Cold-start seconds charged on this rack.
+    pub coldstart_s: f64,
     /// Prewarm hits on this rack.
     pub prewarm_hits: u64,
     /// Maximum queue depth this rack reached.
@@ -313,6 +321,7 @@ struct RackState {
     completed: u64,
     rejected: u64,
     cold_starts: u64,
+    coldstart: SimDuration,
     peak_queue: usize,
     peak_instances: u32,
     low_instances: u32,
@@ -441,6 +450,25 @@ impl ClusterSim {
         self.cold_costs[&benchmark].remote
     }
 
+    /// The cold-start penalty a *repeat* cold start of `benchmark` pays on
+    /// this platform: on in-storage platforms the image reloads from the
+    /// drive's flash over the P2P path, everywhere else it pulls from the
+    /// remote registry again.
+    pub fn repeat_cold_start_cost(&self, benchmark: Benchmark) -> SimDuration {
+        let costs = self.cold_costs[&benchmark];
+        if self.flash_cache {
+            costs.local
+        } else {
+            costs.remote
+        }
+    }
+
+    /// Whether this platform caches evicted images on the drive's flash
+    /// (making repeat cold starts cheaper than the first one).
+    pub fn caches_images_on_flash(&self) -> bool {
+        self.flash_cache
+    }
+
     /// Runs the trace over a single rack and reports the Figure 13 series.
     #[deprecated(
         since = "0.2.0",
@@ -553,6 +581,7 @@ impl ClusterSim {
                 completed: 0,
                 rejected: 0,
                 cold_starts: 0,
+                coldstart: SimDuration::ZERO,
                 peak_queue: 0,
                 peak_instances: initial_capacity,
                 low_instances: initial_capacity,
@@ -700,6 +729,7 @@ impl ClusterSim {
                         };
                     service += penalty;
                     rack.cold_starts += 1;
+                    rack.coldstart += penalty;
                     if self.flash_cache {
                         rack.cached_on_flash.insert(request.function);
                     }
@@ -746,6 +776,7 @@ impl ClusterSim {
                 completed: rack.completed,
                 rejected: rack.rejected,
                 cold_starts: rack.cold_starts,
+                coldstart_s: rack.coldstart.as_secs_f64(),
                 prewarm_hits: rack.keepalive.stats().prewarm_hits,
                 peak_queue: rack.peak_queue,
                 peak_instances: rack.peak_instances,
@@ -786,6 +817,7 @@ impl ClusterSim {
             completed: summaries.iter().map(|r| r.completed).sum(),
             rejected: summaries.iter().map(|r| r.rejected).sum(),
             cold_starts: summaries.iter().map(|r| r.cold_starts).sum(),
+            coldstart_s: summaries.iter().map(|r| r.coldstart_s).sum(),
             prewarm_hits: summaries.iter().map(|r| r.prewarm_hits).sum(),
             warm_seconds: rack_states
                 .iter()

@@ -426,14 +426,30 @@ impl QuantileSketch {
     /// holding the order statistic of rank `⌈q·n⌉`, clamped into
     /// `[min, max]`. For samples within `[1e-9, 1e9]` the answer is within
     /// [`SKETCH_RELATIVE_ACCURACY`] (relative) of that exact order
-    /// statistic.
+    /// statistic. The boundary quantiles are exact: `q = 0.0` returns the
+    /// tracked minimum and `q = 1.0` the tracked maximum, matching the
+    /// rank convention's first and last order statistics.
     ///
     /// # Panics
-    /// Panics if the sketch is empty or `q` is outside `[0, 1]`.
+    /// Panics if the sketch is empty or `q` is outside `[0, 1]` (which
+    /// includes NaN; a debug assertion names non-finite `q` explicitly).
     pub fn quantile(&self, q: f64) -> f64 {
+        debug_assert!(q.is_finite(), "quantile must be finite, got {q}");
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
         assert!(self.count > 0, "cannot summarise an empty sketch");
-        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        // The rank formula degenerates at both ends: ⌈q·n⌉ is rank 0 for
+        // q = 0 (there is no zeroth order statistic), and at q = 1 the
+        // bucket walk below would return a bucket representative that can
+        // sit strictly below the true maximum. Both extremes are tracked
+        // exactly, so answer them exactly.
+        if q == 0.0 {
+            return self.min;
+        }
+        if q == 1.0 {
+            return self.max;
+        }
+        // q > 0 makes ⌈q·n⌉ >= 1 without any clamping.
+        let target = (q * self.count as f64).ceil() as u64;
         let mut seen = self.zeros;
         if seen >= target {
             return 0.0;
@@ -691,6 +707,35 @@ mod tests {
         assert!(sketch.quantile(1.0) <= 1e12);
         assert_eq!(sketch.max(), 1e12);
         assert_eq!(sketch.min(), 0.0);
+    }
+
+    /// Satellite regression test: the rank formula ⌈q·n⌉ degenerates at the
+    /// boundaries (rank 0 at q = 0; a bucket representative strictly below
+    /// the maximum at q = 1), so both boundary quantiles answer the exactly
+    /// tracked extremes — and keep doing so across a merge, which combines
+    /// min/max exactly.
+    #[test]
+    fn sketch_boundary_quantiles_are_the_exact_extremes() {
+        let samples: Vec<f64> = (1..=257).map(|i| i as f64 * 0.013).collect();
+        let sketch = QuantileSketch::from_samples(&samples);
+        assert_eq!(sketch.quantile(0.0).to_bits(), sketch.min().to_bits());
+        assert_eq!(sketch.quantile(1.0).to_bits(), sketch.max().to_bits());
+        let mut merged = sketch.clone();
+        merged.merge(&QuantileSketch::from_samples(&[1e4, 1e-6]));
+        assert_eq!(merged.quantile(0.0), 1e-6);
+        assert_eq!(merged.quantile(1.0), 1e4);
+    }
+
+    #[test]
+    #[should_panic(expected = "[0, 1]")]
+    fn sketch_rejects_out_of_range_quantiles() {
+        let _ = QuantileSketch::from_samples(&[1.0]).quantile(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn sketch_rejects_non_finite_quantiles() {
+        let _ = QuantileSketch::from_samples(&[1.0]).quantile(f64::NAN);
     }
 
     #[test]

@@ -14,10 +14,11 @@ use dscs_serverless::platforms::PlatformKind;
 use dscs_serverless::simcore::rng::DeterministicRng;
 
 /// The pinned smoke-sweep report (file name kept from the PR 4 capture that
-/// first pinned it; now schema v6: the workload axis is declarative — cells
-/// and workload summaries carry their `source`, the root gains a
-/// `cross_validation` section, and each workload's trace comes from its own
-/// seeded generation stream). Today's sweep must reproduce it byte-for-byte;
+/// first pinned it; now schema v7: on top of the v6 declarative workload
+/// axis, every cell carries `coldstart_s`, the offline-optimal
+/// `optimal_coldstart_s` bound and the derived `regret_pct`, and
+/// `cross_validation` gains a `regret_delta`). Today's sweep must
+/// reproduce it byte-for-byte;
 /// regenerate deliberately with `UPDATE_GOLDEN=1 cargo test --test at_scale`.
 const PR4_GOLDEN_SMOKE: &str = include_str!("golden/at_scale_smoke_pr4.json");
 
@@ -60,7 +61,7 @@ fn sweep_covers_both_platforms_all_policies_and_both_workloads() {
     }
 }
 
-/// Golden regression test: the whole schema-v6 smoke report is pinned
+/// Golden regression test: the whole schema-v7 smoke report is pinned
 /// byte-for-byte against the regenerated fixture. Any drift in trace
 /// generation, placement, dispatch, charging or JSON rendering — including
 /// through the new `Experiment` path every cell now runs on — shows up here

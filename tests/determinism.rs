@@ -233,3 +233,30 @@ fn same_seed_produces_bit_identical_traces() {
         "different trace seeds should differ in arrivals"
     );
 }
+
+#[test]
+fn the_offline_optimal_bound_is_bit_identical_across_calls_and_sims() {
+    use dscs_serverless::cluster::optimal::optimal_coldstart_seconds;
+    use dscs_serverless::cluster::sim::{ClusterConfig, ClusterSim};
+
+    let trace = one_minute_trace(11);
+    for platform in [PlatformKind::BaselineCpu, PlatformKind::DscsDsa] {
+        // Two independently constructed simulators price cold starts from the
+        // same platform model, so the bound — a pure function of (trace,
+        // pricing) — must agree to the last bit across calls and instances.
+        let sim_a = ClusterSim::new(platform, ClusterConfig::default());
+        let sim_b = ClusterSim::new(platform, ClusterConfig::default());
+        let first = optimal_coldstart_seconds(&trace, &sim_a);
+        assert!(first > 0.0 && first.is_finite(), "{platform:?} bound");
+        for bound in [
+            optimal_coldstart_seconds(&trace, &sim_a),
+            optimal_coldstart_seconds(&trace, &sim_b),
+        ] {
+            assert_eq!(
+                first.to_bits(),
+                bound.to_bits(),
+                "{platform:?} bound must be bit-identical"
+            );
+        }
+    }
+}

@@ -49,6 +49,25 @@ fn parallel_sweeps_render_sequential_bytes_across_seeds() {
         // measured wall_s fields compare equal by design).
         assert_eq!(sequential.cells, parallel.cells, "seed {seed}");
         assert_eq!(sequential.workloads, parallel.workloads, "seed {seed}");
+        // The v7 regret fields are inside the determinism contract: both
+        // runs carry them, bit-identical, and every cell stays a finite
+        // non-negative distance above its offline bound.
+        for (a, b) in sequential.cells.iter().zip(&parallel.cells) {
+            assert_eq!(
+                a.optimal_coldstart_s.to_bits(),
+                b.optimal_coldstart_s.to_bits(),
+                "seed {seed}"
+            );
+            assert_eq!(
+                a.regret_pct.to_bits(),
+                b.regret_pct.to_bits(),
+                "seed {seed}"
+            );
+            assert!(
+                a.regret_pct >= 0.0 && a.regret_pct.is_finite(),
+                "seed {seed}"
+            );
+        }
     }
 }
 

@@ -891,3 +891,82 @@ fn fixed_scaling_is_bit_identical_to_a_pinned_pool() {
         assert_eq!(a.racks, b.racks, "case {case}");
     });
 }
+
+/// The offline-optimal cold-start bound is a true floor: for random traces,
+/// rack counts, seeds and every scheduler / keepalive / scaling / balancer
+/// combination, the measured aggregate cold-start seconds never dip below
+/// the bound, and the derived regret is therefore non-negative.
+#[test]
+fn offline_optimal_bound_floors_every_policys_cold_start_seconds() {
+    use dscs_serverless::cluster::experiment::Experiment;
+    use dscs_serverless::cluster::optimal::{optimal_coldstart_seconds, regret_pct};
+    use dscs_serverless::cluster::policy::{
+        KeepalivePolicy, LoadBalancer, ScalingPolicy, SchedulerPolicy,
+    };
+    use dscs_serverless::cluster::sim::{ClusterConfig, ClusterSim};
+    use dscs_serverless::cluster::trace::RateProfile;
+    use dscs_serverless::platforms::PlatformKind;
+
+    // Model evaluation dominates; share one base simulator per platform and
+    // replay the (tiny) random traces against it.
+    let bases: Vec<ClusterSim> = [PlatformKind::BaselineCpu, PlatformKind::DscsDsa]
+        .into_iter()
+        .map(|p| ClusterSim::new(p, ClusterConfig::default()))
+        .collect();
+    check(0xB0, |case, rng| {
+        let profile = RateProfile {
+            segments: vec![
+                (
+                    SimDuration::from_secs(int_in(rng, 1, 8)),
+                    rng.uniform(5.0, 300.0),
+                ),
+                (
+                    SimDuration::from_secs(int_in(rng, 1, 8)),
+                    rng.uniform(5.0, 300.0),
+                ),
+            ],
+        };
+        let trace = profile.generate(&mut DeterministicRng::seeded(int_in(rng, 0, 1000)));
+        if trace.is_empty() {
+            return;
+        }
+        let base = &bases[int_in(rng, 0, 2) as usize];
+        let scheduler = SchedulerPolicy::ALL[int_in(rng, 0, 3) as usize];
+        let keepalive = KeepalivePolicy::all_default()[int_in(rng, 0, 4) as usize];
+        let scaling = ScalingPolicy::all_default()[int_in(rng, 0, 3) as usize];
+        let balancer = LoadBalancer::ALL[int_in(rng, 0, 3) as usize];
+        let outcome = Experiment::builder(base.platform())
+            .trace(trace.clone())
+            .racks(1 + int_in(rng, 0, 3) as u32)
+            .scheduler(scheduler)
+            .keepalive(keepalive)
+            .scaling(scaling)
+            .balancer(balancer)
+            .seed(int_in(rng, 0, 1000))
+            .build()
+            .unwrap_or_else(|err| panic!("case {case}: valid config rejected: {err}"))
+            .run_on(base);
+        let bound = optimal_coldstart_seconds(&trace, base);
+        assert_eq!(
+            outcome.optimal_coldstart_s,
+            Some(bound),
+            "case {case}: the outcome carries exactly the recomputed bound"
+        );
+        // The floor is exact in real arithmetic; allow one part in 1e9 for
+        // summation-order noise (racks accumulate in event order, the bound
+        // in trace order).
+        assert!(
+            outcome.report.coldstart_s >= bound * (1.0 - 1e-9),
+            "case {case} ({} / {} / {} / {}): measured {} below the bound {bound}",
+            scheduler.name(),
+            keepalive.name(),
+            scaling.name(),
+            balancer.name(),
+            outcome.report.coldstart_s,
+        );
+        assert!(
+            regret_pct(outcome.report.coldstart_s, bound) >= 0.0,
+            "case {case}"
+        );
+    });
+}
