@@ -13,6 +13,8 @@
 //!             20-minute at-scale trace) instead of the quick versions.
 //!
 //! reproduce at-scale [--quick] [--smoke] [--seed N] [--racks N] [--jobs N]
+//!                    [--rack-jobs N]
+//!                    [--scale smoke|quick|full|large|large-smoke|large-quick]
 //!                    [--balancer round-robin|least-loaded|locality]
 //!                    [--workload azure|bursty|trace:<path>[@<day>]]...
 //!                    [--regret | --no-regret] [--out PATH]
@@ -31,12 +33,22 @@
 //! one axis and adds a cross-validation section to the report. --jobs fans
 //! the independent cells across N worker threads (0 or omitted: one per
 //! available core; 1: sequential) — the modelled report bytes are identical
-//! either way. The table's `regret %` column shows each cell's cold-start
+//! either way. --rack-jobs adds a second parallelism level *inside* each
+//! round-robin cell: the cell's racks are sharded over N threads (0: split
+//! the core budget left over by --jobs; 1, the default: inline). Cells with
+//! a coupled balancer (least-loaded, locality) fall back to the sequential
+//! engine. Rack workers never change the report bytes either. --scale picks
+//! the sweep size by name; `large` is the 10⁷-invocation preset (10⁵
+//! functions over two simulated days) on a restricted single-point policy
+//! grid sized for the rack-parallel engine; `large-smoke` and `large-quick`
+//! run that same restricted grid at smoke/quick scale so CI can exercise
+//! the preset cheaply and measure single-cell rack-parallel speedup.
+//! The table's `regret %` column shows each cell's cold-start
 //! regret against the offline-optimal bound (on by default; --no-regret
 //! hides it — the JSON always carries the v7 regret fields either way).
 //!
-//! reproduce generate-trace [--sample | --scale smoke|quick|full] [--seed N]
-//!                          [--out PATH]
+//! reproduce generate-trace [--sample | --scale smoke|quick|full|large]
+//!                          [--seed N] [--out PATH]
 //! reproduce generate-trace --from CSV [--day N] [--out PATH]
 //!
 //! Emits an Azure-Functions-2019-schema invocations-per-function CSV. The
@@ -67,7 +79,7 @@ use dscs_cluster::at_scale::{AtScaleOptions, SweepScale, SweepSpec};
 use dscs_cluster::experiment::Experiment;
 use dscs_cluster::ingest::{sample_workload, TraceFileWorkload};
 use dscs_cluster::perf_gate::compare_reports;
-use dscs_cluster::policy::LoadBalancer;
+use dscs_cluster::policy::{KeepalivePolicy, LoadBalancer, ScalingPolicy, SchedulerPolicy};
 use dscs_cluster::trace::RateProfile;
 use dscs_cluster::workload::{azure_generation_rng, WorkloadSpec};
 use dscs_core::benchmarks::Benchmark;
@@ -463,9 +475,11 @@ fn fig17() {
 }
 
 /// `reproduce at-scale [--quick] [--smoke] [--seed N] [--racks N] [--jobs N]
-/// [--balancer NAME] [--out PATH]`: the scheduler x keepalive x platform x
-/// workload policy sweep, fanned across worker threads and written as a
-/// machine-readable JSON report with measured engine throughput.
+/// [--rack-jobs N] [--scale NAME] [--balancer NAME] [--out PATH]`: the
+/// scheduler x keepalive x platform x workload policy sweep, fanned across
+/// worker threads (and, per round-robin cell, across rack worker threads)
+/// and written as a machine-readable JSON report with measured engine
+/// throughput.
 fn at_scale(args: &[String]) {
     let mut options = if args.iter().any(|a| a == "--quick") {
         AtScaleOptions::quick()
@@ -477,6 +491,12 @@ fn at_scale(args: &[String]) {
     let mut out_path = String::from("BENCH_cluster.json");
     let mut workload_args: Vec<String> = Vec::new();
     let mut show_regret = true;
+    // The large preset restricts the policy grid to one point (the sweep
+    // below is sized for a full cartesian product, not 10⁷-invocation
+    // traces) and moves the worker budget inside the cell.
+    let mut large_preset = false;
+    let mut jobs_set = false;
+    let mut rack_jobs_set = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         let mut value_of = |name: &str| {
@@ -492,11 +512,53 @@ fn at_scale(args: &[String]) {
             // The full-size sweep is the default; accept the flag the other
             // experiments use for it.
             "--full" => options.scale = SweepScale::Full,
+            "--scale" => {
+                let name = value_of("--scale");
+                match name.as_str() {
+                    "smoke" => options.scale = SweepScale::Smoke,
+                    "quick" => options.scale = SweepScale::Quick,
+                    "full" => options.scale = SweepScale::Full,
+                    "large" => {
+                        options.scale = SweepScale::Large;
+                        large_preset = true;
+                    }
+                    // The large preset's restricted grid at smaller sizes:
+                    // `large-smoke` lets CI exercise the preset without the
+                    // 10⁷ trace, `large-quick` is the single-cell speedup
+                    // measurement the perf artifact tracks.
+                    "large-smoke" => {
+                        options.scale = SweepScale::Smoke;
+                        large_preset = true;
+                    }
+                    "large-quick" => {
+                        options.scale = SweepScale::Quick;
+                        large_preset = true;
+                    }
+                    _ => {
+                        eprintln!(
+                            "--scale must be smoke, quick, full, large, \
+                             large-smoke or large-quick"
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--jobs" => {
                 options.jobs = value_of("--jobs").parse().unwrap_or_else(|_| {
                     eprintln!("--jobs must be a non-negative integer (0 = all cores)");
                     std::process::exit(2);
                 });
+                jobs_set = true;
+            }
+            "--rack-jobs" => {
+                options.rack_jobs = value_of("--rack-jobs").parse().unwrap_or_else(|_| {
+                    eprintln!(
+                        "--rack-jobs must be a non-negative integer \
+                         (0 = split the core budget, 1 = inline)"
+                    );
+                    std::process::exit(2);
+                });
+                rack_jobs_set = true;
             }
             "--seed" => {
                 options.seed = value_of("--seed").parse().unwrap_or_else(|_| {
@@ -537,7 +599,9 @@ fn at_scale(args: &[String]) {
                 eprintln!("unknown at-scale option '{other}'");
                 eprintln!(
                     "usage: reproduce at-scale [--quick] [--smoke] [--seed N] [--racks N] \
-                     [--jobs N] [--balancer round-robin|least-loaded|locality] \
+                     [--jobs N] [--rack-jobs N] \
+                     [--scale smoke|quick|full|large|large-smoke|large-quick] \
+                     [--balancer round-robin|least-loaded|locality] \
                      [--workload azure|bursty|trace:<path>[@<day>]]... \
                      [--regret | --no-regret] [--out PATH]"
                 );
@@ -547,6 +611,29 @@ fn at_scale(args: &[String]) {
     }
 
     let mut spec = SweepSpec::from(options);
+    if large_preset {
+        // One policy point over the azure workload: the preset exists to
+        // exercise the single-cell rack-parallel engine at scale, not to
+        // multiply a 10⁷-invocation trace by a 100-cell policy grid.
+        spec.workloads = vec![WorkloadSpec::Azure {
+            scale: options.scale,
+            seed: options.seed,
+        }];
+        spec.schedulers = vec![SchedulerPolicy::Fcfs];
+        spec.keepalives = vec![KeepalivePolicy::hybrid_default()];
+        spec.scalings = vec![ScalingPolicy::reactive_default()];
+        if options.balancer.is_none() {
+            spec.balancers = vec![LoadBalancer::RoundRobin];
+        }
+        // With so few cells the parallelism belongs inside each cell: one
+        // sweep worker, rack workers across the whole core budget.
+        if !jobs_set {
+            spec.jobs = 1;
+        }
+        if !rack_jobs_set {
+            spec.rack_jobs = 0;
+        }
+    }
     if !workload_args.is_empty() {
         spec.workloads = workload_args
             .iter()
@@ -559,17 +646,25 @@ fn at_scale(args: &[String]) {
             .collect();
     }
     let jobs = spec.effective_jobs();
+    let rack_jobs = spec.effective_rack_jobs(jobs);
     header(&format!(
-        "At-scale policy sweep ({}, {} racks, {} balancer, seed {}, {} worker{})",
+        "At-scale policy sweep ({}{}, {} racks, {} balancer, seed {}, \
+         {} worker{} x {} rack worker{})",
         options.scale.name(),
+        if large_preset { ", large preset" } else { "" },
         options.racks,
         options.balancer.map_or("all", |b| b.name()),
         options.seed,
         jobs,
-        if jobs == 1 { "" } else { "s" }
+        if jobs == 1 { "" } else { "s" },
+        rack_jobs,
+        if rack_jobs == 1 { "" } else { "s" }
     ));
     if options.scale == SweepScale::Full {
         println!("running the full 20-minute traces; pass --quick for a fast run");
+    }
+    if options.scale == SweepScale::Large {
+        println!("running the 10⁷-invocation large preset; this takes a while");
     }
     let report = spec.run().unwrap_or_else(|err| {
         eprintln!("at-scale sweep rejected: {err}");
@@ -666,7 +761,7 @@ fn at_scale(args: &[String]) {
 /// an existing trace file and re-emits it, which CI uses to pin the
 /// generate → parse → re-emit byte round trip.
 fn generate_trace(args: &[String]) {
-    let usage = "usage: reproduce generate-trace [--sample | --scale smoke|quick|full] \
+    let usage = "usage: reproduce generate-trace [--sample | --scale smoke|quick|full|large] \
                  [--seed N] [--out PATH] | --from CSV [--day N] [--out PATH]";
     let mut sample = false;
     let mut scale: Option<SweepScale> = None;
@@ -692,8 +787,9 @@ fn generate_trace(args: &[String]) {
                     "smoke" => SweepScale::Smoke,
                     "quick" => SweepScale::Quick,
                     "full" => SweepScale::Full,
+                    "large" => SweepScale::Large,
                     _ => {
-                        eprintln!("--scale must be smoke, quick or full");
+                        eprintln!("--scale must be smoke, quick, full or large");
                         std::process::exit(2);
                     }
                 });

@@ -63,6 +63,11 @@ pub enum SweepScale {
     Quick,
     /// The full 20-minute traces.
     Full,
+    /// The 10⁷-invocation scale: ~10⁵ functions over a multi-day horizon.
+    /// Sized for the rack-parallel engine; run it with a restricted grid
+    /// (see `reproduce at-scale --scale large`), not the full cartesian
+    /// product.
+    Large,
 }
 
 impl SweepScale {
@@ -72,6 +77,7 @@ impl SweepScale {
             SweepScale::Smoke => "smoke",
             SweepScale::Quick => "quick",
             SweepScale::Full => "full",
+            SweepScale::Large => "large",
         }
     }
 }
@@ -92,6 +98,12 @@ pub struct AtScaleOptions {
     /// Worker threads for the sweep: `0` means one per available core, `1`
     /// is the sequential path. The report is byte-identical either way.
     pub jobs: usize,
+    /// Rack worker threads *inside* each round-robin cell: `1` (the
+    /// default) runs each cell's racks inline, `0` splits the core budget
+    /// left over by `jobs`, `N` pins the count. Coupled balancers ignore it
+    /// (they fall back to the sequential engine). The report is
+    /// byte-identical for every value.
+    pub rack_jobs: usize,
 }
 
 impl AtScaleOptions {
@@ -104,6 +116,7 @@ impl AtScaleOptions {
             racks: 2,
             balancer: None,
             jobs: 0,
+            rack_jobs: 1,
         }
     }
 
@@ -164,6 +177,15 @@ pub struct SweepSpec {
     /// sequential path. Results are collected in grid order, so the rendered
     /// report is byte-identical for every worker count.
     pub jobs: usize,
+    /// Rack worker threads *inside* each cell, the second level of
+    /// parallelism: round-robin cells shard their racks over this many
+    /// threads ([`crate::experiment::ExperimentBuilder::rack_jobs`]). `1`
+    /// (the default) keeps each cell single-threaded, `0` splits the core
+    /// budget left over by [`SweepSpec::jobs`] so the two levels compose
+    /// without oversubscribing, `N` pins the count (capped at the rack
+    /// count). Cells with a coupled balancer fall back to the sequential
+    /// engine. The rendered report is byte-identical for every value.
+    pub rack_jobs: usize,
 }
 
 impl SweepSpec {
@@ -182,6 +204,7 @@ impl SweepSpec {
             scalings: ScalingPolicy::all_default().to_vec(),
             balancers: LoadBalancer::ALL.to_vec(),
             jobs: 0,
+            rack_jobs: 1,
         }
     }
 
@@ -203,6 +226,23 @@ impl SweepSpec {
                 .unwrap_or(1)
         } else {
             self.jobs
+        }
+    }
+
+    /// The per-cell rack worker count [`SweepSpec::run`] passes to every
+    /// experiment, given that `cell_jobs` sweep workers run concurrently:
+    /// `rack_jobs` as written, with `0` resolved to the cores left over per
+    /// sweep worker (at least one). The two parallelism levels share one
+    /// worker budget — `jobs = 0, rack_jobs = 0` on an 8-core host with a
+    /// 4-cell grid gives 4 sweep workers × 2 rack workers, not 8 × 8.
+    pub fn effective_rack_jobs(&self, cell_jobs: usize) -> usize {
+        if self.rack_jobs == 0 {
+            let cores = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1);
+            (cores / cell_jobs.max(1)).max(1)
+        } else {
+            self.rack_jobs
         }
     }
 
@@ -302,6 +342,11 @@ impl SweepSpec {
                 }
             }
         }
+        let jobs = self.effective_jobs().min(points.len()).max(1);
+        // The second parallelism level: racks inside each round-robin cell.
+        // Resolved against the sweep worker count so the two levels split
+        // one core budget (the outcome is byte-identical regardless).
+        let rack_jobs = self.effective_rack_jobs(jobs);
         let run_cell = |point: &CellPoint| -> Result<SweepCell, ConfigError> {
             let workload = &workloads[point.workload];
             let bound = optimal_bounds[point.workload][point.platform];
@@ -315,6 +360,7 @@ impl SweepSpec {
                 .data_layer(data_layers[point.workload].clone())
                 .seed(self.seed ^ 0x5EED)
                 .optimal_coldstart(bound)
+                .rack_jobs(rack_jobs)
                 .build()?
                 .run_on(&base_sims[point.platform]);
             let report = &outcome.report;
@@ -353,7 +399,6 @@ impl SweepSpec {
                 rack_completed: outcome.racks.iter().map(|r| r.completed).collect(),
             })
         };
-        let jobs = self.effective_jobs().min(points.len()).max(1);
         let cells = if jobs == 1 {
             // Sequential fallback: the historical path, stopping at the
             // first invalid cell.
@@ -426,6 +471,7 @@ impl From<AtScaleOptions> for SweepSpec {
                 None => LoadBalancer::ALL.to_vec(),
             },
             jobs: options.jobs,
+            rack_jobs: options.rack_jobs,
             ..SweepSpec::default_grid(options.scale)
         }
     }
@@ -754,6 +800,12 @@ impl AtScaleReport {
         if with_throughput {
             root.push("wall_s", self.wall_s.get());
             root.push("events_per_sec", self.events_per_sec());
+            // The worker knobs ride in the measured section: they change
+            // wall_s but never the modelled results, so — like the
+            // throughput they explain — they stay out of cell identity and
+            // the deterministic JSON.
+            root.push("jobs", self.spec.jobs as u64);
+            root.push("rack_jobs", self.spec.rack_jobs as u64);
         }
         root.push(
             "workloads",
@@ -991,6 +1043,55 @@ mod tests {
             .expect("valid spec")
             .to_json();
         assert_eq!(sequential, parallel);
+    }
+
+    /// In-crate spot check of the second parallelism level: sharding each
+    /// round-robin cell's racks over threads renders exactly the bytes the
+    /// rack-sequential sweep does, and the knob never leaks into the
+    /// deterministic JSON (it rides in the measured section instead).
+    #[test]
+    fn rack_parallel_sweep_matches_rack_sequential_bytes() {
+        let spec = SweepSpec {
+            platforms: vec![PlatformKind::DscsDsa],
+            schedulers: vec![SchedulerPolicy::Fcfs],
+            keepalives: vec![KeepalivePolicy::paper_default()],
+            jobs: 1,
+            rack_jobs: 1,
+            ..SweepSpec::default_grid(SweepScale::Smoke)
+        };
+        let sequential = spec.run().expect("valid spec").to_json();
+        for rack_jobs in [2, 0] {
+            let report = SweepSpec {
+                rack_jobs,
+                ..spec.clone()
+            }
+            .run()
+            .expect("valid spec");
+            assert_eq!(sequential, report.to_json(), "rack_jobs={rack_jobs}");
+            assert!(!report.to_json().contains("\"rack_jobs\""));
+            assert!(report.to_json_with_throughput().contains("\"rack_jobs\""));
+        }
+    }
+
+    /// The two worker levels split one core budget: `rack_jobs = 0` resolves
+    /// to the cores left over per sweep worker, never below one.
+    #[test]
+    fn rack_jobs_zero_splits_the_core_budget_with_the_sweep_workers() {
+        let spec = SweepSpec {
+            rack_jobs: 0,
+            ..SweepSpec::default_grid(SweepScale::Smoke)
+        };
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        assert_eq!(spec.effective_rack_jobs(1), cores);
+        assert_eq!(spec.effective_rack_jobs(cores), 1);
+        assert_eq!(spec.effective_rack_jobs(cores * 4), 1, "never below one");
+        let pinned = SweepSpec {
+            rack_jobs: 3,
+            ..spec
+        };
+        assert_eq!(pinned.effective_rack_jobs(cores), 3, "non-zero is literal");
     }
 
     // The locality-beats-round-robin acceptance comparison lives at the

@@ -57,7 +57,7 @@ use dscs_simcore::time::SimDuration;
 
 use crate::data::DataLayer;
 use crate::policy::{KeepalivePolicy, LoadBalancer, ScalingPolicy, SchedulerPolicy};
-use crate::sim::{ClusterConfig, ClusterReport, ClusterSim, RackSummary};
+use crate::sim::{ClusterConfig, ClusterReport, ClusterSim, EngineSelection, RackSummary};
 use crate::trace::TraceRequest;
 use crate::workload::{Workload, WorkloadError, WorkloadSpec, WorkloadSpecError};
 
@@ -290,13 +290,14 @@ pub struct Experiment {
     config: ClusterConfig,
     data: Option<Arc<DataLayer>>,
     seed: u64,
+    rack_jobs: usize,
     optimal_bound: Option<f64>,
 }
 
 impl Experiment {
     /// Starts a builder for a run on `platform`, with a single rack, the
     /// round-robin balancer, [`ClusterConfig::default`] policies, no data
-    /// layer and seed 0.
+    /// layer, seed 0 and one rack worker.
     pub fn builder(platform: PlatformKind) -> ExperimentBuilder {
         ExperimentBuilder {
             platform,
@@ -307,6 +308,7 @@ impl Experiment {
             data: None,
             place_data_seed: None,
             seed: 0,
+            rack_jobs: 1,
             optimal_bound: None,
             pending: None,
         }
@@ -348,6 +350,14 @@ impl Experiment {
         self.seed
     }
 
+    /// Worker threads used to simulate rack lanes when the balancer permits
+    /// the partitioned engine (0 = one per core, 1 = inline). Results are
+    /// byte-identical across every value — see
+    /// [`EngineSelection::RackParallel`].
+    pub fn rack_jobs(&self) -> usize {
+        self.rack_jobs
+    }
+
     /// Runs the experiment, evaluating the end-to-end model for the platform
     /// first. For many runs on one platform (policy sweeps), precompute a
     /// [`ClusterSim`] once and use [`Experiment::run_on`] instead.
@@ -374,12 +384,13 @@ impl Experiment {
     }
 
     fn outcome(&self, sim: &ClusterSim) -> Outcome {
-        let (report, racks) = sim.run_validated(
+        let (report, racks, engine) = sim.run_validated(
             &self.trace,
             self.seed,
             self.racks,
             self.balancer,
             self.data.as_deref(),
+            self.rack_jobs,
         );
         // The bound is a pure function of (trace, platform): a sweep attaches
         // one precomputed value to every cell sharing the Arc'd trace (the
@@ -393,6 +404,7 @@ impl Experiment {
             racks,
             balancer: self.balancer,
             seed: self.seed,
+            engine,
             optimal_coldstart_s: Some(optimal_coldstart_s),
         }
     }
@@ -411,6 +423,7 @@ pub struct ExperimentBuilder {
     data: Option<Arc<DataLayer>>,
     place_data_seed: Option<u64>,
     seed: u64,
+    rack_jobs: usize,
     optimal_bound: Option<f64>,
     pending: Option<ConfigError>,
 }
@@ -556,6 +569,19 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Worker threads for the partitioned per-rack engine: 0 = one per
+    /// available core, 1 (the default) = run every rack lane inline, N =
+    /// up to N threads (capped at the rack count). Applies only when the
+    /// balancer decouples the racks ([`LoadBalancer::RoundRobin`]); coupled
+    /// balancers run the sequential engine regardless and report why
+    /// ([`EngineSelection::Sequential`]). Results are byte-identical across
+    /// every value — the knob trades wall-clock only, so it is *not* part of
+    /// the experiment's identity.
+    pub fn rack_jobs(mut self, rack_jobs: usize) -> Self {
+        self.rack_jobs = rack_jobs;
+        self
+    }
+
     /// Attaches a precomputed offline-optimal cold-start bound
     /// ([`crate::optimal::optimal_coldstart_seconds`]) so the run's
     /// [`Outcome`] reuses it instead of recomputing — the bound depends only
@@ -593,6 +619,7 @@ impl ExperimentBuilder {
             config: self.config,
             data,
             seed: self.seed,
+            rack_jobs: self.rack_jobs,
             optimal_bound: self.optimal_bound,
         })
     }
@@ -613,6 +640,11 @@ pub struct Outcome {
     pub balancer: LoadBalancer,
     /// The seed the run replayed with.
     pub seed: u64,
+    /// Which engine executed the run: the partitioned per-rack engine (with
+    /// its worker count) or the whole-cluster sequential loop (with the
+    /// reason the run could not be partitioned). Deterministic — a function
+    /// of the balancer and `rack_jobs`, never of timing.
+    pub engine: EngineSelection,
     /// The offline-optimal lower bound on aggregate cold-start seconds for
     /// this run's trace and platform ([`crate::optimal`]); the policy's
     /// regret is `report.coldstart_s - bound`. Always populated by the run

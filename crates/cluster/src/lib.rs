@@ -100,7 +100,7 @@ pub use policy::{
     KeepalivePolicy, KeepaliveState, KeepaliveStats, LoadBalancer, ScalingPolicy, SchedQueue,
     SchedulerPolicy, HYBRID_TAIL,
 };
-pub use sim::{ClusterConfig, ClusterReport, ClusterSim, RackSummary};
+pub use sim::{ClusterConfig, ClusterReport, ClusterSim, EngineSelection, RackSummary};
 pub use trace::{RateProfile, TraceRequest};
 pub use workload::{
     AzureWorkload, ObjectCatalog, ObjectPopulation, RealizedWorkload, Workload, WorkloadError,

@@ -33,7 +33,7 @@ use dscs_core::benchmarks::Benchmark;
 use dscs_core::endtoend::{EvalOptions, SystemModel};
 use dscs_faas::coldstart::{ColdStartModel, ImageSource};
 use dscs_platforms::{PlatformKind, PlatformLocation};
-use dscs_simcore::events::Simulator;
+use dscs_simcore::events::EventQueue;
 use dscs_simcore::quantity::Bytes;
 use dscs_simcore::rng::DeterministicRng;
 use dscs_simcore::series::TimeSeries;
@@ -122,7 +122,11 @@ pub struct ClusterReport {
     pub platform: PlatformKind,
     /// Offered load per bucket (requests per second) — Figure 13a.
     pub offered_rps: Vec<f64>,
-    /// Mean number of queued requests per bucket (all racks) — Figure 13b.
+    /// Mean per-rack queue depth per bucket — Figure 13b. Each
+    /// capacity-affecting event samples its own rack's queue depth, and the
+    /// per-rack series merge bucket-wise, so the value reads as "how deep was
+    /// a rack's queue when something happened on it" under every balancer
+    /// and both engines.
     pub queued: Vec<f64>,
     /// Mean wall-clock latency per bucket in milliseconds — Figures 13c/13d.
     pub latency_ms: Vec<f64>,
@@ -281,9 +285,52 @@ pub struct RackSummary {
     pub p99_latency_ms: f64,
 }
 
+/// Which discrete-event engine executed a run.
+///
+/// Under [`LoadBalancer::RoundRobin`] every arrival's rack is a pure function
+/// of its trace index and all simulation state (queues, keepalive ledgers,
+/// autoscaling, RNG streams) is per-rack, so the trace is pre-partitioned and
+/// each rack simulated as an independent lane — optionally across threads —
+/// then merged deterministically in rack order. Coupled balancers
+/// ([`LoadBalancer::LeastLoaded`], [`LoadBalancer::LocalityAware`]) read
+/// every rack's load at dispatch time, so they keep the whole-cluster
+/// sequential event loop; the selection is explicit and reported here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineSelection {
+    /// Per-rack lanes merged in rack order. Lane results are identical
+    /// regardless of `workers` — threads only change *who* simulates a lane.
+    RackParallel {
+        /// Worker threads that executed the lanes (capped at the rack count;
+        /// 1 means the caller's thread ran every lane inline).
+        workers: usize,
+    },
+    /// The whole-cluster sequential event loop.
+    Sequential {
+        /// Why the run could not be partitioned into independent rack lanes.
+        reason: &'static str,
+    },
+}
+
+impl EngineSelection {
+    /// Whether the run used the partitioned per-rack engine.
+    pub fn is_rack_parallel(&self) -> bool {
+        matches!(self, EngineSelection::RackParallel { .. })
+    }
+
+    /// The sequential-fallback reason, if the run could not be partitioned.
+    pub fn fallback_reason(&self) -> Option<&'static str> {
+        match self {
+            EngineSelection::RackParallel { .. } => None,
+            EngineSelection::Sequential { reason } => Some(reason),
+        }
+    }
+}
+
+/// Heap events of the whole-cluster sequential engine. Arrivals are not heap
+/// events: the trace is sorted by construction, so arrivals stream into the
+/// loop from a cursor and the heap only holds the O(pending) future events.
 #[derive(Debug, Clone, Copy)]
-enum Event {
-    Arrival(usize),
+enum CoupledEvent {
     Completion {
         rack: usize,
     },
@@ -294,6 +341,18 @@ enum Event {
     /// `add` provisioned instances come online on one rack.
     ScaleCommit {
         rack: usize,
+        add: u32,
+    },
+}
+
+/// Heap events of one partitioned rack lane (the rack is implicit).
+#[derive(Debug, Clone, Copy)]
+enum LaneEvent {
+    Completion,
+    /// Periodic autoscaling evaluation.
+    ScaleTick,
+    /// `add` provisioned instances come online.
+    ScaleCommit {
         add: u32,
     },
 }
@@ -340,6 +399,63 @@ struct RackState {
 impl RackState {
     fn load(&self) -> usize {
         self.busy as usize + self.queue.len()
+    }
+}
+
+/// One rack lane's output before the cluster-level merge: the rack state plus
+/// the lane's share of the Figure-13 series, its own clock and event counter.
+struct RackRun {
+    state: RackState,
+    offered: TimeSeries,
+    queued: TimeSeries,
+    latency_series: TimeSeries,
+    last_activity: SimTime,
+    events: u64,
+}
+
+/// A finished run of either engine, before summaries and the final report.
+struct ClusterRun {
+    rack_states: Vec<RackState>,
+    offered: TimeSeries,
+    queued: TimeSeries,
+    latency_series: TimeSeries,
+    last_activity: SimTime,
+    events: u64,
+}
+
+/// Deterministically merges per-rack lanes in rack order: series bucket-wise
+/// via [`TimeSeries::merge`], the cluster clock as the maximum lane clock,
+/// the event counter as the lane sum. Lane order — not execution order —
+/// fixes every floating-point accumulation, so the merge is byte-stable
+/// across worker counts.
+fn merge_lanes(lanes: Vec<RackRun>) -> ClusterRun {
+    let merge = |acc: &mut Option<TimeSeries>, series: TimeSeries| match acc {
+        None => *acc = Some(series),
+        Some(acc) => acc
+            .merge(&series)
+            .expect("rack lanes share bucket width and horizon"),
+    };
+    let mut rack_states = Vec::with_capacity(lanes.len());
+    let mut offered: Option<TimeSeries> = None;
+    let mut queued: Option<TimeSeries> = None;
+    let mut latency_series: Option<TimeSeries> = None;
+    let mut last_activity = SimTime::ZERO;
+    let mut events: u64 = 0;
+    for lane in lanes {
+        merge(&mut offered, lane.offered);
+        merge(&mut queued, lane.queued);
+        merge(&mut latency_series, lane.latency_series);
+        last_activity = last_activity.max(lane.last_activity);
+        events += lane.events;
+        rack_states.push(lane.state);
+    }
+    ClusterRun {
+        rack_states,
+        offered: offered.expect("at least one rack"),
+        queued: queued.expect("at least one rack"),
+        latency_series: latency_series.expect("at least one rack"),
+        last_activity,
+        events,
     }
 }
 
@@ -526,7 +642,8 @@ impl ClusterSim {
         if let Err(err) = validate_run(trace, racks, &self.config, data) {
             panic!("{}", err.legacy_message());
         }
-        self.run_validated(trace, seed, racks, balancer, data)
+        let (report, summaries, _) = self.run_validated(trace, seed, racks, balancer, data, 1);
+        (report, summaries)
     }
 
     /// The discrete-event core behind every run. Callers must have validated
@@ -537,16 +654,19 @@ impl ClusterSim {
     /// object lives: the locality-aware balancer prefers replica racks, and
     /// *any* request that starts on a rack without a replica — under any
     /// balancer — is charged the modelled cross-rack fetch latency, with the
-    /// moved bytes, fetch time and fetch energy reported. Without one,
-    /// behaviour (and the event/RNG sequence) is identical to the
-    /// pre-data-layer simulator.
+    /// moved bytes, fetch time and fetch energy reported.
     ///
     /// Under [`ScalingPolicy::Fixed`] every rack runs `max_instances` for the
-    /// whole trace and the event/RNG sequence is identical to the
-    /// pre-autoscaling simulator, so fixed-cap results are bit-for-bit
-    /// stable. Elastic racks start at `min_instances` and are re-evaluated on
-    /// their policy's interval; scale-ups come online `provisioning_delay`
-    /// later.
+    /// whole trace. Elastic racks start at `min_instances` and are
+    /// re-evaluated on their policy's interval; scale-ups come online
+    /// `provisioning_delay` later.
+    ///
+    /// The engine is chosen by the balancer (see [`EngineSelection`]):
+    /// round-robin runs pre-partition the trace into per-rack lanes —
+    /// `rack_jobs` worker threads (0 = all cores, 1 = inline) simulate them —
+    /// while coupled balancers run the whole-cluster sequential loop.
+    /// Lane results are merged in rack order, so the report is byte-identical
+    /// across every `rack_jobs` value.
     pub(crate) fn run_validated(
         &self,
         trace: &[TraceRequest],
@@ -554,213 +674,496 @@ impl ClusterSim {
         racks: u32,
         balancer: LoadBalancer,
         data: Option<&DataLayer>,
-    ) -> (ClusterReport, Vec<RackSummary>) {
-        let elastic = !matches!(self.config.scaling, ScalingPolicy::Fixed);
-        let predictive = matches!(self.config.scaling, ScalingPolicy::Predictive { .. });
-        let initial_capacity = if elastic {
-            self.config.min_instances
-        } else {
-            self.config.max_instances
-        };
+        rack_jobs: usize,
+    ) -> (ClusterReport, Vec<RackSummary>, EngineSelection) {
         let horizon =
             trace.last().expect("non-empty").arrival - SimTime::ZERO + SimDuration::from_secs(120);
+        let wall_clock = std::time::Instant::now();
+        // Forking consumes the master stream, so take every rack's RNG here,
+        // in rack order — lane execution order can then never change which
+        // stream a rack gets.
+        let mut master = DeterministicRng::seeded(seed);
+        let rack_rngs: Vec<DeterministicRng> =
+            (0..racks).map(|r| master.fork(u64::from(r))).collect();
+        let (run, engine) = match balancer {
+            LoadBalancer::RoundRobin => {
+                let (lanes, workers) = self.run_lanes(trace, rack_rngs, horizon, data, rack_jobs);
+                (
+                    merge_lanes(lanes),
+                    EngineSelection::RackParallel { workers },
+                )
+            }
+            LoadBalancer::LeastLoaded => (
+                self.run_coupled(trace, rack_rngs, balancer, horizon, data),
+                EngineSelection::Sequential {
+                    reason: "least-loaded dispatch reads every rack's load",
+                },
+            ),
+            LoadBalancer::LocalityAware { .. } => (
+                self.run_coupled(trace, rack_rngs, balancer, horizon, data),
+                EngineSelection::Sequential {
+                    reason: "locality spill decisions read every rack's load",
+                },
+            ),
+        };
+        let (report, summaries) = self.finalize(run, wall_clock);
+        (report, summaries, engine)
+    }
+
+    /// The instance pool every rack starts from.
+    fn initial_capacity(&self) -> u32 {
+        if matches!(self.config.scaling, ScalingPolicy::Fixed) {
+            self.config.max_instances
+        } else {
+            self.config.min_instances
+        }
+    }
+
+    fn new_rack_state(&self, rng: DeterministicRng) -> RackState {
+        let initial_capacity = self.initial_capacity();
+        RackState {
+            queue: SchedQueue::new(self.config.scheduler),
+            keepalive: KeepaliveState::new(self.config.keepalive),
+            cached_on_flash: HashSet::new(),
+            rng,
+            busy: 0,
+            capacity: initial_capacity,
+            pending: 0,
+            completed: 0,
+            rejected: 0,
+            cold_starts: 0,
+            coldstart: SimDuration::ZERO,
+            peak_queue: 0,
+            peak_instances: initial_capacity,
+            low_instances: initial_capacity,
+            scale_ups: 0,
+            scale_downs: 0,
+            scaling_lag: SimDuration::ZERO,
+            locality_hits: 0,
+            remote_fetches: 0,
+            cross_rack_bytes: 0,
+            fetch_latency: SimDuration::ZERO,
+            fetch_energy_j: 0.0,
+            latency: QuantileSketch::new(),
+        }
+    }
+
+    /// Admits one arrival to `rack`'s scheduler queue, rejecting it when the
+    /// queue is full. Shared by both engines.
+    fn admit(&self, rack: &mut RackState, idx: usize, request: &TraceRequest, now: SimTime) {
+        if matches!(self.config.scaling, ScalingPolicy::Predictive { .. }) {
+            // Predictive scaling estimates demand from offered load, not the
+            // (capacity-throttled) start rate.
+            rack.keepalive.note_arrival(request.function, now);
+        }
+        if rack.queue.len() >= self.config.queue_depth {
+            rack.rejected += 1;
+        } else {
+            rack.queue.push(
+                idx,
+                request.benchmark,
+                self.service_times[&request.benchmark],
+            );
+            rack.peak_queue = rack.peak_queue.max(rack.queue.len());
+        }
+    }
+
+    /// Greedily starts queued requests on `rack`'s free instances, in the
+    /// order the scheduler policy dictates, charging cold starts and remote
+    /// fetches onto each started invocation. `schedule_completion` receives
+    /// the service time of every started request. Shared by both engines.
+    #[allow(clippy::too_many_arguments)]
+    fn start_queued(
+        &self,
+        rack: &mut RackState,
+        rack_idx: u32,
+        now: SimTime,
+        trace: &[TraceRequest],
+        data: Option<&DataLayer>,
+        latency_series: &mut TimeSeries,
+        mut schedule_completion: impl FnMut(SimDuration),
+    ) {
+        while rack.busy < rack.capacity {
+            let Some(idx) = rack.queue.pop() else { break };
+            let request = &trace[idx];
+            let base = self.service_times[&request.benchmark];
+            let jitter = (self.config.service_jitter_sigma * rack.rng.standard_normal()).exp();
+            let mut service = base * jitter;
+            if !rack.keepalive.is_warm(request.function, now) {
+                let costs = self.cold_costs[&request.benchmark];
+                let penalty =
+                    if self.flash_cache && rack.cached_on_flash.contains(&request.function) {
+                        costs.local
+                    } else {
+                        costs.remote
+                    };
+                service += penalty;
+                rack.cold_starts += 1;
+                rack.coldstart += penalty;
+                if self.flash_cache {
+                    rack.cached_on_flash.insert(request.function);
+                }
+            }
+            if let Some(data) = data {
+                if data.holds(request.function, request.object, rack_idx) {
+                    rack.locality_hits += 1;
+                } else {
+                    // The object lives elsewhere: the invocation carries
+                    // the cross-rack fetch before it can execute.
+                    let fetch = data.fetch_cost(request.object_bytes);
+                    service += fetch.latency;
+                    rack.remote_fetches += 1;
+                    rack.cross_rack_bytes += request.object_bytes.as_u64();
+                    rack.fetch_latency += fetch.latency;
+                    rack.fetch_energy_j += fetch.energy_j;
+                }
+            }
+            rack.keepalive
+                .record_invocation(request.function, now, now + service);
+            let wait = now.saturating_since(request.arrival);
+            let wall = wait + service;
+            rack.latency.record(wall.as_secs_f64());
+            latency_series.record(request.arrival, wall.as_millis_f64());
+            rack.completed += 1;
+            rack.busy += 1;
+            schedule_completion(service);
+        }
+    }
+
+    /// Simulates one rack's lane of a round-robin run: the stride
+    /// `rack_idx, rack_idx + racks, …` of the trace, streamed from a cursor
+    /// (the trace is sorted by construction) against a heap holding only the
+    /// O(pending) future completions and scaling events. Arrivals win ties
+    /// against heap events, preserving the historical event order.
+    fn run_rack(
+        &self,
+        trace: &[TraceRequest],
+        rack_idx: usize,
+        racks: usize,
+        rng: DeterministicRng,
+        horizon: SimDuration,
+        data: Option<&DataLayer>,
+    ) -> RackRun {
+        let mut offered = TimeSeries::new(self.config.bucket, horizon);
+        let mut queued = TimeSeries::new(self.config.bucket, horizon);
+        let mut latency_series = TimeSeries::new(self.config.bucket, horizon);
+        let mut state = self.new_rack_state(rng);
+        let mut heap: EventQueue<LaneEvent> = EventQueue::new();
+        if let Some(interval) = self.config.scaling.interval() {
+            heap.schedule(SimTime::ZERO + interval, LaneEvent::ScaleTick);
+        }
+        let mut next_arrival = rack_idx;
+        let mut arrivals_remaining = if rack_idx < trace.len() {
+            (trace.len() - rack_idx).div_ceil(racks)
+        } else {
+            0
+        };
+        let mut last_activity = SimTime::ZERO;
+        let mut events: u64 = 0;
+        loop {
+            let take_arrival = match (
+                trace.get(next_arrival).map(|request| request.arrival),
+                heap.peek_time(),
+            ) {
+                (Some(arrival), Some(heap_at)) => arrival <= heap_at,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            events += 1;
+            if take_arrival {
+                let idx = next_arrival;
+                next_arrival += racks;
+                arrivals_remaining -= 1;
+                let request = &trace[idx];
+                let now = request.arrival;
+                last_activity = now;
+                offered.record_event(now);
+                self.admit(&mut state, idx, request, now);
+                self.start_queued(
+                    &mut state,
+                    rack_idx as u32,
+                    now,
+                    trace,
+                    data,
+                    &mut latency_series,
+                    |service| heap.schedule(now + service, LaneEvent::Completion),
+                );
+                queued.record(now, state.queue.len() as f64);
+                continue;
+            }
+            let event = heap.pop().expect("a peeked event pops");
+            let now = event.at;
+            let runnable = match event.payload {
+                LaneEvent::Completion => {
+                    state.busy -= 1;
+                    last_activity = now;
+                    true
+                }
+                LaneEvent::ScaleTick => {
+                    let interval = self
+                        .config
+                        .scaling
+                        .interval()
+                        .expect("ticks only run for elastic policies");
+                    self.scale_decision(&mut state, now, |add| {
+                        heap.schedule(
+                            now + self.config.provisioning_delay,
+                            LaneEvent::ScaleCommit { add },
+                        );
+                    });
+                    if arrivals_remaining > 0 || state.busy > 0 || !state.queue.is_empty() {
+                        heap.schedule(now + interval, LaneEvent::ScaleTick);
+                    }
+                    false
+                }
+                LaneEvent::ScaleCommit { add } => {
+                    state.pending -= add;
+                    state.capacity += add;
+                    state.peak_instances = state.peak_instances.max(state.capacity);
+                    state.scaling_lag += self.config.provisioning_delay;
+                    true
+                }
+            };
+            if runnable {
+                self.start_queued(
+                    &mut state,
+                    rack_idx as u32,
+                    now,
+                    trace,
+                    data,
+                    &mut latency_series,
+                    |service| heap.schedule(now + service, LaneEvent::Completion),
+                );
+                queued.record(now, state.queue.len() as f64);
+            }
+        }
+        RackRun {
+            state,
+            offered,
+            queued,
+            latency_series,
+            last_activity,
+            events,
+        }
+    }
+
+    /// Runs every rack lane of a round-robin run, on `rack_jobs` worker
+    /// threads (0 = one per available core, 1 = inline on the caller's
+    /// thread; always capped at the rack count). Returns the lanes in rack
+    /// order plus the worker count actually used.
+    fn run_lanes(
+        &self,
+        trace: &[TraceRequest],
+        rack_rngs: Vec<DeterministicRng>,
+        horizon: SimDuration,
+        data: Option<&DataLayer>,
+        rack_jobs: usize,
+    ) -> (Vec<RackRun>, usize) {
+        let racks = rack_rngs.len();
+        let workers = match rack_jobs {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        }
+        .min(racks)
+        .max(1);
+        if workers == 1 {
+            let lanes = rack_rngs
+                .into_iter()
+                .enumerate()
+                .map(|(r, rng)| self.run_rack(trace, r, racks, rng, horizon, data))
+                .collect();
+            return (lanes, 1);
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots: Vec<std::sync::OnceLock<RackRun>> =
+            (0..racks).map(|_| std::sync::OnceLock::new()).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let r = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if r >= racks {
+                        break;
+                    }
+                    let lane = self.run_rack(trace, r, racks, rack_rngs[r].clone(), horizon, data);
+                    let filled = slots[r].set(lane).is_ok();
+                    debug_assert!(filled, "rack {r} claimed twice");
+                });
+            }
+        });
+        let lanes = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("the worker pool simulated every rack")
+            })
+            .collect();
+        (lanes, workers)
+    }
+
+    /// The whole-cluster sequential event loop, used when the balancer reads
+    /// cross-rack state at dispatch time. Arrivals stream from a cursor over
+    /// the (sorted) trace — the heap only holds the O(pending) future events —
+    /// and win ties against heap events, preserving the historical order of
+    /// the preloaded-arrival engine.
+    fn run_coupled(
+        &self,
+        trace: &[TraceRequest],
+        rack_rngs: Vec<DeterministicRng>,
+        balancer: LoadBalancer,
+        horizon: SimDuration,
+        data: Option<&DataLayer>,
+    ) -> ClusterRun {
         let mut offered = TimeSeries::new(self.config.bucket, horizon);
         let mut queued_series = TimeSeries::new(self.config.bucket, horizon);
         let mut latency_series = TimeSeries::new(self.config.bucket, horizon);
-
-        let mut master = DeterministicRng::seeded(seed);
-        let mut rack_states: Vec<RackState> = (0..racks)
-            .map(|r| RackState {
-                queue: SchedQueue::new(self.config.scheduler),
-                keepalive: KeepaliveState::new(self.config.keepalive),
-                cached_on_flash: HashSet::new(),
-                rng: master.fork(u64::from(r)),
-                busy: 0,
-                capacity: initial_capacity,
-                pending: 0,
-                completed: 0,
-                rejected: 0,
-                cold_starts: 0,
-                coldstart: SimDuration::ZERO,
-                peak_queue: 0,
-                peak_instances: initial_capacity,
-                low_instances: initial_capacity,
-                scale_ups: 0,
-                scale_downs: 0,
-                scaling_lag: SimDuration::ZERO,
-                locality_hits: 0,
-                remote_fetches: 0,
-                cross_rack_bytes: 0,
-                fetch_latency: SimDuration::ZERO,
-                fetch_energy_j: 0.0,
-                latency: QuantileSketch::new(),
-            })
+        let mut rack_states: Vec<RackState> = rack_rngs
+            .into_iter()
+            .map(|rng| self.new_rack_state(rng))
             .collect();
-        let wall_clock = std::time::Instant::now();
-
-        let mut sim: Simulator<Event> = Simulator::new();
-        for (idx, request) in trace.iter().enumerate() {
-            sim.schedule_at(request.arrival, Event::Arrival(idx));
-            offered.record_event(request.arrival);
-        }
+        let mut heap: EventQueue<CoupledEvent> = EventQueue::new();
         if let Some(interval) = self.config.scaling.interval() {
-            for rack in 0..racks as usize {
-                sim.schedule_at(SimTime::ZERO + interval, Event::ScaleTick { rack });
+            for rack in 0..rack_states.len() {
+                heap.schedule(SimTime::ZERO + interval, CoupledEvent::ScaleTick { rack });
             }
         }
-
-        let mut round_robin: usize = 0;
-        let mut total_queued: usize = 0;
-        let mut arrivals_pending: usize = trace.len();
+        let mut next_arrival: usize = 0;
         let mut last_activity = SimTime::ZERO;
-
-        sim.run(|sim, now, event| {
+        let mut events: u64 = 0;
+        loop {
+            let take_arrival = match (
+                trace.get(next_arrival).map(|request| request.arrival),
+                heap.peek_time(),
+            ) {
+                (Some(arrival), Some(heap_at)) => arrival <= heap_at,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            events += 1;
             // Events that can free or add capacity (or enqueue work) run the
             // start loop on their rack afterwards; scale ticks only take
             // decisions.
-            let rack_idx = match event {
-                Event::Arrival(idx) => {
-                    arrivals_pending -= 1;
-                    last_activity = now;
-                    let least_loaded = |racks: &[RackState]| {
-                        racks
-                            .iter()
-                            .enumerate()
-                            .min_by_key(|(i, rack)| (rack.load(), *i))
-                            .map(|(i, _)| i)
-                            .expect("at least one rack")
-                    };
-                    let r = match balancer {
-                        LoadBalancer::RoundRobin => {
-                            let r = round_robin % rack_states.len();
-                            round_robin += 1;
-                            r
+            let (rack_idx, now) = if take_arrival {
+                let idx = next_arrival;
+                next_arrival += 1;
+                let request = &trace[idx];
+                let now = request.arrival;
+                last_activity = now;
+                offered.record_event(now);
+                let least_loaded = |racks: &[RackState]| {
+                    racks
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(i, rack)| (rack.load(), *i))
+                        .map(|(i, _)| i)
+                        .expect("at least one rack")
+                };
+                let r = match balancer {
+                    LoadBalancer::RoundRobin => {
+                        unreachable!("round-robin runs on the partitioned engine")
+                    }
+                    LoadBalancer::LeastLoaded => least_loaded(&rack_states),
+                    LoadBalancer::LocalityAware { spill_threshold } => {
+                        // Prefer the least-loaded rack holding a replica
+                        // of the request's object; once its queue exceeds
+                        // the spill threshold — or is full, which would
+                        // reject the request outright — the fetch is
+                        // cheaper than the wait, so fall back to
+                        // least-loaded. Without a data layer there is no
+                        // placement to honour.
+                        let local = data.and_then(|d| {
+                            d.replica_racks(request.function, request.object)
+                                .iter()
+                                .map(|&r| r as usize)
+                                .filter(|&r| r < rack_states.len())
+                                .min_by_key(|&r| (rack_states[r].load(), r))
+                        });
+                        let saturated =
+                            spill_threshold.min(self.config.queue_depth.saturating_sub(1));
+                        match local {
+                            Some(r) if rack_states[r].queue.len() <= saturated => r,
+                            _ => least_loaded(&rack_states),
                         }
-                        LoadBalancer::LeastLoaded => least_loaded(&rack_states),
-                        LoadBalancer::LocalityAware { spill_threshold } => {
-                            // Prefer the least-loaded rack holding a replica
-                            // of the request's object; once its queue exceeds
-                            // the spill threshold — or is full, which would
-                            // reject the request outright — the fetch is
-                            // cheaper than the wait, so fall back to
-                            // least-loaded. Without a data layer there is no
-                            // placement to honour.
-                            let request = &trace[idx];
-                            let local = data.and_then(|d| {
-                                d.replica_racks(request.function, request.object)
-                                    .iter()
-                                    .map(|&r| r as usize)
-                                    .filter(|&r| r < rack_states.len())
-                                    .min_by_key(|&r| (rack_states[r].load(), r))
-                            });
-                            let saturated =
-                                spill_threshold.min(self.config.queue_depth.saturating_sub(1));
-                            match local {
-                                Some(r) if rack_states[r].queue.len() <= saturated => r,
-                                _ => least_loaded(&rack_states),
-                            }
+                    }
+                };
+                self.admit(&mut rack_states[r], idx, request, now);
+                (Some(r), now)
+            } else {
+                let event = heap.pop().expect("a peeked event pops");
+                let now = event.at;
+                match event.payload {
+                    CoupledEvent::Completion { rack } => {
+                        rack_states[rack].busy -= 1;
+                        last_activity = now;
+                        (Some(rack), now)
+                    }
+                    CoupledEvent::ScaleTick { rack } => {
+                        self.scale_decision(&mut rack_states[rack], now, |add| {
+                            heap.schedule(
+                                now + self.config.provisioning_delay,
+                                CoupledEvent::ScaleCommit { rack, add },
+                            );
+                        });
+                        let r = &rack_states[rack];
+                        if next_arrival < trace.len() || r.busy > 0 || !r.queue.is_empty() {
+                            let interval = self
+                                .config
+                                .scaling
+                                .interval()
+                                .expect("ticks only run for elastic policies");
+                            heap.schedule(now + interval, CoupledEvent::ScaleTick { rack });
                         }
-                    };
-                    let rack = &mut rack_states[r];
-                    let request = &trace[idx];
-                    if predictive {
-                        // Predictive scaling estimates demand from offered
-                        // load, not the (capacity-throttled) start rate.
-                        rack.keepalive.note_arrival(request.function, now);
+                        (None, now)
                     }
-                    if rack.queue.len() >= self.config.queue_depth {
-                        rack.rejected += 1;
-                    } else {
-                        rack.queue.push(
-                            idx,
-                            request.benchmark,
-                            self.service_times[&request.benchmark],
-                        );
-                        total_queued += 1;
-                        rack.peak_queue = rack.peak_queue.max(rack.queue.len());
+                    CoupledEvent::ScaleCommit { rack, add } => {
+                        let r = &mut rack_states[rack];
+                        r.pending -= add;
+                        r.capacity += add;
+                        r.peak_instances = r.peak_instances.max(r.capacity);
+                        r.scaling_lag += self.config.provisioning_delay;
+                        (Some(rack), now)
                     }
-                    Some(r)
-                }
-                Event::Completion { rack } => {
-                    rack_states[rack].busy -= 1;
-                    last_activity = now;
-                    Some(rack)
-                }
-                Event::ScaleTick { rack } => {
-                    self.scale_decision(sim, &mut rack_states[rack], rack, now);
-                    let r = &rack_states[rack];
-                    if arrivals_pending > 0 || r.busy > 0 || !r.queue.is_empty() {
-                        let interval = self
-                            .config
-                            .scaling
-                            .interval()
-                            .expect("ticks only run for elastic policies");
-                        sim.schedule_in(interval, Event::ScaleTick { rack });
-                    }
-                    None
-                }
-                Event::ScaleCommit { rack, add } => {
-                    let r = &mut rack_states[rack];
-                    r.pending -= add;
-                    r.capacity += add;
-                    r.peak_instances = r.peak_instances.max(r.capacity);
-                    r.scaling_lag += self.config.provisioning_delay;
-                    Some(rack)
                 }
             };
-            let Some(rack_idx) = rack_idx else { return };
-            // Greedily start queued requests on this rack's free instances,
-            // in the order the scheduler policy dictates.
-            let rack = &mut rack_states[rack_idx];
-            while rack.busy < rack.capacity {
-                let Some(idx) = rack.queue.pop() else { break };
-                total_queued -= 1;
-                let request = &trace[idx];
-                let base = self.service_times[&request.benchmark];
-                let jitter = (self.config.service_jitter_sigma * rack.rng.standard_normal()).exp();
-                let mut service = base * jitter;
-                if !rack.keepalive.is_warm(request.function, now) {
-                    let costs = self.cold_costs[&request.benchmark];
-                    let penalty =
-                        if self.flash_cache && rack.cached_on_flash.contains(&request.function) {
-                            costs.local
-                        } else {
-                            costs.remote
-                        };
-                    service += penalty;
-                    rack.cold_starts += 1;
-                    rack.coldstart += penalty;
-                    if self.flash_cache {
-                        rack.cached_on_flash.insert(request.function);
-                    }
-                }
-                if let Some(data) = data {
-                    if data.holds(request.function, request.object, rack_idx as u32) {
-                        rack.locality_hits += 1;
-                    } else {
-                        // The object lives elsewhere: the invocation carries
-                        // the cross-rack fetch before it can execute.
-                        let fetch = data.fetch_cost(request.object_bytes);
-                        service += fetch.latency;
-                        rack.remote_fetches += 1;
-                        rack.cross_rack_bytes += request.object_bytes.as_u64();
-                        rack.fetch_latency += fetch.latency;
-                        rack.fetch_energy_j += fetch.energy_j;
-                    }
-                }
-                rack.keepalive
-                    .record_invocation(request.function, now, now + service);
-                let wait = now.saturating_since(request.arrival);
-                let wall = wait + service;
-                rack.latency.record(wall.as_secs_f64());
-                latency_series.record(request.arrival, wall.as_millis_f64());
-                rack.completed += 1;
-                rack.busy += 1;
-                sim.schedule_in(service, Event::Completion { rack: rack_idx });
-            }
-            queued_series.record(now, total_queued as f64);
-        });
+            let Some(r) = rack_idx else { continue };
+            self.start_queued(
+                &mut rack_states[r],
+                r as u32,
+                now,
+                trace,
+                data,
+                &mut latency_series,
+                |service| heap.schedule(now + service, CoupledEvent::Completion { rack: r }),
+            );
+            queued_series.record(now, rack_states[r].queue.len() as f64);
+        }
+        ClusterRun {
+            rack_states,
+            offered,
+            queued: queued_series,
+            latency_series,
+            last_activity,
+            events,
+        }
+    }
 
+    /// Merges a finished run — either engine — into the aggregate report and
+    /// per-rack summaries, closing the warm-memory ledgers against the
+    /// cluster-wide last activity first.
+    fn finalize(
+        &self,
+        run: ClusterRun,
+        wall_clock: std::time::Instant,
+    ) -> (ClusterReport, Vec<RackSummary>) {
+        let ClusterRun {
+            mut rack_states,
+            offered,
+            queued: queued_series,
+            latency_series,
+            last_activity,
+            events,
+        } = run;
         // Close the warm-memory ledger: containers still warm at the end of
         // the run held their remaining window without a reuse.
         let makespan = last_activity - SimTime::ZERO;
@@ -852,7 +1255,7 @@ impl ClusterSim {
                 Some(merged_latency)
             },
             makespan,
-            events: sim.processed(),
+            events,
             wall_s: Measured(wall_clock.elapsed().as_secs_f64()),
         };
         (report, summaries)
@@ -860,16 +1263,16 @@ impl ClusterSim {
 
     /// One autoscaling evaluation on `rack`: reactive policies watch the
     /// queue depth, predictive policies size the pool to the learned
-    /// arrival-rate estimate. Scale-ups enter the provisioning pipeline and
-    /// commit `provisioning_delay` later; scale-downs release immediately
-    /// (running requests finish, the freed instances just stop accepting new
-    /// work).
+    /// arrival-rate estimate. Scale-ups enter the provisioning pipeline —
+    /// `schedule_commit(add)` schedules the commit `provisioning_delay` out,
+    /// in whichever engine's heap the caller owns; scale-downs release
+    /// immediately (running requests finish, the freed instances just stop
+    /// accepting new work).
     fn scale_decision(
         &self,
-        sim: &mut Simulator<Event>,
         rack: &mut RackState,
-        rack_idx: usize,
         now: SimTime,
+        schedule_commit: impl FnOnce(u32),
     ) {
         let (min, max) = (self.config.min_instances, self.config.max_instances);
         match self.config.scaling {
@@ -886,13 +1289,7 @@ impl ClusterSim {
                     let add = step.min(max - provisioned);
                     rack.pending += add;
                     rack.scale_ups += 1;
-                    sim.schedule_in(
-                        self.config.provisioning_delay,
-                        Event::ScaleCommit {
-                            rack: rack_idx,
-                            add,
-                        },
-                    );
+                    schedule_commit(add);
                 } else if depth <= scale_down_queue && rack.capacity > min {
                     let drop = step.min(rack.capacity - min);
                     rack.capacity -= drop;
@@ -926,13 +1323,7 @@ impl ClusterSim {
                     let add = target - provisioned;
                     rack.pending += add;
                     rack.scale_ups += 1;
-                    sim.schedule_in(
-                        self.config.provisioning_delay,
-                        Event::ScaleCommit {
-                            rack: rack_idx,
-                            add,
-                        },
-                    );
+                    schedule_commit(add);
                 } else if target < rack.capacity {
                     rack.capacity = target;
                     rack.scale_downs += 1;

@@ -559,6 +559,20 @@ impl WorkloadSpec {
             SweepScale::Smoke => RateProfile::paper_bursty().compressed(100.0),
             SweepScale::Quick => RateProfile::paper_bursty().compressed(16.0),
             SweepScale::Full => RateProfile::paper_bursty(),
+            // Six back-to-back repetitions of the paper's 20-minute profile:
+            // two simulated hours at the paper's rates, ~10⁷ arrivals.
+            SweepScale::Large => {
+                let day = RateProfile::paper_bursty();
+                RateProfile {
+                    segments: day
+                        .segments
+                        .iter()
+                        .cloned()
+                        .cycle()
+                        .take(day.segments.len() * 6)
+                        .collect(),
+                }
+            }
         }
     }
 
@@ -575,6 +589,17 @@ impl WorkloadSpec {
             },
             SweepScale::Quick => AzureWorkload::quick(),
             SweepScale::Full => AzureWorkload::default(),
+            // The 10⁷-invocation scale the rack-parallel engine exists for:
+            // 10⁵ functions over two simulated days with a true diurnal
+            // period (~60 rps × 48 h ≈ 1.0 × 10⁷ invocations).
+            SweepScale::Large => AzureWorkload {
+                functions: 100_000,
+                base_rps: 60.0,
+                horizon: SimDuration::from_secs(48 * 3600),
+                diurnal_period: SimDuration::from_secs(24 * 3600),
+                step: SimDuration::from_secs(60),
+                ..AzureWorkload::default()
+            },
         }
     }
 

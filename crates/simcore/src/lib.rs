@@ -64,7 +64,7 @@ pub use json::JsonValue;
 pub use pareto::{pareto_frontier, ParetoPoint};
 pub use quantity::{AreaMm2, Bandwidth, Bytes, Dollars, Frequency, Joules, Watts};
 pub use rng::DeterministicRng;
-pub use series::TimeSeries;
+pub use series::{SeriesMergeError, TimeSeries};
 pub use stats::{Cdf, Histogram, Summary};
 pub use time::{SimDuration, SimTime};
 

@@ -4,9 +4,54 @@
 //! wall-clock minutes. [`TimeSeries`] accumulates samples into fixed-width
 //! buckets and reports per-bucket means, maxima and counts.
 
+use std::error::Error;
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 
 use crate::time::{SimDuration, SimTime};
+
+/// Why two [`TimeSeries`] could not be merged.
+///
+/// Merging is only defined for series built with the same bucket width over
+/// the same horizon — i.e. series recorded against the same clock — so the
+/// mismatch is reported as a typed error rather than silently resampled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesMergeError {
+    /// The two series use different bucket widths.
+    BucketMismatch {
+        /// Bucket width of the series being merged into.
+        ours: SimDuration,
+        /// Bucket width of the other series.
+        theirs: SimDuration,
+    },
+    /// The two series cover a different number of buckets (different horizons).
+    LengthMismatch {
+        /// Bucket count of the series being merged into.
+        ours: usize,
+        /// Bucket count of the other series.
+        theirs: usize,
+    },
+}
+
+impl fmt::Display for SeriesMergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeriesMergeError::BucketMismatch { ours, theirs } => write!(
+                f,
+                "cannot merge series with different bucket widths ({} ns vs {} ns)",
+                ours.as_nanos(),
+                theirs.as_nanos()
+            ),
+            SeriesMergeError::LengthMismatch { ours, theirs } => write!(
+                f,
+                "cannot merge series with different horizons ({ours} vs {theirs} buckets)"
+            ),
+        }
+    }
+}
+
+impl Error for SeriesMergeError {}
 
 /// A metric accumulated into fixed-width time buckets.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -67,6 +112,42 @@ impl TimeSeries {
     /// Records an occurrence (count of one) at time `at`.
     pub fn record_event(&mut self, at: SimTime) {
         self.record(at, 1.0);
+    }
+
+    /// Merges `other` into `self` bucket-wise: sums and counts add, maxima
+    /// take the pairwise maximum. Both series must share the same bucket
+    /// width and bucket count (i.e. the same horizon); a mismatch returns a
+    /// [`SeriesMergeError`] and leaves `self` untouched.
+    ///
+    /// Merging partitioned series recorded against the same clock is exact
+    /// for counts, rates and maxima; per-bucket means recompute from the
+    /// merged sums, so they equal the means a single combined series would
+    /// have reported (up to floating-point addition order).
+    pub fn merge(&mut self, other: &TimeSeries) -> Result<(), SeriesMergeError> {
+        if self.bucket != other.bucket {
+            return Err(SeriesMergeError::BucketMismatch {
+                ours: self.bucket,
+                theirs: other.bucket,
+            });
+        }
+        if self.sums.len() != other.sums.len() {
+            return Err(SeriesMergeError::LengthMismatch {
+                ours: self.sums.len(),
+                theirs: other.sums.len(),
+            });
+        }
+        for (ours, theirs) in self.sums.iter_mut().zip(&other.sums) {
+            *ours += theirs;
+        }
+        for (ours, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *ours += theirs;
+        }
+        for (ours, &theirs) in self.maxima.iter_mut().zip(&other.maxima) {
+            if theirs > *ours {
+                *ours = theirs;
+            }
+        }
+        Ok(())
     }
 
     /// Per-bucket sample counts (e.g. requests per bucket).
@@ -186,5 +267,69 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_bucket_rejected() {
         let _ = TimeSeries::new(SimDuration::ZERO, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn merge_sums_counts_and_takes_maxima() {
+        let mut a = TimeSeries::new(SimDuration::from_secs(1), SimDuration::from_secs(4));
+        let mut b = TimeSeries::new(SimDuration::from_secs(1), SimDuration::from_secs(4));
+        a.record(secs(0), 2.0);
+        a.record(secs(2), 10.0);
+        b.record(secs(0), 4.0);
+        b.record(secs(0), 6.0);
+        b.record(secs(3), 1.0);
+        a.merge(&b).expect("compatible series");
+        assert_eq!(a.counts(), &[3, 0, 1, 1]);
+        assert_eq!(a.means()[0], Some(4.0));
+        assert_eq!(a.maxima(), &[6.0, 0.0, 10.0, 1.0]);
+        assert_eq!(a.means()[1], None);
+    }
+
+    #[test]
+    fn merge_matches_a_single_combined_series() {
+        // Partition one stream of events across two series and merge; the
+        // result must match recording everything into one series.
+        let make = || TimeSeries::new(SimDuration::from_secs(2), SimDuration::from_secs(10));
+        let (mut whole, mut left, mut right) = (make(), make(), make());
+        for i in 0..40u64 {
+            let at = secs(i % 10);
+            let value = (i % 7) as f64;
+            whole.record(at, value);
+            if i % 2 == 0 {
+                left.record(at, value);
+            } else {
+                right.record(at, value);
+            }
+        }
+        left.merge(&right).expect("compatible series");
+        assert_eq!(left.counts(), whole.counts());
+        assert_eq!(left.maxima(), whole.maxima());
+        assert_eq!(left.rates_per_sec(), whole.rates_per_sec());
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_buckets() {
+        let mut a = TimeSeries::new(SimDuration::from_secs(1), SimDuration::from_secs(4));
+        let b = TimeSeries::new(SimDuration::from_secs(2), SimDuration::from_secs(4));
+        let before = a.clone();
+        let err = a.merge(&b).expect_err("bucket widths differ");
+        assert_eq!(
+            err,
+            SeriesMergeError::BucketMismatch {
+                ours: SimDuration::from_secs(1),
+                theirs: SimDuration::from_secs(2),
+            }
+        );
+        assert!(err.to_string().contains("bucket widths"));
+        assert_eq!(a, before, "failed merge must leave the series untouched");
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_horizons() {
+        let mut a = TimeSeries::new(SimDuration::from_secs(1), SimDuration::from_secs(4));
+        let b = TimeSeries::new(SimDuration::from_secs(1), SimDuration::from_secs(6));
+        let err = a.merge(&b).expect_err("horizons differ");
+        assert_eq!(err, SeriesMergeError::LengthMismatch { ours: 4, theirs: 6 });
+        assert!(err.to_string().contains("horizons"));
     }
 }

@@ -95,8 +95,10 @@ fn smoke_sweep_matches_the_pr4_golden_report() {
     }
 }
 
-/// Removes one `,"wall_s":...,"events_per_sec":...` run starting at `from`,
-/// returning the index just past the removed span.
+/// Removes one measured run starting at `from`: `,"wall_s":...,
+/// "events_per_sec":...`, plus — at the root only — the worker knobs
+/// recorded with them (`,"jobs":...,"rack_jobs":...`). Returns the index
+/// just past the removed span.
 fn strip_measured_run(json: &mut String, from: usize) -> usize {
     let eps_key = "\"events_per_sec\":";
     let eps = json[from..].find(eps_key).expect("keys always paired") + from;
@@ -105,11 +107,22 @@ fn strip_measured_run(json: &mut String, from: usize) -> usize {
         .find([',', '}'])
         .expect("JSON continues after the value");
     json.replace_range(from..value_start + value_len, "");
+    for knob in ["\"jobs\":", "\"rack_jobs\":"] {
+        if json[from..].starts_with(',') && json[from + 1..].starts_with(knob) {
+            let value_start = from + 1 + knob.len();
+            let value_len = json[value_start..]
+                .find([',', '}'])
+                .expect("JSON continues after the value");
+            json.replace_range(from..value_start + value_len, "");
+        }
+    }
     from
 }
 
 /// The throughput rendering is the deterministic golden report plus *only*
-/// the measured keys: stripping every `wall_s`/`events_per_sec` pair from
+/// the measured keys: stripping every `wall_s`/`events_per_sec` pair (and
+/// the root's `jobs`/`rack_jobs` worker knobs, which ride in the measured
+/// section so they never enter cell identity) from
 /// `to_json_with_throughput()` must recover the golden bytes exactly, and
 /// the measured keys must appear once per cell plus once at the root.
 #[test]

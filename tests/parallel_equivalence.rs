@@ -10,11 +10,16 @@
 //! depend on the host's core count (CI runners may expose a single core),
 //! while the determinism contract must hold everywhere.
 
+use std::sync::Arc;
+
 use dscs_serverless::cluster::at_scale::{AtScaleOptions, SweepScale, SweepSpec};
+use dscs_serverless::cluster::experiment::{Experiment, Outcome};
 use dscs_serverless::cluster::policy::{
     KeepalivePolicy, LoadBalancer, ScalingPolicy, SchedulerPolicy,
 };
+use dscs_serverless::cluster::trace::RateProfile;
 use dscs_serverless::platforms::PlatformKind;
+use dscs_serverless::simcore::rng::DeterministicRng;
 
 /// A small smoke-scale grid (2 workloads x 1 platform x 1 scheduler x
 /// 2 keepalives x 2 scalings x 2 balancers = 16 cells) so each test run
@@ -155,6 +160,135 @@ fn repeated_parallel_runs_are_bit_stable() {
     // The deterministic work counter is bit-stable too — only wall_s (a
     // measurement, excluded from equality and from to_json) may differ.
     assert_eq!(a.total_events(), b.total_events());
+}
+
+/// A round-robin grid spanning all three scaling policies, the surface the
+/// rack-parallel engine must reproduce exactly: fixed pools, reactive ticks
+/// and predictive ticks all schedule per-rack events whose order the
+/// partitioned lanes must preserve.
+fn rack_grid(seed: u64, rack_jobs: usize) -> SweepSpec {
+    SweepSpec {
+        seed,
+        jobs: 1,
+        rack_jobs,
+        racks: 3,
+        platforms: vec![PlatformKind::DscsDsa],
+        schedulers: vec![SchedulerPolicy::Fcfs],
+        keepalives: vec![KeepalivePolicy::prewarm_default()],
+        scalings: vec![
+            ScalingPolicy::Fixed,
+            ScalingPolicy::reactive_default(),
+            ScalingPolicy::predictive_default(),
+        ],
+        balancers: vec![LoadBalancer::RoundRobin],
+        ..SweepSpec::default_grid(SweepScale::Smoke)
+    }
+}
+
+#[test]
+fn rack_parallel_runs_render_rack_sequential_bytes_across_seeds_and_scalings() {
+    // The tentpole guarantee for the second parallelism level: sharding one
+    // experiment's racks over threads never changes the report — across
+    // seeds, every scaling policy, a pinned worker count and the auto (one
+    // per core) setting.
+    for seed in [42, 7, 0xBEEF] {
+        let sequential = rack_grid(seed, 1).run().expect("valid spec");
+        for rack_jobs in [2, 0] {
+            let parallel = rack_grid(seed, rack_jobs).run().expect("valid spec");
+            assert_eq!(
+                sequential.to_json(),
+                parallel.to_json(),
+                "seed {seed}: rack_jobs={rack_jobs} must render the rack-sequential bytes"
+            );
+            assert_eq!(sequential.cells, parallel.cells, "seed {seed}");
+            for (a, b) in sequential.cells.iter().zip(&parallel.cells) {
+                assert_eq!(a.events, b.events, "seed {seed}");
+                assert_eq!(
+                    a.mean_latency_ms.to_bits(),
+                    b.mean_latency_ms.to_bits(),
+                    "seed {seed}: latency sketches must merge to identical bits"
+                );
+                assert_eq!(a.rack_completed, b.rack_completed, "seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn rack_parallel_runs_are_bit_stable() {
+    let run = || rack_grid(11, 3).run().expect("valid spec");
+    let a = run();
+    let b = run();
+    assert_eq!(
+        a.to_json(),
+        b.to_json(),
+        "rack-parallel runs must be bit-stable"
+    );
+    assert_eq!(a.cells, b.cells);
+    assert_eq!(a.total_events(), b.total_events());
+}
+
+#[test]
+fn both_parallelism_levels_compose_to_the_sequential_bytes() {
+    // Sweep workers and rack workers at once — the full two-level fan-out —
+    // against the all-sequential run.
+    let sequential = rack_grid(42, 1).run().expect("valid spec");
+    let composed = SweepSpec {
+        jobs: 2,
+        rack_jobs: 2,
+        ..rack_grid(42, 1)
+    }
+    .run()
+    .expect("valid spec");
+    assert_eq!(sequential.to_json(), composed.to_json());
+}
+
+/// One small experiment per balancer, with rack workers requested.
+fn outcome_for(balancer: LoadBalancer, rack_jobs: usize) -> Outcome {
+    let profile = RateProfile::paper_bursty().compressed(100.0);
+    let trace = Arc::new(profile.generate(&mut DeterministicRng::seeded(5)));
+    Experiment::builder(PlatformKind::DscsDsa)
+        .trace(trace)
+        .racks(3)
+        .balancer(balancer)
+        .rack_jobs(rack_jobs)
+        .seed(9)
+        .build()
+        .expect("valid experiment")
+        .run()
+}
+
+#[test]
+fn coupled_balancers_report_the_sequential_fallback_reason() {
+    // Round-robin dispatch is decoupled, so it takes the rack-parallel
+    // engine; the coupled balancers must fall back to the sequential engine
+    // and say why.
+    let round_robin = outcome_for(LoadBalancer::RoundRobin, 3);
+    assert!(round_robin.engine.is_rack_parallel());
+    assert_eq!(round_robin.engine.fallback_reason(), None);
+
+    for balancer in [LoadBalancer::LeastLoaded, LoadBalancer::locality_default()] {
+        let outcome = outcome_for(balancer, 3);
+        assert!(
+            !outcome.engine.is_rack_parallel(),
+            "{}: coupled dispatch cannot shard racks",
+            balancer.name()
+        );
+        let reason = outcome
+            .engine
+            .fallback_reason()
+            .expect("coupled balancers must explain the sequential fallback");
+        assert!(
+            reason.contains("every rack"),
+            "{}: reason should name the cross-rack coupling, got '{reason}'",
+            balancer.name()
+        );
+        // The knob is inert on the sequential engine: same outcome with and
+        // without rack workers requested.
+        let inline = outcome_for(balancer, 1);
+        assert_eq!(outcome.report, inline.report, "{}", balancer.name());
+        assert_eq!(outcome.racks, inline.racks, "{}", balancer.name());
+    }
 }
 
 #[test]
