@@ -16,6 +16,8 @@
 //!                    [--rack-jobs N]
 //!                    [--scale smoke|quick|full|large|large-smoke|large-quick]
 //!                    [--balancer round-robin|least-loaded|locality]
+//!                    [--cold-path fresh|flash|snapshot]...
+//!                    [--ipc shm|socket|http]...
 //!                    [--workload azure|bursty|trace:<path>[@<day>]]...
 //!                    [--regret | --no-regret] [--out PATH]
 //!
@@ -37,15 +39,25 @@
 //! round-robin cell: the cell's racks are sharded over N threads (0: split
 //! the core budget left over by --jobs; 1, the default: inline). Cells with
 //! a coupled balancer (least-loaded, locality) fall back to the sequential
-//! engine. Rack workers never change the report bytes either. --scale picks
+//! engine. Rack workers never change the report bytes either. --cold-path
+//! (repeatable) sweeps the cold-start modality axis — `fresh` always pays
+//! the registry spawn, `flash` (the default) reloads evicted images from the
+//! drive's flash, `snapshot` restores repeat colds from a CRIU-style
+//! process snapshot — and --ipc (repeatable) sweeps the gateway→runtime
+//! transport charged on every started invocation (`shm`, the free default;
+//! `socket`; `http`). When the sweep covers both the flash and snapshot
+//! paths, the table closes with a prewarm-vs-restore crossover headline
+//! comparing the best cell of each. --scale picks
 //! the sweep size by name; `large` is the 10⁷-invocation preset (10⁵
 //! functions over two simulated days) on a restricted single-point policy
 //! grid sized for the rack-parallel engine; `large-smoke` and `large-quick`
 //! run that same restricted grid at smoke/quick scale so CI can exercise
 //! the preset cheaply and measure single-cell rack-parallel speedup.
 //! The table's `regret %` column shows each cell's cold-start
-//! regret against the offline-optimal bound (on by default; --no-regret
-//! hides it — the JSON always carries the v7 regret fields either way).
+//! regret against the offline-optimal bound, priced under the cell's own
+//! cold-start path (on by default; --no-regret hides it — the JSON always
+//! carries the regret fields either way, plus the v8 per-cell `cold_path`,
+//! `ipc`, `restore_s` and `ipc_overhead_s` columns).
 //!
 //! reproduce generate-trace [--sample | --scale smoke|quick|full|large]
 //!                          [--seed N] [--out PATH]
@@ -76,6 +88,7 @@
 use std::env;
 
 use dscs_cluster::at_scale::{AtScaleOptions, SweepScale, SweepSpec};
+use dscs_cluster::coldpath::{ColdStartPath, IpcTransport};
 use dscs_cluster::experiment::Experiment;
 use dscs_cluster::ingest::{sample_workload, TraceFileWorkload};
 use dscs_cluster::perf_gate::compare_reports;
@@ -490,6 +503,8 @@ fn at_scale(args: &[String]) {
     };
     let mut out_path = String::from("BENCH_cluster.json");
     let mut workload_args: Vec<String> = Vec::new();
+    let mut cold_path_args: Vec<ColdStartPath> = Vec::new();
+    let mut ipc_args: Vec<IpcTransport> = Vec::new();
     let mut show_regret = true;
     // The large preset restricts the policy grid to one point (the sweep
     // below is sized for a full cartesian product, not 10⁷-invocation
@@ -578,6 +593,26 @@ fn at_scale(args: &[String]) {
             }
             "--out" => out_path = value_of("--out"),
             "--workload" => workload_args.push(value_of("--workload")),
+            "--cold-path" => {
+                let name = value_of("--cold-path");
+                cold_path_args.push(ColdStartPath::from_name(&name).unwrap_or_else(|| {
+                    eprintln!(
+                        "--cold-path must be one of: {}",
+                        ColdStartPath::ALL.map(|p| p.name()).join(", ")
+                    );
+                    std::process::exit(2);
+                }));
+            }
+            "--ipc" => {
+                let name = value_of("--ipc");
+                ipc_args.push(IpcTransport::from_name(&name).unwrap_or_else(|| {
+                    eprintln!(
+                        "--ipc must be one of: {}",
+                        IpcTransport::ALL.map(|t| t.name()).join(", ")
+                    );
+                    std::process::exit(2);
+                }));
+            }
             "--regret" => show_regret = true,
             "--no-regret" => show_regret = false,
             "--balancer" => {
@@ -602,6 +637,7 @@ fn at_scale(args: &[String]) {
                      [--jobs N] [--rack-jobs N] \
                      [--scale smoke|quick|full|large|large-smoke|large-quick] \
                      [--balancer round-robin|least-loaded|locality] \
+                     [--cold-path fresh|flash|snapshot]... [--ipc shm|socket|http]... \
                      [--workload azure|bursty|trace:<path>[@<day>]]... \
                      [--regret | --no-regret] [--out PATH]"
                 );
@@ -632,6 +668,25 @@ fn at_scale(args: &[String]) {
         }
         if !rack_jobs_set {
             spec.rack_jobs = 0;
+        }
+    }
+    // The repeatable modality flags replace the default single-valued axes
+    // (first occurrence wins on duplicates, so the grid never double-counts
+    // a cell).
+    if !cold_path_args.is_empty() {
+        spec.cold_paths.clear();
+        for path in cold_path_args {
+            if !spec.cold_paths.contains(&path) {
+                spec.cold_paths.push(path);
+            }
+        }
+    }
+    if !ipc_args.is_empty() {
+        spec.ipcs.clear();
+        for ipc in ipc_args {
+            if !spec.ipcs.contains(&ipc) {
+                spec.ipcs.push(ipc);
+            }
         }
     }
     if !workload_args.is_empty() {
@@ -677,8 +732,17 @@ fn at_scale(args: &[String]) {
         );
     }
     print!(
-        "\n{:<8} {:<18} {:<6} {:<16} {:<10} {:<12} {:>9} {:>8}",
-        "workload", "platform", "sched", "keepalive", "scaling", "balancer", "completed", "cold",
+        "\n{:<8} {:<18} {:<6} {:<16} {:<10} {:<12} {:<8} {:<6} {:>9} {:>8}",
+        "workload",
+        "platform",
+        "sched",
+        "keepalive",
+        "scaling",
+        "balancer",
+        "path",
+        "ipc",
+        "completed",
+        "cold",
     );
     if show_regret {
         print!(" {:>9}", "regret %");
@@ -689,13 +753,15 @@ fn at_scale(args: &[String]) {
     );
     for c in &report.cells {
         print!(
-            "{:<8} {:<18} {:<6} {:<16} {:<10} {:<12} {:>9} {:>8}",
+            "{:<8} {:<18} {:<6} {:<16} {:<10} {:<12} {:<8} {:<6} {:>9} {:>8}",
             c.workload,
             c.platform.name(),
             c.scheduler.name(),
             c.keepalive.name(),
             c.scaling.name(),
             c.balancer.name(),
+            c.cold_path.name(),
+            c.ipc.name(),
             c.completed,
             c.cold_starts,
         );
@@ -711,6 +777,38 @@ fn at_scale(args: &[String]) {
             c.peak_instances,
             c.mean_latency_ms,
             c.p99_latency_ms
+        );
+    }
+    // The headline comparison the snapshot modality exists to answer: does
+    // proactive prewarming on the classic flash path still beat fast
+    // restore, or has restore crossed over? Shown whenever the sweep covers
+    // both paths, comparing each path's cheapest cell on aggregate
+    // cold-start seconds.
+    let best_under = |path: ColdStartPath| {
+        report
+            .cells
+            .iter()
+            .filter(|c| c.cold_path == path)
+            .min_by(|a, b| a.coldstart_s.total_cmp(&b.coldstart_s))
+    };
+    if let (Some(prewarm), Some(restore)) = (
+        best_under(ColdStartPath::FlashReload),
+        best_under(ColdStartPath::SnapshotRestore),
+    ) {
+        let winner = if restore.coldstart_s < prewarm.coldstart_s {
+            "snapshot restore wins"
+        } else {
+            "prewarming wins"
+        };
+        println!(
+            "\nprewarm vs restore crossover: best flash cell {:.2} s cold-start \
+             ({}/{}) vs best snapshot cell {:.2} s ({} restore) — {}",
+            prewarm.coldstart_s,
+            prewarm.keepalive.name(),
+            prewarm.scaling.name(),
+            restore.coldstart_s,
+            format_args!("{:.2} s", restore.restore_s),
+            winner
         );
     }
     let validation = report.cross_validation();

@@ -1,10 +1,11 @@
 //! The at-scale policy sweep: scheduler × keepalive × scaling × balancer ×
-//! platform × workload, declared as a [`SweepSpec`].
+//! cold-start path × IPC transport × platform × workload, declared as a
+//! [`SweepSpec`].
 //!
 //! Where Figure 13 fixes one policy point (FCFS, fixed keepalive, fixed
 //! 200-instance racks, local data), this experiment sweeps a whole policy
 //! grid over multiple workloads and multi-rack configurations, and emits a
-//! machine-readable JSON report (schema `dscs-at-scale-v7`). The grid is
+//! machine-readable JSON report (schema `dscs-at-scale-v8`). The grid is
 //! *declarative*: a [`SweepSpec`] lists the values to sweep per axis, and
 //! [`at_scale_sweep`] iterates the cartesian product generically, building
 //! one [`crate::experiment::Experiment`] per cell — adding an axis means
@@ -30,9 +31,14 @@
 //! `events_per_sec` simulator throughput the perf gate tracks. Since v7,
 //! every cell also carries its aggregate cold-start seconds, the
 //! offline-optimal lower bound on them ([`crate::optimal`], computed once
-//! per workload × platform pair and shared by every policy cell) and the
-//! derived `regret_pct` — how far the cell's policy combination sits above
-//! what an omniscient policy could have paid on the same trace.
+//! per workload × platform × cold-start-path triple and shared by every
+//! policy cell) and the derived `regret_pct` — how far the cell's policy
+//! combination sits above what an omniscient policy could have paid on the
+//! same trace. Since v8 the cold-start *modality* is an axis too: every
+//! cell carries its [`ColdStartPath`] (fresh spawn / flash reload /
+//! snapshot restore) and [`IpcTransport`] (shm / socket / http), plus the
+//! seconds each charged (`restore_s`, `ipc_overhead_s`), and the optimal
+//! bound is priced under the cell's own path so regret stays path-matched.
 //! CI runs the quick version of the sweep every build, uploads the report as
 //! an artifact (`BENCH_cluster.json`), and diffs it against the previous
 //! run's artifact (see [`crate::perf_gate`]), giving the repo a tracked,
@@ -48,6 +54,7 @@ use dscs_platforms::PlatformKind;
 use dscs_simcore::json::JsonValue;
 use dscs_simcore::stats::Measured;
 
+use crate::coldpath::{ColdStartPath, IpcTransport};
 use crate::data::DataLayer;
 use crate::experiment::{ConfigError, Experiment};
 use crate::policy::{KeepalivePolicy, LoadBalancer, ScalingPolicy, SchedulerPolicy};
@@ -95,6 +102,12 @@ pub struct AtScaleOptions {
     /// Restricts the sweep to one front-end load balancer; `None` sweeps the
     /// whole balancer axis ([`LoadBalancer::ALL`]).
     pub balancer: Option<LoadBalancer>,
+    /// Restricts the sweep to one cold-start path; `None` keeps the
+    /// historical single-valued default ([`ColdStartPath::FlashReload`]).
+    pub cold_path: Option<ColdStartPath>,
+    /// Restricts the sweep to one IPC transport; `None` keeps the
+    /// historical single-valued default ([`IpcTransport::SharedMem`]).
+    pub ipc: Option<IpcTransport>,
     /// Worker threads for the sweep: `0` means one per available core, `1`
     /// is the sequential path. The report is byte-identical either way.
     pub jobs: usize,
@@ -115,6 +128,8 @@ impl AtScaleOptions {
             seed: 42,
             racks: 2,
             balancer: None,
+            cold_path: None,
+            ipc: None,
             jobs: 0,
             rack_jobs: 1,
         }
@@ -142,7 +157,8 @@ impl AtScaleOptions {
 /// A declarative sweep grid: the values to sweep, one list per axis, plus
 /// the scale, seed and rack count every cell shares. [`SweepSpec::run`]
 /// iterates the cartesian product in a fixed order (workload, platform,
-/// scheduler, keepalive, scaling, balancer), so reports are deterministic.
+/// scheduler, keepalive, scaling, balancer, cold-start path, IPC
+/// transport), so reports are deterministic.
 ///
 /// Adding a policy axis to the sweep is one enum (the policy itself) and one
 /// list here — the iteration, cell identity and JSON rendering follow from
@@ -172,6 +188,13 @@ pub struct SweepSpec {
     pub scalings: Vec<ScalingPolicy>,
     /// Front-end load balancers to sweep.
     pub balancers: Vec<LoadBalancer>,
+    /// Cold-start paths to sweep. The default grid keeps the single
+    /// historical value ([`ColdStartPath::FlashReload`]), so legacy sweeps
+    /// reproduce byte for byte.
+    pub cold_paths: Vec<ColdStartPath>,
+    /// IPC transports to sweep. The default grid keeps the single
+    /// historical value ([`IpcTransport::SharedMem`]).
+    pub ipcs: Vec<IpcTransport>,
     /// Worker threads cells fan out over: `0` means one per available core
     /// ([`std::thread::available_parallelism`]), `1` runs the historical
     /// sequential path. Results are collected in grid order, so the rendered
@@ -203,6 +226,8 @@ impl SweepSpec {
             keepalives: KeepalivePolicy::all_default().to_vec(),
             scalings: ScalingPolicy::all_default().to_vec(),
             balancers: LoadBalancer::ALL.to_vec(),
+            cold_paths: vec![ColdStartPath::default()],
+            ipcs: vec![IpcTransport::default()],
             jobs: 0,
             rack_jobs: 1,
         }
@@ -252,13 +277,15 @@ impl SweepSpec {
         if self.racks == 0 {
             return Err(ConfigError::ZeroRacks);
         }
-        let axes: [(&'static str, bool); 6] = [
+        let axes: [(&'static str, bool); 8] = [
             ("workloads", self.workloads.is_empty()),
             ("platforms", self.platforms.is_empty()),
             ("schedulers", self.schedulers.is_empty()),
             ("keepalives", self.keepalives.is_empty()),
             ("scalings", self.scalings.is_empty()),
             ("balancers", self.balancers.is_empty()),
+            ("cold_paths", self.cold_paths.is_empty()),
+            ("ipcs", self.ipcs.is_empty()),
         ];
         for (axis, empty) in axes {
             if empty {
@@ -306,16 +333,31 @@ impl SweepSpec {
                 ))
             })
             .collect();
-        // The offline-optimal cold-start bound depends only on the trace and
-        // the platform's cold-start pricing — never on the policy point — so
-        // compute it once per (workload, platform) pair and share it across
-        // every cell, mirroring how base_sims memoizes model evaluation.
-        let optimal_bounds: Vec<Vec<f64>> = workloads
+        // The offline-optimal cold-start bound depends only on the trace,
+        // the platform's cold-start pricing and the cold-start *path* that
+        // prices repeat colds — never on the rest of the policy point — so
+        // compute it once per (workload, platform, cold_path) triple and
+        // share it across every cell, mirroring how base_sims memoizes
+        // model evaluation. Each path's bound comes from a sim reconfigured
+        // to that path, so regret is always measured against the cell's own
+        // modality pricing.
+        let optimal_bounds: Vec<Vec<Vec<f64>>> = workloads
             .iter()
             .map(|w| {
                 base_sims
                     .iter()
-                    .map(|sim| crate::optimal::optimal_coldstart_seconds(&w.trace, sim))
+                    .map(|sim| {
+                        self.cold_paths
+                            .iter()
+                            .map(|&cold_path| {
+                                let priced = sim.reconfigured(ClusterConfig {
+                                    cold_path,
+                                    ..ClusterConfig::default()
+                                });
+                                crate::optimal::optimal_coldstart_seconds(&w.trace, &priced)
+                            })
+                            .collect()
+                    })
                     .collect()
             })
             .collect();
@@ -328,14 +370,20 @@ impl SweepSpec {
                     for &keepalive in &self.keepalives {
                         for &scaling in &self.scalings {
                             for &balancer in &self.balancers {
-                                points.push(CellPoint {
-                                    workload,
-                                    platform,
-                                    scheduler,
-                                    keepalive,
-                                    scaling,
-                                    balancer,
-                                });
+                                for cold_path in 0..self.cold_paths.len() {
+                                    for &ipc in &self.ipcs {
+                                        points.push(CellPoint {
+                                            workload,
+                                            platform,
+                                            scheduler,
+                                            keepalive,
+                                            scaling,
+                                            balancer,
+                                            cold_path,
+                                            ipc,
+                                        });
+                                    }
+                                }
                             }
                         }
                     }
@@ -349,7 +397,8 @@ impl SweepSpec {
         let rack_jobs = self.effective_rack_jobs(jobs);
         let run_cell = |point: &CellPoint| -> Result<SweepCell, ConfigError> {
             let workload = &workloads[point.workload];
-            let bound = optimal_bounds[point.workload][point.platform];
+            let cold_path = self.cold_paths[point.cold_path];
+            let bound = optimal_bounds[point.workload][point.platform][point.cold_path];
             let outcome = Experiment::builder(self.platforms[point.platform])
                 .trace(workload.trace.clone())
                 .racks(self.racks)
@@ -357,6 +406,8 @@ impl SweepSpec {
                 .scheduler(point.scheduler)
                 .keepalive(point.keepalive)
                 .scaling(point.scaling)
+                .cold_path(cold_path)
+                .ipc(point.ipc)
                 .data_layer(data_layers[point.workload].clone())
                 .seed(self.seed ^ 0x5EED)
                 .optimal_coldstart(bound)
@@ -372,6 +423,8 @@ impl SweepSpec {
                 keepalive: point.keepalive,
                 scaling: point.scaling,
                 balancer: point.balancer,
+                cold_path,
+                ipc: point.ipc,
                 requests: workload.trace.len() as u64,
                 completed: report.completed,
                 rejected: report.rejected,
@@ -379,6 +432,8 @@ impl SweepSpec {
                 coldstart_s: report.coldstart_s,
                 optimal_coldstart_s: bound,
                 regret_pct: crate::optimal::regret_pct(report.coldstart_s, bound),
+                restore_s: report.restore_s,
+                ipc_overhead_s: report.ipc_overhead_s,
                 prewarm_hits: report.prewarm_hits,
                 prewarm_hit_rate: report.prewarm_hit_rate(),
                 wasted_warm_s: report.wasted_warm_seconds,
@@ -457,6 +512,10 @@ struct CellPoint {
     keepalive: KeepalivePolicy,
     scaling: ScalingPolicy,
     balancer: LoadBalancer,
+    /// Index into the spec's `cold_paths` list (the per-path optimal-bound
+    /// memo is indexed the same way).
+    cold_path: usize,
+    ipc: IpcTransport,
 }
 
 impl From<AtScaleOptions> for SweepSpec {
@@ -470,6 +529,8 @@ impl From<AtScaleOptions> for SweepSpec {
                 Some(balancer) => vec![balancer],
                 None => LoadBalancer::ALL.to_vec(),
             },
+            cold_paths: vec![options.cold_path.unwrap_or_default()],
+            ipcs: vec![options.ipc.unwrap_or_default()],
             jobs: options.jobs,
             rack_jobs: options.rack_jobs,
             ..SweepSpec::default_grid(options.scale)
@@ -478,7 +539,7 @@ impl From<AtScaleOptions> for SweepSpec {
 }
 
 /// One cell of the sweep: a (workload, platform, scheduler, keepalive,
-/// scaling, balancer) point.
+/// scaling, balancer, cold-start path, IPC transport) point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepCell {
     /// Workload name (`"bursty"`, `"azure"`, `"trace"`).
@@ -497,6 +558,10 @@ pub struct SweepCell {
     pub scaling: ScalingPolicy,
     /// Front-end load balancer.
     pub balancer: LoadBalancer,
+    /// Cold-start path: which modality this cell's cold starts paid.
+    pub cold_path: ColdStartPath,
+    /// IPC transport charged on every started invocation.
+    pub ipc: IpcTransport,
     /// Requests offered by the trace.
     pub requests: u64,
     /// Requests completed.
@@ -507,13 +572,21 @@ pub struct SweepCell {
     pub cold_starts: u64,
     /// Aggregate cold-start seconds this cell's requests paid.
     pub coldstart_s: f64,
-    /// Offline-optimal lower bound on `coldstart_s` for this cell's trace
-    /// and platform (see [`crate::optimal`]). Identical for every policy
-    /// cell of one (workload, platform) pair.
+    /// Offline-optimal lower bound on `coldstart_s` for this cell's trace,
+    /// platform and cold-start path (see [`crate::optimal`]). Identical for
+    /// every policy cell of one (workload, platform, cold_path) triple, so
+    /// regret is always measured against the cell's own modality pricing.
     pub optimal_coldstart_s: f64,
     /// Policy regret: how far `coldstart_s` sits above the offline bound,
     /// as a fraction of the bound (`0.0` when the bound is zero).
     pub regret_pct: f64,
+    /// Seconds of `coldstart_s` paid as snapshot-restore penalties (zero
+    /// unless `cold_path` is `"snapshot"`).
+    pub restore_s: f64,
+    /// Seconds of per-request IPC marshalling + syscall latency charged
+    /// across every started invocation (zero under the default `"shm"`
+    /// transport).
+    pub ipc_overhead_s: f64,
     /// Invocations that found a proactively prewarmed instance.
     pub prewarm_hits: u64,
     /// Fraction of completed requests that found a prewarmed instance.
@@ -639,7 +712,10 @@ impl AtScaleReport {
 
     /// The single cell at one full policy point, if the sweep covered it.
     /// Policies are matched by their report names (`"fcfs"`,
-    /// `"hybrid-prewarm"`, `"reactive"`, `"locality"`, ...).
+    /// `"hybrid-prewarm"`, `"reactive"`, `"locality"`, ...). When the sweep
+    /// covered several cold-start paths or IPC transports, this returns the
+    /// first match in grid order; disambiguate by filtering
+    /// [`AtScaleReport::cells`] on `cold_path` / `ipc` directly.
     pub fn cell(
         &self,
         workload: &str,
@@ -699,6 +775,8 @@ impl AtScaleReport {
                                     && t.keepalive == s.keepalive
                                     && t.scaling == s.scaling
                                     && t.balancer == s.balancer
+                                    && t.cold_path == s.cold_path
+                                    && t.ipc == s.ipc
                             })
                             .map(|t| (s, t))
                     })
@@ -776,7 +854,7 @@ impl AtScaleReport {
 
     fn render_json(&self, with_throughput: bool) -> String {
         let mut root = JsonValue::object();
-        root.push("schema", "dscs-at-scale-v7");
+        root.push("schema", "dscs-at-scale-v8");
         root.push("scale", self.spec.scale.name());
         root.push("seed", self.spec.seed);
         root.push("racks", self.spec.racks);
@@ -857,6 +935,8 @@ impl AtScaleReport {
                         obj.push("keepalive", c.keepalive.name());
                         obj.push("scaling", c.scaling.name());
                         obj.push("balancer", c.balancer.name());
+                        obj.push("cold_path", c.cold_path.name());
+                        obj.push("ipc", c.ipc.name());
                         obj.push("requests", c.requests);
                         obj.push("completed", c.completed);
                         obj.push("rejected", c.rejected);
@@ -864,6 +944,8 @@ impl AtScaleReport {
                         obj.push("coldstart_s", c.coldstart_s);
                         obj.push("optimal_coldstart_s", c.optimal_coldstart_s);
                         obj.push("regret_pct", c.regret_pct);
+                        obj.push("restore_s", c.restore_s);
+                        obj.push("ipc_overhead_s", c.ipc_overhead_s);
                         obj.push("prewarm_hits", c.prewarm_hits);
                         obj.push("prewarm_hit_rate", c.prewarm_hit_rate);
                         obj.push("wasted_warm_s", c.wasted_warm_s);
@@ -930,7 +1012,9 @@ mod tests {
     fn smoke_sweep_covers_the_whole_grid() {
         let report = smoke_report();
         // 2 workloads x 2 platforms x 3 schedulers x 4 keepalive policies
-        // x 3 scaling policies x 3 balancers.
+        // x 3 scaling policies x 3 balancers x 1 cold path x 1 transport
+        // (the modality axes default to single values, so the legacy grid
+        // size is unchanged).
         assert_eq!(report.cells.len(), 2 * 2 * 3 * 4 * 3 * 3);
         assert_eq!(report.workloads.len(), 2);
         for cell in &report.cells {
@@ -952,6 +1036,10 @@ mod tests {
                 cell.optimal_coldstart_s
             );
             assert!(cell.regret_pct >= 0.0 && cell.regret_pct.is_finite());
+            assert_eq!(cell.cold_path, ColdStartPath::FlashReload);
+            assert_eq!(cell.ipc, IpcTransport::SharedMem);
+            assert_eq!(cell.restore_s, 0.0, "flash path never restores");
+            assert_eq!(cell.ipc_overhead_s, 0.0, "shm transport is free");
             if cell.cross_rack_bytes > 0 {
                 assert!(cell.fetch_energy_j > 0.0, "moved bytes must cost joules");
             }
@@ -968,10 +1056,14 @@ mod tests {
         let b = at_scale_sweep(AtScaleOptions::smoke()).to_json();
         assert_eq!(a, b, "fixed seed must reproduce byte-for-byte");
         assert!(a.starts_with('{') && a.ends_with('}'));
-        assert!(a.contains("\"schema\":\"dscs-at-scale-v7\""));
+        assert!(a.contains("\"schema\":\"dscs-at-scale-v8\""));
         assert!(a.contains("\"coldstart_s\""));
         assert!(a.contains("\"optimal_coldstart_s\""));
         assert!(a.contains("\"regret_pct\""));
+        assert!(a.contains("\"cold_path\":\"flash\""));
+        assert!(a.contains("\"ipc\":\"shm\""));
+        assert!(a.contains("\"restore_s\""));
+        assert!(a.contains("\"ipc_overhead_s\""));
         assert!(a.contains("\"total_events\""));
         assert!(a.contains("\"events\""));
         assert!(
@@ -995,7 +1087,7 @@ mod tests {
         let parsed = JsonValue::parse(&a).expect("report JSON parses");
         assert_eq!(
             parsed.get("schema").and_then(JsonValue::as_str),
-            Some("dscs-at-scale-v7")
+            Some("dscs-at-scale-v8")
         );
     }
 
@@ -1127,6 +1219,15 @@ mod tests {
             ..AtScaleOptions::quick()
         });
         assert_eq!(restricted.balancers, vec![LoadBalancer::LeastLoaded]);
+        assert_eq!(spec.cold_paths, vec![ColdStartPath::FlashReload]);
+        assert_eq!(spec.ipcs, vec![IpcTransport::SharedMem]);
+        let pathed = SweepSpec::from(AtScaleOptions {
+            cold_path: Some(ColdStartPath::SnapshotRestore),
+            ipc: Some(IpcTransport::Http),
+            ..AtScaleOptions::quick()
+        });
+        assert_eq!(pathed.cold_paths, vec![ColdStartPath::SnapshotRestore]);
+        assert_eq!(pathed.ipcs, vec![IpcTransport::Http]);
 
         let empty_axis = SweepSpec {
             schedulers: Vec::new(),
@@ -1135,6 +1236,14 @@ mod tests {
         assert_eq!(
             empty_axis.check(),
             Err(ConfigError::EmptySweepAxis { axis: "schedulers" })
+        );
+        let empty_paths = SweepSpec {
+            cold_paths: Vec::new(),
+            ..SweepSpec::default_grid(SweepScale::Smoke)
+        };
+        assert_eq!(
+            empty_paths.check(),
+            Err(ConfigError::EmptySweepAxis { axis: "cold_paths" })
         );
         assert!(empty_axis.run().is_err());
         let zero_racks = SweepSpec {
@@ -1249,5 +1358,84 @@ mod tests {
                 && c.balancer.name() == "locality"
                 && c.scheduler.name() == "fcfs"));
         assert_eq!(report.spec, spec);
+    }
+
+    /// The modality axes sweep like any other: a 3-path × 3-transport grid
+    /// produces one cell per combination, each cell's optimal bound is
+    /// priced under its own cold-start path (so regret stays well-defined),
+    /// and the new cost columns light up exactly where their modality runs.
+    #[test]
+    fn cold_path_and_ipc_sweep_as_first_class_axes() {
+        let spec = SweepSpec {
+            workloads: vec![WorkloadSpec::Azure {
+                scale: SweepScale::Smoke,
+                seed: 42,
+            }],
+            platforms: vec![PlatformKind::DscsDsa],
+            schedulers: vec![SchedulerPolicy::Fcfs],
+            keepalives: vec![KeepalivePolicy::NoKeepalive],
+            scalings: vec![ScalingPolicy::Fixed],
+            balancers: vec![LoadBalancer::RoundRobin],
+            cold_paths: ColdStartPath::ALL.to_vec(),
+            ipcs: IpcTransport::ALL.to_vec(),
+            ..SweepSpec::default_grid(SweepScale::Smoke)
+        };
+        let report = spec.run().expect("valid spec");
+        assert_eq!(report.cells.len(), 9);
+        let at = |path: ColdStartPath, ipc: IpcTransport| {
+            report
+                .cells
+                .iter()
+                .find(|c| c.cold_path == path && c.ipc == ipc)
+                .expect("grid covers every (path, ipc) combination")
+        };
+        for cell in &report.cells {
+            // The offline bound must floor every cell under its own pricing.
+            assert!(
+                cell.coldstart_s >= cell.optimal_coldstart_s * (1.0 - 1e-9),
+                "{}/{}: {} vs bound {}",
+                cell.cold_path.name(),
+                cell.ipc.name(),
+                cell.coldstart_s,
+                cell.optimal_coldstart_s
+            );
+            // Modality costs light up only where their modality runs.
+            assert_eq!(
+                cell.restore_s > 0.0,
+                cell.cold_path == ColdStartPath::SnapshotRestore && cell.cold_starts > 1,
+                "restore seconds iff snapshot repeat colds"
+            );
+            assert_eq!(
+                cell.ipc_overhead_s > 0.0,
+                cell.ipc != IpcTransport::SharedMem
+            );
+        }
+        // The no-keepalive smoke run pays plenty of repeat colds, so the
+        // modality orderings are visible end to end: snapshot restore beats
+        // flash reload beats fresh spawn on aggregate cold-start seconds,
+        // and pricier transports charge more IPC seconds.
+        let (snapshot, flash, fresh) = (
+            at(ColdStartPath::SnapshotRestore, IpcTransport::SharedMem),
+            at(ColdStartPath::FlashReload, IpcTransport::SharedMem),
+            at(ColdStartPath::FreshSpawn, IpcTransport::SharedMem),
+        );
+        assert!(snapshot.coldstart_s < flash.coldstart_s);
+        assert!(flash.coldstart_s < fresh.coldstart_s);
+        // At the zero warm-memory price the sweep bounds with, hindsight
+        // keeps every container warm and pays only the per-function first
+        // cold starts — which cost the full registry spawn under every
+        // path — so the bound is path-invariant and the cheaper modality
+        // shows up purely as lower regret. (The path-aware repeat pricing
+        // is exercised by `optimal_coldstart_seconds_with`; see
+        // `crate::optimal`.)
+        assert_eq!(snapshot.optimal_coldstart_s, fresh.optimal_coldstart_s);
+        assert!(snapshot.regret_pct < fresh.regret_pct);
+        let http = at(ColdStartPath::FlashReload, IpcTransport::Http);
+        let socket = at(ColdStartPath::FlashReload, IpcTransport::UnixSocket);
+        assert!(http.ipc_overhead_s > socket.ipc_overhead_s);
+        assert!(http.mean_latency_ms >= flash.mean_latency_ms);
+        let json = report.to_json();
+        assert!(json.contains("\"cold_path\":\"snapshot\""));
+        assert!(json.contains("\"ipc\":\"http\""));
     }
 }

@@ -55,6 +55,7 @@ use dscs_platforms::PlatformKind;
 use dscs_simcore::rng::DeterministicRng;
 use dscs_simcore::time::SimDuration;
 
+use crate::coldpath::{ColdStartPath, IpcTransport};
 use crate::data::DataLayer;
 use crate::policy::{KeepalivePolicy, LoadBalancer, ScalingPolicy, SchedulerPolicy};
 use crate::sim::{ClusterConfig, ClusterReport, ClusterSim, EngineSelection, RackSummary};
@@ -521,6 +522,20 @@ impl ExperimentBuilder {
     /// How each rack's instance pool grows and shrinks.
     pub fn scaling(mut self, scaling: ScalingPolicy) -> Self {
         self.config.scaling = scaling;
+        self
+    }
+
+    /// Which modality cold starts pay (fresh spawn, flash reload or
+    /// snapshot restore).
+    pub fn cold_path(mut self, cold_path: ColdStartPath) -> Self {
+        self.config.cold_path = cold_path;
+        self
+    }
+
+    /// The gateway→runtime IPC transport charged on every started
+    /// invocation.
+    pub fn ipc(mut self, ipc: IpcTransport) -> Self {
+        self.config.ipc = ipc;
         self
     }
 

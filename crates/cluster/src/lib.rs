@@ -27,6 +27,11 @@
 //!   optional prewarm head percentile), instance-pool scaling policies
 //!   (fixed cap, reactive, predictive) and front-end load balancers
 //!   (round-robin, least-loaded, data-locality-aware with spill).
+//! * [`coldpath`] — the cold-start path and IPC transport axes:
+//!   [`ColdStartPath`] (fresh spawn / flash reload / snapshot restore) picks
+//!   which modality cold starts pay, and [`IpcTransport`] (shm / socket /
+//!   http) charges a per-request marshalling + syscall latency on every
+//!   started invocation.
 //! * [`data`] — the data-placement layer: a rack-aware
 //!   `dscs-storage` object store pre-populated with every object a trace
 //!   reads, plus the cross-rack fetch costs (latency *and* joules) charged
@@ -77,6 +82,7 @@
 #![warn(missing_docs)]
 
 pub mod at_scale;
+pub mod coldpath;
 pub mod data;
 pub mod experiment;
 pub mod ingest;
@@ -91,9 +97,10 @@ pub use at_scale::{
     at_scale_sweep, AtScaleOptions, AtScaleReport, CrossValidation, SweepCell, SweepScale,
     SweepSpec,
 };
+pub use coldpath::{ColdStartPath, IpcTransport};
 pub use data::DataLayer;
 pub use experiment::{ConfigError, Experiment, ExperimentBuilder, Outcome};
-pub use ingest::{DaySummary, IngestError, TraceFileWorkload};
+pub use ingest::{DaySummary, IngestError, MemoryPercentile, TraceFileWorkload};
 pub use optimal::{optimal_coldstart_seconds, optimal_coldstart_seconds_with, regret_pct};
 pub use perf_gate::{compare_reports, GateOutcome};
 pub use policy::{

@@ -16,8 +16,11 @@
 //!   warm-seconds ledger tracks), or
 //! * **let it die** and pay one repeat cold start when the next invocation
 //!   arrives (priced by the same [`dscs_faas::coldstart`] model the
-//!   simulator charges — the flash reload on in-storage platforms, the
-//!   registry pull everywhere else).
+//!   simulator charges, under the simulator's configured
+//!   [`crate::coldpath::ColdStartPath`] — the flash reload on in-storage
+//!   platforms, the snapshot restore when the modality is
+//!   `SnapshotRestore`, the registry pull everywhere else — so the bound
+//!   always prices repeats by the cell's own modality).
 //!
 //! Any real policy's choices for a gap cost at least
 //! `min(g × warm_cost_per_sec, repeat_cold)`, and gaps are independent in
@@ -241,6 +244,38 @@ mod tests {
         assert!(
             dsa_bound < cpu_bound,
             "flash repeats must be cheaper: {dsa_bound} vs {cpu_bound}"
+        );
+    }
+
+    /// The bound is path-aware: repeat gaps are priced by the simulator's
+    /// configured cold-start path, so — at a warm price dear enough that
+    /// every gap pays the die branch — the three modalities order exactly
+    /// as their repeat pricing does, while the zero-warm-cost bound (one
+    /// registry cold start per function) is identical under every path.
+    #[test]
+    fn repeat_gaps_are_priced_by_the_configured_cold_start_path() {
+        let trace = azure_trace(9);
+        let bound_under = |path| {
+            let sim = ClusterSim::new(
+                PlatformKind::DscsDsa,
+                ClusterConfig {
+                    cold_path: path,
+                    ..ClusterConfig::default()
+                },
+            );
+            (
+                optimal_coldstart_seconds(&trace, &sim),
+                optimal_coldstart_seconds_with(&trace, &sim, 1e3),
+            )
+        };
+        let (fresh_free, fresh) = bound_under(crate::coldpath::ColdStartPath::FreshSpawn);
+        let (flash_free, flash) = bound_under(crate::coldpath::ColdStartPath::FlashReload);
+        let (snap_free, snapshot) = bound_under(crate::coldpath::ColdStartPath::SnapshotRestore);
+        assert_eq!(fresh_free, flash_free);
+        assert_eq!(flash_free, snap_free);
+        assert!(
+            snapshot < flash && flash < fresh,
+            "snapshot {snapshot} / flash {flash} / fresh {fresh}"
         );
     }
 

@@ -6,9 +6,10 @@
 //! the repo's tracked performance trajectory becomes a gate instead of a
 //! graph. The comparison is schema-tolerant in two ways. Within one schema
 //! version, cells are matched by their full policy identity (workload,
-//! platform, scheduler, keepalive, scaling, balancer — the scaling and
-//! balancer axes default to `"fixed"`/`"round-robin"` when a cell omits
-//! them, which can only happen for untagged or hand-trimmed reports, since
+//! platform, scheduler, keepalive, scaling, balancer, cold-start path, IPC
+//! transport — the scaling/balancer/cold-path/IPC axes default to
+//! `"fixed"`/`"round-robin"`/`"flash"`/`"shm"` when a cell omits them,
+//! which can only happen for untagged or hand-trimmed reports, since
 //! tagged reports always carry every axis their schema defines), and cells
 //! present on only one side are reported as skipped rather than failing.
 //! Across schema versions (e.g. a v4 baseline against a v5 current report,
@@ -209,6 +210,8 @@ fn cell_key(cell: &JsonValue) -> Option<String> {
             field("keepalive", None)?,
             field("scaling", Some("fixed"))?,
             field("balancer", Some("round-robin"))?,
+            field("cold_path", Some("flash"))?,
+            field("ipc", Some("shm"))?,
         ]
         .join("/"),
     )
@@ -521,7 +524,64 @@ mod tests {
         let outcome = compare_reports(&base, &cur, 10.0).expect("valid");
         assert_eq!(outcome.compared, 2);
         assert_eq!(outcome.regressions.len(), 2, "locality mean and p99");
-        assert!(outcome.regressions[0].cell.ends_with("locality"));
+        assert!(outcome.regressions[0].cell.contains("locality"));
+    }
+
+    /// Satellite regression test: the v8 modality axes are part of cell
+    /// identity, so a snapshot-restore cell is never diffed against the
+    /// flash-reload cell sharing its policy point, and an http-transport
+    /// cell is never diffed against its shm twin. Cells omitting the keys
+    /// (hand-trimmed reports) default to the historical `"flash"`/`"shm"`.
+    #[test]
+    fn cells_differing_only_by_cold_path_or_ipc_are_distinct() {
+        let cell = |path: Option<&str>, ipc: Option<&str>, mean: f64| {
+            let mut c = JsonValue::object();
+            c.push("workload", "azure");
+            c.push("platform", "DSCS-DSA");
+            c.push("scheduler", "fcfs");
+            c.push("keepalive", "fixed-window");
+            c.push("scaling", "fixed");
+            c.push("balancer", "round-robin");
+            if let Some(path) = path {
+                c.push("cold_path", path);
+            }
+            if let Some(ipc) = ipc {
+                c.push("ipc", ipc);
+            }
+            c.push("mean_latency_ms", mean);
+            c.push("p99_latency_ms", mean * 2.0);
+            c
+        };
+        let make = |cells: Vec<JsonValue>| {
+            let mut root = JsonValue::object();
+            root.push("schema", "dscs-at-scale-v8");
+            root.push("cells", JsonValue::Array(cells));
+            root.render()
+        };
+        let base = make(vec![
+            cell(Some("flash"), Some("shm"), 10.0),
+            cell(Some("snapshot"), Some("shm"), 5.0),
+            cell(Some("flash"), Some("http"), 12.0),
+        ]);
+        // Only the snapshot cell regresses; its flash/http neighbours
+        // improve. Cross-matching any of them would hide the regression or
+        // flag a spurious one.
+        let cur = make(vec![
+            cell(Some("flash"), Some("shm"), 9.0),
+            cell(Some("snapshot"), Some("shm"), 8.0),
+            cell(Some("flash"), Some("http"), 11.0),
+        ]);
+        let outcome = compare_reports(&base, &cur, 10.0).expect("valid");
+        assert_eq!(outcome.compared, 3);
+        assert_eq!(outcome.regressions.len(), 2, "snapshot mean and p99");
+        assert!(outcome.regressions[0].cell.contains("snapshot"));
+        // A cell lacking the keys defaults to "flash"/"shm", so same-version
+        // reports that omit them still match their historical twins.
+        let untagged = make(vec![cell(None, None, 10.0)]);
+        let tagged = make(vec![cell(Some("flash"), Some("shm"), 10.0)]);
+        let defaulted = compare_reports(&untagged, &tagged, 10.0).expect("valid");
+        assert_eq!(defaulted.compared, 1);
+        assert_eq!(defaulted.skipped, 0);
     }
 
     /// Engine-throughput drops warn without failing: a >10% `events_per_sec`

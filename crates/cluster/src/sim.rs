@@ -40,6 +40,7 @@ use dscs_simcore::series::TimeSeries;
 use dscs_simcore::stats::{Measured, QuantileSketch};
 use dscs_simcore::time::{SimDuration, SimTime};
 
+use crate::coldpath::{ColdStartPath, IpcTransport};
 use crate::data::DataLayer;
 use crate::experiment::{validate_run, ConfigError, Experiment};
 use crate::policy::{
@@ -72,6 +73,14 @@ pub struct ClusterConfig {
     /// Modelled delay between a scale-up decision and the new instances
     /// coming online (scale-downs release immediately).
     pub provisioning_delay: SimDuration,
+    /// Which modality cold starts pay (see [`ColdStartPath`]). The default,
+    /// [`ColdStartPath::FlashReload`], reproduces the historical DSCS
+    /// behaviour byte for byte.
+    pub cold_path: ColdStartPath,
+    /// Per-request IPC transport between the gateway and the function
+    /// runtime, charged on every started invocation. The default,
+    /// [`IpcTransport::SharedMem`], costs exactly zero.
+    pub ipc: IpcTransport,
 }
 
 impl Default for ClusterConfig {
@@ -86,6 +95,8 @@ impl Default for ClusterConfig {
             keepalive: KeepalivePolicy::paper_default(),
             scaling: ScalingPolicy::Fixed,
             provisioning_delay: SimDuration::from_secs(2),
+            cold_path: ColdStartPath::default(),
+            ipc: IpcTransport::default(),
         }
     }
 }
@@ -141,6 +152,14 @@ pub struct ClusterReport {
     /// the quantity the offline-optimal bound in [`crate::optimal`] lower
     /// bounds, so `coldstart_s - bound` is the policy's regret.
     pub coldstart_s: f64,
+    /// The subset of [`ClusterReport::coldstart_s`] paid as snapshot
+    /// restores (zero unless the run's [`ColdStartPath`] is
+    /// [`ColdStartPath::SnapshotRestore`] and a repeat cold start hit).
+    pub restore_s: f64,
+    /// Per-request IPC transport latency charged across all started
+    /// invocations, in seconds (zero under the default
+    /// [`IpcTransport::SharedMem`]).
+    pub ipc_overhead_s: f64,
     /// Invocations that found a proactively prewarmed instance (hybrid
     /// keepalive with a non-zero head percentile).
     pub prewarm_hits: u64,
@@ -254,6 +273,10 @@ pub struct RackSummary {
     pub cold_starts: u64,
     /// Cold-start seconds charged on this rack.
     pub coldstart_s: f64,
+    /// The subset of `coldstart_s` this rack paid as snapshot restores.
+    pub restore_s: f64,
+    /// Per-request IPC transport seconds this rack charged.
+    pub ipc_overhead_s: f64,
     /// Prewarm hits on this rack.
     pub prewarm_hits: u64,
     /// Maximum queue depth this rack reached.
@@ -365,6 +388,9 @@ struct ColdCosts {
     /// Image reloaded from the drive's flash over the P2P path (repeat cold
     /// starts on in-storage platforms).
     local: SimDuration,
+    /// Process snapshot restored from local storage (repeat cold starts
+    /// under [`ColdStartPath::SnapshotRestore`]).
+    snapshot: SimDuration,
 }
 
 struct RackState {
@@ -381,6 +407,10 @@ struct RackState {
     rejected: u64,
     cold_starts: u64,
     coldstart: SimDuration,
+    /// The subset of `coldstart` paid as snapshot restores.
+    restore: SimDuration,
+    /// Per-request IPC transport latency charged on started invocations.
+    ipc_overhead: SimDuration,
     peak_queue: usize,
     peak_instances: u32,
     low_instances: u32,
@@ -509,6 +539,8 @@ impl ClusterSim {
                         + weight_load,
                     local: cold_model.cold_start_latency(image, ImageSource::LocalFlash)
                         + weight_load,
+                    snapshot: cold_model.cold_start_latency(image, ImageSource::SnapshotRestore)
+                        + weight_load,
                 };
                 (b, costs)
             })
@@ -561,22 +593,45 @@ impl ClusterSim {
     }
 
     /// The cold-start penalty a first (registry) cold start of `benchmark`
-    /// pays on this platform.
+    /// pays on this platform. Identical under every [`ColdStartPath`]: the
+    /// first cold start of a function always pays the full registry spawn —
+    /// there is no cached image or snapshot to reuse yet.
     pub fn cold_start_cost(&self, benchmark: Benchmark) -> SimDuration {
         self.cold_costs[&benchmark].remote
     }
 
     /// The cold-start penalty a *repeat* cold start of `benchmark` pays on
-    /// this platform: on in-storage platforms the image reloads from the
-    /// drive's flash over the P2P path, everywhere else it pulls from the
-    /// remote registry again.
+    /// this platform, under the configured [`ColdStartPath`]:
+    ///
+    /// * [`ColdStartPath::FreshSpawn`] — the registry spawn again, always.
+    /// * [`ColdStartPath::FlashReload`] — on in-storage platforms the image
+    ///   reloads from the drive's flash over the P2P path, everywhere else
+    ///   it pulls from the remote registry (the historical behaviour).
+    /// * [`ColdStartPath::SnapshotRestore`] — the process snapshot captured
+    ///   after the first run restores from local storage.
+    ///
+    /// [`crate::optimal`] consumes this, so the offline bound automatically
+    /// prices gaps against the same modality the simulated policy pays.
     pub fn repeat_cold_start_cost(&self, benchmark: Benchmark) -> SimDuration {
         let costs = self.cold_costs[&benchmark];
-        if self.flash_cache {
-            costs.local
-        } else {
-            costs.remote
+        match self.config.cold_path {
+            ColdStartPath::FreshSpawn => costs.remote,
+            ColdStartPath::FlashReload => {
+                if self.flash_cache {
+                    costs.local
+                } else {
+                    costs.remote
+                }
+            }
+            ColdStartPath::SnapshotRestore => costs.snapshot,
         }
+    }
+
+    /// The snapshot-restore penalty for `benchmark` on this platform
+    /// (restore stream + page-fault warmup tail + model-weight load),
+    /// regardless of the configured path.
+    pub fn snapshot_restore_cost(&self, benchmark: Benchmark) -> SimDuration {
+        self.cold_costs[&benchmark].snapshot
     }
 
     /// Whether this platform caches evicted images on the drive's flash
@@ -733,6 +788,8 @@ impl ClusterSim {
             rejected: 0,
             cold_starts: 0,
             coldstart: SimDuration::ZERO,
+            restore: SimDuration::ZERO,
+            ipc_overhead: SimDuration::ZERO,
             peak_queue: 0,
             peak_instances: initial_capacity,
             low_instances: initial_capacity,
@@ -791,19 +848,48 @@ impl ClusterSim {
             let mut service = base * jitter;
             if !rack.keepalive.is_warm(request.function, now) {
                 let costs = self.cold_costs[&request.benchmark];
-                let penalty =
-                    if self.flash_cache && rack.cached_on_flash.contains(&request.function) {
-                        costs.local
-                    } else {
-                        costs.remote
-                    };
+                // A repeat cold start can reuse whatever the first one left
+                // behind on this rack: the flash-cached image or the process
+                // snapshot, per the configured path.
+                let cached = rack.cached_on_flash.contains(&request.function);
+                let penalty = match self.config.cold_path {
+                    ColdStartPath::FreshSpawn => costs.remote,
+                    ColdStartPath::FlashReload => {
+                        if self.flash_cache && cached {
+                            costs.local
+                        } else {
+                            costs.remote
+                        }
+                    }
+                    ColdStartPath::SnapshotRestore => {
+                        if cached {
+                            rack.restore += costs.snapshot;
+                            costs.snapshot
+                        } else {
+                            costs.remote
+                        }
+                    }
+                };
                 service += penalty;
                 rack.cold_starts += 1;
                 rack.coldstart += penalty;
-                if self.flash_cache {
-                    rack.cached_on_flash.insert(request.function);
+                match self.config.cold_path {
+                    ColdStartPath::FreshSpawn => {}
+                    ColdStartPath::FlashReload => {
+                        if self.flash_cache {
+                            rack.cached_on_flash.insert(request.function);
+                        }
+                    }
+                    ColdStartPath::SnapshotRestore => {
+                        rack.cached_on_flash.insert(request.function);
+                    }
                 }
             }
+            // Every started invocation — warm and cold — pays the gateway's
+            // IPC transport (zero for the default shared-memory path).
+            let ipc_cost = self.config.ipc.per_request_cost();
+            service += ipc_cost;
+            rack.ipc_overhead += ipc_cost;
             if let Some(data) = data {
                 if data.holds(request.function, request.object, rack_idx) {
                     rack.locality_hits += 1;
@@ -1180,6 +1266,8 @@ impl ClusterSim {
                 rejected: rack.rejected,
                 cold_starts: rack.cold_starts,
                 coldstart_s: rack.coldstart.as_secs_f64(),
+                restore_s: rack.restore.as_secs_f64(),
+                ipc_overhead_s: rack.ipc_overhead.as_secs_f64(),
                 prewarm_hits: rack.keepalive.stats().prewarm_hits,
                 peak_queue: rack.peak_queue,
                 peak_instances: rack.peak_instances,
@@ -1221,6 +1309,8 @@ impl ClusterSim {
             rejected: summaries.iter().map(|r| r.rejected).sum(),
             cold_starts: summaries.iter().map(|r| r.cold_starts).sum(),
             coldstart_s: summaries.iter().map(|r| r.coldstart_s).sum(),
+            restore_s: summaries.iter().map(|r| r.restore_s).sum(),
+            ipc_overhead_s: summaries.iter().map(|r| r.ipc_overhead_s).sum(),
             prewarm_hits: summaries.iter().map(|r| r.prewarm_hits).sum(),
             warm_seconds: rack_states
                 .iter()

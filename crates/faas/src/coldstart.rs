@@ -7,11 +7,18 @@
 //! offload an evicted function's image to the drive's flash over the P2P path
 //! and reload it from there instead of the remote registry on the next
 //! invocation.
+//!
+//! A third modality sits beside those two: CRIU-style **snapshot restore**,
+//! where a checkpointed warm process is resumed from local storage instead
+//! of being spawned at all — no image unpack, no runtime boot, just the
+//! restore stream and its page-fault warmup tail (priced by
+//! [`dscs_storage::snapshot`]).
 
 use serde::{Deserialize, Serialize};
 
 use dscs_simcore::quantity::{Bandwidth, Bytes};
 use dscs_simcore::time::SimDuration;
+use dscs_storage::snapshot::{SnapshotConfig, SnapshotStore};
 
 /// Where a container image is fetched from on a cold start.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -21,6 +28,10 @@ pub enum ImageSource {
     /// The drive's own flash array over the P2P path (DSCS-Serverless's cached
     /// image path).
     LocalFlash,
+    /// A CRIU-style process snapshot restored from local storage: skips the
+    /// unpack and runtime-boot phases entirely, paying the restore stream
+    /// plus its page-fault warmup tail instead.
+    SnapshotRestore,
 }
 
 /// Cold-start model parameters.
@@ -37,6 +48,9 @@ pub struct ColdStartModel {
     /// How long an idle container (or a function held in DSA memory) stays
     /// warm before eviction.
     pub keep_warm: SimDuration,
+    /// Pricing of the snapshot-restore path (restore bandwidth, fixed setup
+    /// and the page-fault warmup tail).
+    pub snapshot: SnapshotConfig,
 }
 
 impl Default for ColdStartModel {
@@ -47,20 +61,35 @@ impl Default for ColdStartModel {
             unpack_bandwidth: Bandwidth::from_mbps(400.0),
             startup_check: SimDuration::from_millis(350),
             keep_warm: SimDuration::from_secs(600),
+            snapshot: SnapshotConfig::criu_local_nvme(),
         }
     }
 }
 
 impl ColdStartModel {
     /// Cold-start latency for an image of `image_size` fetched from `source`.
+    ///
+    /// For [`ImageSource::SnapshotRestore`], `image_size` is read as the
+    /// snapshot size (the checkpointed resident set, approximated by the
+    /// unpacked image) and the unpack + startup-check phases are skipped:
+    /// the restored process is already initialised, so the whole cost is
+    /// [`ColdStartModel::snapshot_restore_latency`].
     pub fn cold_start_latency(&self, image_size: Bytes, source: ImageSource) -> SimDuration {
         let fetch_bw = match source {
             ImageSource::RemoteRegistry => self.registry_bandwidth,
             ImageSource::LocalFlash => self.flash_bandwidth,
+            ImageSource::SnapshotRestore => return self.snapshot_restore_latency(image_size),
         };
         fetch_bw.transfer_time(image_size)
             + self.unpack_bandwidth.transfer_time(image_size)
             + self.startup_check
+    }
+
+    /// Time-to-ready for restoring a `snapshot_size` process snapshot:
+    /// fixed setup + restore stream + page-fault warmup tail (see
+    /// [`dscs_storage::snapshot::SnapshotStore::restore_latency`]).
+    pub fn snapshot_restore_latency(&self, snapshot_size: Bytes) -> SimDuration {
+        SnapshotStore::new(self.snapshot).restore_latency(snapshot_size)
     }
 
     /// Additional latency to load `weight_bytes` of model weights into the
@@ -181,6 +210,25 @@ mod tests {
         assert_eq!(c.cold_image_source(), ImageSource::RemoteRegistry);
         c.cache_image_on_flash();
         assert_eq!(c.cold_image_source(), ImageSource::LocalFlash);
+    }
+
+    #[test]
+    fn snapshot_restore_undercuts_both_image_paths() {
+        let m = ColdStartModel::default();
+        let size = Bytes::from_mib(400);
+        let restore = m.cold_start_latency(size, ImageSource::SnapshotRestore);
+        assert!(restore < m.cold_start_latency(size, ImageSource::LocalFlash));
+        assert!(restore < m.cold_start_latency(size, ImageSource::RemoteRegistry));
+        assert_eq!(restore, m.snapshot_restore_latency(size));
+    }
+
+    #[test]
+    fn snapshot_restore_scales_with_snapshot_size() {
+        let m = ColdStartModel::default();
+        let small = m.snapshot_restore_latency(Bytes::from_mib(32));
+        let large = m.snapshot_restore_latency(Bytes::from_mib(512));
+        assert!(large > small);
+        assert_eq!(m.snapshot_restore_latency(Bytes::ZERO), SimDuration::ZERO);
     }
 
     #[test]

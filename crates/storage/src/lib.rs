@@ -15,6 +15,9 @@
 //!   S3 read measurements (Figure 3).
 //! * [`object_store`] — an S3-style replicated object store with DSCS-aware
 //!   data placement (Section 5.2).
+//! * [`snapshot`] — the CRIU-style process-snapshot restore path (setup +
+//!   restore stream + page-fault warmup tail), the third cold-start
+//!   modality next to registry spawn and flash reload.
 //!
 //! # Example: remote read vs. in-storage P2P read
 //!
@@ -41,6 +44,7 @@ pub mod flash;
 pub mod network;
 pub mod object_store;
 pub mod pcie;
+pub mod snapshot;
 
 pub use drive::{DscsDrive, HostSoftwareCosts, P2pDriverCosts, SsdDrive};
 pub use flash::{FlashArray, FlashConfig};
@@ -49,6 +53,7 @@ pub use object_store::{
     DriveClass, ObjectMeta, ObjectStore, RemoteFetchModel, StorageNodeId, StoreError,
 };
 pub use pcie::{PcieGeneration, PcieLink};
+pub use snapshot::{SnapshotConfig, SnapshotStore};
 
 #[cfg(test)]
 mod tests {

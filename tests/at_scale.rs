@@ -14,11 +14,11 @@ use dscs_serverless::platforms::PlatformKind;
 use dscs_serverless::simcore::rng::DeterministicRng;
 
 /// The pinned smoke-sweep report (file name kept from the PR 4 capture that
-/// first pinned it; now schema v7: on top of the v6 declarative workload
-/// axis, every cell carries `coldstart_s`, the offline-optimal
-/// `optimal_coldstart_s` bound and the derived `regret_pct`, and
-/// `cross_validation` gains a `regret_delta`). Today's sweep must
-/// reproduce it byte-for-byte;
+/// first pinned it; now schema v8: on top of the v7 regret fields, every
+/// cell carries its `cold_path` / `ipc` modality identity plus the
+/// `restore_s` / `ipc_overhead_s` charges — at the single-valued default
+/// axes they render the historical values, so the v7 fields are unchanged
+/// bytes). Today's sweep must reproduce it byte-for-byte;
 /// regenerate deliberately with `UPDATE_GOLDEN=1 cargo test --test at_scale`.
 const PR4_GOLDEN_SMOKE: &str = include_str!("golden/at_scale_smoke_pr4.json");
 
@@ -146,6 +146,26 @@ fn throughput_report_strips_back_to_the_golden_bytes() {
         json, PR4_GOLDEN_SMOKE,
         "throughput report must add nothing beyond the measured keys"
     );
+}
+
+/// Schema-v8 regression: every cell of the default smoke report is tagged
+/// with the historical modality identity (`flash` cold path over `shm`
+/// IPC), carries the per-modality charge fields, and — at those defaults —
+/// charges nothing, so pre-v8 numbers are untouched.
+#[test]
+fn smoke_report_carries_the_v8_modality_fields_at_their_defaults() {
+    let report = smoke_report();
+    let json = report.to_json();
+    assert!(json.contains("\"schema\":\"dscs-at-scale-v8\""));
+    let cells = report.cells.len();
+    assert_eq!(json.matches("\"cold_path\":\"flash\"").count(), cells);
+    assert_eq!(json.matches("\"ipc\":\"shm\"").count(), cells);
+    assert_eq!(json.matches("\"restore_s\":").count(), cells);
+    assert_eq!(json.matches("\"ipc_overhead_s\":").count(), cells);
+    for cell in &report.cells {
+        assert_eq!(cell.restore_s, 0.0, "flash cells never restore snapshots");
+        assert_eq!(cell.ipc_overhead_s, 0.0, "shared-memory IPC is free");
+    }
 }
 
 /// Golden integration test for prewarming: on the bursty Azure workload the

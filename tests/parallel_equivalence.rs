@@ -13,6 +13,7 @@
 use std::sync::Arc;
 
 use dscs_serverless::cluster::at_scale::{AtScaleOptions, SweepScale, SweepSpec};
+use dscs_serverless::cluster::coldpath::{ColdStartPath, IpcTransport};
 use dscs_serverless::cluster::experiment::{Experiment, Outcome};
 use dscs_serverless::cluster::policy::{
     KeepalivePolicy, LoadBalancer, ScalingPolicy, SchedulerPolicy,
@@ -288,6 +289,56 @@ fn coupled_balancers_report_the_sequential_fallback_reason() {
         let inline = outcome_for(balancer, 1);
         assert_eq!(outcome.report, inline.report, "{}", balancer.name());
         assert_eq!(outcome.racks, inline.racks, "{}", balancer.name());
+    }
+}
+
+#[test]
+fn cold_path_and_ipc_axes_preserve_both_parallelism_equivalences() {
+    // The modality axes charge at the same single site as the legacy
+    // pricing, so sweeping them must leave both parallelism levels —
+    // cell workers and rack lanes — byte-equivalent to the sequential run.
+    let grid = |jobs: usize, rack_jobs: usize| SweepSpec {
+        jobs,
+        rack_jobs,
+        racks: 3,
+        platforms: vec![PlatformKind::DscsDsa],
+        schedulers: vec![SchedulerPolicy::Fcfs],
+        keepalives: vec![KeepalivePolicy::prewarm_default()],
+        scalings: vec![ScalingPolicy::Fixed],
+        balancers: vec![LoadBalancer::RoundRobin],
+        cold_paths: ColdStartPath::ALL.to_vec(),
+        ipcs: IpcTransport::ALL.to_vec(),
+        ..SweepSpec::default_grid(SweepScale::Smoke)
+    };
+    let sequential = grid(1, 1).run().expect("valid spec");
+    assert_eq!(
+        sequential.cells.len(),
+        2 * ColdStartPath::ALL.len() * IpcTransport::ALL.len(),
+        "2 workloads x 3 cold paths x 3 transports"
+    );
+    let sweep_parallel = grid(4, 1).run().expect("valid spec");
+    let rack_parallel = grid(1, 2).run().expect("valid spec");
+    let composed = grid(3, 2).run().expect("valid spec");
+    for (label, report) in [
+        ("jobs=4", &sweep_parallel),
+        ("rack_jobs=2", &rack_parallel),
+        ("jobs=3 rack_jobs=2", &composed),
+    ] {
+        assert_eq!(sequential.to_json(), report.to_json(), "{label}");
+        assert_eq!(sequential.cells, report.cells, "{label}");
+        // The v8 modality fields are inside the determinism contract:
+        // bit-identical across engines, tagged with the cell's own axis
+        // values.
+        for (a, b) in sequential.cells.iter().zip(&report.cells) {
+            assert_eq!(a.cold_path, b.cold_path, "{label}");
+            assert_eq!(a.ipc, b.ipc, "{label}");
+            assert_eq!(a.restore_s.to_bits(), b.restore_s.to_bits(), "{label}");
+            assert_eq!(
+                a.ipc_overhead_s.to_bits(),
+                b.ipc_overhead_s.to_bits(),
+                "{label}"
+            );
+        }
     }
 }
 

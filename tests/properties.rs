@@ -892,12 +892,55 @@ fn fixed_scaling_is_bit_identical_to_a_pinned_pool() {
     });
 }
 
+/// Snapshot-restore latency is monotone in snapshot size for any valid
+/// configuration: more pages always cost more to stream back and fault in,
+/// the warmup tail never exceeds the restore it is part of, and a zero-size
+/// snapshot is free.
+#[test]
+fn snapshot_restore_latency_is_monotone_in_snapshot_size() {
+    use dscs_serverless::simcore::quantity::Bandwidth;
+    use dscs_serverless::storage::snapshot::{SnapshotConfig, SnapshotStore};
+
+    check(0xB7, |case, rng| {
+        let store = SnapshotStore::new(SnapshotConfig {
+            restore_bandwidth: Bandwidth::from_mbps(rng.uniform(100.0, 5000.0)),
+            restore_setup: SimDuration::from_millis(int_in(rng, 0, 200)),
+            warmup_fault_fraction: rng.uniform(0.0, 1.0),
+            fault_bandwidth: Bandwidth::from_mbps(rng.uniform(10.0, 1000.0)),
+        });
+        let mut sizes: Vec<u64> = (0..12).map(|_| int_in(rng, 0, 4_000_000_000)).collect();
+        sizes.sort_unstable();
+        let mut previous = SimDuration::ZERO;
+        let mut previous_size = 0u64;
+        for &size in &sizes {
+            let latency = store.restore_latency(Bytes::new(size));
+            assert!(
+                latency >= previous,
+                "case {case}: {size} B restores faster than {previous_size} B"
+            );
+            assert!(
+                store.warmup_tail(Bytes::new(size)) <= latency,
+                "case {case}: tail exceeds the restore it is part of"
+            );
+            previous = latency;
+            previous_size = size;
+        }
+        assert_eq!(
+            store.restore_latency(Bytes::ZERO),
+            SimDuration::ZERO,
+            "case {case}: zero-size snapshots are free"
+        );
+    });
+}
+
 /// The offline-optimal cold-start bound is a true floor: for random traces,
-/// rack counts, seeds and every scheduler / keepalive / scaling / balancer
-/// combination, the measured aggregate cold-start seconds never dip below
-/// the bound, and the derived regret is therefore non-negative.
+/// rack counts, seeds and every scheduler / keepalive / scaling / balancer /
+/// cold-start-path / IPC-transport combination, the measured aggregate
+/// cold-start seconds never dip below the bound priced under the cell's own
+/// modality, and the derived regret is therefore non-negative.
 #[test]
 fn offline_optimal_bound_floors_every_policys_cold_start_seconds() {
+    use dscs_serverless::cluster::coldpath::{ColdStartPath, IpcTransport};
     use dscs_serverless::cluster::experiment::Experiment;
     use dscs_serverless::cluster::optimal::{optimal_coldstart_seconds, regret_pct};
     use dscs_serverless::cluster::policy::{
@@ -935,6 +978,8 @@ fn offline_optimal_bound_floors_every_policys_cold_start_seconds() {
         let keepalive = KeepalivePolicy::all_default()[int_in(rng, 0, 4) as usize];
         let scaling = ScalingPolicy::all_default()[int_in(rng, 0, 3) as usize];
         let balancer = LoadBalancer::ALL[int_in(rng, 0, 3) as usize];
+        let cold_path = ColdStartPath::ALL[int_in(rng, 0, 3) as usize];
+        let ipc = IpcTransport::ALL[int_in(rng, 0, 3) as usize];
         let outcome = Experiment::builder(base.platform())
             .trace(trace.clone())
             .racks(1 + int_in(rng, 0, 3) as u32)
@@ -942,11 +987,20 @@ fn offline_optimal_bound_floors_every_policys_cold_start_seconds() {
             .keepalive(keepalive)
             .scaling(scaling)
             .balancer(balancer)
+            .cold_path(cold_path)
+            .ipc(ipc)
             .seed(int_in(rng, 0, 1000))
             .build()
             .unwrap_or_else(|err| panic!("case {case}: valid config rejected: {err}"))
             .run_on(base);
-        let bound = optimal_coldstart_seconds(&trace, base);
+        // Price the bound under the cell's own cold-start modality (the IPC
+        // transport charges the request path, not cold starts, so it is not
+        // part of the bound's pricing).
+        let priced = base.reconfigured(ClusterConfig {
+            cold_path,
+            ..ClusterConfig::default()
+        });
+        let bound = optimal_coldstart_seconds(&trace, &priced);
         assert_eq!(
             outcome.optimal_coldstart_s,
             Some(bound),
@@ -957,11 +1011,13 @@ fn offline_optimal_bound_floors_every_policys_cold_start_seconds() {
         // in trace order).
         assert!(
             outcome.report.coldstart_s >= bound * (1.0 - 1e-9),
-            "case {case} ({} / {} / {} / {}): measured {} below the bound {bound}",
+            "case {case} ({} / {} / {} / {} / {} / {}): measured {} below the bound {bound}",
             scheduler.name(),
             keepalive.name(),
             scaling.name(),
             balancer.name(),
+            cold_path.name(),
+            ipc.name(),
             outcome.report.coldstart_s,
         );
         assert!(
